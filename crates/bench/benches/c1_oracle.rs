@@ -1,0 +1,42 @@
+//! E2/E3 bench: cost of the Theorem-1 machinery — the constructive
+//! necessity witness and the bounded exhaustive sufficiency oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltx_core::oracle::{self, OracleBounds};
+use deltx_core::{c1, CgState};
+use deltx_model::dsl::parse;
+
+fn bench(c: &mut Criterion) {
+    // A violated candidate (T2 uncovered under the active reader).
+    let p = parse("b1 r1(x) b2 r2(x) w2(x)").unwrap();
+    let mut cg = CgState::new();
+    cg.run(p.steps()).unwrap();
+    let t2 = cg.node_of(deltx_model::TxnId(2)).unwrap();
+    let v = c1::violation(&cg, t2).unwrap();
+
+    c.bench_function("c1_oracle/necessity-witness", |b| {
+        b.iter(|| {
+            let cont = oracle::necessity_witness(&cg, t2, &v);
+            let mut red = cg.clone();
+            red.delete(t2).unwrap();
+            oracle::diverges(&cg, &red, &cont)
+        })
+    });
+
+    // A safe candidate under the exhaustive oracle.
+    let p = parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+    let mut cg = CgState::new();
+    cg.run(p.steps()).unwrap();
+    let t2 = cg.node_of(deltx_model::TxnId(2)).unwrap();
+    let bounds = OracleBounds { max_depth: 3, max_new_txns: 1, fresh_entity: true };
+    c.bench_function("c1_oracle/exhaustive-depth3", |b| {
+        b.iter(|| oracle::single_deletion_safe_bounded(&cg, t2, &bounds))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

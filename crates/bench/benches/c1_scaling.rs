@@ -1,0 +1,23 @@
+//! E4 bench: C1 eligibility sweep cost versus retained-graph size
+//! (polynomial-time claim of Theorem 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltx_core::c1;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c1_scaling/eligible-sweep");
+    for n in [64usize, 256, 1024] {
+        let cg = deltx_bench::retained_graph(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cg, |b, cg| {
+            b.iter(|| c1::eligible(cg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

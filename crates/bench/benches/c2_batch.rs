@@ -1,0 +1,44 @@
+//! E7 bench: C2 joint-deletion checks — pairwise and greedy batch growth
+//! on the structured Example-1 family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltx_core::{c1, c2, CgState};
+use deltx_model::Step;
+use std::collections::BTreeSet;
+
+fn structured(e: u32, w: usize) -> CgState {
+    let mut cg = CgState::new();
+    cg.apply(&Step::begin(1)).unwrap();
+    for x in 0..e {
+        cg.apply(&Step::read(1, x)).unwrap();
+    }
+    let mut id = 2;
+    for x in 0..e {
+        for _ in 0..w {
+            cg.apply(&Step::begin(id)).unwrap();
+            cg.apply(&Step::read(id, x)).unwrap();
+            cg.apply(&Step::write_all(id, [x])).unwrap();
+            id += 1;
+        }
+    }
+    cg
+}
+
+fn bench(c: &mut Criterion) {
+    let cg = structured(6, 4);
+    let eligible = c1::eligible(&cg);
+    c.bench_function("c2_batch/pair-check", |b| {
+        let pair = BTreeSet::from([eligible[0], eligible[1]]);
+        b.iter(|| c2::holds(&cg, &pair))
+    });
+    c.bench_function("c2_batch/grow-greedy-24", |b| {
+        b.iter(|| c2::grow_greedy(&cg, &eligible))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E10 bench: exact C3 subset sweep on Figure-3 UNSAT gadgets versus
+//! DPLL on the source formula (Theorem 6's exponential wall).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltx_core::c3;
+use deltx_reductions::sat::{dpll, Cnf, Lit};
+use deltx_reductions::to_graph;
+
+fn unsat(n: usize) -> Cnf {
+    let lit = |v: usize, p: bool| Lit { var: v, positive: p };
+    let mut clauses = vec![
+        vec![lit(0, true), lit(0, true), lit(0, true)],
+        vec![lit(0, false), lit(0, false), lit(0, false)],
+    ];
+    clauses.extend(Cnf::random_3sat(n, n, 9_000 + n as u64).clauses);
+    Cnf::new(n, clauses)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c3_npc");
+    for n in [1usize, 2, 3] {
+        let f = unsat(n);
+        let gadget = to_graph::build(&f);
+        g.bench_with_input(BenchmarkId::new("exact-c3", n), &n, |b, _| {
+            b.iter(|| c3::violation_exact(&gadget.state, gadget.c))
+        });
+        g.bench_with_input(BenchmarkId::new("dpll", n), &n, |b, _| {
+            b.iter(|| dpll(&f))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E11 bench: C4 eligibility sweep on predeclared graphs (polynomial,
+//! Theorem 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltx_core::c4;
+use deltx_model::{EntityId, Op, TxnId, TxnSpec};
+use deltx_sched::predeclared::PredeclaredDriver;
+
+fn build(n: usize) -> PredeclaredDriver {
+    let mut d = PredeclaredDriver::new();
+    d.submit(&TxnSpec {
+        id: TxnId(1),
+        ops: vec![Op::Read(EntityId(0)), Op::Read(EntityId(1)), Op::Read(EntityId(7))],
+    })
+    .unwrap();
+    d.pump().unwrap();
+    for i in 0..n {
+        d.submit(&TxnSpec {
+            id: TxnId(100 + i as u32),
+            ops: vec![Op::Read(EntityId((i % 3) as u32)), Op::Write(EntityId((i % 5) as u32))],
+        })
+        .unwrap();
+        while d.pump().unwrap() > 0 {}
+    }
+    d
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c4_scaling/eligible-sweep");
+    for n in [40usize, 160] {
+        let d = build(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| c4::eligible(d.state()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E13 bench: per-step cycle checking via reverse DFS versus the
+//! incrementally maintained transitive closure (§3 implementation note).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use deltx_core::policy::{DeletionPolicy, GreedyC1};
+use deltx_core::{CgState, CycleStrategy};
+
+fn bench(c: &mut Criterion) {
+    let steps = deltx_bench::zipf_steps(150, 9);
+    let mut g = c.benchmark_group("closure_ablation");
+    g.throughput(Throughput::Elements(steps.len() as u64));
+    for (name, strat) in [
+        ("dfs", CycleStrategy::Dfs),
+        ("closure", CycleStrategy::TransitiveClosure),
+    ] {
+        g.bench_with_input(BenchmarkId::new("no-deletion", name), &strat, |b, &strat| {
+            b.iter_batched(
+                || CgState::with_strategy(strat),
+                |mut cg| {
+                    for s in &steps {
+                        let _ = cg.apply(s).unwrap();
+                    }
+                    cg
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("greedy-c1", name), &strat, |b, &strat| {
+            b.iter_batched(
+                || CgState::with_strategy(strat),
+                |mut cg| {
+                    let mut pol = GreedyC1;
+                    for s in &steps {
+                        let _ = cg.apply(s).unwrap();
+                        pol.reduce(&mut cg);
+                    }
+                    cg
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E9 bench: full greedy-C1 reduction loop (delete-until-irreducible
+//! after every step) — the cost of staying at the a·e bound.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use deltx_core::policy::{DeletionPolicy, GreedyC1};
+use deltx_core::CgState;
+
+fn bench(c: &mut Criterion) {
+    let steps = deltx_bench::long_reader_steps(200);
+    let mut g = c.benchmark_group("irreducible_bound");
+    g.throughput(Throughput::Elements(steps.len() as u64));
+    g.bench_function("greedy-c1-loop", |b| {
+        b.iter_batched(
+            CgState::new,
+            |mut cg| {
+                let mut pol = GreedyC1;
+                for s in &steps {
+                    let _ = cg.apply(s).unwrap();
+                    pol.reduce(&mut cg);
+                }
+                cg
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E1 bench: raw conflict-graph scheduling throughput (Rules 1-3), the
+//! substrate every deletion decision sits on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use deltx_core::CgState;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lemma1/scheduler-throughput");
+    for txns in [100usize, 400] {
+        let steps = deltx_bench::uniform_steps(txns, 1);
+        g.throughput(Throughput::Elements(steps.len() as u64));
+        g.bench_function(format!("apply/{txns}txns"), |b| {
+            b.iter_batched(
+                CgState::new,
+                |mut cg| {
+                    for s in &steps {
+                        let _ = cg.apply(s).unwrap();
+                    }
+                    cg
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E8 bench: exact (branch & bound) vs greedy maximum safe deletion on
+//! the Theorem-5 set-cover schedules — the NP-complete quantity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltx_core::c2;
+use deltx_reductions::setcover::SetCoverInstance;
+use deltx_reductions::to_schedule;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxdel_npc");
+    for m in [6usize, 10, 14] {
+        let inst = SetCoverInstance::random(m + 2, m, 3, 2, 77 + m as u64);
+        let t = to_schedule::build(&inst);
+        let cg = to_schedule::run(&t);
+        let nodes = to_schedule::set_nodes(&t, &cg);
+        g.bench_with_input(BenchmarkId::new("exact", m), &m, |b, _| {
+            b.iter(|| c2::max_safe_exact(&cg, &nodes))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", m), &m, |b, _| {
+            b.iter(|| c2::grow_greedy(&cg, &nodes))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E5 bench: Corollary-1 noncurrency scan versus the full C1 sweep on
+//! the same retained graph (the "cheap policy" claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltx_core::{c1, noncurrent};
+
+fn bench(c: &mut Criterion) {
+    let cg = deltx_bench::retained_graph(256);
+    c.bench_function("noncurrent/scan-256", |b| {
+        b.iter(|| noncurrent::noncurrent_completed(&cg))
+    });
+    c.bench_function("noncurrent/c1-sweep-256", |b| {
+        b.iter(|| c1::eligible(&cg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E6 bench: lock-step equivalence audit (Theorem 2) over a full
+//! workload — the cost of *verifying* a policy online.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltx_core::policy::GreedyC1;
+use deltx_sched::equiv::compare_policy_against_full;
+
+fn bench(c: &mut Criterion) {
+    let steps = deltx_bench::uniform_steps(200, 3);
+    c.bench_function("policy_correctness/lockstep-200txn", |b| {
+        b.iter(|| {
+            let mut p = GreedyC1;
+            compare_policy_against_full(&steps, &mut p)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

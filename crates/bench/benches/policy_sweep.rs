@@ -1,0 +1,48 @@
+//! E12 bench: end-to-end runs of every scheduler on the long-reader and
+//! zipfian workloads (the headline comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltx_core::policy::{BatchC2, GreedyC1, Noncurrent};
+use deltx_sched::locking::TwoPhaseLocking;
+use deltx_sched::preventive::Preventive;
+use deltx_sched::reduced::Reduced;
+use deltx_sched::Scheduler;
+use deltx_sim::driver::drive;
+
+fn bench(c: &mut Criterion) {
+    let workloads = [
+        ("long-reader", deltx_bench::long_reader_steps(150)),
+        ("zipf", deltx_bench::zipf_steps(120, 8)),
+    ];
+    let mut g = c.benchmark_group("policy_sweep");
+    for (wname, steps) in &workloads {
+        type Mk = fn() -> Box<dyn Scheduler>;
+        let schedulers: [(&str, Mk); 5] = [
+            ("no-deletion", || Box::new(Preventive::new())),
+            ("noncurrent", || Box::new(Reduced::new(Noncurrent))),
+            ("greedy-c1", || Box::new(Reduced::new(GreedyC1))),
+            ("batch-c2", || Box::new(Reduced::new(BatchC2))),
+            ("2pl", || Box::new(TwoPhaseLocking::new())),
+        ];
+        for (sname, mk) in schedulers {
+            g.bench_with_input(
+                BenchmarkId::new(*wname, sname),
+                steps,
+                |b, steps| {
+                    b.iter(|| {
+                        let mut s = mk();
+                        drive(steps, s.as_mut(), 0)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

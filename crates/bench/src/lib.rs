@@ -1,0 +1,60 @@
+//! # deltx-bench — shared fixtures for the Criterion benches
+//!
+//! One bench target per experiment of EXPERIMENTS.md lives under
+//! `benches/`; this library crate holds the workload fixtures they
+//! share so each bench file stays focused on what it measures.
+
+#![forbid(unsafe_code)]
+
+use deltx_core::CgState;
+use deltx_model::workload::{
+    long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen,
+};
+use deltx_model::Step;
+
+/// A mixed uniform workload of `txns` transactions.
+pub fn uniform_steps(txns: usize, seed: u64) -> Vec<Step> {
+    WorkloadGen::new(WorkloadConfig {
+        n_entities: 12,
+        concurrency: 5,
+        total_txns: txns,
+        seed,
+        ..WorkloadConfig::default()
+    })
+    .collect()
+}
+
+/// A Zipf-skewed workload.
+pub fn zipf_steps(txns: usize, seed: u64) -> Vec<Step> {
+    WorkloadGen::new(WorkloadConfig {
+        n_entities: 24,
+        concurrency: 4,
+        total_txns: txns,
+        zipf_exponent: Some(1.1),
+        seed,
+        ..WorkloadConfig::default()
+    })
+    .collect()
+}
+
+/// The long-running-reader scenario with `writers` update transactions.
+pub fn long_reader_steps(writers: usize) -> Vec<Step> {
+    long_running_reader(&LongReaderConfig {
+        reader_scan: 8,
+        n_writers: writers,
+        n_entities: 16,
+        seed: 5,
+    })
+    .steps()
+    .to_vec()
+}
+
+/// A retained (no-deletion) conflict graph holding roughly `writers`
+/// completed transactions under one active reader.
+pub fn retained_graph(writers: usize) -> CgState {
+    let mut cg = CgState::new();
+    for step in long_reader_steps(writers) {
+        let _ = cg.apply(&step).expect("well-formed");
+    }
+    cg
+}

@@ -1,0 +1,244 @@
+//! Condition **C2** — Theorem 4: joint deletion of a *set* of
+//! transactions.
+//!
+//! > *Let `G` be a reduced graph and `N` a subset of completed
+//! > transactions. The deletion of `N` from `G` is safe iff:*
+//! >
+//! > **(C2)** *For all `Ti` in `N`, for all tight active predecessors
+//! > `Tj` of `Ti` and for all entities `x` accessed by `Ti`, there is a
+//! > completed tight successor of `Tj` **not in `N`** which accesses `x`
+//! > at least as strongly as `Ti`.*
+//!
+//! C2 explains the paper's counterintuitive phenomenon (Example 1): two
+//! transactions may each satisfy C1, yet `{both}` fails C2 — the cover
+//! each provides for the other disappears when both leave.
+//!
+//! The *maximum* `N` satisfying C2 is NP-complete to find (Theorem 5);
+//! [`grow_greedy`] is the polynomial heuristic, and
+//! [`max_safe_exact`] the exponential exact search used on small
+//! instances by experiment E8.
+
+use crate::cg::CgState;
+use crate::tight;
+use deltx_graph::NodeId;
+use deltx_model::{AccessMode, EntityId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A counterexample to C2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct C2Violation {
+    /// The member of `N` whose deletion is uncovered.
+    pub ti: NodeId,
+    /// Its active tight predecessor.
+    pub tj: NodeId,
+    /// The uncovered entity.
+    pub x: EntityId,
+}
+
+/// Strongest access per entity over completed tight successors of `tj`
+/// that are **not in `n_set`**.
+fn cover_outside(
+    cg: &CgState,
+    tj: NodeId,
+    n_set: &BTreeSet<NodeId>,
+) -> BTreeMap<EntityId, AccessMode> {
+    let mut cover: BTreeMap<EntityId, AccessMode> = BTreeMap::new();
+    for tk in tight::completed_tight_successors(cg, tj) {
+        if n_set.contains(&tk) {
+            continue;
+        }
+        for (&x, rec) in &cg.info(tk).access {
+            cover
+                .entry(x)
+                .and_modify(|m| *m = (*m).max(rec.mode))
+                .or_insert(rec.mode);
+        }
+    }
+    cover
+}
+
+/// First violation of C2 for the joint deletion of `n_set`, or `None` if
+/// the deletion is safe (Theorem 4).
+pub fn violation(cg: &CgState, n_set: &BTreeSet<NodeId>) -> Option<C2Violation> {
+    for &ti in n_set {
+        debug_assert!(cg.is_completed(ti), "C2 is about completed transactions");
+        for tj in tight::active_tight_predecessors(cg, ti) {
+            let cover = cover_outside(cg, tj, n_set);
+            for (&x, rec) in &cg.info(ti).access {
+                let ok = cover.get(&x).is_some_and(|m| m.at_least_as_strong_as(rec.mode));
+                if !ok {
+                    return Some(C2Violation { ti, tj, x });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True if jointly deleting `n_set` is safe.
+pub fn holds(cg: &CgState, n_set: &BTreeSet<NodeId>) -> bool {
+    violation(cg, n_set).is_none()
+}
+
+/// Greedily grows a C2-safe subset of `candidates` (which should be the
+/// C1-eligible set): tries each candidate in ascending order, keeping it
+/// if the enlarged set still satisfies C2. Polynomial; no approximation
+/// guarantee for the *maximum* (Theorem 5 says none is cheap to get), but
+/// on the Theorem-5 instances it mirrors greedy set cover.
+pub fn grow_greedy(cg: &CgState, candidates: &[NodeId]) -> BTreeSet<NodeId> {
+    let mut n_set = BTreeSet::new();
+    for &c in candidates {
+        n_set.insert(c);
+        if !holds(cg, &n_set) {
+            n_set.remove(&c);
+        }
+    }
+    n_set
+}
+
+/// Exact maximum C2-safe subset by exhaustive branch-and-bound over the
+/// candidate list (exponential — Theorem 5 says we cannot do better in
+/// general; used on small instances for experiment E8).
+///
+/// Ties are broken toward the lexicographically smallest node set, so the
+/// result is deterministic.
+pub fn max_safe_exact(cg: &CgState, candidates: &[NodeId]) -> BTreeSet<NodeId> {
+    fn recurse(
+        cg: &CgState,
+        candidates: &[NodeId],
+        idx: usize,
+        current: &mut BTreeSet<NodeId>,
+        best: &mut BTreeSet<NodeId>,
+    ) {
+        // Bound: even taking every remaining candidate cannot beat best.
+        if current.len() + (candidates.len() - idx) <= best.len() {
+            return;
+        }
+        if idx == candidates.len() {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        let c = candidates[idx];
+        // Branch 1: include c if the set stays safe.
+        current.insert(c);
+        if holds(cg, current) {
+            recurse(cg, candidates, idx + 1, current, best);
+        }
+        current.remove(&c);
+        // Branch 2: exclude c.
+        recurse(cg, candidates, idx + 1, current, best);
+    }
+
+    let mut best = BTreeSet::new();
+    let mut current = BTreeSet::new();
+    recurse(cg, candidates, 0, &mut current, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c1;
+    use deltx_model::dsl::parse;
+    use deltx_model::TxnId;
+
+    fn state(src: &str) -> CgState {
+        let p = parse(src).unwrap();
+        let mut cg = CgState::new();
+        cg.run(p.steps()).unwrap();
+        cg
+    }
+
+    fn example1() -> CgState {
+        state("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)")
+    }
+
+    #[test]
+    fn example1_pairs_fail_c2() {
+        let cg = example1();
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        let t3 = cg.node_of(TxnId(3)).unwrap();
+        assert!(holds(&cg, &BTreeSet::from([t2])));
+        assert!(holds(&cg, &BTreeSet::from([t3])));
+        let both = BTreeSet::from([t2, t3]);
+        let v = violation(&cg, &both).expect("joint deletion unsafe");
+        assert_eq!(v.tj, cg.node_of(TxnId(1)).unwrap());
+        assert!(!holds(&cg, &both));
+    }
+
+    #[test]
+    fn empty_set_is_trivially_safe() {
+        let cg = example1();
+        assert!(holds(&cg, &BTreeSet::new()));
+    }
+
+    #[test]
+    fn greedy_takes_exactly_one_of_the_pair() {
+        let cg = example1();
+        let eligible = c1::eligible(&cg);
+        let n = grow_greedy(&cg, &eligible);
+        assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn exact_matches_greedy_on_example1() {
+        let cg = example1();
+        let eligible = c1::eligible(&cg);
+        let exact = max_safe_exact(&cg, &eligible);
+        assert_eq!(exact.len(), 1, "max is one of {{T2, T3}}");
+    }
+
+    #[test]
+    fn c2_singletons_equal_c1() {
+        // On any graph, C2 for {t} must agree with C1 for t.
+        let cg = state("b1 r1(x) r1(q) b2 r2(x) w2(x,y) b3 r3(y) w3(x) b4 r4(q) w4(q,z)");
+        for n in cg.completed_nodes() {
+            assert_eq!(
+                c1::holds(&cg, n),
+                holds(&cg, &BTreeSet::from([n])),
+                "C1/C2 singleton mismatch on {:?}",
+                cg.info(n).txn
+            );
+        }
+    }
+
+    #[test]
+    fn three_way_cover_allows_two_deletions() {
+        // Three completed txns all writing x under an active reader: any
+        // two can go, the third must stay.
+        let cg = state("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x) b4 r4(x) w4(x)");
+        let eligible = c1::eligible(&cg);
+        assert_eq!(eligible.len(), 3);
+        let n = grow_greedy(&cg, &eligible);
+        assert_eq!(n.len(), 2);
+        let exact = max_safe_exact(&cg, &eligible);
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn exact_beats_or_ties_greedy_always() {
+        let cg = state(
+            "b9 r9(a) r9(b) \
+             b1 r1(a) w1(a,b) b2 r2(b) w2(a) b3 r3(a) w3(b) b4 r4(a) w4(a,b)",
+        );
+        let eligible = c1::eligible(&cg);
+        let g = grow_greedy(&cg, &eligible);
+        let e = max_safe_exact(&cg, &eligible);
+        assert!(e.len() >= g.len());
+        assert!(holds(&cg, &e));
+        assert!(holds(&cg, &g));
+    }
+
+    #[test]
+    fn deleting_a_c2_set_keeps_graph_consistent() {
+        let mut cg = example1();
+        let eligible = c1::eligible(&cg);
+        let n = grow_greedy(&cg, &eligible);
+        let ns: Vec<NodeId> = n.iter().copied().collect();
+        cg.delete_set(&ns).unwrap();
+        cg.check_invariants();
+        assert_eq!(cg.completed_count(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Condition **C4** — Theorem 7: deletion under predeclared
+//! transactions.
+//!
+//! > **(C4)** *For all active predecessors `Tj` of `Ti` and for all
+//! > entities `x` accessed by `Ti`, either*
+//! >
+//! > 1. *`Tj` has another successor `Tk` (≠ `Ti`, `Tj`) which has
+//! >    accessed `x` at least as strongly as `Ti`, or*
+//! > 2. *every entity `y` that `Tj` will access in the future has already
+//! >    been accessed at least as strongly by some successor `Tl`
+//! >    (≠ `Ti`) of `Tj`.*
+//!
+//! Clause 2 — absent from the PODS '86 version of the paper — captures
+//! active transactions that *"behave essentially as completed, in the
+//! sense that they will not acquire any more immediate predecessors"*
+//! (Example 2 / Figure 4). Note the quantifiers: plain predecessors and
+//! successors (any intermediate nodes), not tight ones — predeclaration
+//! already pins the future, so the completed-intermediates subtlety of C1
+//! disappears. Testable in polynomial time.
+//!
+//! "At least as strongly" in clause 2 is measured against `Tj`'s
+//! strongest *future* access of `y`: a future write can be attacked by a
+//! new reader or writer, so only an executed write shields it; a future
+//! read only by a writer, which any executed access conflicts with.
+
+use crate::pre::{PrePhase, PreState};
+use deltx_graph::{paths, NodeId};
+use deltx_model::EntityId;
+
+/// A counterexample to C4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct C4Violation {
+    /// The active predecessor neither clause satisfies.
+    pub tj: NodeId,
+    /// The entity of `Ti` that clause 1 fails to cover.
+    pub x: EntityId,
+    /// A future entity of `tj` witnessing the clause-2 failure: no
+    /// successor (≠ `Ti`) has executed a sufficiently strong access of
+    /// it. The necessity construction of Theorem 7 attacks exactly this
+    /// entity.
+    pub y: EntityId,
+}
+
+/// Clause 2 for one active predecessor `tj`: every future access of `tj`
+/// is already covered by an executed access of one of its successors
+/// (other than `ti`). On failure returns the uncovered future entity.
+fn clause2_violation(
+    pre: &PreState,
+    tj: NodeId,
+    ti: NodeId,
+    successors: &[NodeId],
+) -> Option<EntityId> {
+    for (&y, need) in &pre.info(tj).future {
+        let Some(need_mode) = need.strongest() else {
+            continue;
+        };
+        let covered = successors.iter().any(|&tl| {
+            tl != ti
+                && pre
+                    .info(tl)
+                    .executed
+                    .get(&y)
+                    .is_some_and(|m| m.at_least_as_strong_as(need_mode))
+        });
+        if !covered {
+            return Some(y);
+        }
+    }
+    None
+}
+
+/// Returns the first C4 violation for completed node `ti`, or `None`.
+pub fn violation(pre: &PreState, ti: NodeId) -> Option<C4Violation> {
+    debug_assert_eq!(pre.phase(ti), PrePhase::Completed);
+    let g = pre.graph();
+    let accesses = &pre.info(ti).executed;
+    for tj in paths::ancestors(g, ti) {
+        if pre.phase(tj) != PrePhase::Active {
+            continue;
+        }
+        let successors = paths::descendants(g, tj);
+        let Some(y) = clause2_violation(pre, tj, ti, &successors) else {
+            continue; // clause 2 excuses every entity of ti for this tj
+        };
+        for (&x, &mode) in accesses {
+            let covered = successors.iter().any(|&tk| {
+                tk != ti
+                    && tk != tj
+                    && pre
+                        .info(tk)
+                        .executed
+                        .get(&x)
+                        .is_some_and(|m| m.at_least_as_strong_as(mode))
+            });
+            if !covered {
+                return Some(C4Violation { tj, x, y });
+            }
+        }
+    }
+    None
+}
+
+/// True if C4 holds for `ti` — deleting it is safe (Theorem 7).
+pub fn holds(pre: &PreState, ti: NodeId) -> bool {
+    violation(pre, ti).is_none()
+}
+
+/// The PODS '86 conference version of the condition: clause 1 only.
+/// Strictly stronger (refuses more deletions); Example 2's transaction
+/// `C` is deletable by C4 but not by this variant — experiment E11
+/// measures the gap.
+pub fn holds_pods86(pre: &PreState, ti: NodeId) -> bool {
+    debug_assert_eq!(pre.phase(ti), PrePhase::Completed);
+    let g = pre.graph();
+    let accesses = &pre.info(ti).executed;
+    for tj in paths::ancestors(g, ti) {
+        if pre.phase(tj) != PrePhase::Active {
+            continue;
+        }
+        let successors = paths::descendants(g, tj);
+        for (&x, &mode) in accesses {
+            let covered = successors.iter().any(|&tk| {
+                tk != ti
+                    && tk != tj
+                    && pre
+                        .info(tk)
+                        .executed
+                        .get(&x)
+                        .is_some_and(|m| m.at_least_as_strong_as(mode))
+            });
+            if !covered {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All completed nodes satisfying C4, ascending.
+pub fn eligible(pre: &PreState) -> Vec<NodeId> {
+    pre.completed_nodes()
+        .into_iter()
+        .filter(|&n| holds(pre, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_paper::figure4;
+    use deltx_model::{AccessMode, TxnId};
+
+    #[test]
+    fn example2_c_deletable_b_not() {
+        let fig = figure4();
+        let pre = &fig.state;
+        assert!(holds(pre, fig.c), "C satisfies C4 via clause 2");
+        assert!(!holds(pre, fig.b), "B fails both clauses");
+        let v = violation(pre, fig.b).unwrap();
+        assert_eq!(v.tj, fig.a);
+        assert_eq!(eligible(pre), vec![fig.c]);
+    }
+
+    #[test]
+    fn example2_pods86_variant_rejects_c() {
+        // The conference version (clause 1 only) wrongly refuses to
+        // delete C — the journal version's clause 2 recovers it.
+        let fig = figure4();
+        assert!(!holds_pods86(&fig.state, fig.c));
+        assert!(!holds_pods86(&fig.state, fig.b));
+    }
+
+    #[test]
+    fn clause1_alone_suffices_when_cover_exists() {
+        // Completed T2 writes q; completed T3 also writes q; active T1
+        // (predecessor of both via its executed read of q) covers each
+        // by the other — clause 1.
+        let mut pre = PreState::new();
+        let t1 = pre
+            .begin(&deltx_model::TxnSpec {
+                id: TxnId(1),
+                ops: vec![
+                    deltx_model::Op::Read(EntityId(0)),
+                    deltx_model::Op::Read(EntityId(9)),
+                ],
+            })
+            .unwrap();
+        pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap();
+        let mk_writer = |pre: &mut PreState, id: u32| {
+            let n = pre
+                .begin(&deltx_model::TxnSpec {
+                    id: TxnId(id),
+                    ops: vec![deltx_model::Op::Write(EntityId(0))],
+                })
+                .unwrap();
+            pre.step(TxnId(id), EntityId(0), AccessMode::Write).unwrap();
+            n
+        };
+        let t2 = mk_writer(&mut pre, 2);
+        let t3 = mk_writer(&mut pre, 3);
+        pre.check_invariants();
+        assert!(pre.graph().has_arc(t1, t2));
+        assert!(holds(&pre, t2));
+        assert!(holds(&pre, t3));
+        assert!(holds_pods86(&pre, t2), "clause 1 covers here");
+        // But deleting is only individually safe: after deleting t3,
+        // t2 loses its cover AND clause 2 fails (t1 will read e9 which
+        // nobody accessed).
+        let mut pre2 = pre.clone();
+        pre2.delete(t3).unwrap();
+        assert!(!holds(&pre2, t2));
+    }
+
+    #[test]
+    fn no_active_predecessor_is_trivially_deletable() {
+        let mut pre = PreState::new();
+        let n = pre
+            .begin(&deltx_model::TxnSpec {
+                id: TxnId(1),
+                ops: vec![deltx_model::Op::Write(EntityId(0))],
+            })
+            .unwrap();
+        pre.step(TxnId(1), EntityId(0), AccessMode::Write).unwrap();
+        assert!(holds(&pre, n));
+        assert!(holds_pods86(&pre, n));
+    }
+
+    #[test]
+    fn predecessor_with_future_write_blocks_clause2() {
+        // Tj (= T1) still has a future WRITE of y: no successor can ever
+        // have executed a conflicting access of y (it would have cycled),
+        // so clause 2 is unsatisfiable and only clause 1 can save a
+        // candidate.
+        let mut pre = PreState::new();
+        // T1: executed r(x), future w(y).
+        pre.begin(&deltx_model::TxnSpec {
+            id: TxnId(1),
+            ops: vec![
+                deltx_model::Op::Read(EntityId(0)),
+                deltx_model::Op::Write(EntityId(1)),
+            ],
+        })
+        .unwrap();
+        pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap();
+        // Ti = T2: writes x, completes. Arc T1 -> T2 via x.
+        let t2 = pre
+            .begin(&deltx_model::TxnSpec {
+                id: TxnId(2),
+                ops: vec![deltx_model::Op::Write(EntityId(0))],
+            })
+            .unwrap();
+        pre.step(TxnId(2), EntityId(0), AccessMode::Write).unwrap();
+        pre.check_invariants();
+        // Clause 1 for x: no other successor of T1 wrote x; clause 2:
+        // T1's future w(y) has no executed cover. C4 fails.
+        assert!(!holds(&pre, t2));
+        let v = violation(&pre, t2).unwrap();
+        assert_eq!(v.x, EntityId(0));
+        // A second completed writer of x restores clause 1.
+        let t3 = pre
+            .begin(&deltx_model::TxnSpec {
+                id: TxnId(3),
+                ops: vec![deltx_model::Op::Write(EntityId(0))],
+            })
+            .unwrap();
+        pre.step(TxnId(3), EntityId(0), AccessMode::Write).unwrap();
+        assert!(holds(&pre, t2));
+        assert!(holds(&pre, t3));
+        let _ = t3;
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types shared by the scheduler state machines.
+
+use deltx_model::TxnId;
+
+/// A protocol error: the step stream violated the transaction model.
+///
+/// These are *caller* errors (malformed schedules), distinct from the
+/// scheduler's own accept/abort decisions which are reported through
+/// [`crate::cg::Applied`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CgError {
+    /// A non-BEGIN step arrived for a transaction that never began (or
+    /// whose node is gone and is not remembered as aborted/completed).
+    UnknownTxn(TxnId),
+    /// BEGIN for a transaction id that was already used.
+    DuplicateBegin(TxnId),
+    /// A step arrived for a transaction that already completed.
+    AlreadyCompleted(TxnId),
+    /// A step arrived for a transaction that was aborted earlier.
+    AlreadyAborted(TxnId),
+    /// The step kind does not belong to this transaction model (e.g. a
+    /// single-entity `Write` fed to the atomic-write scheduler).
+    WrongModel(&'static str),
+    /// Deletion was requested for a node that is not completed/committed.
+    NotDeletable(TxnId),
+    /// The predeclared scheduler saw an access outside the declaration.
+    UndeclaredAccess(TxnId),
+}
+
+impl std::fmt::Display for CgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CgError::UnknownTxn(t) => write!(f, "step for unknown transaction {t}"),
+            CgError::DuplicateBegin(t) => write!(f, "duplicate BEGIN for {t}"),
+            CgError::AlreadyCompleted(t) => write!(f, "step for completed transaction {t}"),
+            CgError::AlreadyAborted(t) => write!(f, "step for aborted transaction {t}"),
+            CgError::WrongModel(m) => write!(f, "step not valid in this model: {m}"),
+            CgError::NotDeletable(t) => write!(f, "transaction {t} is not deletable here"),
+            CgError::UndeclaredAccess(t) => write!(f, "{t} accessed an undeclared entity"),
+        }
+    }
+}
+
+impl std::error::Error for CgError {}

@@ -1,0 +1,286 @@
+//! The paper's figures as constructed, checkable objects.
+//!
+//! * [`figure1`] — Example 1 (Figure 1): the schedule whose conflict
+//!   graph shows that *current* `T1` keeps `T2`/`T3` interesting, that
+//!   both are individually deletable, and that deleting both is unsafe.
+//! * [`figure2`] — the sufficiency mechanism of Theorem 1 (Figure 2):
+//!   after a safe deletion, any cycle that would have passed through the
+//!   deleted node closes through its cover instead — the reduced and the
+//!   full scheduler reject the same step.
+//! * [`figure4`] — Example 2 (Figure 4), predeclared model: transaction
+//!   `C` is deletable only thanks to clause 2 of C4.
+//!
+//! (Figure 3, the 3-SAT gadget of Theorem 6, lives in
+//! `deltx-reductions::to_graph` next to its solver.)
+
+use crate::cg::CgState;
+use crate::pre::PreState;
+use deltx_graph::NodeId;
+use deltx_model::dsl::parse;
+use deltx_model::{AccessMode, EntityId, Op, Schedule, TxnId, TxnSpec};
+
+/// Figure 1: the conflict graph of Example 1 plus handles to its nodes.
+pub struct Figure1 {
+    /// Scheduler state after the Example 1 schedule.
+    pub state: CgState,
+    /// The schedule itself (for display / ground truth).
+    pub schedule: Schedule,
+    /// `T1`: still active, has read `x` (among other things).
+    pub t1: NodeId,
+    /// `T2`: completed, read and wrote `x`, *noncurrent*.
+    pub t2: NodeId,
+    /// `T3`: completed, read and wrote `x` after `T2`, *current*.
+    pub t3: NodeId,
+}
+
+/// Builds Example 1 / Figure 1: `T1` reads `x` and stays active;
+/// then `T2` and `T3` serially read and write `x` and complete.
+pub fn figure1() -> Figure1 {
+    let schedule = parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").expect("static DSL");
+    let mut state = CgState::new();
+    state.run(schedule.steps()).expect("well-formed");
+    let t1 = state.node_of(TxnId(1)).expect("T1 live");
+    let t2 = state.node_of(TxnId(2)).expect("T2 live");
+    let t3 = state.node_of(TxnId(3)).expect("T3 live");
+    Figure1 {
+        state,
+        schedule,
+        t1,
+        t2,
+        t3,
+    }
+}
+
+/// Renders the Figure 1 graph as Graphviz DOT (active nodes
+/// double-circled), for the examples and docs.
+pub fn figure1_dot(fig: &Figure1) -> String {
+    deltx_graph::dot::to_dot(
+        fig.state.graph(),
+        "figure1",
+        |n| fig.state.info(n).txn.to_string(),
+        |n| {
+            if fig.state.is_active(n) {
+                "shape=doublecircle".to_string()
+            } else {
+                String::new()
+            }
+        },
+    )
+}
+
+/// Figure 2's mechanism, packaged for tests: the Example-1 state, the
+/// reduced state after deleting `T2`, and the continuation step on which
+/// both schedulers must agree (the cycle re-routes through `T3`).
+pub struct Figure2 {
+    /// Full scheduler state (Example 1).
+    pub original: CgState,
+    /// Same with `T2` (safely) deleted.
+    pub reduced: CgState,
+    /// Continuation: `T1` attempts its final write of `x` — closes a
+    /// cycle through `T2` in the original graph *and* through `T3` in the
+    /// reduced one, so both abort `T1`.
+    pub continuation: Vec<deltx_model::Step>,
+}
+
+/// Builds the Figure-2 scenario from Example 1 by deleting `T2`.
+pub fn figure2() -> Figure2 {
+    let fig1 = figure1();
+    let original = fig1.state.clone();
+    let mut reduced = fig1.state;
+    reduced.delete(fig1.t2).expect("T2 completed");
+    let continuation = vec![deltx_model::Step::new(
+        TxnId(1),
+        Op::WriteAll(vec![EntityId(0)]),
+    )];
+    Figure2 {
+        original,
+        reduced,
+        continuation,
+    }
+}
+
+/// Figure 4: the predeclared-model state of Example 2.
+pub struct Figure4 {
+    /// Scheduler state after Example 2's prefix.
+    pub state: PreState,
+    /// `A`: active; executed reads of `u`, `z`; will still read `y`.
+    pub a: NodeId,
+    /// `B`: completed; read `y`, wrote `u`.
+    pub b: NodeId,
+    /// `C`: completed; wrote `x` and `z`.
+    pub c: NodeId,
+}
+
+/// Builds Example 2 / Figure 4: *"First `A` reads entities `u`, `z`; then
+/// `B` reads `y`, writes `u` and completes; then `C` writes `x` and `z`
+/// and completes. Transaction `A` is still active with one remaining step
+/// which reads `y`."* Entities are interned as `u=0, z=1, y=2, x=3`.
+pub fn figure4() -> Figure4 {
+    let (u, z, y, x) = (EntityId(0), EntityId(1), EntityId(2), EntityId(3));
+    let mut state = PreState::new();
+
+    let a_spec = TxnSpec {
+        id: TxnId(1),
+        ops: vec![Op::Read(u), Op::Read(z), Op::Read(y)],
+    };
+    let b_spec = TxnSpec {
+        id: TxnId(2),
+        ops: vec![Op::Read(y), Op::Write(u)],
+    };
+    let c_spec = TxnSpec {
+        id: TxnId(3),
+        ops: vec![Op::Write(x), Op::Write(z)],
+    };
+
+    let a = state.begin(&a_spec).expect("A begins");
+    state.step(TxnId(1), u, AccessMode::Read).expect("A r(u)");
+    state.step(TxnId(1), z, AccessMode::Read).expect("A r(z)");
+
+    let b = state.begin(&b_spec).expect("B begins");
+    state.step(TxnId(2), y, AccessMode::Read).expect("B r(y)");
+    state.step(TxnId(2), u, AccessMode::Write).expect("B w(u)");
+
+    let c = state.begin(&c_spec).expect("C begins");
+    state.step(TxnId(3), x, AccessMode::Write).expect("C w(x)");
+    state.step(TxnId(3), z, AccessMode::Write).expect("C w(z)");
+
+    Figure4 { state, a, b, c }
+}
+
+/// Renders the Figure 4 graph as Graphviz DOT.
+pub fn figure4_dot(fig: &Figure4) -> String {
+    deltx_graph::dot::to_dot(
+        fig.state.graph(),
+        "figure4",
+        |n| {
+            match fig.state.info(n).txn {
+                TxnId(1) => "A".to_string(),
+                TxnId(2) => "B".to_string(),
+                TxnId(3) => "C".to_string(),
+                other => other.to_string(),
+            }
+        },
+        |n| {
+            if fig.state.phase(n) == crate::pre::PrePhase::Active {
+                "shape=doublecircle".to_string()
+            } else {
+                String::new()
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::{c1, c2, noncurrent};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn figure1_graph_shape_matches_paper() {
+        let fig = figure1();
+        // Arcs: T1->T2, T1->T3 (T1's read of x precedes both writes),
+        // T2->T3 (T2's accesses precede T3's conflicting ones).
+        assert!(fig.state.graph().has_arc(fig.t1, fig.t2));
+        assert!(fig.state.graph().has_arc(fig.t1, fig.t3));
+        assert!(fig.state.graph().has_arc(fig.t2, fig.t3));
+        assert_eq!(fig.state.graph().arc_count(), 3);
+        assert!(fig.state.is_active(fig.t1));
+        assert!(fig.state.is_completed(fig.t2));
+        assert!(fig.state.is_completed(fig.t3));
+    }
+
+    #[test]
+    fn figure1_deletion_facts() {
+        let fig = figure1();
+        // "Transaction T2 has an active predecessor (namely T1). However
+        //  ... T2 can be safely deleted." — and T3 likewise; not both.
+        assert!(c1::holds(&fig.state, fig.t2));
+        assert!(c1::holds(&fig.state, fig.t3));
+        assert!(!c2::holds(&fig.state, &BTreeSet::from([fig.t2, fig.t3])));
+        // "transaction T3 of Example 1 is current, but T2 is not."
+        assert!(noncurrent::is_current(&fig.state, fig.t3));
+        assert!(!noncurrent::is_current(&fig.state, fig.t2));
+    }
+
+    #[test]
+    fn figure1_dot_renders() {
+        let fig = figure1();
+        let dot = figure1_dot(&fig);
+        assert!(dot.contains("T1"));
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn figure2_cycle_reroutes_through_cover() {
+        let fig = figure2();
+        // Both schedulers must reject T1's final write (abort T1): the
+        // cycle exists through T2 in the original and through T3 in the
+        // reduced graph.
+        let d = oracle::diverges(&fig.original, &fig.reduced, &fig.continuation);
+        assert!(d.is_none(), "no divergence — that is the sufficiency claim");
+        let mut o = fig.original.clone();
+        let out = o.apply(&fig.continuation[0]).unwrap();
+        assert_eq!(out, crate::cg::Applied::SelfAborted);
+    }
+
+    #[test]
+    fn figure4_graph_shape_matches_paper() {
+        let fig = figure4();
+        // Figure 4: B <- A -> C, no other arcs.
+        assert!(fig.state.graph().has_arc(fig.a, fig.b));
+        assert!(fig.state.graph().has_arc(fig.a, fig.c));
+        assert_eq!(fig.state.graph().arc_count(), 2);
+        assert_eq!(fig.state.phase(fig.a), crate::pre::PrePhase::Active);
+        assert_eq!(fig.state.phase(fig.b), crate::pre::PrePhase::Completed);
+        assert_eq!(fig.state.phase(fig.c), crate::pre::PrePhase::Completed);
+        // A's remaining declared step is the read of y.
+        let fut = &fig.state.info(fig.a).future;
+        assert_eq!(fut.len(), 1);
+        assert!(fut.contains_key(&EntityId(2)));
+    }
+
+    #[test]
+    fn figure4_dot_renders() {
+        let fig = figure4();
+        let dot = figure4_dot(&fig);
+        assert!(dot.contains("\"A\""));
+        assert!(dot.contains("\"B\""));
+        assert!(dot.contains("\"C\""));
+    }
+
+    #[test]
+    fn figure4_example2_protection_mechanism() {
+        // The reason C is deletable: any new transaction D that would
+        // write y before A's read declares its steps at BEGIN, gets the
+        // arc B -> D... no wait: D declares w(y); B has EXECUTED r(y); so
+        // Rule 1' adds B -> D. Then D's write of y targets A's future
+        // read: arc D -> A would close B -> D -> A -> ... no cycle yet;
+        // the paper argues D is *prevented from writing y before A reads
+        // it* — check the delay happens after C is deleted.
+        let fig = figure4();
+        let mut pre = fig.state.clone();
+        pre.delete(fig.c).unwrap();
+        // New D declares write of y.
+        let d_spec = TxnSpec {
+            id: TxnId(4),
+            ops: vec![Op::Write(EntityId(2))],
+        };
+        pre.begin(&d_spec).unwrap();
+        // B executed r(y), so arc B -> D exists already.
+        let d = pre.node_of(TxnId(4)).unwrap();
+        assert!(pre.graph().has_arc(fig.b, d));
+        // D tries to write y before A's read: targets = {A} (future read
+        // of y). Arc D -> A plus existing A -> B -> D closes a cycle:
+        // the step is DELAYED, exactly the paper's argument.
+        let out = pre.step(TxnId(4), EntityId(2), AccessMode::Write).unwrap();
+        assert_eq!(out, crate::pre::PreApplied::Delayed);
+        // Once A performs its read, D may proceed.
+        let out = pre.step(TxnId(1), EntityId(2), AccessMode::Read).unwrap();
+        assert_eq!(out, crate::pre::PreApplied::Accepted);
+        let out = pre.step(TxnId(4), EntityId(2), AccessMode::Write).unwrap();
+        assert_eq!(out, crate::pre::PreApplied::Accepted);
+        pre.check_invariants();
+    }
+}

@@ -1,0 +1,625 @@
+//! The multiple-write model (§5).
+//!
+//! Transactions are arbitrary sequences of single-entity reads and
+//! writes. Writes are visible immediately, so a transaction may read an
+//! entity written by a still-active one — it then *depends directly* on
+//! the writer, must wait for it before committing, and is dragged down by
+//! cascading aborts if the writer dies. At any instant a transaction is
+//! of one of three types:
+//!
+//! * **A**ctive — still has steps to run;
+//! * **F**inished — ran all its steps but depends on active transactions;
+//! * **C**ommitted — finished and dependent only on committed ones.
+//!
+//! The conflict-graph rules are unchanged (arc per conflict, reject
+//! cycle-closing steps), but aborts now **cascade** along the
+//! dependency edges, and only type-C transactions are candidates for
+//! deletion — governed by condition C3 ([`crate::c3`]), whose check is
+//! NP-complete (Theorem 6).
+//!
+//! Besides the step-driven API ([`MwState::apply`]), a *raw builder* API
+//! ([`MwState::raw_node`], [`MwState::raw_arc`], [`MwState::raw_dep`])
+//! constructs graph states directly; the Theorem-6 gadget (Figure 3) is
+//! built this way and cross-checked against a schedule realization.
+
+use crate::error::CgError;
+use deltx_graph::cycle::CycleChecker;
+use deltx_graph::{DiGraph, NodeId};
+use deltx_model::{AccessMode, EntityId, Op, Step, TxnId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Transaction type in the multiple-write model (A/F/C of §5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MwPhase {
+    /// Type A: has remaining steps.
+    Active,
+    /// Type F: finished, not yet committed (still depends on actives).
+    Finished,
+    /// Type C: committed.
+    Committed,
+}
+
+/// Node payload in the multiple-write conflict graph.
+#[derive(Clone, Debug)]
+pub struct MwNode {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// A / F / C.
+    pub phase: MwPhase,
+    /// Strongest executed access per entity.
+    pub access: BTreeMap<EntityId, AccessMode>,
+    /// Direct reads-from dependencies on **uncommitted** transactions.
+    pub deps: BTreeSet<NodeId>,
+}
+
+/// Outcome of one multi-write step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MwApplied {
+    /// Step accepted.
+    Accepted,
+    /// The step closed a cycle: the issuing transaction aborted, together
+    /// with every transaction that (transitively) read from it.
+    AbortedCascade(Vec<TxnId>),
+    /// The step belongs to a transaction that already aborted (directly
+    /// or through a cascade); it is dropped.
+    IgnoredAborted,
+}
+
+/// Conflict-graph scheduler state for the multiple-write model.
+#[derive(Clone, Debug, Default)]
+pub struct MwState {
+    graph: DiGraph,
+    info: Vec<Option<MwNode>>,
+    by_txn: HashMap<TxnId, NodeId>,
+    seen: HashSet<TxnId>,
+    aborted: HashSet<TxnId>,
+    checker: CycleChecker,
+    accessors: HashMap<EntityId, Vec<NodeId>>,
+    writers: HashMap<EntityId, Vec<NodeId>>,
+    /// Accepted writes per entity in order; the last one is the current
+    /// value's writer (readers depend on it while it is uncommitted).
+    write_stack: HashMap<EntityId, Vec<NodeId>>,
+    /// Reverse dependency edges (who reads from me), for commit
+    /// propagation and abort cascades.
+    dependents: HashMap<NodeId, BTreeSet<NodeId>>,
+}
+
+fn sorted_insert(v: &mut Vec<NodeId>, n: NodeId) {
+    if let Err(pos) = v.binary_search(&n) {
+        v.insert(pos, n);
+    }
+}
+
+fn sorted_remove(v: &mut Vec<NodeId>, n: NodeId) {
+    if let Ok(pos) = v.binary_search(&n) {
+        v.remove(pos);
+    }
+}
+
+impl MwState {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Node of transaction `t`, if live.
+    pub fn node_of(&self, t: TxnId) -> Option<NodeId> {
+        self.by_txn.get(&t).copied()
+    }
+
+    /// Payload of a live node.
+    pub fn info(&self, n: NodeId) -> &MwNode {
+        self.info[n.index()].as_ref().expect("live node")
+    }
+
+    /// True if `n` is live.
+    pub fn is_live(&self, n: NodeId) -> bool {
+        self.info.get(n.index()).is_some_and(Option::is_some)
+    }
+
+    /// Phase of a live node.
+    pub fn phase(&self, n: NodeId) -> MwPhase {
+        self.info(n).phase
+    }
+
+    /// Live nodes, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// Live nodes in the given phase, ascending.
+    pub fn nodes_in_phase(&self, phase: MwPhase) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.phase(n) == phase).collect()
+    }
+
+    /// Transactions aborted so far (directly or by cascade).
+    pub fn aborted_txns(&self) -> &HashSet<TxnId> {
+        &self.aborted
+    }
+
+    /// Applies one step of the multiple-write model.
+    pub fn apply(&mut self, step: &Step) -> Result<MwApplied, CgError> {
+        if !matches!(step.op, Op::Begin) && self.aborted.contains(&step.txn) {
+            return Ok(MwApplied::IgnoredAborted);
+        }
+        match &step.op {
+            Op::Begin => self.begin(step.txn),
+            Op::Read(x) => self.access(step.txn, *x, AccessMode::Read),
+            Op::Write(x) => self.access(step.txn, *x, AccessMode::Write),
+            Op::Finish => self.finish(step.txn),
+            Op::WriteAll(_) => Err(CgError::WrongModel(
+                "atomic WriteAll belongs to the basic model",
+            )),
+        }
+    }
+
+    /// Runs a whole step sequence.
+    pub fn run<'a>(
+        &mut self,
+        steps: impl IntoIterator<Item = &'a Step>,
+    ) -> Result<Vec<MwApplied>, CgError> {
+        steps.into_iter().map(|s| self.apply(s)).collect()
+    }
+
+    fn resolve_active(&self, t: TxnId) -> Result<NodeId, CgError> {
+        match self.by_txn.get(&t) {
+            Some(&n) if self.phase(n) == MwPhase::Active => Ok(n),
+            Some(_) => Err(CgError::AlreadyCompleted(t)),
+            None if self.aborted.contains(&t) => Err(CgError::AlreadyAborted(t)),
+            None if self.seen.contains(&t) => Err(CgError::AlreadyCompleted(t)),
+            None => Err(CgError::UnknownTxn(t)),
+        }
+    }
+
+    fn begin(&mut self, t: TxnId) -> Result<MwApplied, CgError> {
+        if self.seen.contains(&t) {
+            return Err(CgError::DuplicateBegin(t));
+        }
+        self.seen.insert(t);
+        let n = self.graph.add_node();
+        if self.info.len() <= n.index() {
+            self.info.resize_with(n.index() + 1, || None);
+        }
+        self.info[n.index()] = Some(MwNode {
+            txn: t,
+            phase: MwPhase::Active,
+            access: BTreeMap::new(),
+            deps: BTreeSet::new(),
+        });
+        self.by_txn.insert(t, n);
+        Ok(MwApplied::Accepted)
+    }
+
+    fn access(&mut self, t: TxnId, x: EntityId, mode: AccessMode) -> Result<MwApplied, CgError> {
+        let n = self.resolve_active(t)?;
+        // Conflict arcs: from writers (for a read) or all accessors (for a
+        // write) of x.
+        let mut sources = match mode {
+            AccessMode::Read => self.writers.get(&x).cloned().unwrap_or_default(),
+            AccessMode::Write => self.accessors.get(&x).cloned().unwrap_or_default(),
+        };
+        sorted_remove(&mut sources, n);
+        if self
+            .checker
+            .fan_in_would_create_cycle(&self.graph, &sources, n)
+        {
+            let killed = self.abort_cascade(n);
+            return Ok(MwApplied::AbortedCascade(killed));
+        }
+        for &s in &sources {
+            self.graph.add_arc(s, n);
+        }
+        // Reads-from dependency: reading the current value of x makes us
+        // depend on its (uncommitted) writer.
+        if mode == AccessMode::Read {
+            if let Some(&w) = self.write_stack.get(&x).and_then(|s| s.last()) {
+                if w != n && self.phase(w) != MwPhase::Committed {
+                    self.info[n.index()].as_mut().expect("live").deps.insert(w);
+                    self.dependents.entry(w).or_default().insert(n);
+                }
+            }
+        } else {
+            let stack = self.write_stack.entry(x).or_default();
+            if stack.last() != Some(&n) {
+                stack.push(n);
+            }
+            sorted_insert(self.writers.entry(x).or_default(), n);
+        }
+        let node = self.info[n.index()].as_mut().expect("live");
+        node.access
+            .entry(x)
+            .and_modify(|m| *m = (*m).max(mode))
+            .or_insert(mode);
+        sorted_insert(self.accessors.entry(x).or_default(), n);
+        Ok(MwApplied::Accepted)
+    }
+
+    fn finish(&mut self, t: TxnId) -> Result<MwApplied, CgError> {
+        let n = self.resolve_active(t)?;
+        self.info[n.index()].as_mut().expect("live").phase = MwPhase::Finished;
+        self.try_commit_from(n);
+        Ok(MwApplied::Accepted)
+    }
+
+    /// Commit propagation: a finished transaction with no remaining
+    /// dependencies commits; its commit may release dependents.
+    fn try_commit_from(&mut self, start: NodeId) {
+        let mut queue = vec![start];
+        while let Some(n) = queue.pop() {
+            if !self.is_live(n) {
+                continue;
+            }
+            let node = self.info[n.index()].as_ref().expect("live");
+            if node.phase != MwPhase::Finished || !node.deps.is_empty() {
+                continue;
+            }
+            self.info[n.index()].as_mut().expect("live").phase = MwPhase::Committed;
+            if let Some(deps) = self.dependents.remove(&n) {
+                for d in deps {
+                    if self.is_live(d) {
+                        self.info[d.index()].as_mut().expect("live").deps.remove(&n);
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aborts `n` and (transitively) everything that read from it.
+    /// Returns the aborted transaction ids, cascade order.
+    fn abort_cascade(&mut self, n: NodeId) -> Vec<TxnId> {
+        // Collect the cascade set over reverse dependency edges.
+        let mut to_kill = vec![n];
+        let mut seen: BTreeSet<NodeId> = BTreeSet::from([n]);
+        let mut i = 0;
+        while i < to_kill.len() {
+            let cur = to_kill[i];
+            i += 1;
+            if let Some(deps) = self.dependents.get(&cur) {
+                for &d in deps {
+                    if seen.insert(d) {
+                        to_kill.push(d);
+                    }
+                }
+            }
+        }
+        let mut killed = Vec::with_capacity(to_kill.len());
+        for &k in &to_kill {
+            killed.push(self.remove_node_raw(k));
+        }
+        killed
+    }
+
+    /// Physically removes a node (abort semantics: no bridging).
+    fn remove_node_raw(&mut self, n: NodeId) -> TxnId {
+        let node = self.info[n.index()].take().expect("live node");
+        self.by_txn.remove(&node.txn);
+        self.aborted.insert(node.txn);
+        for x in node.access.keys() {
+            if let Some(v) = self.accessors.get_mut(x) {
+                sorted_remove(v, n);
+            }
+            if let Some(v) = self.writers.get_mut(x) {
+                sorted_remove(v, n);
+            }
+            if let Some(stack) = self.write_stack.get_mut(x) {
+                stack.retain(|&w| w != n);
+            }
+        }
+        for d in node.deps {
+            if let Some(set) = self.dependents.get_mut(&d) {
+                set.remove(&n);
+            }
+        }
+        self.dependents.remove(&n);
+        self.graph.remove_node(n);
+        node.txn
+    }
+
+    /// Deletes a **committed** transaction with predecessor→successor
+    /// bridging (the `D` transformation); whether this is *safe* is
+    /// condition C3's business.
+    pub fn delete_committed(&mut self, n: NodeId) -> Result<(), CgError> {
+        if !self.is_live(n) || self.phase(n) != MwPhase::Committed {
+            let t = if self.is_live(n) {
+                self.info(n).txn
+            } else {
+                TxnId(u32::MAX)
+            };
+            return Err(CgError::NotDeletable(t));
+        }
+        let node = self.info[n.index()].take().expect("live node");
+        self.by_txn.remove(&node.txn);
+        for x in node.access.keys() {
+            if let Some(v) = self.accessors.get_mut(x) {
+                sorted_remove(v, n);
+            }
+            if let Some(v) = self.writers.get_mut(x) {
+                sorted_remove(v, n);
+            }
+            if let Some(stack) = self.write_stack.get_mut(x) {
+                stack.retain(|&w| w != n);
+            }
+        }
+        let (preds, succs) = self.graph.remove_node(n);
+        for &p in &preds {
+            for &s in &succs {
+                if p != s {
+                    self.graph.add_arc(p, s);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Raw builder API (static graphs for C3 analysis, e.g. Figure 3).
+    // ------------------------------------------------------------------
+
+    /// Adds a node with explicit phase and executed accesses, bypassing
+    /// the step rules. Intended for static C3 analysis; mixing raw
+    /// building with `apply` is unsupported.
+    pub fn raw_node(
+        &mut self,
+        t: TxnId,
+        phase: MwPhase,
+        accesses: impl IntoIterator<Item = (EntityId, AccessMode)>,
+    ) -> NodeId {
+        assert!(self.seen.insert(t), "duplicate raw node {t}");
+        let n = self.graph.add_node();
+        if self.info.len() <= n.index() {
+            self.info.resize_with(n.index() + 1, || None);
+        }
+        let mut access = BTreeMap::new();
+        for (x, m) in accesses {
+            access
+                .entry(x)
+                .and_modify(|cur: &mut AccessMode| *cur = (*cur).max(m))
+                .or_insert(m);
+            sorted_insert(self.accessors.entry(x).or_default(), n);
+            if m == AccessMode::Write {
+                sorted_insert(self.writers.entry(x).or_default(), n);
+            }
+        }
+        self.info[n.index()] = Some(MwNode {
+            txn: t,
+            phase,
+            access,
+            deps: BTreeSet::new(),
+        });
+        self.by_txn.insert(t, n);
+        n
+    }
+
+    /// Adds a conflict arc directly.
+    pub fn raw_arc(&mut self, a: NodeId, b: NodeId) {
+        self.graph.add_arc(a, b);
+    }
+
+    /// Records an executed access on an existing raw node.
+    pub fn raw_access(&mut self, n: NodeId, x: EntityId, mode: AccessMode) {
+        let node = self.info[n.index()].as_mut().expect("live node");
+        node.access
+            .entry(x)
+            .and_modify(|cur| *cur = (*cur).max(mode))
+            .or_insert(mode);
+        sorted_insert(self.accessors.entry(x).or_default(), n);
+        if mode == AccessMode::Write {
+            sorted_insert(self.writers.entry(x).or_default(), n);
+        }
+    }
+
+    /// Records that `reader` depends directly on (reads from) `writer`,
+    /// and adds the corresponding write→read conflict arc.
+    pub fn raw_dep(&mut self, reader: NodeId, writer: NodeId) {
+        self.graph.add_arc(writer, reader);
+        self.info[reader.index()]
+            .as_mut()
+            .expect("live")
+            .deps
+            .insert(writer);
+        self.dependents.entry(writer).or_default().insert(reader);
+    }
+
+    /// Transactions that (transitively) depend on any member of `m` —
+    /// the paper's `M⁺`, **including** `m` itself (aborting `M` kills all
+    /// of `M⁺`).
+    pub fn dependents_closure(&self, m: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        let mut out = m.clone();
+        let mut queue: Vec<NodeId> = m.iter().copied().collect();
+        while let Some(n) = queue.pop() {
+            if let Some(deps) = self.dependents.get(&n) {
+                for &d in deps {
+                    if out.insert(d) {
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Consistency checks for tests.
+    pub fn check_invariants(&self) {
+        assert!(deltx_graph::cycle::is_acyclic(&self.graph));
+        for n in self.nodes() {
+            let node = self.info(n);
+            if node.phase == MwPhase::Committed {
+                assert!(
+                    node.deps.is_empty(),
+                    "{} committed with live dependencies",
+                    node.txn
+                );
+            }
+            for &d in &node.deps {
+                assert!(self.is_live(d), "dangling dependency of {}", node.txn);
+                assert_ne!(self.phase(d), MwPhase::Committed, "stale dep");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltx_model::dsl::parse;
+
+    fn run(src: &str) -> MwState {
+        let p = parse(src).unwrap();
+        let mut mw = MwState::new();
+        mw.run(p.steps()).unwrap();
+        mw.check_invariants();
+        mw
+    }
+
+    #[test]
+    fn dirty_read_creates_dependency() {
+        // T1 writes x (active), T2 reads it: T2 depends on T1.
+        let mw = run("b1 sw1(x) b2 r2(x)");
+        let t2 = mw.node_of(TxnId(2)).unwrap();
+        let t1 = mw.node_of(TxnId(1)).unwrap();
+        assert!(mw.info(t2).deps.contains(&t1));
+        assert!(mw.graph().has_arc(t1, t2));
+    }
+
+    #[test]
+    fn finish_without_deps_commits_immediately() {
+        let mw = run("b1 sw1(x) f1");
+        let t1 = mw.node_of(TxnId(1)).unwrap();
+        assert_eq!(mw.phase(t1), MwPhase::Committed);
+    }
+
+    #[test]
+    fn finish_with_deps_stays_finished_then_commits() {
+        let mut mw = run("b1 sw1(x) b2 r2(x) f2");
+        let t2 = mw.node_of(TxnId(2)).unwrap();
+        assert_eq!(mw.phase(t2), MwPhase::Finished, "depends on active T1");
+        mw.apply(&Step::finish(1)).unwrap();
+        mw.check_invariants();
+        assert_eq!(mw.phase(t2), MwPhase::Committed, "released by T1's commit");
+        let t1 = mw.node_of(TxnId(1)).unwrap();
+        assert_eq!(mw.phase(t1), MwPhase::Committed);
+    }
+
+    #[test]
+    fn commit_chain_propagates() {
+        // T3 reads from T2 which reads from T1; finishing order 3,2,1
+        // commits all three only at the end.
+        let mut mw = run("b1 sw1(x) b2 r2(x) sw2(y) b3 r3(y) f3 f2");
+        let t3 = mw.node_of(TxnId(3)).unwrap();
+        assert_eq!(mw.phase(t3), MwPhase::Finished);
+        mw.apply(&Step::finish(1)).unwrap();
+        mw.check_invariants();
+        assert_eq!(mw.phase(t3), MwPhase::Committed);
+    }
+
+    #[test]
+    fn cycle_aborts_with_cascade() {
+        // T1 writes x; T2 reads x (depends on T1) and writes y; T3 reads y
+        // (depends on T2). Then T1 attempts a step that closes a cycle:
+        // T2 writes z first, T1 then writes z (arc 2->1) while arc 1->2
+        // exists => cycle => abort T1, cascading to T2 and T3.
+        let p = parse("b1 sw1(x) b2 r2(x) sw2(y) b3 r3(y) sw2(z) sw1(z)").unwrap();
+        let mut mw = MwState::new();
+        let out = mw.run(p.steps()).unwrap();
+        match out.last().unwrap() {
+            MwApplied::AbortedCascade(killed) => {
+                assert!(killed.contains(&TxnId(1)));
+                assert!(killed.contains(&TxnId(2)), "read from T1");
+                assert!(killed.contains(&TxnId(3)), "read from T2");
+            }
+            other => panic!("expected cascade, got {other:?}"),
+        }
+        assert_eq!(mw.nodes().count(), 0);
+        mw.check_invariants();
+    }
+
+    #[test]
+    fn committed_reader_does_not_cascade() {
+        // T2 read from T1 but both committed; a later abort elsewhere
+        // cannot touch them. (Committed txns never abort: the graph rules
+        // only abort the stepping txn, which is active.)
+        let mut mw = run("b1 sw1(x) f1 b2 r2(x) f2");
+        let t2 = mw.node_of(TxnId(2)).unwrap();
+        assert_eq!(mw.phase(t2), MwPhase::Committed);
+        // new txn aborts alone
+        let p = parse("b4 r4(x) b5 sw5(x) sw4(x)").unwrap();
+        for s in p.steps() {
+            let _ = mw.apply(s);
+        }
+        mw.check_invariants();
+        assert!(mw.node_of(TxnId(2)).is_some());
+    }
+
+    #[test]
+    fn write_write_conflict_no_dependency() {
+        let mw = run("b1 sw1(x) b2 sw2(x)");
+        let t1 = mw.node_of(TxnId(1)).unwrap();
+        let t2 = mw.node_of(TxnId(2)).unwrap();
+        assert!(mw.graph().has_arc(t1, t2));
+        assert!(mw.info(t2).deps.is_empty(), "ww conflict is not reads-from");
+    }
+
+    #[test]
+    fn read_after_abort_reads_previous_version() {
+        // T1 writes x then aborts (via cycle); a later reader must depend
+        // on the *surviving* writer, not the aborted one.
+        let p = parse("b0 sw0(x) f0 b1 r1(y) sw1(x) b2 sw2(y) sw1(y)").unwrap();
+        let mut mw = MwState::new();
+        let out = mw.run(p.steps()).unwrap();
+        assert!(matches!(out.last().unwrap(), MwApplied::AbortedCascade(k) if k.contains(&TxnId(1))));
+        // Now T3 reads x: current writer is the committed T0.
+        mw.apply(&Step::begin(3)).unwrap();
+        mw.apply(&Step::read(3, 0)).unwrap();
+        let t3 = mw.node_of(TxnId(3)).unwrap();
+        assert!(mw.info(t3).deps.is_empty(), "T0 committed; no dependency");
+        mw.check_invariants();
+    }
+
+    #[test]
+    fn delete_committed_bridges() {
+        let mut mw = run("b1 sw1(x) f1 b2 r2(x) sw2(y) f2 b3 r3(y)");
+        let t1 = mw.node_of(TxnId(1)).unwrap();
+        let t2 = mw.node_of(TxnId(2)).unwrap();
+        let t3 = mw.node_of(TxnId(3)).unwrap();
+        assert_eq!(mw.phase(t2), MwPhase::Committed);
+        mw.delete_committed(t2).unwrap();
+        assert!(mw.graph().has_arc(t1, t3), "bridged");
+        // Active/finished nodes are not deletable.
+        assert!(mw.delete_committed(t3).is_err());
+    }
+
+    #[test]
+    fn dependents_closure_is_transitive() {
+        let mw = run("b1 sw1(x) b2 r2(x) sw2(y) b3 r3(y) b4 sw4(q)");
+        let t1 = mw.node_of(TxnId(1)).unwrap();
+        let t2 = mw.node_of(TxnId(2)).unwrap();
+        let t3 = mw.node_of(TxnId(3)).unwrap();
+        let m = BTreeSet::from([t1]);
+        let plus = mw.dependents_closure(&m);
+        assert_eq!(plus, BTreeSet::from([t1, t2, t3]));
+    }
+
+    #[test]
+    fn raw_builder_matches_schedule_built_graph() {
+        // Build the dirty-read scenario both ways and compare shapes.
+        let scheduled = run("b1 sw1(x) b2 r2(x)");
+        let mut raw = MwState::new();
+        let x = EntityId(0);
+        let a = raw.raw_node(TxnId(1), MwPhase::Active, [(x, AccessMode::Write)]);
+        let b = raw.raw_node(TxnId(2), MwPhase::Active, [(x, AccessMode::Read)]);
+        raw.raw_dep(b, a);
+        assert_eq!(
+            scheduled.graph().arc_count(),
+            raw.graph().arc_count()
+        );
+        let st2 = scheduled.node_of(TxnId(2)).unwrap();
+        assert_eq!(scheduled.info(st2).deps.len(), raw.info(b).deps.len());
+        raw.check_invariants();
+    }
+}

@@ -1,0 +1,116 @@
+//! Corollary 1 — noncurrent transactions are removable.
+//!
+//! > *Say that a completed transaction is **current** if it has read or
+//! > written the current value of some entity (i.e., the entity has not
+//! > been subsequently overwritten). … A noncurrent transaction can be
+//! > removed.*
+//!
+//! The check is O(accesses): [`crate::cg::CgState`] keeps a monotone write
+//! counter per entity and stamps each access with the version it touched —
+//! a transaction is current iff some stamped version is still the latest.
+//!
+//! §4 warns that the corollary is a statement about the **conflict
+//! graph**: Example 1 shows a noncurrent transaction in a *reduced* graph
+//! whose deletion is unsafe (`T2` after `T3` was deleted). Under a policy
+//! that deletes *only* noncurrent transactions this cannot happen — the
+//! last writer of an entity is current by definition and therefore never
+//! deleted by the policy, so every noncurrent transaction's cover is still
+//! present (see `policy::Noncurrent`). Mixing noncurrency with other
+//! deletion criteria re-opens the trap; experiment E6 demonstrates it.
+
+use crate::cg::CgState;
+use deltx_graph::NodeId;
+
+/// True if the **completed** node has read or written the current value
+/// of at least one entity.
+pub fn is_current(cg: &CgState, n: NodeId) -> bool {
+    cg.info(n)
+        .access
+        .iter()
+        .any(|(&x, rec)| rec.version == cg.version_of(x))
+}
+
+/// All completed nodes that are noncurrent (deletable per Corollary 1),
+/// ascending.
+pub fn noncurrent_completed(cg: &CgState) -> Vec<NodeId> {
+    cg.completed_nodes()
+        .into_iter()
+        .filter(|&n| !is_current(cg, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c1;
+    use deltx_model::dsl::parse;
+    use deltx_model::TxnId;
+
+    fn state(src: &str) -> CgState {
+        let p = parse(src).unwrap();
+        let mut cg = CgState::new();
+        cg.run(p.steps()).unwrap();
+        cg
+    }
+
+    #[test]
+    fn example1_t2_noncurrent_t3_current() {
+        let cg = state("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)");
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        let t3 = cg.node_of(TxnId(3)).unwrap();
+        assert!(!is_current(&cg, t2), "T2's write of x was overwritten");
+        assert!(is_current(&cg, t3), "T3 wrote the current x");
+        assert_eq!(noncurrent_completed(&cg), vec![t2]);
+    }
+
+    #[test]
+    fn corollary1_noncurrent_implies_c1() {
+        // Randomized-ish structural check on a handful of schedules.
+        for src in [
+            "b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)",
+            "b1 r1(a) b2 w2(a,b) b3 r3(b) w3(a,b) b4 w4(b)",
+            "b9 r9(p) r9(q) b1 w1(p) b2 w2(q) b3 w3(p,q)",
+        ] {
+            let cg = state(src);
+            for n in noncurrent_completed(&cg) {
+                assert!(
+                    c1::holds(&cg, n),
+                    "Corollary 1 violated on `{src}` for {:?}",
+                    cg.info(n).txn
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reader_of_current_value_is_current() {
+        let cg = state("b1 w1(x) b2 r2(x) w2()");
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        assert!(is_current(&cg, t2), "T2 read the current x");
+        // After overwriting x, T2 (and T1) become noncurrent.
+        let cg = state("b1 w1(x) b2 r2(x) w2() b3 w3(x)");
+        let t1 = cg.node_of(TxnId(1)).unwrap();
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        assert!(!is_current(&cg, t2));
+        assert!(!is_current(&cg, t1));
+    }
+
+    #[test]
+    fn current_on_any_single_entity_suffices() {
+        // T2 accessed x (overwritten) and y (still current).
+        let cg = state("b1 r1(x) b2 r2(x) w2(x,y) b3 r3(x) w3(x)");
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        assert!(is_current(&cg, t2), "y keeps T2 current");
+    }
+
+    #[test]
+    fn empty_write_read_only_txn() {
+        // Read-only txn is current until its read value is overwritten.
+        let cg = state("b1 r1(x) w1()");
+        let t1 = cg.node_of(TxnId(1)).unwrap();
+        assert!(is_current(&cg, t1));
+        let cg = state("b1 r1(x) w1() b2 w2(x)");
+        let t1 = cg.node_of(TxnId(1)).unwrap();
+        assert!(!is_current(&cg, t1));
+    }
+}

@@ -1,0 +1,360 @@
+//! The safety oracle — Lemma 2/3 made executable.
+//!
+//! A deletion is **safe** when for every continuation `r`,
+//! `F(D(G,N), r)` acyclic implies `F(G, r)` acyclic; by Lemma 2/3 this is
+//! equivalent to: the reduced and the unreduced scheduler never *diverge*
+//! (accept/reject differently) on any continuation, and the earliest
+//! divergence is always the reduced scheduler accepting a step the full
+//! scheduler rejects.
+//!
+//! The quantifier over continuations is infinite; we attack it three ways:
+//!
+//! 1. [`diverges`]: lock-step execution of one concrete continuation on
+//!    clones of the two states;
+//! 2. [`exhaustive_divergence`]: bounded exhaustive search over all
+//!    continuations up to a step budget, drawing entities from the
+//!    observed alphabet plus one fresh entity and introducing up to a
+//!    bounded number of new transactions (the necessity proofs never need
+//!    more than one of each);
+//! 3. [`necessity_witness`]: the **constructive** continuation from the
+//!    necessity half of Theorem 1 — if C1 fails with witness `(Tj, x)`,
+//!    this builds the exact `r = s·t` of the proof, so necessity is
+//!    checked without searching.
+
+use crate::c1::C1Violation;
+use crate::cg::{Applied, CgState};
+use deltx_graph::NodeId;
+use deltx_model::{AccessMode, EntityId, Op, Step, TxnId};
+
+/// A detected divergence between the full and the reduced scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into the continuation of the first disagreeing step.
+    pub at: usize,
+    /// Outcome in the unreduced scheduler.
+    pub original: Applied,
+    /// Outcome in the reduced scheduler.
+    pub reduced: Applied,
+}
+
+/// Runs continuation `r` in lock-step on clones of `original` and
+/// `reduced`; returns the first step where their accept/abort decisions
+/// differ.
+///
+/// # Panics
+/// Panics if a step is malformed for either scheduler (the callers below
+/// only generate well-formed continuations).
+pub fn diverges(original: &CgState, reduced: &CgState, r: &[Step]) -> Option<Divergence> {
+    let mut o = original.clone();
+    let mut d = reduced.clone();
+    for (i, step) in r.iter().enumerate() {
+        let ro = o.apply(step).expect("malformed continuation (original)");
+        let rd = d.apply(step).expect("malformed continuation (reduced)");
+        if ro != rd {
+            return Some(Divergence {
+                at: i,
+                original: ro,
+                reduced: rd,
+            });
+        }
+    }
+    None
+}
+
+/// Search bounds for [`exhaustive_divergence`].
+#[derive(Clone, Copy, Debug)]
+pub struct OracleBounds {
+    /// Maximum continuation length in steps.
+    pub max_depth: usize,
+    /// Maximum number of brand-new transactions the continuation may
+    /// introduce (each costs a BEGIN step against the budget).
+    pub max_new_txns: usize,
+    /// Include one entity never seen before in the alphabet (the
+    /// necessity constructions need a fresh `y`).
+    pub fresh_entity: bool,
+}
+
+impl Default for OracleBounds {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            max_new_txns: 1,
+            fresh_entity: true,
+        }
+    }
+}
+
+/// Exhaustively searches continuations (up to `bounds`) for a divergence
+/// between the two schedulers; returns the first found continuation.
+///
+/// Candidate steps at each point: for every currently active transaction,
+/// a read of each alphabet entity, a final single-entity write of each
+/// alphabet entity, and the empty final write; plus BEGIN of a fresh
+/// transaction while the budget allows. A found divergence is a *proof*
+/// of unsafety; exhaustion is (bounded) evidence of safety.
+pub fn exhaustive_divergence(
+    original: &CgState,
+    reduced: &CgState,
+    bounds: &OracleBounds,
+) -> Option<Vec<Step>> {
+    let mut alphabet: Vec<EntityId> = original.entities_seen();
+    if bounds.fresh_entity {
+        alphabet.push(original.fresh_entity_id());
+    }
+    let first_new = original.fresh_txn_id().0.max(reduced.fresh_txn_id().0);
+
+    fn recurse(
+        o: &CgState,
+        d: &CgState,
+        alphabet: &[EntityId],
+        depth: usize,
+        new_left: usize,
+        next_new: u32,
+        trail: &mut Vec<Step>,
+    ) -> bool {
+        if depth == 0 {
+            return false;
+        }
+        // Active transactions are identical in both states pre-divergence.
+        let actives: Vec<TxnId> = d.active_nodes().iter().map(|&n| d.info(n).txn).collect();
+
+        let mut candidates: Vec<Step> = Vec::new();
+        for &t in &actives {
+            for &x in alphabet {
+                candidates.push(Step::new(t, Op::Read(x)));
+                candidates.push(Step::new(t, Op::WriteAll(vec![x])));
+            }
+            candidates.push(Step::new(t, Op::WriteAll(vec![])));
+        }
+        if new_left > 0 {
+            candidates.push(Step::new(TxnId(next_new), Op::Begin));
+        }
+
+        for step in candidates {
+            let mut oc = o.clone();
+            let mut dc = d.clone();
+            let ro = oc.apply(&step).expect("well-formed");
+            let rd = dc.apply(&step).expect("well-formed");
+            trail.push(step.clone());
+            if ro != rd {
+                return true;
+            }
+            let (nl, nn) = if matches!(step.op, Op::Begin) {
+                (new_left - 1, next_new + 1)
+            } else {
+                (new_left, next_new)
+            };
+            if recurse(&oc, &dc, alphabet, depth - 1, nl, nn, trail) {
+                return true;
+            }
+            trail.pop();
+        }
+        false
+    }
+
+    let mut trail = Vec::new();
+    recurse(
+        original,
+        reduced,
+        &alphabet,
+        bounds.max_depth,
+        bounds.max_new_txns,
+        first_new,
+        &mut trail,
+    )
+    .then_some(trail)
+}
+
+/// Builds the constructive continuation from the **necessity** proof of
+/// Theorem 1 for a C1 violation `(Tj, x)` of candidate `ti` in `cg`:
+///
+/// 1. every active transaction except `Tj` reads a fresh entity `y`;
+/// 2. a new transaction `Tw` begins and atomically writes `y` (completing);
+/// 3. every active transaction except `Tj` attempts its final write on
+///    `y` — each closes the 2-cycle with `Tw` and aborts, in **both**
+///    schedulers;
+/// 4. the last step `t`: if `ti` wrote `x`, `Tj` reads `x`; otherwise
+///    `Tj` performs its final write on `x`. This closes a cycle through
+///    `ti` in the full graph but (because the violation says no surviving
+///    successor of `Tj` covers `x`) not in the reduced one.
+///
+/// The caller deletes `ti` from a clone and feeds the result to
+/// [`diverges`]; Theorem 1 guarantees a divergence at the last step.
+pub fn necessity_witness(cg: &CgState, ti: NodeId, violation: &C1Violation) -> Vec<Step> {
+    debug_assert!(cg.is_completed(ti));
+    let tj = cg.info(violation.tj).txn;
+    let y = cg.fresh_entity_id();
+    let tw = cg.fresh_txn_id();
+    let mut r: Vec<Step> = Vec::new();
+
+    let others: Vec<TxnId> = cg
+        .active_nodes()
+        .into_iter()
+        .filter(|&n| n != violation.tj)
+        .map(|n| cg.info(n).txn)
+        .collect();
+
+    for &t in &others {
+        r.push(Step::new(t, Op::Read(y)));
+    }
+    r.push(Step::new(tw, Op::Begin));
+    r.push(Step::new(tw, Op::WriteAll(vec![y])));
+    for &t in &others {
+        r.push(Step::new(t, Op::WriteAll(vec![y])));
+    }
+    // Last step t: the weakest access of x by Tj conflicting with ti's.
+    let t = if violation.mode == AccessMode::Write {
+        Step::new(tj, Op::Read(violation.x))
+    } else {
+        Step::new(tj, Op::WriteAll(vec![violation.x]))
+    };
+    r.push(t);
+    r
+}
+
+/// Convenience: is deleting exactly `n` from `cg` safe, according to the
+/// bounded exhaustive oracle? (Tests cross-check this against C1.)
+pub fn single_deletion_safe_bounded(cg: &CgState, n: NodeId, bounds: &OracleBounds) -> bool {
+    let mut reduced = cg.clone();
+    reduced.delete(n).expect("candidate must be completed");
+    exhaustive_divergence(cg, &reduced, bounds).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c1;
+    use deltx_model::dsl::parse;
+    use deltx_model::TxnId;
+
+    fn state(src: &str) -> CgState {
+        let p = parse(src).unwrap();
+        let mut cg = CgState::new();
+        cg.run(p.steps()).unwrap();
+        cg
+    }
+
+    #[test]
+    fn example1_safe_single_deletions_pass_oracle() {
+        let cg = state("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)");
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        let t3 = cg.node_of(TxnId(3)).unwrap();
+        let bounds = OracleBounds {
+            max_depth: 4,
+            ..OracleBounds::default()
+        };
+        assert!(single_deletion_safe_bounded(&cg, t2, &bounds));
+        assert!(single_deletion_safe_bounded(&cg, t3, &bounds));
+    }
+
+    #[test]
+    fn unsafe_pair_deletion_caught_by_oracle() {
+        let cg = state("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)");
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        let t3 = cg.node_of(TxnId(3)).unwrap();
+        let mut reduced = cg.clone();
+        reduced.delete(t2).unwrap();
+        reduced.delete(t3).unwrap();
+        let bounds = OracleBounds {
+            max_depth: 3,
+            max_new_txns: 0,
+            fresh_entity: false,
+        };
+        let r = exhaustive_divergence(&cg, &reduced, &bounds)
+            .expect("deleting both of Example 1 is unsafe");
+        // The divergence must be the reduced scheduler accepting something
+        // the original rejects (Lemma 2).
+        let d = diverges(&cg, &reduced, &r).unwrap();
+        assert_eq!(d.original, Applied::SelfAborted);
+        assert_eq!(d.reduced, Applied::Accepted);
+    }
+
+    #[test]
+    fn necessity_witness_always_diverges() {
+        // A C1-violating candidate: T2 under a still-active reader with
+        // nobody covering x.
+        let cg = state("b1 r1(x) b2 r2(x) w2(x)");
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        let v = c1::violation(&cg, t2).expect("T2 must violate C1");
+        let r = necessity_witness(&cg, t2, &v);
+        let mut reduced = cg.clone();
+        reduced.delete(t2).unwrap();
+        let d = diverges(&cg, &reduced, &r).expect("Theorem 1 necessity");
+        assert_eq!(d.at, r.len() - 1, "divergence at the last step t");
+        assert_eq!(d.original, Applied::SelfAborted);
+        assert_eq!(d.reduced, Applied::Accepted);
+    }
+
+    #[test]
+    fn necessity_witness_aborts_other_actives_first() {
+        // Two extra active transactions besides Tj must be killed by the
+        // y-gadget in both schedulers before the final step.
+        let cg = state("b1 r1(x) b4 r4(q) b5 r5(q) b2 r2(x) w2(x)");
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        let v = c1::violation(&cg, t2).expect("violated");
+        let r = necessity_witness(&cg, t2, &v);
+        let mut reduced = cg.clone();
+        reduced.delete(t2).unwrap();
+        // Run the prefix on the original; T4, T5 must abort, T1 survive.
+        let mut o = cg.clone();
+        for step in &r[..r.len() - 1] {
+            o.apply(step).unwrap();
+        }
+        assert!(o.aborted_txns().contains(&TxnId(4)));
+        assert!(o.aborted_txns().contains(&TxnId(5)));
+        assert!(o.node_of(TxnId(1)).is_some());
+        // And the full continuation still diverges at the end.
+        assert!(diverges(&cg, &reduced, &r).is_some());
+    }
+
+    #[test]
+    fn no_divergence_on_identical_states() {
+        let cg = state("b1 r1(x) b2 r2(x) w2(x)");
+        let bounds = OracleBounds {
+            max_depth: 3,
+            max_new_txns: 1,
+            fresh_entity: true,
+        };
+        assert!(exhaustive_divergence(&cg, &cg.clone(), &bounds).is_none());
+    }
+
+    #[test]
+    fn oracle_agrees_with_c1_on_small_schedules() {
+        // Both directions, on a family of small schedules.
+        let sources = [
+            "b1 r1(x) b2 r2(x) w2(x)",
+            "b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)",
+            "b1 r1(a) b2 w2(a)",
+            "b1 w1(x) b2 r2(x) w2(y) b3 r3(y) w3(x)",
+        ];
+        let bounds = OracleBounds {
+            max_depth: 3,
+            max_new_txns: 1,
+            fresh_entity: true,
+        };
+        for src in sources {
+            let cg = state(src);
+            for n in cg.completed_nodes() {
+                let c1_safe = c1::holds(&cg, n);
+                if c1_safe {
+                    assert!(
+                        single_deletion_safe_bounded(&cg, n, &bounds),
+                        "C1 says safe but oracle diverged on `{src}` {:?}",
+                        cg.info(n).txn
+                    );
+                } else {
+                    // Constructive necessity: the witness continuation
+                    // must diverge.
+                    let v = c1::violation(&cg, n).unwrap();
+                    let r = necessity_witness(&cg, n, &v);
+                    let mut reduced = cg.clone();
+                    reduced.delete(n).unwrap();
+                    assert!(
+                        diverges(&cg, &reduced, &r).is_some(),
+                        "C1 says unsafe but witness did not diverge on `{src}`"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The predeclared scheduler (§5): transactions declare their full
+//! read/write sets at BEGIN, so aborts can be avoided entirely — a step
+//! that would eventually close a cycle is **delayed** instead.
+//!
+//! Rules (quoting the paper, primes ours):
+//!
+//! * **Rule 1′** — when `Ti` starts, add node `Ti`, and for every other
+//!   transaction `Tj` that *has executed* a step conflicting with a
+//!   *future* step of `Ti`, add `Tj -> Ti`. (A fresh node has no outgoing
+//!   arcs, so this can never create a cycle.)
+//! * **Rules 2′–3′** — when `Ti` wants to access `x`, add `Ti -> Tk` for
+//!   every other `Tk` that *will* perform a conflicting step on `x` in
+//!   the future, provided no cycle forms; otherwise `Ti` **waits**.
+//!
+//! Waiting cannot deadlock: `Ti` waits for `Tk` only when the graph has a
+//! path `Tk ⇒ Ti`, and the graph is acyclic at all times, so the
+//! waits-for relation is too.
+//!
+//! The deletion condition for this model is **C4** ([`crate::c4`]),
+//! polynomial again — and the journal version's second clause (absent
+//! from the PODS '86 version) is exactly about transactions that can
+//! still acquire new predecessors.
+
+use crate::error::CgError;
+use deltx_graph::cycle::CycleChecker;
+use deltx_graph::{DiGraph, NodeId};
+use deltx_model::{AccessMode, EntityId, Step, TxnId, TxnSpec};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Remaining declared accesses of one entity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FutureNeed {
+    /// Declared reads not yet executed.
+    pub reads: u32,
+    /// Declared writes not yet executed.
+    pub writes: u32,
+}
+
+impl FutureNeed {
+    /// True if a future access of this entity conflicts with an incoming
+    /// access of the given mode.
+    pub fn conflicts_with(&self, mode: AccessMode) -> bool {
+        self.writes > 0 || (mode == AccessMode::Write && self.reads > 0)
+    }
+
+    /// The strongest mode still pending (writes dominate), if any.
+    pub fn strongest(&self) -> Option<AccessMode> {
+        if self.writes > 0 {
+            Some(AccessMode::Write)
+        } else if self.reads > 0 {
+            Some(AccessMode::Read)
+        } else {
+            None
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.reads == 0 && self.writes == 0
+    }
+}
+
+/// Lifecycle in the predeclared model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrePhase {
+    /// Declared steps remain.
+    Active,
+    /// All declared steps executed.
+    Completed,
+}
+
+/// Node payload in the predeclared conflict graph.
+#[derive(Clone, Debug)]
+pub struct PreNode {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Active or completed.
+    pub phase: PrePhase,
+    /// Strongest *executed* access per entity.
+    pub executed: BTreeMap<EntityId, AccessMode>,
+    /// Declared-but-unexecuted accesses per entity.
+    pub future: BTreeMap<EntityId, FutureNeed>,
+}
+
+/// Outcome of one predeclared access attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PreApplied {
+    /// Executed; arcs inserted.
+    Accepted,
+    /// Executing now would close a future cycle; retry after the
+    /// conflicting parties progress. No state was changed.
+    Delayed,
+}
+
+/// Conflict-graph scheduler state for the predeclared model.
+#[derive(Clone, Debug, Default)]
+pub struct PreState {
+    graph: DiGraph,
+    info: Vec<Option<PreNode>>,
+    by_txn: HashMap<TxnId, NodeId>,
+    seen: HashSet<TxnId>,
+    checker: CycleChecker,
+}
+
+impl PreState {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Node of transaction `t`, if live.
+    pub fn node_of(&self, t: TxnId) -> Option<NodeId> {
+        self.by_txn.get(&t).copied()
+    }
+
+    /// Payload of a live node.
+    pub fn info(&self, n: NodeId) -> &PreNode {
+        self.info[n.index()].as_ref().expect("live node")
+    }
+
+    /// True if `n` is live.
+    pub fn is_live(&self, n: NodeId) -> bool {
+        self.info.get(n.index()).is_some_and(Option::is_some)
+    }
+
+    /// Phase of a live node.
+    pub fn phase(&self, n: NodeId) -> PrePhase {
+        self.info(n).phase
+    }
+
+    /// Live nodes, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// Live active nodes, ascending.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| self.phase(n) == PrePhase::Active)
+            .collect()
+    }
+
+    /// Live completed nodes, ascending.
+    pub fn completed_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| self.phase(n) == PrePhase::Completed)
+            .collect()
+    }
+
+    /// Rule 1′: starts `spec`, declaring its whole access program.
+    /// Never delayed, never cyclic.
+    pub fn begin(&mut self, spec: &TxnSpec) -> Result<NodeId, CgError> {
+        if self.seen.contains(&spec.id) {
+            return Err(CgError::DuplicateBegin(spec.id));
+        }
+        self.seen.insert(spec.id);
+        let mut future: BTreeMap<EntityId, FutureNeed> = BTreeMap::new();
+        for (x, m) in spec.flat_accesses() {
+            let f = future.entry(x).or_default();
+            match m {
+                AccessMode::Read => f.reads += 1,
+                AccessMode::Write => f.writes += 1,
+            }
+        }
+        let n = self.graph.add_node();
+        if self.info.len() <= n.index() {
+            self.info.resize_with(n.index() + 1, || None);
+        }
+        // Arcs from everyone whose EXECUTED accesses conflict with our
+        // declared (future) program.
+        let mut sources: Vec<NodeId> = Vec::new();
+        for other in self.graph.nodes() {
+            if other == n {
+                continue;
+            }
+            let oi = self.info[other.index()].as_ref().expect("live");
+            let conflicts = oi
+                .executed
+                .iter()
+                .any(|(x, &m)| future.get(x).is_some_and(|f| f.conflicts_with(m)));
+            if conflicts {
+                sources.push(other);
+            }
+        }
+        for s in sources {
+            self.graph.add_arc(s, n);
+        }
+        self.info[n.index()] = Some(PreNode {
+            txn: spec.id,
+            phase: if future.is_empty() {
+                PrePhase::Completed
+            } else {
+                PrePhase::Active
+            },
+            executed: BTreeMap::new(),
+            future,
+        });
+        self.by_txn.insert(spec.id, n);
+        Ok(n)
+    }
+
+    /// Rules 2′–3′: `t` attempts its next declared access `(x, mode)`.
+    ///
+    /// # Errors
+    /// [`CgError::UndeclaredAccess`] if `(x, mode)` is not among `t`'s
+    /// remaining declared accesses.
+    pub fn step(&mut self, t: TxnId, x: EntityId, mode: AccessMode) -> Result<PreApplied, CgError> {
+        let n = self
+            .node_of(t)
+            .ok_or(CgError::UnknownTxn(t))?;
+        if self.phase(n) == PrePhase::Completed {
+            return Err(CgError::AlreadyCompleted(t));
+        }
+        {
+            let node = self.info(n);
+            let f = node.future.get(&x).copied().unwrap_or_default();
+            let available = match mode {
+                AccessMode::Read => f.reads > 0,
+                AccessMode::Write => f.writes > 0,
+            };
+            if !available {
+                return Err(CgError::UndeclaredAccess(t));
+            }
+        }
+        // Targets: all other transactions with a future conflicting access
+        // of x.
+        let mut targets: Vec<NodeId> = Vec::new();
+        for other in self.graph.nodes() {
+            if other == n {
+                continue;
+            }
+            let oi = self.info[other.index()].as_ref().expect("live");
+            if oi.future.get(&x).is_some_and(|f| f.conflicts_with(mode)) {
+                targets.push(other);
+            }
+        }
+        if self
+            .checker
+            .fan_out_would_create_cycle(&self.graph, n, &targets)
+        {
+            return Ok(PreApplied::Delayed);
+        }
+        for tgt in targets {
+            self.graph.add_arc(n, tgt);
+        }
+        let node = self.info[n.index()].as_mut().expect("live");
+        let f = node.future.get_mut(&x).expect("declared");
+        match mode {
+            AccessMode::Read => f.reads -= 1,
+            AccessMode::Write => f.writes -= 1,
+        }
+        if f.is_done() {
+            node.future.remove(&x);
+        }
+        node.executed
+            .entry(x)
+            .and_modify(|m| *m = (*m).max(mode))
+            .or_insert(mode);
+        if node.future.is_empty() {
+            node.phase = PrePhase::Completed;
+        }
+        Ok(PreApplied::Accepted)
+    }
+
+    /// Convenience for drivers: dispatch a [`Step`]-shaped access. BEGIN
+    /// must go through [`PreState::begin`] (it needs the declaration).
+    pub fn step_of(&mut self, step: &Step) -> Result<PreApplied, CgError> {
+        match &step.op {
+            deltx_model::Op::Read(x) => self.step(step.txn, *x, AccessMode::Read),
+            deltx_model::Op::Write(x) => self.step(step.txn, *x, AccessMode::Write),
+            _ => Err(CgError::WrongModel(
+                "predeclared steps are single-entity accesses",
+            )),
+        }
+    }
+
+    /// Deletes a completed transaction with bridging (the `D`
+    /// transformation); safety is condition C4's business.
+    pub fn delete(&mut self, n: NodeId) -> Result<(), CgError> {
+        if !self.is_live(n) || self.phase(n) != PrePhase::Completed {
+            let t = if self.is_live(n) {
+                self.info(n).txn
+            } else {
+                TxnId(u32::MAX)
+            };
+            return Err(CgError::NotDeletable(t));
+        }
+        let node = self.info[n.index()].take().expect("live");
+        self.by_txn.remove(&node.txn);
+        let (preds, succs) = self.graph.remove_node(n);
+        for &p in &preds {
+            for &s in &succs {
+                if p != s {
+                    self.graph.add_arc(p, s);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Consistency checks for tests.
+    pub fn check_invariants(&self) {
+        assert!(deltx_graph::cycle::is_acyclic(&self.graph));
+        for n in self.nodes() {
+            let node = self.info(n);
+            match node.phase {
+                PrePhase::Active => assert!(!node.future.is_empty()),
+                PrePhase::Completed => assert!(node.future.is_empty()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u32, ops: &[(&str, u32)]) -> TxnSpec {
+        // ops: ("r", entity) or ("w", entity)
+        let ops = ops
+            .iter()
+            .map(|&(k, x)| match k {
+                "r" => deltx_model::Op::Read(EntityId(x)),
+                "w" => deltx_model::Op::Write(EntityId(x)),
+                _ => unreachable!(),
+            })
+            .collect();
+        TxnSpec {
+            id: TxnId(id),
+            ops,
+        }
+    }
+
+    #[test]
+    fn begin_links_past_conflicts() {
+        let mut pre = PreState::new();
+        // T1 declares read x then executes it.
+        let a = pre.begin(&spec(1, &[("r", 0), ("r", 5)])).unwrap();
+        assert_eq!(pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap(), PreApplied::Accepted);
+        // T2 declares write x: arc T1 -> T2 because T1 already READ x.
+        let b = pre.begin(&spec(2, &[("w", 0)])).unwrap();
+        assert!(pre.graph().has_arc(a, b));
+        pre.check_invariants();
+    }
+
+    #[test]
+    fn step_links_future_conflicts() {
+        let mut pre = PreState::new();
+        // T1 declares write x but hasn't run it; T2 reads x now:
+        let a = pre.begin(&spec(1, &[("w", 0)])).unwrap();
+        let b = pre.begin(&spec(2, &[("r", 0)])).unwrap();
+        assert_eq!(pre.step(TxnId(2), EntityId(0), AccessMode::Read).unwrap(), PreApplied::Accepted);
+        // Arc T2 -> T1: T2 executed before T1's future conflicting write.
+        assert!(pre.graph().has_arc(b, a));
+        pre.check_invariants();
+    }
+
+    #[test]
+    fn undeclared_access_rejected() {
+        let mut pre = PreState::new();
+        pre.begin(&spec(1, &[("r", 0)])).unwrap();
+        assert_eq!(
+            pre.step(TxnId(1), EntityId(9), AccessMode::Read),
+            Err(CgError::UndeclaredAccess(TxnId(1)))
+        );
+        assert_eq!(
+            pre.step(TxnId(1), EntityId(0), AccessMode::Write),
+            Err(CgError::UndeclaredAccess(TxnId(1)))
+        );
+    }
+
+    #[test]
+    fn completion_after_last_step() {
+        let mut pre = PreState::new();
+        let n = pre.begin(&spec(1, &[("r", 0), ("w", 1)])).unwrap();
+        assert_eq!(pre.phase(n), PrePhase::Active);
+        pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap();
+        pre.step(TxnId(1), EntityId(1), AccessMode::Write).unwrap();
+        assert_eq!(pre.phase(n), PrePhase::Completed);
+        pre.check_invariants();
+    }
+
+    #[test]
+    fn delay_instead_of_abort() {
+        // Classic would-be cycle: T1 declares r(x) then w(y); T2 declares
+        // r(y) then w(x).
+        //   T1 reads x  -> arc T1->T2 (T2's future w(x)).
+        //   T2 reads y  -> wants arc T2->T1 (T1's future w(y)): path
+        //                  T1 => T2 exists, so adding T2->T1 cycles: DELAY.
+        let mut pre = PreState::new();
+        let a = pre.begin(&spec(1, &[("r", 0), ("w", 1)])).unwrap();
+        let b = pre.begin(&spec(2, &[("r", 1), ("w", 0)])).unwrap();
+        assert_eq!(pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap(), PreApplied::Accepted);
+        assert!(pre.graph().has_arc(a, b));
+        assert_eq!(pre.step(TxnId(2), EntityId(1), AccessMode::Read).unwrap(), PreApplied::Delayed);
+        // T1 finishes its write; now T2 can proceed (T1 completed, no
+        // future conflicts remain).
+        assert_eq!(pre.step(TxnId(1), EntityId(1), AccessMode::Write).unwrap(), PreApplied::Accepted);
+        assert_eq!(pre.step(TxnId(2), EntityId(1), AccessMode::Read).unwrap(), PreApplied::Accepted);
+        assert_eq!(pre.step(TxnId(2), EntityId(0), AccessMode::Write).unwrap(), PreApplied::Accepted);
+        pre.check_invariants();
+        assert_eq!(pre.completed_nodes().len(), 2);
+    }
+
+    #[test]
+    fn no_deadlock_on_delays() {
+        // Drive a contended trio round-robin with retries; everyone must
+        // finish (the paper's no-deadlock argument).
+        let specs = [
+            spec(1, &[("r", 0), ("w", 1)]),
+            spec(2, &[("r", 1), ("w", 2)]),
+            spec(3, &[("r", 2), ("w", 0)]),
+        ];
+        let mut pre = PreState::new();
+        let mut remaining: Vec<(TxnId, Vec<(EntityId, AccessMode)>)> = specs
+            .iter()
+            .map(|s| {
+                pre.begin(s).unwrap();
+                (s.id, s.flat_accesses())
+            })
+            .collect();
+        let mut rounds = 0;
+        while remaining.iter().any(|(_, ops)| !ops.is_empty()) {
+            rounds += 1;
+            assert!(rounds < 100, "livelock: scheduler made no progress");
+            for (t, ops) in &mut remaining {
+                if let Some(&(x, m)) = ops.first() {
+                    if pre.step(*t, x, m).unwrap() == PreApplied::Accepted {
+                        ops.remove(0);
+                    }
+                }
+            }
+        }
+        pre.check_invariants();
+        assert_eq!(pre.completed_nodes().len(), 3);
+    }
+
+    #[test]
+    fn delete_requires_completion() {
+        let mut pre = PreState::new();
+        let n = pre.begin(&spec(1, &[("r", 0)])).unwrap();
+        assert!(pre.delete(n).is_err());
+        pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap();
+        assert!(pre.delete(n).is_ok());
+        assert!(pre.node_of(TxnId(1)).is_none());
+    }
+
+    #[test]
+    fn delete_bridges_paths() {
+        let mut pre = PreState::new();
+        let a = pre.begin(&spec(1, &[("r", 0), ("r", 7)])).unwrap();
+        pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap();
+        let b = pre.begin(&spec(2, &[("w", 0)])).unwrap();
+        pre.step(TxnId(2), EntityId(0), AccessMode::Write).unwrap();
+        let c = pre.begin(&spec(3, &[("w", 0)])).unwrap();
+        pre.step(TxnId(3), EntityId(0), AccessMode::Write).unwrap();
+        // a -> b (past read vs declared write), b -> c (same), a -> c.
+        assert!(pre.graph().has_arc(b, c));
+        pre.delete(b).unwrap();
+        assert!(pre.graph().has_arc(a, c), "bridge preserved");
+        pre.check_invariants();
+    }
+}

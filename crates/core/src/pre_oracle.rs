@@ -1,0 +1,335 @@
+//! Safety oracle for the predeclared model — Theorem 7 made executable.
+//!
+//! Mirrors [`crate::oracle`] for [`PreState`]: a deletion is safe iff the
+//! reduced scheduler never *diverges* (accept/delay differently) from the
+//! unreduced one on any continuation. Continuations here are sequences of
+//! [`PreAction`]s: declaring new transactions and executing declared
+//! accesses.
+//!
+//! * [`diverges`] runs one continuation in lock-step;
+//! * [`necessity_witness`] builds the constructive continuation from the
+//!   necessity half of Theorem 7's proof: complete every active
+//!   transaction that is *not* a successor of `Tj` (in topological
+//!   order), then introduce a fresh transaction `Tw` declaring the two
+//!   attacked entities — `x` in the weakest mode conflicting with `Ti`'s
+//!   executed access, `y` in the weakest mode conflicting with `Tj`'s
+//!   pending access — and let it run. The unreduced scheduler must delay
+//!   one of `Tw`'s steps (the cycle through the deleted `Ti`); the
+//!   reduced one accepts it;
+//! * [`random_divergence`] is the bounded sufficiency probe: seeded
+//!   random continuations that must all agree when C4 holds.
+
+use crate::c4::C4Violation;
+use crate::pre::{PreApplied, PrePhase, PreState};
+use deltx_graph::{topo, NodeId};
+use deltx_model::{AccessMode, EntityId, Op, TxnId, TxnSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One continuation action against a predeclared scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PreAction {
+    /// Declare and begin a new transaction.
+    Begin(TxnSpec),
+    /// Execute one declared access.
+    Step(TxnId, EntityId, AccessMode),
+}
+
+/// Outcome pair at the first divergence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreDivergence {
+    /// Index into the continuation.
+    pub at: usize,
+    /// Outcome in the unreduced scheduler.
+    pub original: PreApplied,
+    /// Outcome in the reduced scheduler.
+    pub reduced: PreApplied,
+}
+
+/// Runs `actions` in lock-step on clones of both states; returns the
+/// first accept/delay disagreement. BEGINs never diverge (they are
+/// always accepted).
+pub fn diverges(
+    original: &PreState,
+    reduced: &PreState,
+    actions: &[PreAction],
+) -> Option<PreDivergence> {
+    let mut o = original.clone();
+    let mut d = reduced.clone();
+    for (i, a) in actions.iter().enumerate() {
+        match a {
+            PreAction::Begin(spec) => {
+                o.begin(spec).expect("malformed continuation (original)");
+                d.begin(spec).expect("malformed continuation (reduced)");
+            }
+            PreAction::Step(t, x, m) => {
+                let ro = o.step(*t, *x, *m).expect("malformed continuation (original)");
+                let rd = d.step(*t, *x, *m).expect("malformed continuation (reduced)");
+                if ro != rd {
+                    return Some(PreDivergence {
+                        at: i,
+                        original: ro,
+                        reduced: rd,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Remaining declared accesses of `n`, reads before writes per entity
+/// (any order is legal; this one is deterministic).
+fn remaining_accesses(pre: &PreState, n: NodeId) -> Vec<(EntityId, AccessMode)> {
+    let mut out = Vec::new();
+    for (&x, need) in &pre.info(n).future {
+        for _ in 0..need.reads {
+            out.push((x, AccessMode::Read));
+        }
+        for _ in 0..need.writes {
+            out.push((x, AccessMode::Write));
+        }
+    }
+    out
+}
+
+/// The weakest access mode conflicting with `m`: a write is attacked by
+/// a read; a read only by a write.
+fn weakest_conflicting(m: AccessMode) -> AccessMode {
+    match m {
+        AccessMode::Write => AccessMode::Read,
+        AccessMode::Read => AccessMode::Write,
+    }
+}
+
+/// Builds Theorem 7's necessity continuation for a C4 violation of
+/// completed node `ti`. Feeding it to [`diverges`] (against a clone with
+/// `ti` deleted) must report a divergence where the original scheduler
+/// delays and the reduced one accepts.
+pub fn necessity_witness(pre: &PreState, ti: NodeId, v: &C4Violation) -> Vec<PreAction> {
+    debug_assert_eq!(pre.phase(ti), PrePhase::Completed);
+    let mut actions = Vec::new();
+
+    // Phase 1: complete every active transaction that is NOT a successor
+    // of Tj, in topological order (each then runs without delay — the
+    // proof's observation that predecessors of non-successors are
+    // non-successors).
+    let succs_of_tj: std::collections::BTreeSet<NodeId> =
+        deltx_graph::paths::descendants(pre.graph(), v.tj)
+            .into_iter()
+            .collect();
+    let order = topo::topo_order(pre.graph()).expect("scheduler graphs are acyclic");
+    for n in order {
+        if n == v.tj || pre.phase(n) != PrePhase::Active || succs_of_tj.contains(&n) {
+            continue;
+        }
+        let t = pre.info(n).txn;
+        for (x, m) in remaining_accesses(pre, n) {
+            actions.push(PreAction::Step(t, x, m));
+        }
+    }
+
+    // Phase 2: the fresh transaction Tw attacking x then y.
+    let max_txn = pre
+        .nodes()
+        .map(|n| pre.info(n).txn.0)
+        .max()
+        .unwrap_or(0);
+    let tw = TxnId(max_txn + 1);
+    let mx = weakest_conflicting(pre.info(ti).executed[&v.x]);
+    let need_y = pre.info(v.tj).future[&v.y]
+        .strongest()
+        .expect("violation y has pending access");
+    let my = weakest_conflicting(need_y);
+    let mut ops = Vec::new();
+    ops.push(match mx {
+        AccessMode::Read => Op::Read(v.x),
+        AccessMode::Write => Op::Write(v.x),
+    });
+    // x == y is possible; declare both accesses regardless.
+    ops.push(match my {
+        AccessMode::Read => Op::Read(v.y),
+        AccessMode::Write => Op::Write(v.y),
+    });
+    actions.push(PreAction::Begin(TxnSpec { id: tw, ops }));
+    actions.push(PreAction::Step(tw, v.x, mx));
+    actions.push(PreAction::Step(tw, v.y, my));
+    actions
+}
+
+/// Random continuations for the sufficiency side: `tries` runs of up to
+/// `max_new` fresh transactions (tiny random declarations over the seen
+/// entities plus one fresh) interleaved with pending steps, all executed
+/// in lock-step. Returns the first diverging continuation found.
+pub fn random_divergence(
+    original: &PreState,
+    reduced: &PreState,
+    tries: usize,
+    max_new: usize,
+    seed: u64,
+) -> Option<Vec<PreAction>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entities: Vec<EntityId> = Vec::new();
+    for n in original.nodes() {
+        entities.extend(original.info(n).executed.keys().copied());
+        entities.extend(original.info(n).future.keys().copied());
+    }
+    entities.sort_unstable();
+    entities.dedup();
+    let fresh = EntityId(entities.last().map_or(0, |e| e.0 + 1));
+    entities.push(fresh);
+    let max_txn = original
+        .nodes()
+        .map(|n| original.info(n).txn.0)
+        .max()
+        .unwrap_or(0);
+
+    for t in 0..tries {
+        // Build a random action sequence.
+        let o = original.clone();
+        let mut actions = Vec::new();
+        let mut pending: Vec<(TxnId, Vec<(EntityId, AccessMode)>)> = o
+            .active_nodes()
+            .into_iter()
+            .map(|n| (o.info(n).txn, remaining_accesses(&o, n)))
+            .collect();
+        let mut next_txn = max_txn + 1 + (t as u32) * 10;
+        let mut news = 0;
+        for _ in 0..8 {
+            if news < max_new && rng.gen_bool(0.3) {
+                let n_ops = rng.gen_range(1..=2);
+                let ops: Vec<Op> = (0..n_ops)
+                    .map(|_| {
+                        let x = entities[rng.gen_range(0..entities.len())];
+                        if rng.gen_bool(0.5) {
+                            Op::Read(x)
+                        } else {
+                            Op::Write(x)
+                        }
+                    })
+                    .collect();
+                let spec = TxnSpec {
+                    id: TxnId(next_txn),
+                    ops: ops.clone(),
+                };
+                next_txn += 1;
+                news += 1;
+                pending.push((
+                    spec.id,
+                    spec.flat_accesses(),
+                ));
+                actions.push(PreAction::Begin(spec));
+            } else if !pending.is_empty() {
+                let i = rng.gen_range(0..pending.len());
+                if let Some(&(x, m)) = pending[i].1.first() {
+                    actions.push(PreAction::Step(pending[i].0, x, m));
+                    pending[i].1.remove(0);
+                }
+                if pending[i].1.is_empty() {
+                    pending.swap_remove(i);
+                }
+            }
+        }
+        if diverges(original, reduced, &actions).is_some() {
+            return Some(actions);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c4;
+    use crate::examples_paper::figure4;
+
+    #[test]
+    fn figure4_b_necessity_witness_diverges() {
+        let fig = figure4();
+        let v = c4::violation(&fig.state, fig.b).expect("B violates C4");
+        let actions = necessity_witness(&fig.state, fig.b, &v);
+        let mut reduced = fig.state.clone();
+        reduced.delete(fig.b).expect("completed");
+        let d = diverges(&fig.state, &reduced, &actions)
+            .expect("Theorem 7 necessity: must diverge");
+        assert_eq!(d.original, PreApplied::Delayed, "full scheduler delays");
+        assert_eq!(d.reduced, PreApplied::Accepted, "reduced accepts");
+    }
+
+    #[test]
+    fn figure4_c_safe_deletion_never_diverges_randomly() {
+        let fig = figure4();
+        assert!(c4::holds(&fig.state, fig.c));
+        let mut reduced = fig.state.clone();
+        reduced.delete(fig.c).expect("completed");
+        assert_eq!(
+            random_divergence(&fig.state, &reduced, 40, 2, 11),
+            None,
+            "C4-safe deletion diverged"
+        );
+    }
+
+    #[test]
+    fn weakest_conflicting_modes() {
+        assert_eq!(weakest_conflicting(AccessMode::Write), AccessMode::Read);
+        assert_eq!(weakest_conflicting(AccessMode::Read), AccessMode::Write);
+    }
+
+    #[test]
+    fn random_predeclared_states_validate_c4_both_ways() {
+        use deltx_model::{Op, TxnId, TxnSpec};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(400 + seed);
+            let mut pre = PreState::new();
+            // One partially-executed long transaction + several completed.
+            let long = TxnSpec {
+                id: TxnId(1),
+                ops: vec![
+                    Op::Read(EntityId(0)),
+                    Op::Read(EntityId(1)),
+                    Op::Read(EntityId(rng.gen_range(2..5))),
+                ],
+            };
+            pre.begin(&long).unwrap();
+            pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap();
+            pre.step(TxnId(1), EntityId(1), AccessMode::Read).unwrap();
+            for i in 0..rng.gen_range(2..5u32) {
+                let x = EntityId(rng.gen_range(0..5));
+                let spec = TxnSpec {
+                    id: TxnId(10 + i),
+                    ops: vec![Op::Write(x)],
+                };
+                pre.begin(&spec).unwrap();
+                // The write may be delayed by a declared future conflict;
+                // retry once after the long txn cannot move (it never
+                // will here), else skip this writer.
+                let _ = pre.step(TxnId(10 + i), x, AccessMode::Write);
+            }
+            pre.check_invariants();
+            for n in pre.completed_nodes() {
+                match c4::violation(&pre, n) {
+                    Some(v) => {
+                        let actions = necessity_witness(&pre, n, &v);
+                        let mut reduced = pre.clone();
+                        reduced.delete(n).unwrap();
+                        assert!(
+                            diverges(&pre, &reduced, &actions).is_some(),
+                            "seed {seed}: C4 violation without diverging witness"
+                        );
+                    }
+                    None => {
+                        let mut reduced = pre.clone();
+                        reduced.delete(n).unwrap();
+                        assert_eq!(
+                            random_divergence(&pre, &reduced, 25, 2, seed),
+                            None,
+                            "seed {seed}: C4-safe deletion diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

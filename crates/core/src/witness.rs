@@ -1,0 +1,156 @@
+//! The `a·e` bound on irreducible graphs (§4, closing observation).
+//!
+//! > *"…if the number of active transactions is `a` and the number of
+//! > entities is `e`, an irreducible graph can have no more than `a·e`
+//! > completed transactions (and, of course, `a` active transactions)."*
+//!
+//! The argument: in an irreducible graph every completed `Ti` has a
+//! nonempty *witness set* — pairs `(Tj, x)` with `Tj` an active tight
+//! predecessor and `x` an entity of `Ti` not covered by any completed
+//! tight successor of `Tj` — and **no two completed transactions share a
+//! witness**: if `(Tj, x)` witnessed both `Ti` and `Tk` with (wlog) `Tk`
+//! accessing `x` at least as strongly, then `Tk` itself would cover `x`
+//! for `Ti`, a contradiction. Disjoint nonempty subsets of an `a·e`-sized
+//! universe bound the count.
+//!
+//! Experiment E9 measures how tight the bound is in practice.
+
+use crate::c1;
+use crate::cg::CgState;
+use deltx_graph::NodeId;
+use deltx_model::EntityId;
+use std::collections::BTreeMap;
+
+/// True if no completed transaction of the current graph satisfies C1 —
+/// the graph cannot be reduced further.
+pub fn is_irreducible(cg: &CgState) -> bool {
+    c1::eligible(cg).is_empty()
+}
+
+/// Witness sets of every completed node **that violates C1**, keyed by
+/// node. In an irreducible graph this covers all completed nodes.
+pub fn witness_sets(cg: &CgState) -> BTreeMap<NodeId, Vec<(NodeId, EntityId)>> {
+    let mut out = BTreeMap::new();
+    for n in cg.completed_nodes() {
+        let vs = c1::violations_all(cg, n);
+        if !vs.is_empty() {
+            out.insert(n, vs.into_iter().map(|v| (v.tj, v.x)).collect());
+        }
+    }
+    out
+}
+
+/// Verifies the paper's disjointness claim on the current graph: no two
+/// C1-violating completed transactions share a witness pair. Returns the
+/// offending pair on failure (which would disprove the paper — tests
+/// assert `None`).
+pub fn shared_witness(cg: &CgState) -> Option<((NodeId, EntityId), NodeId, NodeId)> {
+    let sets = witness_sets(cg);
+    let mut seen: BTreeMap<(NodeId, EntityId), NodeId> = BTreeMap::new();
+    for (&n, ws) in &sets {
+        for &w in ws {
+            if let Some(&prev) = seen.get(&w) {
+                return Some((w, prev, n));
+            }
+            seen.insert(w, n);
+        }
+    }
+    None
+}
+
+/// The bound itself: `a · e` with `a` the live active count and `e` the
+/// number of distinct entities ever seen by the scheduler. (The paper's
+/// `e` is the database size; entities never accessed can never appear in
+/// a witness, so the seen-count gives the same guarantee.)
+pub fn ae_bound(cg: &CgState) -> usize {
+    cg.active_count() * cg.entities_seen().len()
+}
+
+/// Checks the full claim: if the graph is irreducible then the number
+/// of completed transactions is at most [`ae_bound`], and witnesses are
+/// pairwise disjoint. Returns `(completed, bound)` for reporting.
+///
+/// # Panics
+/// Panics if the paper's bound is violated (tests rely on this).
+pub fn check_bound(cg: &CgState) -> (usize, usize) {
+    let completed = cg.completed_count();
+    let bound = ae_bound(cg);
+    if is_irreducible(cg) {
+        assert!(
+            completed <= bound,
+            "irreducible graph exceeds the a*e bound: {completed} > {bound}"
+        );
+        assert!(
+            shared_witness(cg).is_none(),
+            "two completed transactions share a witness"
+        );
+    }
+    (completed, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DeletionPolicy, GreedyC1};
+    use deltx_model::dsl::parse;
+    use deltx_model::workload::{WorkloadConfig, WorkloadGen};
+
+    fn reduced_state(src: &str) -> CgState {
+        let p = parse(src).unwrap();
+        let mut cg = CgState::new();
+        let mut pol = GreedyC1;
+        for s in p.steps() {
+            cg.apply(s).unwrap();
+            pol.reduce(&mut cg);
+        }
+        cg
+    }
+
+    #[test]
+    fn example1_reduced_is_irreducible_and_bounded() {
+        let cg = reduced_state("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)");
+        assert!(is_irreducible(&cg));
+        let (completed, bound) = check_bound(&cg);
+        assert_eq!(completed, 1);
+        assert!(bound >= 1);
+    }
+
+    #[test]
+    fn witnesses_disjoint_on_random_workloads() {
+        for seed in 0..8 {
+            let cfg = WorkloadConfig {
+                n_entities: 6,
+                concurrency: 3,
+                total_txns: 30,
+                seed,
+                ..WorkloadConfig::default()
+            };
+            let mut cg = CgState::new();
+            let mut pol = GreedyC1;
+            for step in WorkloadGen::new(cfg) {
+                let _ = cg.apply(&step).unwrap();
+                pol.reduce(&mut cg);
+                // check_bound panics internally on violation.
+                let _ = check_bound(&cg);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_witness_none_even_when_reducible() {
+        // Disjointness is proved for irreducible graphs; on reducible
+        // graphs eligible nodes have empty witness sets and don't appear.
+        let p = parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+        let mut cg = CgState::new();
+        cg.run(p.steps()).unwrap();
+        assert!(shared_witness(&cg).is_none());
+    }
+
+    #[test]
+    fn ae_bound_grows_with_entities_and_actives() {
+        let cg = reduced_state("b1 r1(x) r1(y) b2 r2(z)");
+        assert_eq!(cg.active_count(), 2);
+        assert_eq!(cg.entities_seen().len(), 3);
+        assert_eq!(ae_bound(&cg), 6);
+    }
+}

@@ -1,0 +1,132 @@
+//! Exhaustive validation of Theorem 1 on a *complete* tiny universe:
+//! every program pair over two entities, every interleaving, every
+//! completed candidate — C1's verdict must match the safety oracle's
+//! (constructive witness for unsafe, bounded exhaustive search for
+//! safe). No randomness: this enumerates the whole space.
+
+use deltx_core::oracle::{self, OracleBounds};
+use deltx_core::{c1, CgState};
+use deltx_model::{Op, Step, TxnId};
+
+/// All tiny programs: up to one read and an atomic write of up to one
+/// entity, over entities {0, 1}.
+fn programs() -> Vec<Vec<Op>> {
+    use deltx_model::EntityId as E;
+    let reads = [
+        vec![],
+        vec![Op::Read(E(0))],
+        vec![Op::Read(E(1))],
+    ];
+    let writes = [
+        Op::WriteAll(vec![]),
+        Op::WriteAll(vec![E(0)]),
+        Op::WriteAll(vec![E(1)]),
+    ];
+    let mut out = Vec::new();
+    for r in &reads {
+        for w in &writes {
+            let mut p = r.clone();
+            p.push(w.clone());
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// All interleavings of two step queues (binary choice sequences).
+fn interleavings(a: &[Step], b: &[Step]) -> Vec<Vec<Step>> {
+    fn rec(a: &[Step], b: &[Step], cur: &mut Vec<Step>, out: &mut Vec<Vec<Step>>) {
+        match (a.first(), b.first()) {
+            (None, None) => out.push(cur.clone()),
+            (Some(x), None) => {
+                cur.push(x.clone());
+                rec(&a[1..], b, cur, out);
+                cur.pop();
+            }
+            (None, Some(y)) => {
+                cur.push(y.clone());
+                rec(a, &b[1..], cur, out);
+                cur.pop();
+            }
+            (Some(x), Some(y)) => {
+                cur.push(x.clone());
+                rec(&a[1..], b, cur, out);
+                cur.pop();
+                cur.push(y.clone());
+                rec(a, &b[1..], cur, out);
+                cur.pop();
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(a, b, &mut Vec::new(), &mut out);
+    out
+}
+
+#[test]
+fn theorem1_exhaustive_on_two_txn_universe() {
+    let bounds = OracleBounds {
+        max_depth: 3,
+        max_new_txns: 1,
+        fresh_entity: true,
+    };
+    let progs = programs();
+    let mut candidates = 0usize;
+    let mut safe = 0usize;
+    let mut unsafe_n = 0usize;
+    for pa in &progs {
+        for pb in &progs {
+            let steps_a: Vec<Step> = std::iter::once(Step::new(TxnId(1), Op::Begin))
+                .chain(pa.iter().map(|op| Step::new(TxnId(1), op.clone())))
+                .collect();
+            // T2 keeps one dangling read so an ACTIVE transaction exists
+            // in half the universe: drop its terminal write.
+            let steps_b: Vec<Step> = std::iter::once(Step::new(TxnId(2), Op::Begin))
+                .chain(pb.iter().map(|op| Step::new(TxnId(2), op.clone())))
+                .collect();
+            let steps_b_active: Vec<Step> =
+                steps_b[..steps_b.len() - 1].to_vec();
+
+            for b_variant in [&steps_b, &steps_b_active] {
+                for inter in interleavings(&steps_a, b_variant) {
+                    let mut cg = CgState::new();
+                    let mut ok = true;
+                    for s in &inter {
+                        if cg.apply(s).is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    for n in cg.completed_nodes() {
+                        candidates += 1;
+                        match c1::violation(&cg, n) {
+                            None => {
+                                safe += 1;
+                                assert!(
+                                    oracle::single_deletion_safe_bounded(&cg, n, &bounds),
+                                    "C1 safe but oracle diverged on {inter:?}"
+                                );
+                            }
+                            Some(v) => {
+                                unsafe_n += 1;
+                                let cont = oracle::necessity_witness(&cg, n, &v);
+                                let mut red = cg.clone();
+                                red.delete(n).expect("completed");
+                                assert!(
+                                    oracle::diverges(&cg, &red, &cont).is_some(),
+                                    "C1 unsafe but witness agreed on {inter:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The universe must be nontrivial in both directions.
+    assert!(candidates > 2_000, "only {candidates} candidates");
+    assert!(safe > 0 && unsafe_n > 0, "safe {safe}, unsafe {unsafe_n}");
+}

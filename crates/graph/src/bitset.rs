@@ -1,0 +1,219 @@
+//! A from-scratch growable bitset.
+//!
+//! Backs the incremental transitive closure ([`crate::closure::Closure`]).
+//! We deliberately avoid pulling in `fixedbitset`: the operations needed
+//! (set, test, union, iterate ones) fit in a page of code and keeping the
+//! dependency surface minimal is a project goal (see DESIGN.md §6).
+
+/// A growable set of `usize` indices stored as a bit vector.
+///
+/// All operations are O(1) or O(words). The set grows automatically on
+/// [`BitSet::insert`]; queries outside the current capacity return `false`.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self { words: Vec::new() }
+    }
+
+    /// Creates an empty bitset with capacity for indices `0..bits`.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(WORD_BITS)],
+        }
+    }
+
+    fn grow_for(&mut self, bit: usize) {
+        let need = bit / WORD_BITS + 1;
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Inserts `bit`, growing the backing storage if needed.
+    /// Returns `true` if the bit was newly set.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        self.grow_for(bit);
+        let (w, b) = (bit / WORD_BITS, bit % WORD_BITS);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Removes `bit`. Returns `true` if the bit was previously set.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, b) = (bit / WORD_BITS, bit % WORD_BITS);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Tests whether `bit` is set.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, b) = (bit / WORD_BITS, bit % WORD_BITS);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`. Returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (dst, src) in self.words.iter_mut().zip(other.words.iter()) {
+            let new = *dst | *src;
+            changed |= new != *dst;
+            *dst = new;
+        }
+        changed
+    }
+
+    /// Removes every bit of `other` from `self`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (dst, src) in self.words.iter_mut().zip(other.words.iter()) {
+            *dst &= !*src;
+        }
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears all bits, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterates set bits in increasing order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+/// Iterator over the set bits of a [`BitSet`], ascending.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+        assert!(s.remove(1000));
+        assert!(!s.remove(1000));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut s = BitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        s.insert(3);
+        s.insert(64);
+        s.insert(65);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let mut a: BitSet = [1, 5, 130].into_iter().collect();
+        let b: BitSet = [5, 7].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b)); // already a superset
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 7, 130]);
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 130]);
+    }
+
+    #[test]
+    fn iter_ascending_across_words() {
+        let bits = [0usize, 63, 64, 127, 128, 300];
+        let s: BitSet = bits.into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), bits.to_vec());
+    }
+
+    #[test]
+    fn remove_out_of_range_is_noop() {
+        let mut s = BitSet::new();
+        assert!(!s.remove(500));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let s = BitSet::with_capacity(200);
+        assert!(s.is_empty());
+        assert!(!s.contains(150));
+    }
+}

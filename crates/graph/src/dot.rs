@@ -1,0 +1,103 @@
+//! Graphviz (DOT) and plain-text rendering of graphs.
+//!
+//! Used to regenerate the paper's figures (Figure 1, Figure 3, Figure 4)
+//! from the constructed conflict graphs; the examples print these
+//! renderings next to the original figure description.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Renders `g` in Graphviz DOT syntax.
+///
+/// `label` maps a node to its display label (e.g. `"T2"`); `style` may
+/// return extra node attributes (e.g. `"shape=doublecircle"` for active
+/// transactions) or an empty string.
+pub fn to_dot<L, S>(g: &DiGraph, name: &str, label: L, style: S) -> String
+where
+    L: Fn(NodeId) -> String,
+    S: Fn(NodeId) -> String,
+{
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for n in g.nodes() {
+        let extra = style(n);
+        let sep = if extra.is_empty() { "" } else { ", " };
+        let _ = writeln!(out, "  n{} [label=\"{}\"{sep}{extra}];", n.index(), label(n));
+    }
+    for (a, b) in g.arcs() {
+        let _ = writeln!(out, "  n{} -> n{};", a.index(), b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `g` as a compact arc list, one node per line:
+/// `T0 -> T1 T2` means arcs `T0->T1` and `T0->T2`.
+pub fn to_arc_list<L>(g: &DiGraph, label: L) -> String
+where
+    L: Fn(NodeId) -> String,
+{
+    use std::fmt::Write;
+    let mut out = String::new();
+    for n in g.nodes() {
+        let succs = g.succs(n);
+        if succs.is_empty() {
+            let _ = writeln!(out, "{}", label(n));
+        } else {
+            let rhs: Vec<String> = succs.iter().map(|&s| label(s)).collect();
+            let _ = writeln!(out, "{} -> {}", label(n), rhs.join(" "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DiGraph, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let v: Vec<NodeId> = (0..3).map(|_| g.add_node()).collect();
+        g.add_arc(v[0], v[1]);
+        g.add_arc(v[0], v[2]);
+        (g, v)
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_arcs() {
+        let (g, _) = sample();
+        let dot = to_dot(&g, "fig1", |n| format!("T{}", n.index()), |_| String::new());
+        assert!(dot.starts_with("digraph fig1 {"));
+        assert!(dot.contains("n0 [label=\"T0\"];"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n0 -> n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_styles_applied() {
+        let (g, v) = sample();
+        let dot = to_dot(
+            &g,
+            "g",
+            |n| format!("T{}", n.index()),
+            |n| {
+                if n == v[0] {
+                    "shape=doublecircle".to_string()
+                } else {
+                    String::new()
+                }
+            },
+        );
+        assert!(dot.contains("n0 [label=\"T0\", shape=doublecircle];"));
+        assert!(dot.contains("n1 [label=\"T1\"];"));
+    }
+
+    #[test]
+    fn arc_list_format() {
+        let (g, _) = sample();
+        let txt = to_arc_list(&g, |n| format!("T{}", n.index()));
+        assert_eq!(txt, "T0 -> T1 T2\nT1\nT2\n");
+    }
+}

@@ -1,0 +1,165 @@
+//! Reachability with restricted intermediate nodes.
+//!
+//! The paper's deletion conditions quantify over special path classes:
+//!
+//! * **tight** paths (§3): every *intermediate* node is a completed
+//!   transaction — endpoints are unconstrained;
+//! * **FC-paths** (§5, multiple-write model): every intermediate node is of
+//!   type F (finished) or C (committed).
+//!
+//! Both are instances of one primitive: reachability where the search may
+//! only *pass through* nodes satisfying a predicate. Endpoints never need
+//! to satisfy it.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// True if there is a path `from -> ... -> to` all of whose intermediate
+/// nodes satisfy `allow`. A direct arc `from -> to` always counts (it has
+/// no intermediates). `from == to` counts as the empty path.
+pub fn reachable_via<F>(g: &DiGraph, from: NodeId, to: NodeId, allow: F) -> bool
+where
+    F: Fn(NodeId) -> bool,
+{
+    if from == to {
+        return true;
+    }
+    let mut visited = vec![false; g.capacity()];
+    let mut stack = vec![from];
+    visited[from.index()] = true;
+    while let Some(n) = stack.pop() {
+        for &s in g.succs(n) {
+            if s == to {
+                return true;
+            }
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                // We may only continue *through* s if it is allowed.
+                if allow(s) {
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// All nodes reachable from `from` by nonempty paths whose intermediate
+/// nodes satisfy `allow`, in ascending id order. `from` itself is included
+/// only if it lies on a cycle through allowed intermediates (never happens
+/// on the acyclic graphs the scheduler maintains).
+pub fn descendants_via<F>(g: &DiGraph, from: NodeId, allow: F) -> Vec<NodeId>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let mut reached = vec![false; g.capacity()];
+    let mut stack = vec![from];
+    let mut out = Vec::new();
+    while let Some(n) = stack.pop() {
+        for &s in g.succs(n) {
+            if !reached[s.index()] {
+                reached[s.index()] = true;
+                out.push(s);
+                if allow(s) {
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All nodes that reach `to` by nonempty paths whose intermediate nodes
+/// satisfy `allow`, in ascending id order (the mirror of
+/// [`descendants_via`]).
+pub fn ancestors_via<F>(g: &DiGraph, to: NodeId, allow: F) -> Vec<NodeId>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let mut reached = vec![false; g.capacity()];
+    let mut stack = vec![to];
+    let mut out = Vec::new();
+    while let Some(n) = stack.pop() {
+        for &p in g.preds(n) {
+            if !reached[p.index()] {
+                reached[p.index()] = true;
+                out.push(p);
+                if allow(p) {
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Unrestricted descendants (nonempty paths), ascending.
+pub fn descendants(g: &DiGraph, from: NodeId) -> Vec<NodeId> {
+    descendants_via(g, from, |_| true)
+}
+
+/// Unrestricted ancestors (nonempty paths), ascending.
+pub fn ancestors(g: &DiGraph, to: NodeId) -> Vec<NodeId> {
+    ancestors_via(g, to, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the chain a -> b -> c -> d and a shortcut a -> d.
+    fn chain() -> (DiGraph, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_arc(a, b);
+        g.add_arc(b, c);
+        g.add_arc(c, d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn direct_arc_ignores_predicate() {
+        let (g, [a, b, ..]) = chain();
+        // No intermediates on a -> b, so even `allow = false` passes.
+        assert!(reachable_via(&g, a, b, |_| false));
+    }
+
+    #[test]
+    fn blocked_intermediate_breaks_path() {
+        let (g, [a, b, c, d]) = chain();
+        assert!(reachable_via(&g, a, d, |_| true));
+        // Forbid b: the only a->d path goes through b and c.
+        assert!(!reachable_via(&g, a, d, |n| n != b));
+        // Forbid only c: a -> b survives, but not a -> d.
+        assert!(reachable_via(&g, a, c, |n| n != c));
+        assert!(!reachable_via(&g, a, d, |n| n != c));
+    }
+
+    #[test]
+    fn alternate_path_restores_reachability() {
+        let (mut g, [a, b, _c, d]) = chain();
+        g.add_arc(a, d); // direct shortcut
+        assert!(reachable_via(&g, a, d, |n| n != b));
+    }
+
+    #[test]
+    fn descendants_and_ancestors_restricted() {
+        let (g, [a, b, c, d]) = chain();
+        assert_eq!(descendants_via(&g, a, |n| n != b), vec![b]);
+        assert_eq!(descendants_via(&g, a, |_| true), vec![b, c, d]);
+        assert_eq!(ancestors_via(&g, d, |n| n != c), vec![c]);
+        assert_eq!(ancestors_via(&g, d, |_| true), vec![a, b, c]);
+    }
+
+    #[test]
+    fn unrestricted_helpers() {
+        let (g, [a, _b, _c, d]) = chain();
+        assert_eq!(descendants(&g, a).len(), 3);
+        assert_eq!(ancestors(&g, d).len(), 3);
+        assert!(descendants(&g, d).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Tarjan strongly-connected components.
+//!
+//! Used by validators (a schedule is conflict-serializable iff its static
+//! conflict graph has no SCC of size > 1) and by tests that cross-check
+//! the incremental cycle detection.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Computes the strongly connected components of `g` using Tarjan's
+/// algorithm (iterative, explicit stack). Components are returned in
+/// reverse topological order (Tarjan's natural output order); nodes within
+/// a component are in discovery order.
+pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    const UNSEEN: u32 = u32::MAX;
+    let cap = g.capacity();
+    let mut index = vec![UNSEEN; cap];
+    let mut low = vec![0u32; cap];
+    let mut on_stack = vec![false; cap];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut out: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS frame: (node, next successor position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.nodes() {
+        if index[root.index()] != UNSEEN {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root.index()] = next_index;
+        low[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(&mut (n, ref mut pos)) = frames.last_mut() {
+            if let Some(&s) = g.succs(n).get(*pos) {
+                *pos += 1;
+                if index[s.index()] == UNSEEN {
+                    index[s.index()] = next_index;
+                    low[s.index()] = next_index;
+                    next_index += 1;
+                    stack.push(s);
+                    on_stack[s.index()] = true;
+                    frames.push((s, 0));
+                } else if on_stack[s.index()] {
+                    low[n.index()] = low[n.index()].min(index[s.index()]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent.index()] = low[parent.index()].min(low[n.index()]);
+                }
+                if low[n.index()] == index[n.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == n {
+                            break;
+                        }
+                    }
+                    comp.reverse();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True if `g` contains a directed cycle, via SCC decomposition.
+/// (Self-loops are excluded by [`DiGraph::add_arc`], so a cycle exists iff
+/// some SCC has more than one node.)
+pub fn has_cycle_scc(g: &DiGraph) -> bool {
+    tarjan_scc(g).iter().any(|c| c.len() > 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_gives_singletons() {
+        let mut g = DiGraph::new();
+        let v: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+        g.add_arc(v[0], v[1]);
+        g.add_arc(v[1], v[2]);
+        g.add_arc(v[0], v[3]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        assert!(!has_cycle_scc(&g));
+    }
+
+    #[test]
+    fn detects_cycle_component() {
+        let mut g = DiGraph::new();
+        let v: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+        g.add_arc(v[0], v[1]);
+        g.add_arc(v[1], v[2]);
+        g.add_arc(v[2], v[0]);
+        g.add_arc(v[2], v[3]);
+        let sccs = tarjan_scc(&g);
+        assert!(has_cycle_scc(&g));
+        let big: Vec<_> = sccs.iter().filter(|c| c.len() == 3).collect();
+        assert_eq!(big.len(), 1);
+        let mut nodes = big[0].clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![v[0], v[1], v[2]]);
+    }
+
+    #[test]
+    fn reverse_topological_component_order() {
+        // a -> b, with b in a 2-cycle with c: component {b,c} is emitted
+        // before {a}.
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_arc(a, b);
+        g.add_arc(b, c);
+        g.add_arc(c, b);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0].len(), 2, "sink component first");
+        assert_eq!(sccs[1], vec![a]);
+    }
+
+    #[test]
+    fn works_with_removed_nodes() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_arc(a, b);
+        g.add_arc(b, c);
+        g.remove_node(b);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(!has_cycle_scc(&g));
+    }
+}

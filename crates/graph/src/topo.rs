@@ -1,0 +1,98 @@
+//! Topological ordering.
+//!
+//! The paper's constructions repeatedly "execute the remaining steps
+//! serially in a topological order of the graph" (e.g. the necessity proof
+//! of Theorem 7 and the schedule realizing the Figure-3 gadget); this
+//! module provides that order.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Returns the nodes of `g` in a topological order (smallest id first
+/// among ready nodes, so the order is deterministic), or `None` if the
+/// graph has a cycle.
+pub fn topo_order(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let cap = g.capacity();
+    let mut indeg = vec![0usize; cap];
+    for n in g.nodes() {
+        indeg[n.index()] = g.in_degree(n);
+    }
+    // Min-heap behaviour via sorted insertion into a Vec used as a stack of
+    // ready nodes; graphs here are small enough that O(n log n) suffices.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = g
+        .nodes()
+        .filter(|n| indeg[n.index()] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut out = Vec::with_capacity(g.node_count());
+    while let Some(std::cmp::Reverse(n)) = ready.pop() {
+        out.push(n);
+        for &s in g.succs(n) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(std::cmp::Reverse(s));
+            }
+        }
+    }
+    (out.len() == g.node_count()).then_some(out)
+}
+
+/// Checks that `order` is a valid topological order of `g` (every arc goes
+/// forward and every live node appears exactly once).
+pub fn is_topo_order(g: &DiGraph, order: &[NodeId]) -> bool {
+    if order.len() != g.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.capacity()];
+    for (i, &n) in order.iter().enumerate() {
+        if !g.contains(n) || pos[n.index()] != usize::MAX {
+            return false;
+        }
+        pos[n.index()] = i;
+    }
+    g.arcs().all(|(a, b)| pos[a.index()] < pos[b.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_a_dag() {
+        let mut g = DiGraph::new();
+        let v: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        for (a, b) in [(0, 2), (1, 2), (2, 3), (3, 4), (1, 4)] {
+            g.add_arc(v[a], v[b]);
+        }
+        let order = topo_order(&g).expect("acyclic");
+        assert!(is_topo_order(&g, &order));
+        assert_eq!(order[0], v[0], "deterministic: smallest ready id first");
+    }
+
+    #[test]
+    fn cycle_yields_none() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_arc(a, b);
+        g.add_arc(b, a);
+        assert!(topo_order(&g).is_none());
+    }
+
+    #[test]
+    fn validator_rejects_bad_orders() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_arc(a, b);
+        assert!(is_topo_order(&g, &[a, b]));
+        assert!(!is_topo_order(&g, &[b, a]));
+        assert!(!is_topo_order(&g, &[a]));
+        assert!(!is_topo_order(&g, &[a, a]));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new();
+        assert_eq!(topo_order(&g), Some(vec![]));
+    }
+}

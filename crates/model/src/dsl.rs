@@ -1,0 +1,192 @@
+//! Text DSL for schedules.
+//!
+//! A schedule is written as whitespace-separated steps:
+//!
+//! | Token | Meaning |
+//! |---|---|
+//! | `b1` | BEGIN of transaction `T1` |
+//! | `r1(x)` | `T1` reads entity `x` |
+//! | `w1(x,y)` | final **atomic** write of `{x,y}` by `T1` (basic model; completes `T1`) |
+//! | `w1()` | empty final write — a read-only transaction completing |
+//! | `sw1(x)` | single write step on `x` (multiple-write model, §5) |
+//! | `f1` | FINISH of `T1` (multiple-write model) |
+//!
+//! Entity names are identifiers (`[A-Za-z_][A-Za-z0-9_]*`) interned into
+//! the schedule’s [`crate::schedule::EntityTable`]. Example 1 of the paper is:
+//!
+//! ```
+//! let p = deltx_model::dsl::parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+//! assert_eq!(p.len(), 8);
+//! assert_eq!(p.to_string(), "b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)");
+//! ```
+
+use crate::ids::TxnId;
+use crate::schedule::Schedule;
+use crate::step::{Op, Step};
+
+/// A DSL parse error, with the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Token that failed to parse.
+    pub token: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad step token `{}`: {}", self.token, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(token: &str, reason: &str) -> ParseError {
+    ParseError {
+        token: token.to_string(),
+        reason: reason.to_string(),
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a schedule in DSL syntax. See the module docs for the grammar.
+pub fn parse(input: &str) -> Result<Schedule, ParseError> {
+    let mut schedule = Schedule::new();
+    for token in input.split_whitespace() {
+        let step = parse_step(token, &mut schedule)?;
+        schedule.push(step);
+    }
+    Ok(schedule)
+}
+
+fn parse_step(token: &str, schedule: &mut Schedule) -> Result<Step, ParseError> {
+    // Split off the operation letter(s).
+    let (kind, rest) = if let Some(rest) = token.strip_prefix("sw") {
+        ("sw", rest)
+    } else if let Some(rest) = token.strip_prefix(['b', 'r', 'w', 'f']) {
+        (&token[..1], rest)
+    } else {
+        return Err(err(token, "expected one of b/r/w/sw/f"));
+    };
+
+    // Transaction number up to '(' or end.
+    let (num_str, args) = match rest.find('(') {
+        Some(i) => {
+            if !rest.ends_with(')') {
+                return Err(err(token, "missing closing parenthesis"));
+            }
+            (&rest[..i], Some(&rest[i + 1..rest.len() - 1]))
+        }
+        None => (rest, None),
+    };
+    let txn: u32 = num_str
+        .parse()
+        .map_err(|_| err(token, "expected a transaction number"))?;
+
+    let op = match (kind, args) {
+        ("b", None) => Op::Begin,
+        ("f", None) => Op::Finish,
+        ("b" | "f", Some(_)) => return Err(err(token, "b/f take no arguments")),
+        ("r", Some(a)) => {
+            if !is_ident(a) {
+                return Err(err(token, "read takes exactly one entity"));
+            }
+            Op::Read(schedule.entities.intern(a))
+        }
+        ("sw", Some(a)) => {
+            if !is_ident(a) {
+                return Err(err(token, "single write takes exactly one entity"));
+            }
+            Op::Write(schedule.entities.intern(a))
+        }
+        ("w", Some(a)) => {
+            let mut xs = Vec::new();
+            if !a.is_empty() {
+                for part in a.split(',') {
+                    if !is_ident(part) {
+                        return Err(err(token, "bad entity name in write set"));
+                    }
+                    xs.push(schedule.entities.intern(part));
+                }
+            }
+            Op::WriteAll(xs)
+        }
+        ("r" | "w" | "sw", None) => return Err(err(token, "missing entity argument")),
+        _ => unreachable!(),
+    };
+    Ok(Step::new(TxnId(txn), op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EntityId;
+    use crate::step::AccessMode;
+
+    #[test]
+    fn parses_example_1() {
+        let p = parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.txn_ids(), vec![TxnId(1), TxnId(2), TxnId(3)]);
+        assert_eq!(p.entity_ids(), vec![EntityId(0)]);
+        assert_eq!(p.completed_txns(), vec![TxnId(2), TxnId(3)]);
+    }
+
+    #[test]
+    fn round_trip_display() {
+        let src = "b1 r1(x) r1(y) b2 sw2(z) f2 w1(x,y) b3 w3()";
+        let p = parse(src).unwrap();
+        assert_eq!(p.to_string(), src);
+    }
+
+    #[test]
+    fn empty_write_set() {
+        let p = parse("b7 w7()").unwrap();
+        match &p.steps()[1].op {
+            Op::WriteAll(xs) => assert!(xs.is_empty()),
+            other => panic!("expected WriteAll, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiwrite_tokens() {
+        let p = parse("b1 sw1(a) r1(b) sw1(a) f1").unwrap();
+        assert_eq!(p.len(), 5);
+        let accesses = p.steps()[1].op.accesses();
+        assert_eq!(accesses[0].1, AccessMode::Write);
+    }
+
+    #[test]
+    fn error_cases() {
+        for bad in [
+            "q1",        // unknown op
+            "r1",        // missing args
+            "r1(x,y)",   // read of two entities
+            "b1(x)",     // begin with args
+            "rx(x)",     // missing txn number
+            "r1(x",      // unbalanced parens
+            "w1(x,,y)",  // empty name
+            "sw1(x,y)",  // single write of two entities
+            "f2(z)",     // finish with args
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn whitespace_flexibility() {
+        let p = parse("  b1\n r1(x)\t w1(x) ").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn entity_names_shared_across_steps() {
+        let p = parse("b1 r1(hot) b2 w2(hot)").unwrap();
+        assert_eq!(p.entity_ids().len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Ground-truth history analysis, independent of any scheduler.
+//!
+//! Given a raw step sequence, this module computes the *static* conflict
+//! graph of §2 — nodes are transactions, with an arc `Ti -> Tj` whenever
+//! some step of `Ti` precedes a conflicting step of `Tj` — and decides
+//! conflict-serializability by acyclicity. Every scheduler in the
+//! workspace is validated against these functions: whatever subschedule a
+//! scheduler accepts must pass [`is_csr`] (Lemma 2(3) / Theorem 2).
+
+use crate::ids::TxnId;
+use crate::schedule::Schedule;
+use crate::step::Step;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The static conflict graph of a step sequence, as adjacency sets.
+///
+/// Self-arcs never occur (steps of the same transaction don't conflict).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConflictRelation {
+    /// `succ[t]` = transactions with a conflicting step after `t`'s.
+    pub succ: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    /// All transactions that appear in the sequence (even isolated ones).
+    pub txns: BTreeSet<TxnId>,
+}
+
+impl ConflictRelation {
+    /// Builds the relation from raw steps (O(n²) pairwise scan — this is
+    /// a validator, not the scheduler's hot path).
+    pub fn from_steps(steps: &[Step]) -> Self {
+        let mut rel = ConflictRelation::default();
+        for st in steps {
+            rel.txns.insert(st.txn);
+        }
+        for (i, a) in steps.iter().enumerate() {
+            for b in &steps[i + 1..] {
+                if a.conflicts_with(b) {
+                    rel.succ.entry(a.txn).or_default().insert(b.txn);
+                }
+            }
+        }
+        rel
+    }
+
+    /// All arcs `(from, to)` in deterministic order.
+    pub fn arcs(&self) -> Vec<(TxnId, TxnId)> {
+        self.succ
+            .iter()
+            .flat_map(|(&a, bs)| bs.iter().map(move |&b| (a, b)))
+            .collect()
+    }
+
+    /// True if the relation (as a digraph) is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        // Iterative 3-colour DFS.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: BTreeMap<TxnId, Colour> =
+            self.txns.iter().map(|&t| (t, Colour::White)).collect();
+        let empty = BTreeSet::new();
+
+        for &root in &self.txns {
+            if colour[&root] != Colour::White {
+                continue;
+            }
+            // Stack of (node, entered-before?).
+            let mut stack = vec![(root, false)];
+            while let Some((n, processed)) = stack.pop() {
+                if processed {
+                    colour.insert(n, Colour::Black);
+                    continue;
+                }
+                match colour[&n] {
+                    Colour::Black => continue,
+                    Colour::Grey => continue, // re-visit via another branch
+                    Colour::White => {}
+                }
+                colour.insert(n, Colour::Grey);
+                stack.push((n, true));
+                for &s in self.succ.get(&n).unwrap_or(&empty) {
+                    match colour[&s] {
+                        Colour::Grey => return false, // back edge: cycle
+                        Colour::White => stack.push((s, false)),
+                        Colour::Black => {}
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// True if the step sequence is conflict-serializable: its static conflict
+/// graph is acyclic (§2).
+pub fn is_csr(schedule: &Schedule) -> bool {
+    ConflictRelation::from_steps(schedule.steps()).is_acyclic()
+}
+
+/// Convenience: the conflict relation of a schedule.
+pub fn conflict_relation(schedule: &Schedule) -> ConflictRelation {
+    ConflictRelation::from_steps(schedule.steps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse;
+
+    #[test]
+    fn serial_is_csr() {
+        let s = parse("b1 r1(x) w1(x) b2 r2(x) w2(x)").unwrap();
+        assert!(is_csr(&s));
+        let rel = conflict_relation(&s);
+        assert_eq!(rel.arcs(), vec![(TxnId(1), TxnId(2))]);
+    }
+
+    #[test]
+    fn classic_non_csr_interleaving() {
+        // T1 reads x, T2 writes x (arc 1->2), then T2 completes and T1
+        // writes y read earlier by T2: need r2(y) before w1 for arc 2->1.
+        let s = parse("b1 r1(x) b2 r2(y) w2(x) w1(y)").unwrap();
+        assert!(!is_csr(&s));
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let s = parse("b1 r1(x) b2 r2(x) w1() w2()").unwrap();
+        let rel = conflict_relation(&s);
+        assert!(rel.arcs().is_empty());
+        assert!(is_csr(&s));
+    }
+
+    #[test]
+    fn multiwrite_steps_counted() {
+        let s = parse("b1 sw1(x) b2 sw2(x) sw1(x) f1 f2").unwrap();
+        // w1(x) < w2(x) gives 1->2; w2(x) < second w1(x) gives 2->1: cycle.
+        assert!(!is_csr(&s));
+    }
+
+    #[test]
+    fn isolated_txns_present_in_relation() {
+        let s = parse("b1 w1() b2 w2()").unwrap();
+        let rel = conflict_relation(&s);
+        assert_eq!(rel.txns.len(), 2);
+        assert!(rel.is_acyclic());
+    }
+
+    #[test]
+    fn three_cycle_detected() {
+        // 1->2 on x, 2->3 on y, 3->1 on z.
+        let s = parse("b1 r1(x) b2 r2(y) b3 r3(z) w2(x) w3(y) w1(z)").unwrap();
+        assert!(!is_csr(&s));
+    }
+
+    #[test]
+    fn example_1_is_csr() {
+        let s = parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+        assert!(is_csr(&s));
+        let rel = conflict_relation(&s);
+        // T1 -> T2, T1 -> T3 (read-before-write), T2 -> T3 (rw/ww).
+        assert!(rel.succ[&TxnId(1)].contains(&TxnId(2)));
+        assert!(rel.succ[&TxnId(1)].contains(&TxnId(3)));
+        assert!(rel.succ[&TxnId(2)].contains(&TxnId(3)));
+    }
+}

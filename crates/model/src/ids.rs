@@ -1,0 +1,74 @@
+//! Identifier newtypes.
+//!
+//! Transactions and entities are identified by small integers throughout
+//! the workspace; names (for the DSL and figure rendering) live in a
+//! side table ([`crate::schedule::EntityTable`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a transaction (`T1`, `T2`, … in the paper).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// Raw index, handy for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a database entity (`x`, `y`, `z1`, … in the paper).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// Raw index, handy for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_formatting() {
+        assert!(TxnId(1) < TxnId(2));
+        assert!(EntityId(0) < EntityId(7));
+        assert_eq!(format!("{}", TxnId(3)), "T3");
+        assert_eq!(format!("{:?}", EntityId(5)), "e5");
+        assert_eq!(TxnId(9).index(), 9);
+        assert_eq!(EntityId(4).index(), 4);
+    }
+}

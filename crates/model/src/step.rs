@@ -1,0 +1,200 @@
+//! Steps, operations and access modes.
+
+use crate::ids::{EntityId, TxnId};
+use serde::{Deserialize, Serialize};
+
+/// How strongly an entity is accessed.
+///
+/// The paper (§3): *"a write access of an entity by a transaction is
+/// **stronger** than a read access."* The derived `Ord` realizes exactly
+/// that: `Read < Write`, so "`a` accesses x at least as strongly as `b`"
+/// is `a_mode >= b_mode`.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AccessMode {
+    /// Read access.
+    Read,
+    /// Write access (stronger than read).
+    Write,
+}
+
+impl AccessMode {
+    /// True if `self` is at least as strong as `other` (write ≥ read).
+    #[inline]
+    pub fn at_least_as_strong_as(self, other: AccessMode) -> bool {
+        self >= other
+    }
+
+    /// Two accesses of the *same entity* by *different transactions*
+    /// conflict iff at least one is a write.
+    #[inline]
+    pub fn conflicts_with(self, other: AccessMode) -> bool {
+        self == AccessMode::Write || other == AccessMode::Write
+    }
+
+    /// The stronger of two modes.
+    #[inline]
+    pub fn max(self, other: AccessMode) -> AccessMode {
+        std::cmp::Ord::max(self, other)
+    }
+}
+
+/// One operation of a transaction.
+///
+/// The three transaction models of the paper use different subsets:
+///
+/// * atomic-write model: `Begin`, `Read`, `WriteAll` (final step);
+/// * multiple-write model: `Begin`, `Read`, `Write`, `Finish`;
+/// * predeclared model: as atomic-write, with the read/write sets known
+///   at `Begin` (carried by [`crate::txn::TxnSpec`], not by the step).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Transaction start; adds a node to the conflict graph (Rule 1).
+    Begin,
+    /// Read one entity (Rule 2).
+    Read(EntityId),
+    /// The final atomic write of the basic model (Rule 3): installs all
+    /// listed entities at once and **completes** the transaction. May be
+    /// empty (a read-only transaction completing).
+    WriteAll(Vec<EntityId>),
+    /// A single write step of the multiple-write model (§5).
+    Write(EntityId),
+    /// End of a multiple-write transaction's step sequence (§5). The
+    /// transaction becomes *finished* (type F); it *commits* (type C) only
+    /// once it no longer depends on any active transaction.
+    Finish,
+}
+
+impl Op {
+    /// The entities this operation touches, with their access mode.
+    pub fn accesses(&self) -> Vec<(EntityId, AccessMode)> {
+        match self {
+            Op::Begin | Op::Finish => Vec::new(),
+            Op::Read(x) => vec![(*x, AccessMode::Read)],
+            Op::Write(x) => vec![(*x, AccessMode::Write)],
+            Op::WriteAll(xs) => xs.iter().map(|&x| (x, AccessMode::Write)).collect(),
+        }
+    }
+
+    /// True for the step kinds that complete a transaction in their model.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Op::WriteAll(_) | Op::Finish)
+    }
+}
+
+/// A step of a schedule: one operation by one transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Step {
+    /// The transaction issuing the operation.
+    pub txn: TxnId,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Step {
+    /// Convenience constructor.
+    pub fn new(txn: TxnId, op: Op) -> Self {
+        Self { txn, op }
+    }
+
+    /// `BEGIN` step of `t`.
+    pub fn begin(t: u32) -> Self {
+        Self::new(TxnId(t), Op::Begin)
+    }
+
+    /// `t` reads entity `x`.
+    pub fn read(t: u32, x: u32) -> Self {
+        Self::new(TxnId(t), Op::Read(EntityId(x)))
+    }
+
+    /// Final atomic write of `t` over `xs` (basic model).
+    pub fn write_all(t: u32, xs: impl IntoIterator<Item = u32>) -> Self {
+        Self::new(
+            TxnId(t),
+            Op::WriteAll(xs.into_iter().map(EntityId).collect()),
+        )
+    }
+
+    /// Single write step of `t` on `x` (multiple-write model).
+    pub fn write(t: u32, x: u32) -> Self {
+        Self::new(TxnId(t), Op::Write(EntityId(x)))
+    }
+
+    /// Finish step of `t` (multiple-write model).
+    pub fn finish(t: u32) -> Self {
+        Self::new(TxnId(t), Op::Finish)
+    }
+
+    /// Do two steps (of different transactions) conflict? Same entity,
+    /// at least one write. Steps of the same transaction never conflict.
+    pub fn conflicts_with(&self, other: &Step) -> bool {
+        if self.txn == other.txn {
+            return false;
+        }
+        for (x, m) in self.op.accesses() {
+            for (y, n) in other.op.accesses() {
+                if x == y && m.conflicts_with(n) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_is_stronger_than_read() {
+        assert!(AccessMode::Write > AccessMode::Read);
+        assert!(AccessMode::Write.at_least_as_strong_as(AccessMode::Read));
+        assert!(AccessMode::Write.at_least_as_strong_as(AccessMode::Write));
+        assert!(AccessMode::Read.at_least_as_strong_as(AccessMode::Read));
+        assert!(!AccessMode::Read.at_least_as_strong_as(AccessMode::Write));
+        assert_eq!(AccessMode::Read.max(AccessMode::Write), AccessMode::Write);
+    }
+
+    #[test]
+    fn conflict_matrix() {
+        use AccessMode::*;
+        assert!(!Read.conflicts_with(Read));
+        assert!(Read.conflicts_with(Write));
+        assert!(Write.conflicts_with(Read));
+        assert!(Write.conflicts_with(Write));
+    }
+
+    #[test]
+    fn op_accesses() {
+        assert!(Op::Begin.accesses().is_empty());
+        assert!(Op::Finish.accesses().is_empty());
+        assert_eq!(
+            Op::Read(EntityId(1)).accesses(),
+            vec![(EntityId(1), AccessMode::Read)]
+        );
+        assert_eq!(
+            Op::WriteAll(vec![EntityId(1), EntityId(2)]).accesses().len(),
+            2
+        );
+        assert!(Op::WriteAll(vec![]).is_terminal());
+        assert!(Op::Finish.is_terminal());
+        assert!(!Op::Read(EntityId(0)).is_terminal());
+    }
+
+    #[test]
+    fn step_conflicts() {
+        let r1x = Step::read(1, 0);
+        let r2x = Step::read(2, 0);
+        let w2x = Step::write_all(2, [0]);
+        let w2y = Step::write_all(2, [1]);
+        let w1x = Step::write_all(1, [0]);
+        assert!(!r1x.conflicts_with(&r2x), "read-read never conflicts");
+        assert!(r1x.conflicts_with(&w2x));
+        assert!(w2x.conflicts_with(&r1x));
+        assert!(w1x.conflicts_with(&w2x), "write-write conflicts");
+        assert!(!r1x.conflicts_with(&w2y), "different entities");
+        assert!(!w2x.conflicts_with(&w2y), "same txn never conflicts");
+    }
+}

@@ -1,0 +1,179 @@
+//! Whole-transaction specifications.
+//!
+//! A [`TxnSpec`] is the *program* of a transaction: its full operation
+//! sequence. It serves two purposes:
+//!
+//! * a convenient builder for schedules (serial execution, round-robin
+//!   interleavings — see [`crate::schedule`]);
+//! * the **declaration** in the predeclared model of §5, where the
+//!   scheduler knows at BEGIN exactly which entities the transaction will
+//!   read and write.
+
+use crate::ids::{EntityId, TxnId};
+use crate::step::{AccessMode, Op, Step};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The full operation sequence of one transaction (BEGIN implicit).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnSpec {
+    /// Transaction identifier.
+    pub id: TxnId,
+    /// Operations after the implicit BEGIN, in program order.
+    pub ops: Vec<Op>,
+}
+
+impl TxnSpec {
+    /// A basic-model transaction: reads `reads` in order, then atomically
+    /// writes `writes` in a final step (which completes it).
+    pub fn basic(
+        id: u32,
+        reads: impl IntoIterator<Item = u32>,
+        writes: impl IntoIterator<Item = u32>,
+    ) -> Self {
+        let mut ops: Vec<Op> = reads.into_iter().map(|x| Op::Read(EntityId(x))).collect();
+        ops.push(Op::WriteAll(writes.into_iter().map(EntityId).collect()));
+        Self { id: TxnId(id), ops }
+    }
+
+    /// A multiple-write-model transaction from an explicit op list;
+    /// appends the `Finish` marker if missing.
+    pub fn multiwrite(id: u32, mut ops: Vec<Op>) -> Self {
+        if !matches!(ops.last(), Some(Op::Finish)) {
+            ops.push(Op::Finish);
+        }
+        Self { id: TxnId(id), ops }
+    }
+
+    /// The steps of this transaction: BEGIN followed by `ops`.
+    pub fn steps(&self) -> Vec<Step> {
+        std::iter::once(Step::new(self.id, Op::Begin))
+            .chain(self.ops.iter().map(|op| Step::new(self.id, op.clone())))
+            .collect()
+    }
+
+    /// Number of steps including BEGIN.
+    pub fn len(&self) -> usize {
+        self.ops.len() + 1
+    }
+
+    /// Always false: a spec has at least its BEGIN step.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Strongest declared access per entity, over the *whole* program.
+    /// This is the declaration used by the predeclared scheduler.
+    pub fn declared_accesses(&self) -> BTreeMap<EntityId, AccessMode> {
+        let mut out = BTreeMap::new();
+        for op in &self.ops {
+            for (x, m) in op.accesses() {
+                out.entry(x)
+                    .and_modify(|cur: &mut AccessMode| *cur = (*cur).max(m))
+                    .or_insert(m);
+            }
+        }
+        out
+    }
+
+    /// Declared read set (entities read at least once).
+    pub fn read_set(&self) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = self
+            .ops
+            .iter()
+            .flat_map(|op| op.accesses())
+            .filter(|&(_, m)| m == AccessMode::Read)
+            .map(|(x, _)| x)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Declared write set (entities written at least once).
+    pub fn write_set(&self) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = self
+            .ops
+            .iter()
+            .flat_map(|op| op.accesses())
+            .filter(|&(_, m)| m == AccessMode::Write)
+            .map(|(x, _)| x)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The program as a flat list of single-entity accesses in program
+    /// order (`WriteAll` expands to its entities in order; `Finish` is
+    /// dropped). This is the step granularity of the predeclared
+    /// scheduler (§5), which delays individual accesses.
+    pub fn flat_accesses(&self) -> Vec<(EntityId, AccessMode)> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            out.extend(op.accesses());
+        }
+        out
+    }
+
+    /// True if the program has atomic-write (basic-model) shape: zero or
+    /// more reads followed by exactly one `WriteAll`.
+    pub fn is_basic_form(&self) -> bool {
+        let n = self.ops.len();
+        if n == 0 {
+            return false;
+        }
+        self.ops[..n - 1].iter().all(|op| matches!(op, Op::Read(_)))
+            && matches!(self.ops[n - 1], Op::WriteAll(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_builder_shape() {
+        let t = TxnSpec::basic(1, [0, 1], [1, 2]);
+        assert!(t.is_basic_form());
+        assert_eq!(t.len(), 4); // begin + 2 reads + write-all
+        let steps = t.steps();
+        assert_eq!(steps[0].op, Op::Begin);
+        assert!(steps.last().unwrap().op.is_terminal());
+    }
+
+    #[test]
+    fn multiwrite_appends_finish() {
+        let t = TxnSpec::multiwrite(2, vec![Op::Read(EntityId(0)), Op::Write(EntityId(0))]);
+        assert!(matches!(t.ops.last(), Some(Op::Finish)));
+        assert!(!t.is_basic_form());
+        // idempotent if Finish already present
+        let t2 = TxnSpec::multiwrite(3, vec![Op::Finish]);
+        assert_eq!(t2.ops.len(), 1);
+    }
+
+    #[test]
+    fn declared_accesses_take_strongest() {
+        let t = TxnSpec::multiwrite(
+            1,
+            vec![
+                Op::Read(EntityId(0)),
+                Op::Write(EntityId(0)),
+                Op::Read(EntityId(1)),
+            ],
+        );
+        let acc = t.declared_accesses();
+        assert_eq!(acc[&EntityId(0)], AccessMode::Write);
+        assert_eq!(acc[&EntityId(1)], AccessMode::Read);
+        assert_eq!(t.read_set(), vec![EntityId(0), EntityId(1)]);
+        assert_eq!(t.write_set(), vec![EntityId(0)]);
+    }
+
+    #[test]
+    fn read_only_basic_txn() {
+        let t = TxnSpec::basic(4, [3], []);
+        assert!(t.is_basic_form());
+        assert!(t.write_set().is_empty());
+        assert_eq!(t.read_set(), vec![EntityId(3)]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Seeded workload generators.
+//!
+//! The paper has no benchmark section, so the evaluation (EXPERIMENTS.md)
+//! drives the schedulers with synthetic workloads built here:
+//!
+//! * [`WorkloadGen`]: a stream of interleaved transaction steps with a
+//!   fixed multiprogramming level, uniform or Zipfian entity selection,
+//!   and either transaction model;
+//! * [`long_running_reader`]: the *Example 1 generalized* scenario — one
+//!   long-lived reader pins ever more of the graph while short update
+//!   transactions churn. This is the workload that makes deletion
+//!   policies visibly matter (experiment E12);
+//! * everything is deterministic given the seed.
+
+use crate::schedule::Schedule;
+use crate::step::{Op, Step};
+use crate::txn::TxnSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Which transaction model the generated transactions follow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Reads followed by one final atomic write (§2).
+    AtomicWrite,
+    /// Interleaved single reads/writes, then FINISH (§5).
+    MultiWrite,
+}
+
+/// Configuration of a random workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Database size (entities are `e0..e{n-1}`).
+    pub n_entities: u32,
+    /// Multiprogramming level: how many transactions run interleaved.
+    pub concurrency: usize,
+    /// Total number of transactions to generate.
+    pub total_txns: usize,
+    /// Inclusive range of read steps per transaction.
+    pub reads_per_txn: (usize, usize),
+    /// Inclusive range of entities written per transaction.
+    pub writes_per_txn: (usize, usize),
+    /// `Some(s)` selects entities Zipf-distributed with exponent `s`
+    /// (hotspot skew); `None` is uniform.
+    pub zipf_exponent: Option<f64>,
+    /// Transaction model.
+    pub model: ModelKind,
+    /// RNG seed; equal seeds give byte-identical workloads.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            n_entities: 32,
+            concurrency: 4,
+            total_txns: 100,
+            reads_per_txn: (1, 3),
+            writes_per_txn: (1, 2),
+            zipf_exponent: None,
+            model: ModelKind::AtomicWrite,
+            seed: 0xDE17,
+        }
+    }
+}
+
+/// Zipf sampler over `0..n` with exponent `s` (rank-1 most likely),
+/// implemented as inverse-CDF binary search over the precomputed
+/// cumulative weights.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s > 0`.
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    /// Samples an index in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let total = *self.cdf.last().expect("nonempty");
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cdf.partition_point(|&c| c <= u) as u32
+    }
+}
+
+struct Pending {
+    queue: VecDeque<Step>,
+}
+
+/// A streaming generator of interleaved transaction steps.
+///
+/// Implements `Iterator<Item = Step>`; the stream ends when all
+/// `total_txns` transactions have emitted every step.
+pub struct WorkloadGen {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    zipf: Option<Zipf>,
+    active: Vec<Pending>,
+    next_txn: u32,
+    started: usize,
+}
+
+impl WorkloadGen {
+    /// Creates the generator; transactions are numbered from 1.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        assert!(cfg.n_entities > 0, "need at least one entity");
+        assert!(cfg.concurrency > 0, "need at least one slot");
+        let zipf = cfg.zipf_exponent.map(|s| Zipf::new(cfg.n_entities, s));
+        let mut gen = Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            zipf,
+            active: Vec::new(),
+            next_txn: 1,
+            started: 0,
+            cfg,
+        };
+        while gen.active.len() < gen.cfg.concurrency && gen.started < gen.cfg.total_txns {
+            gen.spawn();
+        }
+        gen
+    }
+
+    fn pick_entity(&mut self) -> u32 {
+        match &self.zipf {
+            Some(z) => z.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.cfg.n_entities),
+        }
+    }
+
+    fn range_sample(&mut self, (lo, hi): (usize, usize)) -> usize {
+        debug_assert!(lo <= hi);
+        self.rng.gen_range(lo..=hi)
+    }
+
+    fn spawn(&mut self) {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.started += 1;
+        let nr = self.range_sample(self.cfg.reads_per_txn);
+        let nw = self.range_sample(self.cfg.writes_per_txn);
+        let reads: Vec<u32> = (0..nr).map(|_| self.pick_entity()).collect();
+        let mut writes: Vec<u32> = (0..nw).map(|_| self.pick_entity()).collect();
+        writes.sort_unstable();
+        writes.dedup();
+        let spec = match self.cfg.model {
+            ModelKind::AtomicWrite => TxnSpec::basic(id, reads, writes),
+            ModelKind::MultiWrite => {
+                let mut ops: Vec<Op> = reads
+                    .into_iter()
+                    .map(|x| Op::Read(crate::ids::EntityId(x)))
+                    .chain(
+                        writes
+                            .into_iter()
+                            .map(|x| Op::Write(crate::ids::EntityId(x))),
+                    )
+                    .collect();
+                // Shuffle reads and writes together (Fisher-Yates).
+                for i in (1..ops.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    ops.swap(i, j);
+                }
+                TxnSpec::multiwrite(id, ops)
+            }
+        };
+        self.active.push(Pending {
+            queue: spec.steps().into(),
+        });
+    }
+
+    /// Drains the generator into a [`Schedule`].
+    pub fn collect_schedule(self) -> Schedule {
+        Schedule::from_steps(self.collect())
+    }
+}
+
+impl Iterator for WorkloadGen {
+    type Item = Step;
+
+    fn next(&mut self) -> Option<Step> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.active.len());
+        let step = self.active[i]
+            .queue
+            .pop_front()
+            .expect("pending txn with empty queue");
+        if self.active[i].queue.is_empty() {
+            self.active.swap_remove(i);
+            if self.started < self.cfg.total_txns {
+                self.spawn();
+            }
+        }
+        Some(step)
+    }
+}
+
+/// Configuration of the long-running-reader scenario.
+#[derive(Clone, Debug)]
+pub struct LongReaderConfig {
+    /// Entities the long reader touches up front.
+    pub reader_scan: u32,
+    /// Number of short writer transactions churning behind it.
+    pub n_writers: usize,
+    /// Entities available to the writers (a superset of the scan).
+    pub n_entities: u32,
+    /// Seed for the writers' entity choices.
+    pub seed: u64,
+}
+
+impl Default for LongReaderConfig {
+    fn default() -> Self {
+        Self {
+            reader_scan: 8,
+            n_writers: 50,
+            n_entities: 16,
+            seed: 7,
+        }
+    }
+}
+
+/// The *Example 1 generalized* scenario: transaction `T1` BEGINs and reads
+/// `reader_scan` entities, then stays **active** while `n_writers` short
+/// transactions (`read one, write it back`) run serially to completion.
+///
+/// Every writer becomes a successor of the still-active reader, so without
+/// deletion the conflict graph grows linearly; with the C1 policy all but
+/// the *current* writers are reclaimed (Corollary 1 / experiment E12).
+pub fn long_running_reader(cfg: &LongReaderConfig) -> Schedule {
+    assert!(cfg.n_entities >= cfg.reader_scan);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut s = Schedule::new();
+    s.push(Step::begin(1));
+    for x in 0..cfg.reader_scan {
+        s.push(Step::read(1, x));
+    }
+    for i in 0..cfg.n_writers {
+        let id = 2 + i as u32;
+        let x = rng.gen_range(0..cfg.n_entities);
+        s.push(Step::begin(id));
+        s.push(Step::read(id, x));
+        s.push(Step::write_all(id, [x]));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnId;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = WorkloadConfig::default();
+        let a: Vec<Step> = WorkloadGen::new(cfg.clone()).collect();
+        let b: Vec<Step> = WorkloadGen::new(cfg).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = WorkloadConfig::default();
+        let a: Vec<Step> = WorkloadGen::new(cfg.clone()).collect();
+        cfg.seed = 999;
+        let b: Vec<Step> = WorkloadGen::new(cfg).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_txn_well_formed_atomic() {
+        let cfg = WorkloadConfig {
+            total_txns: 40,
+            ..WorkloadConfig::default()
+        };
+        let steps: Vec<Step> = WorkloadGen::new(cfg).collect();
+        let mut per_txn: HashMap<TxnId, Vec<Op>> = HashMap::new();
+        for st in &steps {
+            per_txn.entry(st.txn).or_default().push(st.op.clone());
+        }
+        assert_eq!(per_txn.len(), 40);
+        for (t, ops) in per_txn {
+            assert_eq!(ops[0], Op::Begin, "{t} must begin first");
+            assert!(
+                matches!(ops.last(), Some(Op::WriteAll(_))),
+                "{t} must end with its atomic write"
+            );
+            assert!(
+                ops[1..ops.len() - 1]
+                    .iter()
+                    .all(|op| matches!(op, Op::Read(_))),
+                "{t} middle steps are reads"
+            );
+        }
+    }
+
+    #[test]
+    fn every_txn_well_formed_multiwrite() {
+        let cfg = WorkloadConfig {
+            model: ModelKind::MultiWrite,
+            total_txns: 25,
+            ..WorkloadConfig::default()
+        };
+        let steps: Vec<Step> = WorkloadGen::new(cfg).collect();
+        let mut per_txn: HashMap<TxnId, Vec<Op>> = HashMap::new();
+        for st in &steps {
+            per_txn.entry(st.txn).or_default().push(st.op.clone());
+        }
+        for (t, ops) in per_txn {
+            assert_eq!(ops[0], Op::Begin, "{t}");
+            assert_eq!(*ops.last().unwrap(), Op::Finish, "{t}");
+        }
+    }
+
+    #[test]
+    fn concurrency_respected() {
+        // With concurrency 1 the schedule must be serial.
+        let cfg = WorkloadConfig {
+            concurrency: 1,
+            total_txns: 10,
+            ..WorkloadConfig::default()
+        };
+        let steps: Vec<Step> = WorkloadGen::new(cfg).collect();
+        let mut current: Option<TxnId> = None;
+        for st in steps {
+            match (&st.op, current) {
+                (Op::Begin, None) => current = Some(st.txn),
+                (Op::Begin, Some(_)) => panic!("overlap under concurrency 1"),
+                (_, Some(c)) => {
+                    assert_eq!(st.txn, c);
+                    if st.op.is_terminal() {
+                        current = None;
+                    }
+                }
+                (_, None) => panic!("step before begin"),
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99] * 5);
+        // All samples in range (indexing above would have panicked).
+    }
+
+    #[test]
+    fn long_reader_scenario_shape() {
+        let cfg = LongReaderConfig {
+            reader_scan: 4,
+            n_writers: 3,
+            n_entities: 8,
+            seed: 1,
+        };
+        let s = long_running_reader(&cfg);
+        // 1 begin + 4 reads + 3 * (begin, read, write)
+        assert_eq!(s.len(), 5 + 9);
+        assert_eq!(s.completed_txns().len(), 3);
+        assert!(!s.completed_txns().contains(&TxnId(1)), "reader stays active");
+    }
+
+    #[test]
+    fn zipf_exponent_changes_distribution() {
+        let cfg_uniform = WorkloadConfig {
+            n_entities: 64,
+            total_txns: 200,
+            zipf_exponent: None,
+            seed: 5,
+            ..WorkloadConfig::default()
+        };
+        let cfg_zipf = WorkloadConfig {
+            zipf_exponent: Some(1.5),
+            ..cfg_uniform.clone()
+        };
+        let count_e0 = |steps: Vec<Step>| {
+            steps
+                .iter()
+                .flat_map(|s| s.op.accesses())
+                .filter(|(x, _)| x.0 == 0)
+                .count()
+        };
+        let u = count_e0(WorkloadGen::new(cfg_uniform).collect());
+        let z = count_e0(WorkloadGen::new(cfg_zipf).collect());
+        assert!(z > u * 3, "zipf should hammer entity 0 (uniform {u}, zipf {z})");
+    }
+}

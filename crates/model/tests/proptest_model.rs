@@ -1,0 +1,97 @@
+//! Property tests for the model crate: DSL round-trips, conflict-relation
+//! consistency, and workload well-formedness.
+
+use deltx_model::dsl;
+use deltx_model::history::conflict_relation;
+use deltx_model::workload::{ModelKind, WorkloadConfig, WorkloadGen};
+use deltx_model::{Op, Schedule, Step, TxnId};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary well-formed step lists (not necessarily
+/// well-ordered programs — display/parse must round-trip regardless).
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..6).prop_map(Step::begin),
+            ((1u32..6), (0u32..5)).prop_map(|(t, x)| Step::read(t, x)),
+            ((1u32..6), prop::collection::vec(0u32..5, 0..3))
+                .prop_map(|(t, xs)| Step::write_all(t, xs)),
+            ((1u32..6), (0u32..5)).prop_map(|(t, x)| Step::write(t, x)),
+            (1u32..6).prop_map(Step::finish),
+        ],
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dsl_round_trips(steps in arb_steps()) {
+        // Intern entity names the way display will print them.
+        let mut s = Schedule::new();
+        for st in &steps {
+            for (x, _) in st.op.accesses() {
+                // Ensure the table knows a name for every id (e<n>).
+                let _ = s.entities.intern(&format!("e{}", x.0));
+            }
+        }
+        for st in steps {
+            s.push(st);
+        }
+        let text = s.to_string();
+        let parsed = dsl::parse(&text).expect("display must be parseable");
+        prop_assert_eq!(parsed.to_string(), text);
+        prop_assert_eq!(parsed.len(), s.len());
+    }
+
+    #[test]
+    fn conflict_relation_is_order_consistent(steps in arb_steps()) {
+        let s = Schedule::from_steps(steps);
+        let rel = conflict_relation(&s);
+        // Every arc must be witnessed by an ordered conflicting pair.
+        for (a, bs) in &rel.succ {
+            for b in bs {
+                prop_assert_ne!(a, b, "no self arcs");
+                let mut witnessed = false;
+                for (i, sa) in s.steps().iter().enumerate() {
+                    if sa.txn != *a { continue; }
+                    for sb in &s.steps()[i + 1..] {
+                        if sb.txn == *b && sa.conflicts_with(sb) {
+                            witnessed = true;
+                        }
+                    }
+                }
+                prop_assert!(witnessed, "arc {a}->{b} unwitnessed");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_streams_are_program_ordered(seed in any::<u64>(), model_mw in any::<bool>()) {
+        let cfg = WorkloadConfig {
+            total_txns: 15,
+            model: if model_mw { ModelKind::MultiWrite } else { ModelKind::AtomicWrite },
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let steps: Vec<Step> = WorkloadGen::new(cfg).collect();
+        use std::collections::HashMap;
+        let mut state: HashMap<TxnId, u8> = HashMap::new(); // 0=begun,1=done
+        for st in &steps {
+            match &st.op {
+                Op::Begin => {
+                    prop_assert!(state.insert(st.txn, 0).is_none(), "double begin");
+                }
+                Op::WriteAll(_) | Op::Finish => {
+                    prop_assert_eq!(state.get(&st.txn), Some(&0), "terminal before begin");
+                    state.insert(st.txn, 1);
+                }
+                _ => {
+                    prop_assert_eq!(state.get(&st.txn), Some(&0), "step outside lifetime");
+                }
+            }
+        }
+        prop_assert!(state.values().all(|&v| v == 1), "unfinished transactions");
+    }
+}

@@ -1,0 +1,28 @@
+//! # deltx-reductions — the NP-completeness machinery of Theorems 5 & 6
+//!
+//! Both hardness results of the paper are *constructions*, and both are
+//! executable here, together with from-scratch solvers for the source
+//! problems:
+//!
+//! * **Theorem 5** (maximum safe deletion set is NP-complete):
+//!   [`setcover`] defines SET COVER with an exact branch-and-bound solver
+//!   and the classic greedy approximation; [`to_schedule`] builds the
+//!   paper's schedule whose safely-deletable subsets correspond exactly
+//!   to complements of covers.
+//! * **Theorem 6** (single deletion in the multiple-write model is
+//!   NP-complete): [`sat`] defines CNF with a DPLL solver and a random
+//!   3-SAT generator; [`to_graph`] builds the Figure-3 conflict graph in
+//!   which the committed transaction `C` is safely deletable **iff** the
+//!   formula is unsatisfiable.
+//!
+//! Round-trip tests drive each construction through the exact condition
+//! checkers of `deltx-core` (`c2::max_safe_exact`, `c3::violation_exact`)
+//! and compare against the source-problem solvers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sat;
+pub mod setcover;
+pub mod to_graph;
+pub mod to_schedule;

@@ -1,0 +1,280 @@
+//! CNF formulas and a from-scratch DPLL solver.
+//!
+//! Theorem 6 reduces 3-SAT to C3 checking; the solver gives the ground
+//! truth the Figure-3 gadget is validated against, and the random 3-SAT
+//! generator feeds experiment E10 (instances near the sat/unsat
+//! threshold, clause/variable ratio ≈ 4.26, are the hard ones).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A literal: variable index (0-based) and polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: usize) -> Self {
+        Self {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: usize) -> Self {
+        Self {
+            var,
+            positive: false,
+        }
+    }
+
+    /// True under `assignment` (which must assign `var`).
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A CNF formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// Clauses (disjunctions of literals).
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Builds a formula, checking variable bounds.
+    pub fn new(n_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
+        assert!(clauses
+            .iter()
+            .all(|c| c.iter().all(|l| l.var < n_vars)));
+        Self { n_vars, clauses }
+    }
+
+    /// True if `assignment` satisfies every clause.
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.n_vars);
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.satisfied_by(assignment)))
+    }
+
+    /// Random 3-SAT formula with `n_clauses` clauses of 3 distinct
+    /// variables each (when `n_vars >= 3`).
+    pub fn random_3sat(n_vars: usize, n_clauses: usize, seed: u64) -> Self {
+        assert!(n_vars >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                let mut vars = Vec::new();
+                while vars.len() < 3.min(n_vars) {
+                    let v = rng.gen_range(0..n_vars);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                while vars.len() < 3 {
+                    vars.push(vars[0]); // tiny n_vars: repeat
+                }
+                vars.into_iter()
+                    .map(|v| Lit {
+                        var: v,
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::new(n_vars, clauses)
+    }
+}
+
+/// Partial assignment state used by DPLL.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Unset,
+    True,
+    False,
+}
+
+/// DPLL with unit propagation. Returns a satisfying assignment or `None`.
+pub fn dpll(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut state = vec![VarState::Unset; cnf.n_vars];
+    if solve(cnf, &mut state) {
+        Some(
+            state
+                .into_iter()
+                .map(|s| s == VarState::True) // Unset vars default false
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+fn lit_state(l: Lit, state: &[VarState]) -> VarState {
+    match (state[l.var], l.positive) {
+        (VarState::Unset, _) => VarState::Unset,
+        (VarState::True, true) | (VarState::False, false) => VarState::True,
+        _ => VarState::False,
+    }
+}
+
+/// Unit propagation; returns false on conflict. Records assignments made
+/// in `trail`.
+fn propagate(cnf: &Cnf, state: &mut [VarState], trail: &mut Vec<usize>) -> bool {
+    loop {
+        let mut changed = false;
+        for clause in &cnf.clauses {
+            let mut unset: Option<Lit> = None;
+            let mut n_unset = 0;
+            let mut satisfied = false;
+            for &l in clause {
+                match lit_state(l, state) {
+                    VarState::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    VarState::Unset => {
+                        n_unset += 1;
+                        unset = Some(l);
+                    }
+                    VarState::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unset {
+                0 => return false, // conflict
+                1 => {
+                    let l = unset.expect("one unset literal");
+                    state[l.var] = if l.positive {
+                        VarState::True
+                    } else {
+                        VarState::False
+                    };
+                    trail.push(l.var);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn solve(cnf: &Cnf, state: &mut Vec<VarState>) -> bool {
+    let mut trail = Vec::new();
+    if !propagate(cnf, state, &mut trail) {
+        for v in trail {
+            state[v] = VarState::Unset;
+        }
+        return false;
+    }
+    let Some(var) = (0..cnf.n_vars).find(|&v| state[v] == VarState::Unset) else {
+        return true; // fully assigned, all clauses satisfied
+    };
+    for value in [VarState::True, VarState::False] {
+        state[var] = value;
+        if solve(cnf, state) {
+            return true;
+        }
+        state[var] = VarState::Unset;
+    }
+    // Undo propagation before failing upward.
+    for v in trail {
+        state[v] = VarState::Unset;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfiable_trivial() {
+        let f = Cnf::new(1, vec![vec![Lit::pos(0)]]);
+        let a = dpll(&f).expect("sat");
+        assert!(f.satisfied_by(&a));
+        assert!(a[0]);
+    }
+
+    #[test]
+    fn unsatisfiable_pair() {
+        let f = Cnf::new(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+        assert_eq!(dpll(&f), None);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // p1 ∨ p2 forced true individually, but mutually exclusive:
+        // (a)(b)(¬a ∨ ¬b) is unsat.
+        let f = Cnf::new(
+            2,
+            vec![
+                vec![Lit::pos(0)],
+                vec![Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        );
+        assert_eq!(dpll(&f), None);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        // (a) (¬a ∨ b) (¬b ∨ c): unit propagation should do all the work.
+        let f = Cnf::new(
+            3,
+            vec![
+                vec![Lit::pos(0)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(1), Lit::pos(2)],
+            ],
+        );
+        let a = dpll(&f).expect("sat");
+        assert_eq!(a, vec![true, true, true]);
+    }
+
+    #[test]
+    fn random_3sat_solutions_verified() {
+        let mut sat = 0;
+        for seed in 0..20 {
+            // Low ratio (2.0): almost surely satisfiable.
+            let f = Cnf::random_3sat(10, 20, seed);
+            if let Some(a) = dpll(&f) {
+                assert!(f.satisfied_by(&a), "seed {seed}: bogus model");
+                sat += 1;
+            }
+        }
+        assert!(sat >= 18, "low-ratio 3SAT should be mostly satisfiable");
+    }
+
+    #[test]
+    fn high_ratio_mostly_unsat() {
+        let mut unsat = 0;
+        for seed in 0..10 {
+            // Ratio 8: almost surely unsatisfiable.
+            let f = Cnf::random_3sat(8, 64, seed);
+            if dpll(&f).is_none() {
+                unsat += 1;
+            }
+        }
+        assert!(unsat >= 8, "high-ratio 3SAT should be mostly unsat");
+    }
+
+    #[test]
+    fn dpll_is_deterministic() {
+        let f = Cnf::random_3sat(9, 20, 5);
+        assert_eq!(dpll(&f), dpll(&f));
+    }
+}

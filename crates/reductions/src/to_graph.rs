@@ -1,0 +1,289 @@
+//! The Theorem 6 construction (Figure 3): 3-SAT → a multiple-write
+//! conflict graph in which committed transaction `C` is safely deletable
+//! **iff** the formula is unsatisfiable.
+//!
+//! Node kinds, per §5:
+//!
+//! * per variable `x_i`: type-F transactions `X_i`, `X̄_i` and type-A
+//!   transactions `A_i`, `Ā_i` (the *guessers*);
+//! * per clause `c_j`: type-F transactions `c_{j1}, c_{j2}, c_{j3}`;
+//! * globally: active `A`, committed `B`, `C`, `D`.
+//!
+//! Write–write arcs (solid in Figure 3, each labelled by a private
+//! entity written by both endpoints):
+//! `A → X_1, X̄_1`; `X_i, X̄_i → X_{i+1}, X̄_{i+1}`; `X_n, X̄_n → B`;
+//! `B → C`; `A_i, Ā_i → D`; `A → c_{j1} → c_{j2} → c_{j3} → D`.
+//!
+//! Write–read arcs (dashed — real *dependencies*): `A_i → X_i`,
+//! `Ā_i → X̄_i`, and `A_i → c_{jk}` / `Ā_i → c_{jk}` when literal `jk`
+//! is `x_i` / `¬x_i`. Guessing an abort set `M ⊆ {A_i, Ā_i}` kills `M⁺`,
+//! which is exactly "make these literals true".
+//!
+//! Every transaction except `C` also writes a private entity (so only
+//! `C` can possibly satisfy C3); `C` additionally reads `y`, which only
+//! `D` also reads — covering `y` needs a surviving path `A → … → D`,
+//! i.e. an unbroken clause path, i.e. a falsified clause.
+
+use crate::sat::Cnf;
+use deltx_core::mw::{MwPhase, MwState};
+use deltx_graph::NodeId;
+use deltx_model::{AccessMode, EntityId, TxnId};
+
+/// The constructed gadget with handles to its interesting nodes.
+pub struct Thm6Instance {
+    /// The multi-write scheduler state holding the Figure-3 graph.
+    pub state: MwState,
+    /// The source formula.
+    pub cnf: Cnf,
+    /// The committed candidate `C`.
+    pub c: NodeId,
+    /// Committed `B` (the `z`-cover on every path into `C`).
+    pub b: NodeId,
+    /// Committed `D` (the only other reader of `y`).
+    pub d: NodeId,
+    /// The global active transaction `A`.
+    pub a: NodeId,
+    /// `A_i` guesser per variable (abort = set `x_i` true).
+    pub a_pos: Vec<NodeId>,
+    /// `Ā_i` guesser per variable (abort = set `x_i` false).
+    pub a_neg: Vec<NodeId>,
+}
+
+struct Builder {
+    mw: MwState,
+    next_entity: u32,
+    next_txn: u32,
+}
+
+impl Builder {
+    fn fresh_entity(&mut self) -> EntityId {
+        let e = EntityId(self.next_entity);
+        self.next_entity += 1;
+        e
+    }
+
+    fn node(&mut self, phase: MwPhase) -> NodeId {
+        let t = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.mw.raw_node(t, phase, [])
+    }
+
+    /// Write–write arc `u -> v` with a fresh private label entity.
+    fn ww(&mut self, u: NodeId, v: NodeId) {
+        let e = self.fresh_entity();
+        self.mw.raw_access(u, e, AccessMode::Write);
+        self.mw.raw_access(v, e, AccessMode::Write);
+        self.mw.raw_arc(u, v);
+    }
+
+    /// Write–read arc `u -> v` (v *depends on* u) with a fresh label.
+    fn wr(&mut self, u: NodeId, v: NodeId) {
+        let e = self.fresh_entity();
+        self.mw.raw_access(u, e, AccessMode::Write);
+        self.mw.raw_access(v, e, AccessMode::Read);
+        self.mw.raw_dep(v, u);
+    }
+
+    /// Private written entity (everyone but `C`).
+    fn private(&mut self, u: NodeId) {
+        let e = self.fresh_entity();
+        self.mw.raw_access(u, e, AccessMode::Write);
+    }
+}
+
+/// Builds the Figure-3 gadget from a 3-CNF formula.
+pub fn build(cnf: &Cnf) -> Thm6Instance {
+    assert!(cnf.n_vars >= 1, "need at least one variable");
+    assert!(
+        cnf.clauses.iter().all(|c| c.len() == 3),
+        "Theorem 6 expects exactly 3 literals per clause"
+    );
+    let mut b = Builder {
+        mw: MwState::new(),
+        next_entity: 0,
+        next_txn: 0,
+    };
+
+    let a = b.node(MwPhase::Active);
+    let a_pos: Vec<NodeId> = (0..cnf.n_vars).map(|_| b.node(MwPhase::Active)).collect();
+    let a_neg: Vec<NodeId> = (0..cnf.n_vars).map(|_| b.node(MwPhase::Active)).collect();
+    let x_pos: Vec<NodeId> = (0..cnf.n_vars)
+        .map(|_| b.node(MwPhase::Finished))
+        .collect();
+    let x_neg: Vec<NodeId> = (0..cnf.n_vars)
+        .map(|_| b.node(MwPhase::Finished))
+        .collect();
+    let bb = b.node(MwPhase::Committed);
+    let cc = b.node(MwPhase::Committed);
+    let dd = b.node(MwPhase::Committed);
+
+    // Variable chain.
+    b.ww(a, x_pos[0]);
+    b.ww(a, x_neg[0]);
+    for i in 0..cnf.n_vars - 1 {
+        for &u in &[x_pos[i], x_neg[i]] {
+            for &v in &[x_pos[i + 1], x_neg[i + 1]] {
+                b.ww(u, v);
+            }
+        }
+    }
+    b.ww(x_pos[cnf.n_vars - 1], bb);
+    b.ww(x_neg[cnf.n_vars - 1], bb);
+    // B -> C (labelled z: B writes z, C writes z).
+    b.ww(bb, cc);
+    // Guessers gate D and their X twins.
+    for i in 0..cnf.n_vars {
+        b.ww(a_pos[i], dd);
+        b.ww(a_neg[i], dd);
+        b.wr(a_pos[i], x_pos[i]);
+        b.wr(a_neg[i], x_neg[i]);
+    }
+    // Clause paths A -> c_{j1} -> c_{j2} -> c_{j3} -> D.
+    for clause in &cnf.clauses {
+        let cj: Vec<NodeId> = (0..3).map(|_| b.node(MwPhase::Finished)).collect();
+        b.ww(a, cj[0]);
+        b.ww(cj[0], cj[1]);
+        b.ww(cj[1], cj[2]);
+        b.ww(cj[2], dd);
+        for (k, lit) in clause.iter().enumerate() {
+            let guesser = if lit.positive {
+                a_pos[lit.var]
+            } else {
+                a_neg[lit.var]
+            };
+            b.wr(guesser, cj[k]);
+        }
+    }
+    // y: read by C and D only, never written.
+    let y = b.fresh_entity();
+    b.mw.raw_access(cc, y, AccessMode::Read);
+    b.mw.raw_access(dd, y, AccessMode::Read);
+    // Private entities for everyone except C.
+    let mut privates: Vec<NodeId> = vec![a, bb, dd];
+    privates.extend(&a_pos);
+    privates.extend(&a_neg);
+    privates.extend(&x_pos);
+    privates.extend(&x_neg);
+    for n in privates {
+        b.private(n);
+    }
+    // Clause nodes' privates were skipped above (they're created in the
+    // loop); give them privates too.
+    let clause_nodes: Vec<NodeId> = b
+        .mw
+        .nodes()
+        .filter(|&n| {
+            b.mw.phase(n) == MwPhase::Finished
+                && !x_pos.contains(&n)
+                && !x_neg.contains(&n)
+        })
+        .collect();
+    for n in clause_nodes {
+        b.private(n);
+    }
+
+    b.mw.check_invariants();
+    Thm6Instance {
+        state: b.mw,
+        cnf: cnf.clone(),
+        c: cc,
+        b: bb,
+        d: dd,
+        a,
+        a_pos,
+        a_neg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{dpll, Lit};
+    use deltx_core::c3;
+    use std::collections::BTreeSet;
+
+    fn lit(v: usize, positive: bool) -> Lit {
+        Lit { var: v, positive }
+    }
+
+    #[test]
+    fn unsat_formula_makes_c_deletable() {
+        // (x)(x)(x) ∧ (¬x)(¬x)(¬x): unsatisfiable.
+        let f = Cnf::new(
+            1,
+            vec![
+                vec![lit(0, true), lit(0, true), lit(0, true)],
+                vec![lit(0, false), lit(0, false), lit(0, false)],
+            ],
+        );
+        assert!(dpll(&f).is_none());
+        let g = build(&f);
+        assert!(c3::holds_exact(&g.state, g.c), "UNSAT => C deletable");
+    }
+
+    #[test]
+    fn sat_formula_blocks_c() {
+        // Single clause (x ∨ x ∨ x): satisfiable with x = true.
+        let f = Cnf::new(1, vec![vec![lit(0, true), lit(0, true), lit(0, true)]]);
+        assert!(dpll(&f).is_some());
+        let g = build(&f);
+        let (v, _) = c3::violation_exact(&g.state, g.c);
+        let v = v.expect("SAT => C not deletable");
+        // The violating abort set corresponds to a satisfying assignment:
+        // aborting A_0 sets x true and kills the clause path.
+        assert!(v.m.contains(&g.a_pos[0]));
+    }
+
+    #[test]
+    fn b_and_d_never_deletable() {
+        let f = Cnf::random_3sat(3, 5, 1);
+        let g = build(&f);
+        assert!(!c3::holds_exact(&g.state, g.b), "B writes a private entity");
+        assert!(!c3::holds_exact(&g.state, g.d), "D writes a private entity");
+    }
+
+    #[test]
+    fn gadget_matches_dpll_on_random_formulas() {
+        for seed in 0..6u64 {
+            // 3 vars: 2^(2*3+1) = 128 abort subsets; fast.
+            let n_clauses = if seed % 2 == 0 { 4 } else { 14 };
+            let f = Cnf::random_3sat(3, n_clauses, seed);
+            let g = build(&f);
+            let sat = dpll(&f).is_some();
+            let deletable = c3::holds_exact(&g.state, g.c);
+            assert_eq!(
+                deletable, !sat,
+                "seed {seed}: C3(C) must equal UNSAT(f)"
+            );
+        }
+    }
+
+    #[test]
+    fn satisfying_assignment_maps_to_violating_abort_set() {
+        // Build M from a model and check it violates C3 directly
+        // (the polynomial verification direction of Theorem 6).
+        let f = Cnf::new(
+            2,
+            vec![
+                vec![lit(0, true), lit(1, true), lit(1, true)],
+                vec![lit(0, false), lit(1, true), lit(1, true)],
+            ],
+        );
+        let model = dpll(&f).expect("satisfiable");
+        let g = build(&f);
+        let m: BTreeSet<_> = (0..f.n_vars)
+            .map(|i| if model[i] { g.a_pos[i] } else { g.a_neg[i] })
+            .collect();
+        let v = c3::check_candidate(&g.state, g.c, &m);
+        assert!(v.is_some(), "model-derived abort set must violate C3");
+    }
+
+    #[test]
+    fn graph_size_is_linear_in_formula() {
+        let f = Cnf::random_3sat(4, 6, 7);
+        let g = build(&f);
+        // 1 (A) + 2n (guessers) + 2n (X) + 3m (clauses) + 3 (B,C,D).
+        let expected = 1 + 4 * 4 + 3 * 6 + 3;
+        assert_eq!(g.state.nodes().count(), expected);
+    }
+}

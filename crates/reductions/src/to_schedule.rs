@@ -1,0 +1,246 @@
+//! The Theorem 5 construction: SET COVER → a schedule whose safely
+//! deletable transaction sets are exactly the complements of covers.
+//!
+//! Layout (quoting §4): one entity `x_e` per element, plus `y` and
+//! `z_1..z_m`. *"Transaction `T0` reads `y` and all elements of `X`.
+//! Transaction `Ti` (1 ≤ i ≤ m) reads `z_i` and writes the elements of
+//! `S_i`. Finally, `T_{m+1}` reads `z_1,…,z_m` and writes `y`."* `T0`
+//! never completes.
+//!
+//! Claims validated by the tests (and experiment E8):
+//!
+//! 1. before `T_{m+1}`'s final write **no** transaction satisfies C1
+//!    (each `T_i` holds private witness `(T0, z_i)`);
+//! 2. after it, `T_i` satisfies C1 iff every element of `S_i` is covered
+//!    by another set (automatic when every element has degree ≥ 2 — the
+//!    paper tacitly assumes this; our generator guarantees it);
+//! 3. a subset `N ⊆ {T_1..T_m}` is jointly (C2-)deletable **iff** the
+//!    remaining sets cover the universe, so
+//!    `max deletable = m − min-cover` (the NP-complete quantity).
+
+use crate::setcover::SetCoverInstance;
+use deltx_core::CgState;
+use deltx_graph::NodeId;
+use deltx_model::{Schedule, Step, TxnId};
+use std::collections::BTreeSet;
+
+/// The constructed schedule with its transaction handles.
+pub struct Thm5Instance {
+    /// The full schedule (T0's reads, T1..Tm, T_{m+1}).
+    pub schedule: Schedule,
+    /// The source instance.
+    pub instance: SetCoverInstance,
+    /// Number of sets `m`.
+    pub m: usize,
+}
+
+/// Entity numbering: `x_e = e` for `e < universe`; `y = universe`;
+/// `z_i = universe + i` (1-based `i`).
+impl Thm5Instance {
+    /// Entity id of element `e`.
+    pub fn entity_x(&self, e: usize) -> u32 {
+        e as u32
+    }
+
+    /// Entity id of `y` (the arc `T0 -> T_{m+1}`).
+    pub fn entity_y(&self) -> u32 {
+        self.instance.universe as u32
+    }
+
+    /// Entity id of `z_i` (1-based; private to `T_i` and `T_{m+1}`).
+    pub fn entity_z(&self, i: usize) -> u32 {
+        (self.instance.universe + i) as u32
+    }
+}
+
+/// Builds the Theorem-5 schedule from a SET COVER instance.
+///
+/// # Panics
+/// Panics on empty sets: the construction needs every `Ti` to conflict
+/// with `T0` on some element.
+pub fn build(instance: &SetCoverInstance) -> Thm5Instance {
+    assert!(
+        instance.sets.iter().all(|s| !s.is_empty()),
+        "Theorem-5 construction requires nonempty sets"
+    );
+    let m = instance.sets.len();
+    let u = instance.universe;
+    let y = u as u32;
+    let z = |i: usize| (u + i) as u32;
+
+    let mut s = Schedule::new();
+    // T0: BEGIN, read y, read all xs. Stays active forever.
+    s.push(Step::begin(0));
+    s.push(Step::read(0, y));
+    for e in 0..u {
+        s.push(Step::read(0, e as u32));
+    }
+    // T1..Tm serially.
+    for (i, set) in instance.sets.iter().enumerate() {
+        let id = (i + 1) as u32;
+        s.push(Step::begin(id));
+        s.push(Step::read(id, z(i + 1)));
+        s.push(Step::write_all(id, set.iter().map(|&e| e as u32)));
+    }
+    // T_{m+1}: reads all zs, writes y.
+    let last = (m + 1) as u32;
+    s.push(Step::begin(last));
+    for i in 1..=m {
+        s.push(Step::read(last, z(i)));
+    }
+    s.push(Step::write_all(last, [y]));
+
+    Thm5Instance {
+        schedule: s,
+        instance: instance.clone(),
+        m,
+    }
+}
+
+/// Runs the schedule through the conflict-graph scheduler; returns the
+/// state (no aborts ever happen: the construction is serial after T0's
+/// reads).
+pub fn run(inst: &Thm5Instance) -> CgState {
+    let mut cg = CgState::new();
+    for (idx, step) in inst.schedule.steps().iter().enumerate() {
+        let out = cg.apply(step).expect("well-formed");
+        assert_eq!(
+            out,
+            deltx_core::Applied::Accepted,
+            "Theorem-5 schedule must run clean (step {idx})"
+        );
+    }
+    cg
+}
+
+/// The candidate nodes `T_1..T_m` in order.
+pub fn set_nodes(inst: &Thm5Instance, cg: &CgState) -> Vec<NodeId> {
+    (1..=inst.m)
+        .map(|i| cg.node_of(TxnId(i as u32)).expect("Ti live"))
+        .collect()
+}
+
+/// Maps a deletable node set back to the cover it leaves behind
+/// (complement, as set indices).
+pub fn complement_as_cover(inst: &Thm5Instance, cg: &CgState, n: &BTreeSet<NodeId>) -> Vec<usize> {
+    set_nodes(inst, cg)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, node)| !n.contains(node))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltx_core::{c1, c2};
+    use crate::setcover::{greedy_cover, min_cover_exact};
+
+    fn small() -> SetCoverInstance {
+        // Universe {0,1,2,3}; sets: {0,1}, {1,2}, {2,3}, {0,3}, {1,3}.
+        // Min cover = 2 ({0,1}+{2,3} or {1,2}+{0,3}); every element
+        // degree >= 2.
+        SetCoverInstance::new(
+            4,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3], vec![1, 3]],
+        )
+    }
+
+    #[test]
+    fn entity_numbering() {
+        let t = build(&small());
+        assert_eq!(t.entity_x(2), 2);
+        assert_eq!(t.entity_y(), 4);
+        assert_eq!(t.entity_z(1), 5);
+    }
+
+    #[test]
+    fn claim1_nothing_deletable_before_last_step() {
+        let t = build(&small());
+        // Run all but T_{m+1}'s final write.
+        let mut cg = CgState::new();
+        let steps = t.schedule.steps();
+        for step in &steps[..steps.len() - 1] {
+            cg.apply(step).unwrap();
+        }
+        assert!(
+            c1::eligible(&cg).is_empty(),
+            "no transaction may satisfy C1 before the last step"
+        );
+    }
+
+    #[test]
+    fn claim2_all_sets_eligible_after_last_step() {
+        let t = build(&small());
+        let cg = run(&t);
+        let nodes = set_nodes(&t, &cg);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert!(
+                c1::holds(&cg, n),
+                "T{} should satisfy C1 (degree >= 2 instance)",
+                i + 1
+            );
+        }
+        // T_{m+1} is never eligible (its write of y is uncoverable).
+        let last = cg.node_of(TxnId((t.m + 1) as u32)).unwrap();
+        assert!(!c1::holds(&cg, last));
+        assert_eq!(c1::eligible(&cg).len(), t.m);
+    }
+
+    #[test]
+    fn claim3_deletable_iff_complement_covers() {
+        let t = build(&small());
+        let cg = run(&t);
+        let nodes = set_nodes(&t, &cg);
+        // Check every subset on this small instance.
+        for mask in 0u32..(1 << t.m) {
+            let n: BTreeSet<NodeId> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &x)| x)
+                .collect();
+            let cover = complement_as_cover(&t, &cg, &n);
+            let expected = t.instance.is_cover(&cover);
+            assert_eq!(
+                c2::holds(&cg, &n),
+                expected,
+                "mask {mask:b}: C2 must equal complement-covers"
+            );
+        }
+    }
+
+    #[test]
+    fn max_safe_equals_m_minus_min_cover() {
+        for seed in [1u64, 2, 3] {
+            let inst = SetCoverInstance::random(8, 6, 3, 2, seed);
+            let t = build(&inst);
+            let cg = run(&t);
+            let nodes = set_nodes(&t, &cg);
+            let max_safe = c2::max_safe_exact(&cg, &nodes);
+            let min_cover = min_cover_exact(&inst).expect("coverable").len();
+            assert_eq!(
+                max_safe.len(),
+                t.m - min_cover,
+                "seed {seed}: graph answer disagrees with set-cover answer"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_cover_complement_is_c2_safe() {
+        let inst = SetCoverInstance::random(10, 7, 4, 2, 9);
+        let t = build(&inst);
+        let cg = run(&t);
+        let nodes = set_nodes(&t, &cg);
+        let g = greedy_cover(&inst).unwrap();
+        let n: BTreeSet<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !g.contains(i))
+            .map(|(_, &x)| x)
+            .collect();
+        assert!(c2::holds(&cg, &n), "complement of a cover is deletable");
+    }
+}

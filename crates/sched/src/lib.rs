@@ -1,0 +1,31 @@
+//! # deltx-sched — the schedulers
+//!
+//! Every concurrency-control algorithm the paper discusses, behind one
+//! driver-facing interface:
+//!
+//! | Module | Algorithm | Closes transactions… |
+//! |---|---|---|
+//! | [`preventive`] | step-at-a-time conflict-graph scheduler (§2, Rules 1–3) | never (baseline) |
+//! | [`reduced`] | conflict-graph scheduler + pluggable deletion policy (§4) | per policy (C1/C2/noncurrent/unsafe) |
+//! | [`certifier`] | optimistic certification at commit (§2's first variant) | never (kept for comparison) |
+//! | [`locking`] | strict two-phase locking with deadlock detection | **at commit** — the §1 observation that makes locking memory-bounded |
+//! | [`multiwrite`] | §5 multiple-write conflict-graph scheduler (A/F/C, cascades) | via exact C3 (tiny instances only — Theorem 6) |
+//! | [`predeclared`] | §5 predeclared scheduler (delays, no aborts) | via C4 |
+//! | [`equiv`] | lock-step equivalence harness (Theorem 2 machinery) | — |
+//!
+//! The basic-model schedulers implement [`Scheduler`]; the predeclared
+//! one has its own driver (BEGIN needs the declaration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certifier;
+pub mod equiv;
+pub mod locking;
+pub mod multiwrite;
+pub mod outcome;
+pub mod predeclared;
+pub mod preventive;
+pub mod reduced;
+
+pub use outcome::{FeedOutcome, Scheduler, StateSize};

@@ -1,0 +1,329 @@
+//! Strict two-phase locking — the baseline that *can* close transactions
+//! at commit time.
+//!
+//! §1 of the paper: *"If pure locking is used to control concurrency …
+//! transactions can be closed at commit time. … once a transaction `T`
+//! completes and releases all its locks, it no longer influences the
+//! scheduling of future steps."* This scheduler exists to make that
+//! contrast measurable (experiment E12): its memory is `O(active
+//! transactions + held locks)`, while the conflict-graph scheduler's
+//! grows until a deletion policy reclaims it — but locking accepts only a
+//! strict subset of the CSR schedules and pays with blocking and
+//! deadlock aborts.
+//!
+//! Protocol: shared locks on read, exclusive locks acquired *en bloc* at
+//! the final atomic write, strict release at commit. Deadlocks are
+//! detected on a waits-for graph and resolved by aborting the requester.
+
+use crate::outcome::{FeedOutcome, Scheduler, StateSize};
+use deltx_core::CgError;
+use deltx_model::{EntityId, Op, Step, TxnId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Lock modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read).
+    S,
+    /// Exclusive (write).
+    X,
+}
+
+#[derive(Clone, Debug, Default)]
+struct EntityLocks {
+    /// Current holders; at most one if any holds X.
+    holders: BTreeMap<TxnId, LockMode>,
+}
+
+/// Strict two-phase locking scheduler for the basic model.
+#[derive(Clone, Debug, Default)]
+pub struct TwoPhaseLocking {
+    locks: HashMap<EntityId, EntityLocks>,
+    /// Held locks per active transaction (for release & accounting).
+    held: HashMap<TxnId, BTreeSet<EntityId>>,
+    /// Current waits-for edges (requester -> holders), refreshed on every
+    /// blocked attempt.
+    waits_for: HashMap<TxnId, BTreeSet<TxnId>>,
+    seen: HashSet<TxnId>,
+    committed: HashSet<TxnId>,
+    aborted: HashSet<TxnId>,
+    /// Counters for the experiment harness.
+    pub deadlock_aborts: u64,
+    /// Number of `Blocked` outcomes returned.
+    pub blocks: u64,
+}
+
+impl TwoPhaseLocking {
+    /// Fresh scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn conflicting_holders(&self, t: TxnId, x: EntityId, want: LockMode) -> Vec<TxnId> {
+        let Some(el) = self.locks.get(&x) else {
+            return Vec::new();
+        };
+        el.holders
+            .iter()
+            .filter(|&(&h, &m)| {
+                h != t
+                    && match want {
+                        LockMode::S => m == LockMode::X,
+                        LockMode::X => true, // X conflicts with everything
+                    }
+            })
+            .map(|(&h, _)| h)
+            .collect()
+    }
+
+    fn grant(&mut self, t: TxnId, x: EntityId, mode: LockMode) {
+        let el = self.locks.entry(x).or_default();
+        let cur = el.holders.entry(t).or_insert(mode);
+        if mode == LockMode::X {
+            *cur = LockMode::X; // upgrade
+        }
+        self.held.entry(t).or_default().insert(x);
+    }
+
+    /// Would `t` waiting on `on` close a waits-for cycle?
+    fn deadlock_if_waits(&self, t: TxnId, on: &[TxnId]) -> bool {
+        // DFS from each blocker through existing wait edges, looking for t.
+        let mut stack: Vec<TxnId> = on.to_vec();
+        let mut seen: BTreeSet<TxnId> = on.iter().copied().collect();
+        while let Some(n) = stack.pop() {
+            if n == t {
+                return true;
+            }
+            if let Some(next) = self.waits_for.get(&n) {
+                for &m in next {
+                    if seen.insert(m) {
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn release_all(&mut self, t: TxnId) {
+        if let Some(entities) = self.held.remove(&t) {
+            for x in entities {
+                if let Some(el) = self.locks.get_mut(&x) {
+                    el.holders.remove(&t);
+                    if el.holders.is_empty() {
+                        self.locks.remove(&x);
+                    }
+                }
+            }
+        }
+        self.waits_for.remove(&t);
+    }
+
+    fn abort(&mut self, t: TxnId) {
+        self.release_all(t);
+        self.aborted.insert(t);
+        self.deadlock_aborts += 1;
+    }
+
+    fn acquire(&mut self, t: TxnId, wants: &[(EntityId, LockMode)]) -> FeedOutcome {
+        let mut blockers: BTreeSet<TxnId> = BTreeSet::new();
+        for &(x, m) in wants {
+            blockers.extend(self.conflicting_holders(t, x, m));
+        }
+        if blockers.is_empty() {
+            for &(x, m) in wants {
+                self.grant(t, x, m);
+            }
+            self.waits_for.remove(&t);
+            return FeedOutcome::Accepted;
+        }
+        let blockers: Vec<TxnId> = blockers.into_iter().collect();
+        if self.deadlock_if_waits(t, &blockers) {
+            self.abort(t);
+            return FeedOutcome::Aborted(vec![t]);
+        }
+        self.waits_for.insert(t, blockers.into_iter().collect());
+        self.blocks += 1;
+        FeedOutcome::Blocked
+    }
+}
+
+impl Scheduler for TwoPhaseLocking {
+    fn name(&self) -> String {
+        "2pl/strict".to_string()
+    }
+
+    fn feed(&mut self, step: &Step) -> Result<FeedOutcome, CgError> {
+        let t = step.txn;
+        if !matches!(step.op, Op::Begin) && self.aborted.contains(&t) {
+            return Ok(FeedOutcome::Ignored);
+        }
+        match &step.op {
+            Op::Begin => {
+                if self.seen.contains(&t) {
+                    return Err(CgError::DuplicateBegin(t));
+                }
+                self.seen.insert(t);
+                self.held.entry(t).or_default();
+                Ok(FeedOutcome::Accepted)
+            }
+            Op::Read(x) => {
+                if self.committed.contains(&t) {
+                    return Err(CgError::AlreadyCompleted(t));
+                }
+                if !self.seen.contains(&t) {
+                    return Err(CgError::UnknownTxn(t));
+                }
+                Ok(self.acquire(t, &[(*x, LockMode::S)]))
+            }
+            Op::WriteAll(xs) => {
+                if self.committed.contains(&t) {
+                    return Err(CgError::AlreadyCompleted(t));
+                }
+                if !self.seen.contains(&t) {
+                    return Err(CgError::UnknownTxn(t));
+                }
+                let wants: Vec<(EntityId, LockMode)> =
+                    xs.iter().map(|&x| (x, LockMode::X)).collect();
+                let out = self.acquire(t, &wants);
+                if out == FeedOutcome::Accepted {
+                    // Strict 2PL: install then release everything; the
+                    // transaction is *closed* — constant residual memory.
+                    self.release_all(t);
+                    self.committed.insert(t);
+                }
+                Ok(out)
+            }
+            Op::Write(_) | Op::Finish => Err(CgError::WrongModel(
+                "2PL scheduler runs the basic model only",
+            )),
+        }
+    }
+
+    fn state_size(&self) -> StateSize {
+        StateSize {
+            // committed transactions cost nothing — the point of §1.
+            nodes: self.held.len(),
+            arcs: self.held.values().map(BTreeSet::len).sum(),
+            aux: self.waits_for.values().map(BTreeSet::len).sum(),
+        }
+    }
+
+    fn aborted_txns(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self.aborted.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_transactions_flow_through() {
+        let mut l = TwoPhaseLocking::new();
+        for i in 1..=3u32 {
+            assert_eq!(l.feed(&Step::begin(i)).unwrap(), FeedOutcome::Accepted);
+            assert_eq!(l.feed(&Step::read(i, 0)).unwrap(), FeedOutcome::Accepted);
+            assert_eq!(
+                l.feed(&Step::write_all(i, [0])).unwrap(),
+                FeedOutcome::Accepted
+            );
+        }
+        assert_eq!(l.state_size().nodes, 0, "everything closed at commit");
+        assert_eq!(l.state_size().arcs, 0);
+    }
+
+    #[test]
+    fn writer_blocks_on_readers() {
+        let mut l = TwoPhaseLocking::new();
+        l.feed(&Step::begin(1)).unwrap();
+        l.feed(&Step::read(1, 0)).unwrap();
+        l.feed(&Step::begin(2)).unwrap();
+        assert_eq!(
+            l.feed(&Step::write_all(2, [0])).unwrap(),
+            FeedOutcome::Blocked,
+            "X blocked by T1's S lock"
+        );
+        // T1 commits (writes nothing): releases S; retry succeeds.
+        l.feed(&Step::write_all(1, [])).unwrap();
+        assert_eq!(
+            l.feed(&Step::write_all(2, [0])).unwrap(),
+            FeedOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn readers_share() {
+        let mut l = TwoPhaseLocking::new();
+        l.feed(&Step::begin(1)).unwrap();
+        l.feed(&Step::begin(2)).unwrap();
+        assert_eq!(l.feed(&Step::read(1, 0)).unwrap(), FeedOutcome::Accepted);
+        assert_eq!(l.feed(&Step::read(2, 0)).unwrap(), FeedOutcome::Accepted);
+    }
+
+    #[test]
+    fn upgrade_deadlock_aborts_requester() {
+        let mut l = TwoPhaseLocking::new();
+        l.feed(&Step::begin(1)).unwrap();
+        l.feed(&Step::begin(2)).unwrap();
+        l.feed(&Step::read(1, 0)).unwrap();
+        l.feed(&Step::read(2, 0)).unwrap();
+        // T1 wants X(x): blocked on T2.
+        assert_eq!(
+            l.feed(&Step::write_all(1, [0])).unwrap(),
+            FeedOutcome::Blocked
+        );
+        // T2 wants X(x): waits-for T1 which waits-for T2 => deadlock,
+        // abort T2 (the requester).
+        assert_eq!(
+            l.feed(&Step::write_all(2, [0])).unwrap(),
+            FeedOutcome::Aborted(vec![TxnId(2)])
+        );
+        assert_eq!(l.deadlock_aborts, 1);
+        // T1's retry now succeeds.
+        assert_eq!(
+            l.feed(&Step::write_all(1, [0])).unwrap(),
+            FeedOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn aborted_txn_steps_ignored() {
+        let mut l = TwoPhaseLocking::new();
+        l.feed(&Step::begin(1)).unwrap();
+        l.feed(&Step::begin(2)).unwrap();
+        l.feed(&Step::read(1, 0)).unwrap();
+        l.feed(&Step::read(2, 0)).unwrap();
+        l.feed(&Step::write_all(1, [0])).unwrap(); // blocked
+        l.feed(&Step::write_all(2, [0])).unwrap(); // deadlock: T2 aborted
+        assert_eq!(l.feed(&Step::read(2, 1)).unwrap(), FeedOutcome::Ignored);
+    }
+
+    #[test]
+    fn lock_accounting_in_state_size() {
+        let mut l = TwoPhaseLocking::new();
+        l.feed(&Step::begin(1)).unwrap();
+        l.feed(&Step::read(1, 0)).unwrap();
+        l.feed(&Step::read(1, 1)).unwrap();
+        assert_eq!(l.state_size().nodes, 1);
+        assert_eq!(l.state_size().arcs, 2, "two S locks held");
+        l.feed(&Step::write_all(1, [2])).unwrap();
+        assert_eq!(l.state_size().total(), 0);
+    }
+
+    #[test]
+    fn blocked_step_does_not_change_state() {
+        let mut l = TwoPhaseLocking::new();
+        l.feed(&Step::begin(1)).unwrap();
+        l.feed(&Step::read(1, 0)).unwrap();
+        l.feed(&Step::begin(2)).unwrap();
+        let before_arcs = l.state_size().arcs;
+        assert_eq!(
+            l.feed(&Step::write_all(2, [0])).unwrap(),
+            FeedOutcome::Blocked
+        );
+        assert_eq!(l.state_size().arcs, before_arcs, "no partial X grant");
+    }
+}

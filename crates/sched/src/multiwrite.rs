@@ -1,0 +1,150 @@
+//! Scheduler wrapper for the multiple-write model (§5), with optional
+//! exact-C3 garbage collection on small instances.
+
+use crate::outcome::{FeedOutcome, Scheduler, StateSize};
+use deltx_core::mw::{MwApplied, MwPhase, MwState};
+use deltx_core::{c3, CgError};
+use deltx_model::{Step, TxnId};
+
+/// Multiple-write conflict-graph scheduler.
+#[derive(Clone, Debug)]
+pub struct MultiWrite {
+    state: MwState,
+    /// If set, after each accepted step delete committed transactions
+    /// that pass the **exact** C3 check, provided at most this many
+    /// transactions are active (the check is `O(2^a)` — Theorem 6).
+    pub gc_max_active: Option<usize>,
+    deletions: u64,
+}
+
+impl Default for MultiWrite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiWrite {
+    /// Scheduler without garbage collection.
+    pub fn new() -> Self {
+        Self {
+            state: MwState::new(),
+            gc_max_active: None,
+            deletions: 0,
+        }
+    }
+
+    /// Scheduler that deletes C3-safe committed transactions whenever at
+    /// most `max_active` transactions are active.
+    pub fn with_gc(max_active: usize) -> Self {
+        Self {
+            state: MwState::new(),
+            gc_max_active: Some(max_active),
+            deletions: 0,
+        }
+    }
+
+    /// Read access to the model state.
+    pub fn state(&self) -> &MwState {
+        &self.state
+    }
+
+    /// Deletions performed by the C3 collector.
+    pub fn deletions(&self) -> u64 {
+        self.deletions
+    }
+
+    fn gc(&mut self) {
+        let Some(limit) = self.gc_max_active else {
+            return;
+        };
+        if self.state.nodes_in_phase(MwPhase::Active).len() > limit {
+            return;
+        }
+        loop {
+            let committed = self.state.nodes_in_phase(MwPhase::Committed);
+            let victim = committed.into_iter().find(|&n| c3::holds_exact(&self.state, n));
+            match victim {
+                Some(n) => {
+                    self.state.delete_committed(n).expect("committed");
+                    self.deletions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl Scheduler for MultiWrite {
+    fn name(&self) -> String {
+        match self.gc_max_active {
+            Some(_) => "mw/c3-exact-gc".to_string(),
+            None => "mw/no-deletion".to_string(),
+        }
+    }
+
+    fn feed(&mut self, step: &Step) -> Result<FeedOutcome, CgError> {
+        Ok(match self.state.apply(step)? {
+            MwApplied::Accepted => {
+                self.gc();
+                FeedOutcome::Accepted
+            }
+            MwApplied::AbortedCascade(killed) => FeedOutcome::Aborted(killed),
+            MwApplied::IgnoredAborted => FeedOutcome::Ignored,
+        })
+    }
+
+    fn state_size(&self) -> StateSize {
+        StateSize {
+            nodes: self.state.graph().node_count(),
+            arcs: self.state.graph().arc_count(),
+            aux: 0,
+        }
+    }
+
+    fn aborted_txns(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self.state.aborted_txns().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltx_model::dsl::parse;
+
+    #[test]
+    fn no_gc_retains_committed() {
+        let mut s = MultiWrite::new();
+        for step in parse("b1 r1(q) b2 sw2(q) f2 b3 sw3(q) f3").unwrap().steps() {
+            s.feed(step).unwrap();
+        }
+        assert_eq!(s.state_size().nodes, 3);
+        assert_eq!(s.deletions(), 0);
+    }
+
+    #[test]
+    fn gc_deletes_covered_committed() {
+        let mut s = MultiWrite::with_gc(4);
+        for step in parse("b1 r1(q) b2 sw2(q) f2 b3 sw3(q) f3").unwrap().steps() {
+            s.feed(step).unwrap();
+        }
+        // T2 was deletable once T3 covered q (and vice versa; greedy takes
+        // the first, then the second loses its cover).
+        assert_eq!(s.deletions(), 1);
+        assert_eq!(s.state_size().nodes, 2);
+    }
+
+    #[test]
+    fn cascade_reported_through_feed() {
+        let p = parse("b1 sw1(x) b2 r2(x) sw2(z) sw1(z)").unwrap();
+        let mut s = MultiWrite::new();
+        let outs: Vec<FeedOutcome> = p.steps().iter().map(|st| s.feed(st).unwrap()).collect();
+        match outs.last().unwrap() {
+            FeedOutcome::Aborted(k) => {
+                assert!(k.contains(&TxnId(1)) && k.contains(&TxnId(2)));
+            }
+            other => panic!("expected cascade abort, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The driver-facing scheduler interface.
+
+use deltx_core::CgError;
+use deltx_model::{Step, TxnId};
+
+/// What happened to a step handed to a scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// Executed.
+    Accepted,
+    /// Rejected; the listed transactions aborted (more than one only for
+    /// multi-write cascades).
+    Aborted(Vec<TxnId>),
+    /// Step of an already-aborted transaction; dropped.
+    Ignored,
+    /// Cannot run now (lock conflict / future-cycle delay); the driver
+    /// must retry it later. No state changed.
+    Blocked,
+}
+
+/// A coarse memory gauge: what the scheduler must keep to make its next
+/// decision. The whole point of the paper is bounding `nodes` for
+/// conflict-graph schedulers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StateSize {
+    /// Transactions the scheduler still remembers.
+    pub nodes: usize,
+    /// Arcs (conflict graphs) or held locks (locking).
+    pub arcs: usize,
+    /// Other per-step bookkeeping (lock waiters, access logs, …).
+    pub aux: usize,
+}
+
+impl StateSize {
+    /// Sum of all components, for plotting one curve.
+    pub fn total(&self) -> usize {
+        self.nodes + self.arcs + self.aux
+    }
+}
+
+/// A scheduler for the basic (atomic final write) transaction model.
+pub trait Scheduler {
+    /// Stable display name (includes the policy for reduced schedulers).
+    fn name(&self) -> String;
+
+    /// Feeds one step; `Err` only on malformed streams.
+    fn feed(&mut self, step: &Step) -> Result<FeedOutcome, CgError>;
+
+    /// Current memory gauge.
+    fn state_size(&self) -> StateSize;
+
+    /// Transactions aborted so far, ascending.
+    fn aborted_txns(&self) -> Vec<TxnId>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_size_total() {
+        let s = StateSize {
+            nodes: 3,
+            arcs: 5,
+            aux: 2,
+        };
+        assert_eq!(s.total(), 10);
+    }
+
+    #[test]
+    fn outcomes_compare() {
+        assert_eq!(FeedOutcome::Accepted, FeedOutcome::Accepted);
+        assert_ne!(
+            FeedOutcome::Accepted,
+            FeedOutcome::Aborted(vec![TxnId(1)])
+        );
+    }
+}

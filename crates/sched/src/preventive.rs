@@ -1,0 +1,96 @@
+//! The preventive conflict-graph scheduler (§2): the paper's main object,
+//! with **no deletion** — the unbounded-growth baseline of experiment
+//! E12.
+
+use crate::outcome::{FeedOutcome, Scheduler, StateSize};
+use deltx_core::{Applied, CgError, CgState, CycleStrategy};
+use deltx_model::{Step, TxnId};
+
+/// Conflict-graph scheduler that never forgets a completed transaction.
+#[derive(Clone, Debug, Default)]
+pub struct Preventive {
+    state: CgState,
+}
+
+impl Preventive {
+    /// Fresh scheduler (DFS cycle checks).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh scheduler with an explicit cycle-check strategy (E13).
+    pub fn with_strategy(strategy: CycleStrategy) -> Self {
+        Self {
+            state: CgState::with_strategy(strategy),
+        }
+    }
+
+    /// Read access to the underlying graph state.
+    pub fn state(&self) -> &CgState {
+        &self.state
+    }
+}
+
+impl Scheduler for Preventive {
+    fn name(&self) -> String {
+        "cg/no-deletion".to_string()
+    }
+
+    fn feed(&mut self, step: &Step) -> Result<FeedOutcome, CgError> {
+        Ok(match self.state.apply(step)? {
+            Applied::Accepted => FeedOutcome::Accepted,
+            Applied::SelfAborted => FeedOutcome::Aborted(vec![step.txn]),
+            Applied::IgnoredAborted => FeedOutcome::Ignored,
+        })
+    }
+
+    fn state_size(&self) -> StateSize {
+        StateSize {
+            nodes: self.state.graph().node_count(),
+            arcs: self.state.graph().arc_count(),
+            aux: 0,
+        }
+    }
+
+    fn aborted_txns(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self.state.aborted_txns().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltx_model::dsl::parse;
+
+    #[test]
+    fn grows_without_bound() {
+        let mut s = Preventive::new();
+        // Long-running reader + 10 writers: every node is retained.
+        let src = "b1 r1(x)";
+        for step in parse(src).unwrap().steps() {
+            s.feed(step).unwrap();
+        }
+        for i in 2..12 {
+            s.feed(&Step::begin(i)).unwrap();
+            s.feed(&Step::read(i, 0)).unwrap();
+            s.feed(&Step::write_all(i, [0])).unwrap();
+        }
+        assert_eq!(s.state_size().nodes, 11);
+        assert!(s.aborted_txns().is_empty());
+    }
+
+    #[test]
+    fn rejects_cycles_and_reports_abort() {
+        let mut s = Preventive::new();
+        for step in parse("b1 r1(x) b2 r2(y) w2(x)").unwrap().steps() {
+            assert_eq!(s.feed(step).unwrap(), FeedOutcome::Accepted);
+        }
+        let out = s.feed(&Step::write_all(1, [1])).unwrap();
+        assert_eq!(out, FeedOutcome::Aborted(vec![TxnId(1)]));
+        assert_eq!(s.aborted_txns(), vec![TxnId(1)]);
+        // Later steps of T1 are ignored.
+        assert_eq!(s.feed(&Step::read(1, 0)).unwrap(), FeedOutcome::Ignored);
+    }
+}

@@ -1,0 +1,44 @@
+//! Experiment runner: regenerates every figure/table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p deltx-sim --bin experiments            # all
+//! cargo run --release -p deltx-sim --bin experiments -- e08     # one
+//! cargo run --release -p deltx-sim --bin experiments -- --markdown > out.md
+//! ```
+
+use deltx_sim::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let prefix = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_default();
+
+    let reports = experiments::matching(&prefix);
+    if reports.is_empty() {
+        eprintln!("no experiment matches `{prefix}`");
+        std::process::exit(2);
+    }
+    let mut failed = 0;
+    for rep in &reports {
+        if markdown {
+            println!("{}", rep.render_markdown());
+        } else {
+            println!("{}", rep.render());
+        }
+        if !rep.pass {
+            failed += 1;
+        }
+    }
+    eprintln!(
+        "{} experiment(s), {} failed",
+        reports.len(),
+        failed
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

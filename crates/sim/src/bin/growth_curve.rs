@@ -1,0 +1,75 @@
+//! Dumps the conflict-graph growth series of every scheduler as CSV —
+//! the data behind E12's figure, ready for plotting.
+//!
+//! ```text
+//! cargo run --release -p deltx-sim --bin growth_curve            # long-reader
+//! cargo run --release -p deltx-sim --bin growth_curve -- zipf    # skewed mix
+//! cargo run --release -p deltx-sim --bin growth_curve -- zipf 500 25 > curve.csv
+//! ```
+//!
+//! Columns: `step, scheduler, nodes`.
+
+use deltx_core::policy::{BatchC2, GreedyC1, Noncurrent};
+use deltx_model::workload::{
+    long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen,
+};
+use deltx_model::Step;
+use deltx_sched::locking::TwoPhaseLocking;
+use deltx_sched::preventive::Preventive;
+use deltx_sched::reduced::Reduced;
+use deltx_sched::Scheduler;
+use deltx_sim::driver::drive;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = args.first().map(String::as_str).unwrap_or("long-reader");
+    let txns: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let sample: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    let steps: Vec<Step> = match kind {
+        "zipf" => WorkloadGen::new(WorkloadConfig {
+            n_entities: 24,
+            concurrency: 4,
+            total_txns: txns,
+            zipf_exponent: Some(1.1),
+            seed: 8,
+            ..WorkloadConfig::default()
+        })
+        .collect(),
+        _ => long_running_reader(&LongReaderConfig {
+            reader_scan: 8,
+            n_writers: txns,
+            n_entities: 16,
+            seed: 3,
+        })
+        .steps()
+        .to_vec(),
+    };
+
+    type Mk = fn() -> Box<dyn Scheduler>;
+    let schedulers: [(&str, Mk); 5] = [
+        ("no-deletion", || Box::new(Preventive::new())),
+        ("noncurrent", || Box::new(Reduced::new(Noncurrent))),
+        ("greedy-c1", || Box::new(Reduced::new(GreedyC1))),
+        ("batch-c2", || Box::new(Reduced::new(BatchC2))),
+        ("2pl", || Box::new(TwoPhaseLocking::new())),
+    ];
+    println!("step,scheduler,nodes");
+    for (name, mk) in schedulers {
+        let mut s = mk();
+        let m = drive(&steps, s.as_mut(), sample);
+        for (i, n) in m.node_series {
+            println!("{i},{name},{n}");
+        }
+        eprintln!(
+            "{name}: peak {} nodes, {} accepted, CSR {}",
+            m.peak_nodes, m.accepted, m.csr_ok
+        );
+    }
+}

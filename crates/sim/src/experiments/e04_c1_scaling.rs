@@ -1,0 +1,78 @@
+//! E4 — the C1 test is polynomial: measure its cost as the graph grows.
+//!
+//! Workload: one long-lived reader pinning `k` entities plus `n`
+//! retained completed writers (deletion disabled so the graph actually
+//! grows). We time a full `c1::eligible` sweep and report per-node cost.
+
+use crate::report::{f2, micros, ExperimentReport};
+use deltx_core::{c1, CgState};
+use deltx_model::workload::{long_running_reader, LongReaderConfig};
+use std::time::Instant;
+
+/// Runs with default sizes.
+pub fn run() -> ExperimentReport {
+    run_with(&[16, 64, 256, 1024])
+}
+
+/// Builds a retained graph with `n` completed writers per size in
+/// `sizes`, timing the complete C1 eligibility sweep.
+pub fn run_with(sizes: &[usize]) -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E04",
+        "C1 check scaling (polynomial)",
+        "testing C1 is polynomial: per-candidate cost grows at most ~linearly with graph size (no exponential blow-up)",
+        &["nodes", "sweep µs", "per-node µs", "vs prev per-node"],
+    );
+    let mut prev_per_node: Option<f64> = None;
+    let mut prev_size: Option<usize> = None;
+    for &n in sizes {
+        let schedule = long_running_reader(&LongReaderConfig {
+            reader_scan: 8,
+            n_writers: n,
+            n_entities: 16,
+            seed: 5,
+        });
+        let mut cg = CgState::new();
+        for step in schedule.steps() {
+            let _ = cg.apply(step).expect("well-formed");
+        }
+        let nodes = cg.graph().node_count();
+        let t0 = Instant::now();
+        let eligible = c1::eligible(&cg);
+        let dt = t0.elapsed();
+        let per_node = dt.as_secs_f64() * 1e6 / nodes as f64;
+        let ratio = match (prev_per_node, prev_size) {
+            (Some(p), Some(ps)) if p > 0.0 => {
+                let size_ratio = nodes as f64 / ps as f64;
+                let time_ratio = per_node / p;
+                // Polynomial check: per-node time may grow, but much
+                // slower than exponentially; allow ~quadratic slack.
+                r.check(
+                    time_ratio <= size_ratio * size_ratio * 4.0,
+                    "per-node C1 cost grew superpolynomially",
+                );
+                f2(time_ratio)
+            }
+            _ => "-".to_string(),
+        };
+        r.row(vec![
+            nodes.to_string(),
+            micros(dt),
+            f2(per_node),
+            ratio,
+        ]);
+        r.check(!eligible.is_empty(), "some candidates eligible");
+        prev_per_node = Some(per_node);
+        prev_size = Some(nodes);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes() {
+        let rep = super::run_with(&[16, 64]);
+        assert!(rep.pass, "{}", rep.render());
+    }
+}

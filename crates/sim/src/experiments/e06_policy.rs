@@ -1,0 +1,79 @@
+//! E6 — Theorem 2: a deletion policy is correct iff its deletions are
+//! safe. Safe policies never diverge from the full scheduler; the
+//! commit-time policy (correct for locking, §1) diverges and accepts a
+//! non-serializable schedule.
+
+use crate::report::ExperimentReport;
+use deltx_core::policy::{BatchC2, CommitTimeUnsafe, DeletionPolicy, GreedyC1, Noncurrent};
+use deltx_model::dsl::parse;
+use deltx_model::workload::{WorkloadConfig, WorkloadGen};
+use deltx_model::Step;
+use deltx_sched::equiv::{compare_policy_against_full, csr_audit};
+use deltx_sched::reduced::Reduced;
+
+fn probe<P: DeletionPolicy + Clone>(
+    r: &mut ExperimentReport,
+    name: &str,
+    policy: P,
+    adversarial: &[Step],
+    random: &[Step],
+    expect_safe: bool,
+) {
+    let d_adv = compare_policy_against_full(adversarial, &mut policy.clone());
+    let d_rand = compare_policy_against_full(random, &mut policy.clone());
+    let (csr_adv, _) = csr_audit(adversarial, &mut Reduced::new(policy));
+    let diverged = d_adv.is_some() || d_rand.is_some();
+    r.row(vec![
+        name.to_string(),
+        d_adv
+            .as_ref()
+            .map_or("-".into(), |d| format!("step {}", d.at)),
+        d_rand
+            .as_ref()
+            .map_or("-".into(), |d| format!("step {}", d.at)),
+        csr_adv.to_string(),
+    ]);
+    if expect_safe {
+        r.check(!diverged, &format!("{name} must never diverge"));
+        r.check(csr_adv, &format!("{name} must accept only CSR"));
+    } else {
+        r.check(d_adv.is_some(), &format!("{name} must diverge"));
+        r.check(!csr_adv, &format!("{name} must accept a non-CSR schedule"));
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E06",
+        "Theorem 2 (policy correctness)",
+        "safe policies behave exactly like the full scheduler; the commit-time policy diverges and accepts a non-CSR schedule",
+        &["policy", "divergence (adversarial)", "divergence (random)", "CSR on adversarial"],
+    );
+    let adversarial = parse("b1 r1(x) b2 r2(y) w2(x) w1(y)").expect("static");
+    let random: Vec<Step> = WorkloadGen::new(WorkloadConfig {
+        n_entities: 5,
+        concurrency: 4,
+        total_txns: 50,
+        seed: 21,
+        ..WorkloadConfig::default()
+    })
+    .collect();
+
+    probe(&mut r, "no-deletion", deltx_core::policy::NoDeletion, adversarial.steps(), &random, true);
+    probe(&mut r, "noncurrent", Noncurrent, adversarial.steps(), &random, true);
+    probe(&mut r, "greedy-C1", GreedyC1, adversarial.steps(), &random, true);
+    probe(&mut r, "batch-C2", BatchC2, adversarial.steps(), &random, true);
+    probe(&mut r, "commit-time (unsafe)", CommitTimeUnsafe, adversarial.steps(), &random, false);
+    r.note(format!("adversarial schedule: {adversarial}"));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes() {
+        let rep = super::run();
+        assert!(rep.pass, "{}", rep.render());
+    }
+}

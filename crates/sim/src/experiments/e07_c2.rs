@@ -1,0 +1,141 @@
+//! E7 — Theorem 4 / the Example-1 interference phenomenon at scale:
+//! individually deletable transactions are often *not* jointly
+//! deletable.
+//!
+//! Two workload families:
+//!
+//! * the **structured** family generalizes Example 1: one long-lived
+//!   reader pins `e` entities; each entity then receives `w` serial
+//!   completed writers. All `w·e` writers are individually C1-eligible,
+//!   but per entity only `w − 1` may go — with `w = 2` *every*
+//!   same-entity pair is an Example-1 pair (100% interference);
+//! * **random** workloads report how often the phenomenon occurs in the
+//!   wild (informational; young transactions rarely pin old history).
+
+use crate::report::{f2, ExperimentReport};
+use deltx_core::{c1, c2, CgState};
+use deltx_model::workload::{WorkloadConfig, WorkloadGen};
+use deltx_model::Step;
+use std::collections::BTreeSet;
+
+fn structured(e: u32, w: usize) -> CgState {
+    let mut cg = CgState::new();
+    cg.apply(&Step::begin(1)).expect("begin reader");
+    for x in 0..e {
+        cg.apply(&Step::read(1, x)).expect("reader scan");
+    }
+    let mut id = 2;
+    for x in 0..e {
+        for _ in 0..w {
+            cg.apply(&Step::begin(id)).expect("begin writer");
+            cg.apply(&Step::read(id, x)).expect("writer read");
+            cg.apply(&Step::write_all(id, [x])).expect("writer write");
+            id += 1;
+        }
+    }
+    cg
+}
+
+/// Runs with default parameters.
+pub fn run() -> ExperimentReport {
+    run_with(&[2, 3, 4], 40)
+}
+
+/// `writers_per_entity` sweeps the structured family; `txns` sizes the
+/// random workloads.
+pub fn run_with(writers_per_entity: &[usize], txns: usize) -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E07",
+        "Theorem 4 (joint-deletion interference)",
+        "all writers are individually C1-eligible, yet per entity one must stay: with w=2 every same-entity pair fails C2; max safe = e(w-1); greedy C2 batches are always safe",
+        &["family", "eligible", "same-entity pairs", "C2-failing pairs", "failure %", "max safe", "greedy safe"],
+    );
+    let e = 4u32;
+    for &w in writers_per_entity {
+        let cg = structured(e, w);
+        let eligible = c1::eligible(&cg);
+        r.check(
+            eligible.len() == e as usize * w,
+            "every writer individually eligible",
+        );
+        // Same-entity pairs: consecutive ids grouped by construction.
+        let mut pairs = 0usize;
+        let mut failing = 0usize;
+        for g in eligible.chunks(w) {
+            for i in 0..g.len() {
+                for j in i + 1..g.len() {
+                    pairs += 1;
+                    if !c2::holds(&cg, &BTreeSet::from([g[i], g[j]])) {
+                        failing += 1;
+                    }
+                }
+            }
+        }
+        let exact = c2::max_safe_exact(&cg, &eligible);
+        let greedy = c2::grow_greedy(&cg, &eligible);
+        r.check(c2::holds(&cg, &greedy), "greedy C2 set safe");
+        r.check(
+            exact.len() == e as usize * (w - 1),
+            "max safe must be e(w-1)",
+        );
+        if w == 2 {
+            r.check(failing == pairs && pairs > 0, "w=2: all pairs interfere");
+        }
+        r.row(vec![
+            format!("structured w={w}"),
+            eligible.len().to_string(),
+            pairs.to_string(),
+            failing.to_string(),
+            f2(100.0 * failing as f64 / pairs.max(1) as f64),
+            exact.len().to_string(),
+            greedy.len().to_string(),
+        ]);
+    }
+
+    // Random workloads: informational frequency measurement.
+    for (label, n_entities) in [("random e=4", 4u32), ("random e=16", 16u32)] {
+        let cfg = WorkloadConfig {
+            n_entities,
+            concurrency: 3,
+            total_txns: txns,
+            seed: 1234 + u64::from(n_entities),
+            ..WorkloadConfig::default()
+        };
+        let mut cg = CgState::new();
+        let mut pairs = 0usize;
+        let mut failing = 0usize;
+        for step in WorkloadGen::new(cfg) {
+            let _ = cg.apply(&step).expect("well-formed");
+            let eligible = c1::eligible(&cg);
+            for (i, &a) in eligible.iter().enumerate() {
+                for &b in &eligible[i + 1..] {
+                    pairs += 1;
+                    if !c2::holds(&cg, &BTreeSet::from([a, b])) {
+                        failing += 1;
+                    }
+                }
+            }
+            let grown = c2::grow_greedy(&cg, &eligible);
+            r.check(c2::holds(&cg, &grown), "greedy C2 set safe (random)");
+        }
+        r.row(vec![
+            label.to_string(),
+            "-".to_string(),
+            pairs.to_string(),
+            failing.to_string(),
+            f2(100.0 * failing as f64 / pairs.max(1) as f64),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes() {
+        let rep = super::run_with(&[2, 3], 15);
+        assert!(rep.pass, "{}", rep.render());
+    }
+}

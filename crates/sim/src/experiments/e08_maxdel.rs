@@ -1,0 +1,67 @@
+//! E8 — Theorem 5: finding the *maximum* safely-deletable set is
+//! NP-complete. On the paper's set-cover schedules, the exact
+//! branch-and-bound answer equals `m − min-cover` while the polynomial
+//! greedy heuristic trails it; exact cost grows combinatorially.
+
+use crate::report::{micros, ExperimentReport};
+use deltx_core::c2;
+use deltx_reductions::setcover::{min_cover_exact, SetCoverInstance};
+use deltx_reductions::to_schedule;
+use std::time::Instant;
+
+/// Runs with default family sizes.
+pub fn run() -> ExperimentReport {
+    run_with(&[4, 6, 8, 10, 12])
+}
+
+/// Sweeps the number of sets `m`.
+pub fn run_with(ms: &[usize]) -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E08",
+        "Theorem 5 (max deletion set is NP-complete)",
+        "max C2-deletable set size == m - min_cover on the Thm-5 schedules; exact search cost grows combinatorially while greedy stays cheap",
+        &["m", "exact |N|", "greedy |N|", "m-mincover", "exact µs", "greedy µs"],
+    );
+    for &m in ms {
+        let inst = SetCoverInstance::random(m + 2, m, 3, 2, 77 + m as u64);
+        let t = to_schedule::build(&inst);
+        let cg = to_schedule::run(&t);
+        let nodes = to_schedule::set_nodes(&t, &cg);
+
+        let t0 = Instant::now();
+        let exact = c2::max_safe_exact(&cg, &nodes);
+        let exact_dt = t0.elapsed();
+
+        let t1 = Instant::now();
+        let greedy = c2::grow_greedy(&cg, &nodes);
+        let greedy_dt = t1.elapsed();
+
+        let mincover = min_cover_exact(&inst).expect("coverable").len();
+        r.row(vec![
+            m.to_string(),
+            exact.len().to_string(),
+            greedy.len().to_string(),
+            (m - mincover).to_string(),
+            micros(exact_dt),
+            micros(greedy_dt),
+        ]);
+        r.check(
+            exact.len() == m - mincover,
+            "graph max-deletion must equal m - min_cover",
+        );
+        r.check(greedy.len() <= exact.len(), "greedy can never beat exact");
+        r.check(c2::holds(&cg, &exact), "exact set is C2-safe");
+        r.check(c2::holds(&cg, &greedy), "greedy set is C2-safe");
+    }
+    r.note("instances: universe m+2, m sets, min element degree 2, seeded".to_string());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes() {
+        let rep = super::run_with(&[4, 6]);
+        assert!(rep.pass, "{}", rep.render());
+    }
+}

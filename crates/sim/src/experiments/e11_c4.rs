@@ -1,0 +1,114 @@
+//! E11 — Theorem 7: C4 is polynomial, and the journal version's clause 2
+//! strictly widens the PODS-86 condition (Example 2's transaction `C` is
+//! the canonical witness).
+
+use crate::report::{micros, ExperimentReport};
+use deltx_core::examples_paper::figure4;
+use deltx_core::{c4, CgError};
+use deltx_model::{Op, TxnId, TxnSpec};
+use deltx_sched::predeclared::PredeclaredDriver;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn random_spec(id: u32, n_entities: u32, rng: &mut StdRng) -> TxnSpec {
+    let n_reads = rng.gen_range(1..=2);
+    let mut ops: Vec<Op> = (0..n_reads)
+        .map(|_| Op::Read(deltx_model::EntityId(rng.gen_range(0..n_entities))))
+        .collect();
+    ops.push(Op::Write(deltx_model::EntityId(rng.gen_range(0..n_entities))));
+    TxnSpec {
+        id: TxnId(id),
+        ops,
+    }
+}
+
+/// Runs with default sizes.
+pub fn run() -> ExperimentReport {
+    run_with(&[10, 40, 160])
+}
+
+/// Sweeps the number of completed predeclared transactions retained.
+pub fn run_with(sizes: &[usize]) -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E11",
+        "Theorem 7 (C4, predeclared model)",
+        "C4 is polynomial to test; every PODS-86-eligible node is C4-eligible; clause 2 strictly adds eligibility (Example 2)",
+        &["retained txns", "nodes", "C4 eligible", "PODS'86 eligible", "sweep µs"],
+    );
+    // The Example 2 row first: the strict-inclusion witness.
+    let fig = figure4();
+    r.row(vec![
+        "figure-4".to_string(),
+        fig.state.graph().node_count().to_string(),
+        c4::eligible(&fig.state).len().to_string(),
+        fig.state
+            .completed_nodes()
+            .into_iter()
+            .filter(|&n| c4::holds_pods86(&fig.state, n))
+            .count()
+            .to_string(),
+        "-".to_string(),
+    ]);
+    r.check(
+        c4::eligible(&fig.state).len() == 1,
+        "figure 4: exactly C is eligible",
+    );
+
+    for &sz in sizes {
+        let mut rng = StdRng::seed_from_u64(31 + sz as u64);
+        let mut d = PredeclaredDriver::new(); // no GC: let the graph grow
+        // One long-lived declared reader that never finishes its program.
+        let reader = TxnSpec {
+            id: TxnId(1),
+            ops: vec![
+                Op::Read(deltx_model::EntityId(0)),
+                Op::Read(deltx_model::EntityId(1)),
+                Op::Read(deltx_model::EntityId(2)),
+            ],
+        };
+        d.submit(&reader).expect("reader");
+        d.pump().expect("pump"); // execute only what a single pass allows
+        for i in 0..sz {
+            let spec = random_spec(1000 + i as u32, 6, &mut rng);
+            match d.submit(&spec) {
+                Ok(()) => {}
+                Err(CgError::DuplicateBegin(_)) => unreachable!(),
+                Err(e) => panic!("submit failed: {e}"),
+            }
+            // Drive everyone except the reader to completion.
+            while d.pump().expect("pump") > 0 {}
+        }
+        let pre = d.state();
+        let nodes = pre.graph().node_count();
+        let t0 = Instant::now();
+        let eligible = c4::eligible(pre);
+        let dt = t0.elapsed();
+        let pods: Vec<_> = pre
+            .completed_nodes()
+            .into_iter()
+            .filter(|&n| c4::holds_pods86(pre, n))
+            .collect();
+        // Soundness: PODS'86-eligible must be a subset of C4-eligible.
+        for &n in &pods {
+            r.check(eligible.contains(&n), "PODS'86 => C4 inclusion");
+        }
+        r.row(vec![
+            sz.to_string(),
+            nodes.to_string(),
+            eligible.len().to_string(),
+            pods.len().to_string(),
+            micros(dt),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes() {
+        let rep = super::run_with(&[10, 20]);
+        assert!(rep.pass, "{}", rep.render());
+    }
+}

@@ -1,0 +1,88 @@
+//! E13 — ablation of the paper's §3 implementation note: maintain the
+//! transitive closure (O(1) cycle queries, O(n) arc updates, free
+//! deletions) versus per-step DFS. Both must produce byte-identical
+//! scheduling decisions; the experiment reports the cost trade.
+
+use crate::driver::drive;
+use crate::report::{f2, ExperimentReport};
+use deltx_core::policy::GreedyC1;
+use deltx_core::CycleStrategy;
+use deltx_model::workload::{WorkloadConfig, WorkloadGen};
+use deltx_model::Step;
+use deltx_sched::preventive::Preventive;
+use deltx_sched::reduced::Reduced;
+
+/// Runs with a default workload size.
+pub fn run() -> ExperimentReport {
+    run_with(300)
+}
+
+/// `txns` transactions of a mixed workload.
+pub fn run_with(txns: usize) -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "E13",
+        "Cycle-check strategy ablation (DFS vs transitive closure)",
+        "the transitive-closure strategy (paper §3 note) makes identical decisions; deletions are row/column drops; relative cost depends on graph density",
+        &["scheduler", "strategy", "accepted", "aborted txns", "elapsed ms", "rel. time"],
+    );
+    let steps: Vec<Step> = WorkloadGen::new(WorkloadConfig {
+        n_entities: 12,
+        concurrency: 5,
+        total_txns: txns,
+        seed: 99,
+        ..WorkloadConfig::default()
+    })
+    .collect();
+
+    let configs: Vec<(&str, CycleStrategy)> = vec![
+        ("dfs", CycleStrategy::Dfs),
+        ("closure", CycleStrategy::TransitiveClosure),
+    ];
+    type Mk = fn(CycleStrategy) -> Box<dyn deltx_sched::Scheduler>;
+    let kinds: [(&str, Mk); 2] = [
+        ("preventive", |s| Box::new(Preventive::with_strategy(s))),
+        ("greedy-C1", |s| Box::new(Reduced::with_strategy(GreedyC1, s))),
+    ];
+    for (kind, mk) in kinds {
+        let mut base: Option<(usize, usize, f64)> = None;
+        for (sname, strat) in &configs {
+            let mut sched = mk(*strat);
+            let m = drive(&steps, sched.as_mut(), 0);
+            let secs = m.elapsed.as_secs_f64();
+            let rel = match &base {
+                Some((acc, ab, t0)) => {
+                    r.check(m.accepted == *acc, "strategies must accept identically");
+                    r.check(m.aborted_txns == *ab, "strategies must abort identically");
+                    if *t0 > 0.0 {
+                        f2(secs / t0)
+                    } else {
+                        "-".to_string()
+                    }
+                }
+                None => {
+                    base = Some((m.accepted, m.aborted_txns, secs));
+                    "1.00".to_string()
+                }
+            };
+            r.check(m.csr_ok, "CSR audit");
+            r.row(vec![
+                kind.to_string(),
+                sname.to_string(),
+                m.accepted.to_string(),
+                m.aborted_txns.to_string(),
+                format!("{:.2}", secs * 1e3),
+                rel,
+            ]);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes() {
+        let rep = super::run_with(60);
+        assert!(rep.pass, "{}", rep.render());
+    }
+}

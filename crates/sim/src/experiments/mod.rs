@@ -1,0 +1,51 @@
+//! The experiment suite: one module per figure/experiment of
+//! EXPERIMENTS.md. Every `run()` is deterministic (fixed seeds), prints
+//! nothing itself, and returns an [`ExperimentReport`] whose `pass`
+//! verdict is asserted by the integration tests.
+
+use crate::report::ExperimentReport;
+
+pub mod e01_lemma1;
+pub mod e03_c1_oracle;
+pub mod e04_c1_scaling;
+pub mod e05_noncurrent;
+pub mod e06_policy;
+pub mod e07_c2;
+pub mod e08_maxdel;
+pub mod e09_bound;
+pub mod e10_c3;
+pub mod e11_c4;
+pub mod e12_policies;
+pub mod e13_closure;
+pub mod figures;
+
+/// Runs every experiment (figures first), in id order.
+pub fn all() -> Vec<ExperimentReport> {
+    vec![
+        figures::f1(),
+        figures::f2(),
+        figures::f3(),
+        figures::f4(),
+        e01_lemma1::run(),
+        e03_c1_oracle::run(),
+        e04_c1_scaling::run(),
+        e05_noncurrent::run(),
+        e06_policy::run(),
+        e07_c2::run(),
+        e08_maxdel::run(),
+        e09_bound::run(),
+        e10_c3::run(),
+        e11_c4::run(),
+        e12_policies::run(),
+        e13_closure::run(),
+    ]
+}
+
+/// Runs the experiments whose id starts with `prefix`
+/// (case-insensitive); empty prefix runs all.
+pub fn matching(prefix: &str) -> Vec<ExperimentReport> {
+    all()
+        .into_iter()
+        .filter(|r| r.id.to_lowercase().starts_with(&prefix.to_lowercase()))
+        .collect()
+}

@@ -1,0 +1,21 @@
+//! # deltx-sim — simulation driver, metrics and the experiment suite
+//!
+//! The paper contains proofs, not measurements; this crate is the
+//! measured evaluation DESIGN.md commits to. [`driver`] pushes workload
+//! streams through any scheduler (with retry queues for blocking ones),
+//! [`metrics`] collects the numbers, [`report`] renders paper-style
+//! tables, and [`experiments`] hosts one module per experiment
+//! (F1–F4, E1–E13) — each prints its claim, its rows, and a PASS/FAIL
+//! verdict recorded in `EXPERIMENTS.md`.
+//!
+//! Run everything with `cargo run -p deltx-sim --bin experiments`
+//! (`--release` recommended), or a single one with e.g.
+//! `cargo run -p deltx-sim --bin experiments -- e08`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod experiments;
+pub mod metrics;
+pub mod report;

@@ -1,0 +1,63 @@
+//! Run metrics collected by the driver.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Everything measured over one scheduler run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RunMetrics {
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Steps offered by the workload.
+    pub offered: usize,
+    /// Steps accepted (executed).
+    pub accepted: usize,
+    /// Steps dropped because their transaction had aborted.
+    pub ignored: usize,
+    /// Transactions aborted.
+    pub aborted_txns: usize,
+    /// Blocked-retry events (locking / predeclared style schedulers).
+    pub block_events: usize,
+    /// Steps still blocked when the stream ended.
+    pub stuck_steps: usize,
+    /// Peak remembered-transaction count (the paper's object of study).
+    pub peak_nodes: usize,
+    /// Peak total state size (nodes + arcs + aux).
+    pub peak_total: usize,
+    /// Final remembered-transaction count.
+    pub final_nodes: usize,
+    /// Sampled `(step_index, nodes)` series for growth curves.
+    pub node_series: Vec<(usize, usize)>,
+    /// Wall-clock time of the run.
+    #[serde(skip)]
+    pub elapsed: Duration,
+    /// Ground-truth audit: accepted subschedule conflict-serializable?
+    pub csr_ok: bool,
+}
+
+impl RunMetrics {
+    /// Accepted steps per second (0 if the run was too fast to measure).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.accepted as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_sane() {
+        let m = RunMetrics {
+            accepted: 1000,
+            elapsed: Duration::from_millis(500),
+            ..RunMetrics::default()
+        };
+        assert!((m.throughput() - 2000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Plain-text table rendering for experiment output.
+
+use serde::Serialize;
+
+/// One experiment's report: id, claim, a table and a verdict.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment id (`"F1"`, `"E08"`, …).
+    pub id: String,
+    /// Short title.
+    pub title: String,
+    /// The paper claim being validated (one line).
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Did the measured outcome match the claim?
+    pub pass: bool,
+    /// Free-form notes (seed, bounds, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Starts a report (pass defaults to `true`; experiments flip it on
+    /// any violated assertion).
+    pub fn new(id: &str, title: &str, claim: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            pass: true,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Records a checked expectation; failure flips the verdict.
+    pub fn check(&mut self, ok: bool, what: &str) {
+        if !ok {
+            self.pass = false;
+            self.notes.push(format!("FAILED: {what}"));
+        }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the report as a text block with an aligned table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "claim: {}", self.claim);
+        // Column widths.
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String], w: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "  {}", line(&self.headers, &w));
+        let _ = writeln!(
+            out,
+            "  {}",
+            w.iter()
+                .map(|&n| "-".repeat(n))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "  {}", line(row, &w));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        let _ = writeln!(out, "verdict: {}", if self.pass { "PASS" } else { "FAIL" });
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "*Claim:* {}\n", self.claim);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        let _ = writeln!(
+            out,
+            "\n**Verdict: {}**\n",
+            if self.pass { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Helper: formats a `f64` with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Helper: formats a duration as microseconds.
+pub fn micros(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = ExperimentReport::new("E99", "demo", "the sky is blue", &["a", "bbbb"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row(vec!["100".into(), "2".into()]);
+        let txt = r.render();
+        assert!(txt.contains("E99"));
+        assert!(txt.contains("PASS"));
+        assert!(txt.contains("  a  bbbb") || txt.contains("    a  bbbb"));
+    }
+
+    #[test]
+    fn check_flips_verdict() {
+        let mut r = ExperimentReport::new("E98", "demo", "x", &["a"]);
+        r.check(true, "fine");
+        assert!(r.pass);
+        r.check(false, "broken");
+        assert!(!r.pass);
+        assert!(r.render().contains("FAIL"));
+        assert!(r.render().contains("broken"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut r = ExperimentReport::new("F1", "figure", "c", &["x"]);
+        r.row(vec!["v".into()]);
+        let md = r.render_markdown();
+        assert!(md.contains("### F1"));
+        assert!(md.contains("| x |"));
+        assert!(md.contains("| v |"));
+    }
+}

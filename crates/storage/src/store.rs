@@ -1,0 +1,117 @@
+//! The multi-version entity store.
+
+use deltx_model::{EntityId, TxnId};
+use std::collections::HashMap;
+
+/// Stored values. Integers keep the examples (bank balances, counters)
+/// honest without dragging in serialization.
+pub type Value = i64;
+
+/// One installed version of an entity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Version {
+    /// The stored value.
+    pub value: Value,
+    /// The transaction whose final write installed it.
+    pub writer: TxnId,
+    /// Global installation sequence number (monotone across entities).
+    pub seq: u64,
+}
+
+/// An in-memory multi-version store. Entities spring into existence with
+/// value `0` and no version history.
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    history: HashMap<EntityId, Vec<Version>>,
+    seq: u64,
+}
+
+impl Store {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of `x` (`0` if never written).
+    pub fn read(&self, x: EntityId) -> Value {
+        self.history
+            .get(&x)
+            .and_then(|h| h.last())
+            .map_or(0, |v| v.value)
+    }
+
+    /// Current version record of `x`, if ever written.
+    pub fn current_version(&self, x: EntityId) -> Option<&Version> {
+        self.history.get(&x).and_then(|h| h.last())
+    }
+
+    /// The transaction that wrote the current value of `x`, if any —
+    /// the data-side view of Corollary 1's *current* notion.
+    pub fn current_writer(&self, x: EntityId) -> Option<TxnId> {
+        self.current_version(x).map(|v| v.writer)
+    }
+
+    /// Number of versions ever installed for `x`.
+    pub fn version_count(&self, x: EntityId) -> usize {
+        self.history.get(&x).map_or(0, Vec::len)
+    }
+
+    /// Installs a new version of `x`. Returns the version record.
+    pub fn write(&mut self, x: EntityId, value: Value, writer: TxnId) -> Version {
+        self.seq += 1;
+        let v = Version {
+            value,
+            writer,
+            seq: self.seq,
+        };
+        self.history.entry(x).or_default().push(v);
+        v
+    }
+
+    /// Full version history of `x`, oldest first.
+    pub fn history(&self, x: EntityId) -> &[Version] {
+        self.history.get(&x).map_or(&[], Vec::as_slice)
+    }
+
+    /// Entities with at least one installed version.
+    pub fn written_entities(&self) -> Vec<EntityId> {
+        let mut v: Vec<EntityId> = self.history.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_entities_read_zero() {
+        let s = Store::new();
+        assert_eq!(s.read(EntityId(3)), 0);
+        assert_eq!(s.current_writer(EntityId(3)), None);
+        assert_eq!(s.version_count(EntityId(3)), 0);
+    }
+
+    #[test]
+    fn writes_install_versions_in_order() {
+        let mut s = Store::new();
+        s.write(EntityId(0), 10, TxnId(1));
+        s.write(EntityId(0), 20, TxnId(2));
+        assert_eq!(s.read(EntityId(0)), 20);
+        assert_eq!(s.current_writer(EntityId(0)), Some(TxnId(2)));
+        assert_eq!(s.version_count(EntityId(0)), 2);
+        let h = s.history(EntityId(0));
+        assert_eq!(h[0].value, 10);
+        assert!(h[0].seq < h[1].seq, "sequence numbers monotone");
+    }
+
+    #[test]
+    fn sequence_global_across_entities() {
+        let mut s = Store::new();
+        let a = s.write(EntityId(0), 1, TxnId(1));
+        let b = s.write(EntityId(9), 2, TxnId(1));
+        assert!(a.seq < b.seq);
+        assert_eq!(s.written_entities(), vec![EntityId(0), EntityId(9)]);
+    }
+}

@@ -1,0 +1,75 @@
+//! The two hardness results, demonstrated end to end.
+//!
+//! ```text
+//! cargo run --release --example np_hardness
+//! ```
+//!
+//! **Theorem 5** — choosing the *largest* set of transactions to forget
+//! is NP-complete: we embed a SET COVER instance into a schedule, solve
+//! it exactly on the graph (branch & bound over C2) and compare with the
+//! combinatorial solvers.
+//!
+//! **Theorem 6** — in the multiple-write model even deciding whether
+//! *one* transaction can be forgotten is NP-complete: we embed 3-SAT
+//! formulas into Figure-3 conflict graphs and watch the exact C3 checker
+//! sweep abort subsets while DPLL answers in microseconds.
+
+use deltx::core::{c2, c3};
+use deltx::core::mw::MwPhase;
+use deltx::reductions::sat::{dpll, Cnf};
+use deltx::reductions::setcover::{greedy_cover, min_cover_exact, SetCoverInstance};
+use deltx::reductions::{to_graph, to_schedule};
+use std::time::Instant;
+
+fn main() {
+    println!("=== Theorem 5: maximum safe deletion set ===\n");
+    let inst = SetCoverInstance::random(10, 8, 4, 2, 11);
+    println!("SET COVER: universe 10, {} sets", inst.sets.len());
+    let t5 = to_schedule::build(&inst);
+    let cg = to_schedule::run(&t5);
+    let nodes = to_schedule::set_nodes(&t5, &cg);
+
+    let t0 = Instant::now();
+    let exact = c2::max_safe_exact(&cg, &nodes);
+    let exact_dt = t0.elapsed();
+    let t0 = Instant::now();
+    let greedy = c2::grow_greedy(&cg, &nodes);
+    let greedy_dt = t0.elapsed();
+    let mincover = min_cover_exact(&inst).unwrap().len();
+    let gcover = greedy_cover(&inst).unwrap().len();
+
+    println!("  graph exact max-deletable : {} txns in {exact_dt:?}", exact.len());
+    println!("  graph greedy deletable    : {} txns in {greedy_dt:?}", greedy.len());
+    println!("  m - min_cover (exact)     : {}", t5.m - mincover);
+    println!("  m - greedy_cover          : {}", t5.m - gcover);
+    assert_eq!(exact.len(), t5.m - mincover, "Theorem 5 correspondence");
+    println!("  -> the graph answer equals the set-cover answer, as Theorem 5 demands\n");
+
+    println!("=== Theorem 6: single deletion, multiple-write model ===\n");
+    for (label, f) in [
+        ("satisfiable   (ratio 2.0)", Cnf::random_3sat(4, 8, 3)),
+        ("unsatisfiable (ratio 10m)", Cnf::random_3sat(3, 40, 1)),
+    ] {
+        let gadget = to_graph::build(&f);
+        let actives = gadget.state.nodes_in_phase(MwPhase::Active).len();
+        let t0 = Instant::now();
+        let sat = dpll(&f).is_some();
+        let dpll_dt = t0.elapsed();
+        let t0 = Instant::now();
+        let (violation, scanned) = c3::violation_exact(&gadget.state, gadget.c);
+        let c3_dt = t0.elapsed();
+        println!("  formula {label}: {} vars, {} clauses", f.n_vars, f.clauses.len());
+        println!("    DPLL: {} in {dpll_dt:?}", if sat { "SAT" } else { "UNSAT" });
+        println!(
+            "    exact C3 on the Figure-3 gadget ({} nodes, {actives} active): scanned {scanned}/{} subsets in {c3_dt:?}",
+            gadget.state.nodes().count(),
+            1u64 << actives,
+        );
+        println!(
+            "    C deletable: {}  (Theorem 6: deletable iff UNSAT)\n",
+            violation.is_none()
+        );
+        assert_eq!(violation.is_none(), !sat);
+    }
+    println!("both hardness constructions verified against their source-problem solvers.");
+}

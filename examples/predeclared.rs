@@ -1,0 +1,73 @@
+//! The predeclared model (§5) and Example 2 / Figure 4.
+//!
+//! ```text
+//! cargo run --example predeclared
+//! ```
+//!
+//! When transactions declare their read/write sets up front the
+//! scheduler can *delay* steps instead of aborting transactions, and the
+//! deletion condition becomes C4 — whose second clause (added in the
+//! journal version of the paper) is exactly what makes transaction `C`
+//! of Example 2 deletable.
+
+use deltx::core::examples_paper::{figure4, figure4_dot};
+use deltx::core::pre::PreApplied;
+use deltx::core::{c4, CgError};
+use deltx::model::{AccessMode, EntityId, Op, TxnId, TxnSpec};
+use deltx::sched::predeclared::PredeclaredDriver;
+
+fn main() -> Result<(), CgError> {
+    println!("=== Example 2 / Figure 4 ===\n");
+    let fig = figure4();
+    println!("{}", figure4_dot(&fig));
+    println!("A is active with one declared step left: read(y).");
+    for (name, n) in [("B", fig.b), ("C", fig.c)] {
+        println!(
+            "  C4({name}) = {:<5}   PODS-86 clause-1-only variant = {}",
+            c4::holds(&fig.state, n),
+            c4::holds_pods86(&fig.state, n),
+        );
+    }
+    println!("\nwhy C is safe: any new transaction D that would write y ahead of A");
+    println!("declares that write at BEGIN, receives the arc B -> D (B already read y),");
+    println!("and its write is DELAYED because D -> A would close a cycle. Watch:\n");
+
+    let mut pre = fig.state.clone();
+    pre.delete(fig.c)?;
+    let d_spec = TxnSpec {
+        id: TxnId(4),
+        ops: vec![Op::Write(EntityId(2))], // y
+    };
+    pre.begin(&d_spec)?;
+    let out = pre.step(TxnId(4), EntityId(2), AccessMode::Write)?;
+    println!("  D writes y before A's read -> {out:?}");
+    let out = pre.step(TxnId(1), EntityId(2), AccessMode::Read)?;
+    println!("  A reads y                  -> {out:?}");
+    let out = pre.step(TxnId(4), EntityId(2), AccessMode::Write)?;
+    println!("  D retries its write        -> {out:?}");
+    assert_eq!(out, PreApplied::Accepted);
+
+    println!("\n=== a contended workload, no aborts ever ===\n");
+    let mut driver = PredeclaredDriver::with_gc();
+    // A ring of conflicting transactions that would deadlock a naive
+    // scheduler: each reads its slot and writes the next.
+    for i in 0..6u32 {
+        driver.submit(&TxnSpec {
+            id: TxnId(100 + i),
+            ops: vec![
+                Op::Read(EntityId(i)),
+                Op::Write(EntityId((i + 1) % 6)),
+            ],
+        })?;
+    }
+    driver.run_to_completion().expect("the paper proves no deadlock");
+    println!(
+        "ring of 6 contended transactions completed with {} delays, 0 aborts;",
+        driver.delays
+    );
+    println!(
+        "C4 garbage collection deleted {} of them on the fly (peak graph: {} nodes).",
+        driver.deletions, driver.peak_nodes
+    );
+    Ok(())
+}

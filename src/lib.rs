@@ -1,0 +1,57 @@
+//! # deltx — Deleting Completed Transactions
+//!
+//! Umbrella crate re-exporting the full public API of the `deltx`
+//! workspace: a production-quality Rust reproduction of
+//!
+//! > T. Hadzilacos and M. Yannakakis, *"Deleting Completed Transactions"*,
+//! > PODS 1986 / JCSS 38(2):360–379, 1989.
+//!
+//! The paper answers: in a conflict-graph (serialization-graph) scheduler,
+//! **when can a completed transaction be forgotten** — removed from the
+//! graph — without ever accepting a non-serializable schedule? See
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced results.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Contents |
+//! |---|---|
+//! | [`model`] | transactions, schedules, the text DSL, workload generators |
+//! | [`graph`] | digraph substrate: cycle checks, transitive closure, tight paths |
+//! | [`core`] | conflict-graph rules, reduced graphs, conditions C1–C4, policies, safety oracle |
+//! | [`storage`] | versioned in-memory entity store |
+//! | [`sched`] | schedulers: preventive / certifier / reduced+policy / 2PL / predeclared / multi-write |
+//! | [`reductions`] | Theorem 5 & 6 NP-completeness constructions, set-cover and SAT solvers |
+//! | [`sim`] | simulation driver, metrics, experiment suite E1–E13 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deltx::core::{CgState, c1};
+//! use deltx::model::dsl;
+//!
+//! // Example 1 / Figure 1 of the paper: T1 reads x and stays active;
+//! // T2 then T3 read and write x and complete.
+//! let schedule = dsl::parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+//! let mut cg = CgState::new();
+//! for step in schedule.steps() {
+//!     cg.apply(step).unwrap();
+//! }
+//! let t2 = cg.node_of(deltx::model::TxnId(2)).unwrap();
+//! let t3 = cg.node_of(deltx::model::TxnId(3)).unwrap();
+//! // Both T2 and T3 satisfy condition C1 individually...
+//! assert!(c1::holds(&cg, t2));
+//! assert!(c1::holds(&cg, t3));
+//! // ...but after deleting T3, T2 no longer does (the paper's
+//! // counterintuitive phenomenon: eligibility is not monotone).
+//! cg.delete(t3);
+//! assert!(!c1::holds(&cg, t2));
+//! ```
+
+pub use deltx_core as core;
+pub use deltx_graph as graph;
+pub use deltx_model as model;
+pub use deltx_reductions as reductions;
+pub use deltx_sched as sched;
+pub use deltx_sim as sim;
+pub use deltx_storage as storage;

@@ -1,0 +1,21 @@
+//! Runs the full experiment suite (the EXPERIMENTS.md generator) and
+//! asserts every paper claim holds. This is the repository's top-level
+//! "does the reproduction reproduce" test.
+
+use deltx::sim::experiments;
+
+#[test]
+fn all_figures_pass() {
+    for rep in experiments::matching("f") {
+        assert!(rep.pass, "{} failed:\n{}", rep.id, rep.render());
+    }
+}
+
+#[test]
+fn all_experiments_pass() {
+    // Default parameters are sized to finish in seconds in release mode
+    // and well under a minute in debug.
+    for rep in experiments::matching("e") {
+        assert!(rep.pass, "{} failed:\n{}", rep.id, rep.render());
+    }
+}
