@@ -28,7 +28,11 @@ fn bench(c: &mut Criterion) {
     let mut cg = CgState::new();
     cg.run(p.steps()).unwrap();
     let t2 = cg.node_of(deltx_model::TxnId(2)).unwrap();
-    let bounds = OracleBounds { max_depth: 3, max_new_txns: 1, fresh_entity: true };
+    let bounds = OracleBounds {
+        max_depth: 3,
+        max_new_txns: 1,
+        fresh_entity: true,
+    };
     c.bench_function("c1_oracle/exhaustive-depth3", |b| {
         b.iter(|| oracle::single_deletion_safe_bounded(&cg, t2, &bounds))
     });

@@ -7,7 +7,10 @@ use deltx_reductions::sat::{dpll, Cnf, Lit};
 use deltx_reductions::to_graph;
 
 fn unsat(n: usize) -> Cnf {
-    let lit = |v: usize, p: bool| Lit { var: v, positive: p };
+    let lit = |v: usize, p: bool| Lit {
+        var: v,
+        positive: p,
+    };
     let mut clauses = vec![
         vec![lit(0, true), lit(0, true), lit(0, true)],
         vec![lit(0, false), lit(0, false), lit(0, false)],
@@ -24,9 +27,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("exact-c3", n), &n, |b, _| {
             b.iter(|| c3::violation_exact(&gadget.state, gadget.c))
         });
-        g.bench_with_input(BenchmarkId::new("dpll", n), &n, |b, _| {
-            b.iter(|| dpll(&f))
-        });
+        g.bench_with_input(BenchmarkId::new("dpll", n), &n, |b, _| b.iter(|| dpll(&f)));
     }
     g.finish();
 }

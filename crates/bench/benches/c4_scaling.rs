@@ -10,14 +10,21 @@ fn build(n: usize) -> PredeclaredDriver {
     let mut d = PredeclaredDriver::new();
     d.submit(&TxnSpec {
         id: TxnId(1),
-        ops: vec![Op::Read(EntityId(0)), Op::Read(EntityId(1)), Op::Read(EntityId(7))],
+        ops: vec![
+            Op::Read(EntityId(0)),
+            Op::Read(EntityId(1)),
+            Op::Read(EntityId(7)),
+        ],
     })
     .unwrap();
     d.pump().unwrap();
     for i in 0..n {
         d.submit(&TxnSpec {
             id: TxnId(100 + i as u32),
-            ops: vec![Op::Read(EntityId((i % 3) as u32)), Op::Write(EntityId((i % 5) as u32))],
+            ops: vec![
+                Op::Read(EntityId((i % 3) as u32)),
+                Op::Write(EntityId((i % 5) as u32)),
+            ],
         })
         .unwrap();
         while d.pump().unwrap() > 0 {}

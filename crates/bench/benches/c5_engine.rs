@@ -1,0 +1,122 @@
+//! C5: online engine throughput — the end-to-end cost of serving
+//! transactions through the sharded conflict-graph scheduler, across
+//! the axes that matter: GC policy (does deletion pay for itself?),
+//! shard-locality (fast path vs escalated commits), and thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deltx_engine::{Engine, EngineConfig, GcPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARDS: usize = 4;
+const ENTITIES: u32 = 64;
+
+/// Drives `txns` transfer transactions from `threads` workers.
+fn drive(engine: &Engine, threads: usize, txns: usize, cross_pct: u32, seed: u64) {
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + tid as u64);
+                for _ in 0..txns / threads {
+                    let (x, y) = if rng.gen_range(0u32..100) < cross_pct {
+                        (rng.gen_range(0..ENTITIES), rng.gen_range(0..ENTITIES))
+                    } else {
+                        let s = rng.gen_range(0..SHARDS as u32);
+                        let span = ENTITIES / SHARDS as u32;
+                        (
+                            s + SHARDS as u32 * rng.gen_range(0..span),
+                            s + SHARDS as u32 * rng.gen_range(0..span),
+                        )
+                    };
+                    let mut t = engine.begin();
+                    let Ok(a) = t.read(x) else { continue };
+                    t.write(x, a + 1);
+                    if y != x {
+                        t.write(y, a);
+                    }
+                    let _ = t.commit();
+                }
+            });
+        }
+    });
+}
+
+fn engine(gc: GcPolicy) -> Engine {
+    Engine::new(EngineConfig {
+        shards: SHARDS,
+        gc,
+        background_gc: false, // backpressure GC only: deterministic work
+        record_history: false,
+        ..EngineConfig::default()
+    })
+}
+
+/// GC policy sweep: noncurrent GC vs no deletion, same workload. The
+/// no-deletion engine pays ever-growing cycle checks; the GC'd one
+/// stays flat — the paper's point, measured end to end.
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c5_engine/policy");
+    let txns = 4_000;
+    g.throughput(Throughput::Elements(txns as u64));
+    for (name, gc) in [
+        ("noncurrent", GcPolicy::Noncurrent),
+        ("off", GcPolicy::Off),
+        (
+            "shard-local-c1",
+            GcPolicy::ShardLocal(deltx_core::policy::PolicyKind::GreedyC1),
+        ),
+    ] {
+        g.bench_function(BenchmarkId::new("gc", name), |b| {
+            b.iter(|| {
+                let e = engine(gc);
+                drive(&e, 4, txns, 20, 1);
+                e.gc_sweep();
+                e.metrics().commits
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Shard-locality sweep: 0% cross-shard traffic runs entirely on the
+/// single-lock fast path; 100% serializes every commit through the
+/// escalated union check.
+fn bench_locality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c5_engine/locality");
+    let txns = 4_000;
+    g.throughput(Throughput::Elements(txns as u64));
+    for cross in [0u32, 20, 100] {
+        g.bench_function(BenchmarkId::new("cross-pct", cross), |b| {
+            b.iter(|| {
+                let e = engine(GcPolicy::Noncurrent);
+                drive(&e, 4, txns, cross, 2);
+                e.metrics().commits
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Thread scaling on a partitionable workload.
+fn bench_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c5_engine/threads");
+    let txns = 4_000;
+    g.throughput(Throughput::Elements(txns as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                let e = engine(GcPolicy::Noncurrent);
+                drive(&e, threads, txns, 0, 3);
+                e.metrics().commits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies, bench_locality, bench_threads
+}
+criterion_main!(benches);

@@ -13,18 +13,22 @@ fn bench(c: &mut Criterion) {
         ("dfs", CycleStrategy::Dfs),
         ("closure", CycleStrategy::TransitiveClosure),
     ] {
-        g.bench_with_input(BenchmarkId::new("no-deletion", name), &strat, |b, &strat| {
-            b.iter_batched(
-                || CgState::with_strategy(strat),
-                |mut cg| {
-                    for s in &steps {
-                        let _ = cg.apply(s).unwrap();
-                    }
-                    cg
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("no-deletion", name),
+            &strat,
+            |b, &strat| {
+                b.iter_batched(
+                    || CgState::with_strategy(strat),
+                    |mut cg| {
+                        for s in &steps {
+                            let _ = cg.apply(s).unwrap();
+                        }
+                        cg
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
         g.bench_with_input(BenchmarkId::new("greedy-c1", name), &strat, |b, &strat| {
             b.iter_batched(
                 || CgState::with_strategy(strat),

@@ -9,9 +9,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("noncurrent/scan-256", |b| {
         b.iter(|| noncurrent::noncurrent_completed(&cg))
     });
-    c.bench_function("noncurrent/c1-sweep-256", |b| {
-        b.iter(|| c1::eligible(&cg))
-    });
+    c.bench_function("noncurrent/c1-sweep-256", |b| b.iter(|| c1::eligible(&cg)));
 }
 
 criterion_group! {

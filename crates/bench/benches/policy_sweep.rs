@@ -25,16 +25,12 @@ fn bench(c: &mut Criterion) {
             ("2pl", || Box::new(TwoPhaseLocking::new())),
         ];
         for (sname, mk) in schedulers {
-            g.bench_with_input(
-                BenchmarkId::new(*wname, sname),
-                steps,
-                |b, steps| {
-                    b.iter(|| {
-                        let mut s = mk();
-                        drive(steps, s.as_mut(), 0)
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(*wname, sname), steps, |b, steps| {
+                b.iter(|| {
+                    let mut s = mk();
+                    drive(steps, s.as_mut(), 0)
+                })
+            });
         }
     }
     g.finish();

@@ -7,9 +7,7 @@
 #![forbid(unsafe_code)]
 
 use deltx_core::CgState;
-use deltx_model::workload::{
-    long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen,
-};
+use deltx_model::workload::{long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen};
 use deltx_model::Step;
 
 /// A mixed uniform workload of `txns` transactions.

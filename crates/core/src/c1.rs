@@ -81,7 +81,9 @@ pub fn violation(cg: &CgState, ti: NodeId) -> Option<C1Violation> {
     for tj in tight::active_tight_predecessors(cg, ti) {
         let cover = successor_cover(cg, tj, ti);
         for (&x, rec) in accesses {
-            let covered = cover.get(&x).is_some_and(|m| m.at_least_as_strong_as(rec.mode));
+            let covered = cover
+                .get(&x)
+                .is_some_and(|m| m.at_least_as_strong_as(rec.mode));
             if !covered {
                 return Some(C1Violation {
                     tj,
@@ -112,7 +114,9 @@ pub fn violations_all(cg: &CgState, ti: NodeId) -> Vec<C1Violation> {
     for tj in tight::active_tight_predecessors(cg, ti) {
         let cover = successor_cover(cg, tj, ti);
         for (&x, rec) in accesses {
-            let covered = cover.get(&x).is_some_and(|m| m.at_least_as_strong_as(rec.mode));
+            let covered = cover
+                .get(&x)
+                .is_some_and(|m| m.at_least_as_strong_as(rec.mode));
             if !covered {
                 out.push(C1Violation {
                     tj,
@@ -247,9 +251,7 @@ mod tests {
         let t5 = cg.node_of(TxnId(5)).unwrap();
         assert!(v.tj == t1 || v.tj == t5);
         // Covering y with a later completed writer clears the violation.
-        let cg2 = state(
-            "b1 r1(x) b5 r5(y) b2 r2(x) r2(y) w2(x,y) b3 r3(x) w3(x) b4 r4(x) w4(y)",
-        );
+        let cg2 = state("b1 r1(x) b5 r5(y) b2 r2(x) r2(y) w2(x,y) b3 r3(x) w3(x) b4 r4(x) w4(y)");
         let t2 = cg2.node_of(TxnId(2)).unwrap();
         assert!(holds(&cg2, t2));
     }

@@ -65,7 +65,9 @@ pub fn violation(cg: &CgState, n_set: &BTreeSet<NodeId>) -> Option<C2Violation> 
         for tj in tight::active_tight_predecessors(cg, ti) {
             let cover = cover_outside(cg, tj, n_set);
             for (&x, rec) in &cg.info(ti).access {
-                let ok = cover.get(&x).is_some_and(|m| m.at_least_as_strong_as(rec.mode));
+                let ok = cover
+                    .get(&x)
+                    .is_some_and(|m| m.at_least_as_strong_as(rec.mode));
                 if !ok {
                     return Some(C2Violation { ti, tj, x });
                 }

@@ -39,7 +39,11 @@ pub struct C3Violation {
 /// verification half of Theorem 6's NP membership). Returns the first
 /// violation under this `m`, if any.
 pub fn check_candidate(mw: &MwState, ti: NodeId, m: &BTreeSet<NodeId>) -> Option<C3Violation> {
-    debug_assert_eq!(mw.phase(ti), MwPhase::Committed, "C3 is about committed txns");
+    debug_assert_eq!(
+        mw.phase(ti),
+        MwPhase::Committed,
+        "C3 is about committed txns"
+    );
     debug_assert!(m.iter().all(|&n| mw.phase(n) == MwPhase::Active));
     let removed = mw.dependents_closure(m);
     debug_assert!(
@@ -256,7 +260,7 @@ mod tests {
         // M = {T4} kills the cover:
         let v = check_candidate(&mw, t2, &BTreeSet::from([t4])).expect("exposed");
         assert_eq!(v.x, deltx_model::EntityId(0)); // q
-        // Exact check must find it:
+                                                   // Exact check must find it:
         let (found, _) = violation_exact(&mw, t2);
         assert!(found.is_some());
         assert!(!holds_exact(&mw, t2));

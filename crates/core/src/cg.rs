@@ -133,6 +133,14 @@ pub struct CgState {
     writers: HashMap<EntityId, Vec<NodeId>>,
     /// Monotone write counter per entity (never reset by deletions).
     version: HashMap<EntityId, u64>,
+    /// Completed nodes that may have become deletable since the last
+    /// [`CgState::drain_gc_candidates`]: enqueued at completion and
+    /// whenever a later write overwrites one of their entities. Feeds
+    /// incremental GC sweeps that avoid full graph scans. Only
+    /// populated when [`CgState::set_gc_tracking`] enabled it — a
+    /// consumer that never drains must not accumulate the queue.
+    gc_candidates: Vec<NodeId>,
+    track_gc: bool,
     max_entity: Option<EntityId>,
     max_txn: u32,
     stats: CgStats,
@@ -178,9 +186,23 @@ impl CgState {
             accessors: HashMap::new(),
             writers: HashMap::new(),
             version: HashMap::new(),
+            gc_candidates: Vec::new(),
+            track_gc: false,
             max_entity: None,
             max_txn: 0,
             stats: CgStats::default(),
+        }
+    }
+
+    /// Enables (or disables) GC-candidate tracking: with it on, every
+    /// completion and overwrite enqueues affected completed nodes for
+    /// [`CgState::drain_gc_candidates`]. Off by default — a consumer
+    /// that never drains the queue (the offline schedulers, the
+    /// simulators) must not accumulate it.
+    pub fn set_gc_tracking(&mut self, on: bool) {
+        self.track_gc = on;
+        if !on {
+            self.gc_candidates = Vec::new();
         }
     }
 
@@ -204,9 +226,7 @@ impl CgState {
     /// # Panics
     /// Panics if `n` is not live.
     pub fn info(&self, n: NodeId) -> &NodeInfo {
-        self.info[n.index()]
-            .as_ref()
-            .expect("info of removed node")
+        self.info[n.index()].as_ref().expect("info of removed node")
     }
 
     /// True if `n` is a live node of this graph.
@@ -425,6 +445,17 @@ impl CgState {
         }
         self.add_arcs(&sources, n);
         for &x in &entities {
+            // Overwriting x may turn its earlier completed accessors
+            // noncurrent: queue them for the next incremental GC sweep.
+            if self.track_gc {
+                if let Some(acc) = self.accessors.get(&x) {
+                    for &a in acc {
+                        if a != n && self.is_completed(a) {
+                            self.gc_candidates.push(a);
+                        }
+                    }
+                }
+            }
             let v = self.version.entry(x).or_insert(0);
             *v += 1;
             let installed = *v;
@@ -443,6 +474,11 @@ impl CgState {
             sorted_insert(self.writers.entry(x).or_default(), n);
         }
         self.info[n.index()].as_mut().expect("live node").state = TxnState::Completed;
+        // The node itself may already be deletable (e.g. a read-only
+        // transaction whose reads were overwritten before it completed).
+        if self.track_gc {
+            self.gc_candidates.push(n);
+        }
         self.stats.accepted += 1;
         Ok(Applied::Accepted)
     }
@@ -519,9 +555,126 @@ impl CgState {
         Ok(())
     }
 
+    /// Voluntarily aborts transaction `t` (a client-requested rollback,
+    /// as opposed to a cycle rejection): the node is removed **without
+    /// bridging** — an aborted transaction's steps never happened, so no
+    /// ordering constraints survive it — and the id is remembered as
+    /// aborted so late-arriving steps are ignored.
+    ///
+    /// # Errors
+    /// [`CgError::AlreadyCompleted`] if `t` already performed its final
+    /// write (the basic model has no undo), [`CgError::AlreadyAborted`] /
+    /// [`CgError::UnknownTxn`] if `t` is not live.
+    pub fn abort_txn(&mut self, t: TxnId) -> Result<(), CgError> {
+        let n = self.resolve(t)?;
+        if self.info(n).state == TxnState::Completed {
+            return Err(CgError::AlreadyCompleted(t));
+        }
+        self.abort_node(n);
+        Ok(())
+    }
+
+    /// Admits a **ghost node** for transaction `t`: a completed node with
+    /// no access information, carrying only ordering constraints. The
+    /// online engine uses ghosts to materialize cross-partition bridges
+    /// when a transaction that spans partitions is deleted (`D(G, N)`
+    /// demands every predecessor be connected to every successor, and a
+    /// partition-local graph cannot hold an arc whose endpoint lives
+    /// elsewhere — so the endpoint is given a local ghost).
+    ///
+    /// # Errors
+    /// [`CgError::DuplicateBegin`] if `t` was already seen here.
+    pub fn admit_completed_ghost(&mut self, t: TxnId) -> Result<NodeId, CgError> {
+        if self.seen.contains(&t) {
+            return Err(CgError::DuplicateBegin(t));
+        }
+        self.seen.insert(t);
+        self.max_txn = self.max_txn.max(t.0);
+        let n = self.graph.add_node();
+        if self.info.len() <= n.index() {
+            self.info.resize_with(n.index() + 1, || None);
+        }
+        self.info[n.index()] = Some(NodeInfo {
+            txn: t,
+            state: TxnState::Completed,
+            access: BTreeMap::new(),
+        });
+        self.by_txn.insert(t, n);
+        if let Some(c) = &mut self.closure {
+            c.on_add_node(n);
+        }
+        Ok(n)
+    }
+
+    /// Inserts a pure ordering arc `from -> to` (no entity behind it),
+    /// counted as a bridge arc. Returns `false` if the arc already
+    /// existed. Used together with [`CgState::admit_completed_ghost`] to
+    /// re-materialize `D(G, N)` bridges across partition-local graphs.
+    ///
+    /// # Errors
+    /// [`CgError::OrderingCycle`] if the arc would close a cycle — a
+    /// correct bridge follows an existing path and can never cycle, so
+    /// this error indicates inconsistent caller bookkeeping.
+    pub fn add_order_arc(&mut self, from: NodeId, to: NodeId) -> Result<bool, CgError> {
+        assert!(self.is_live(from), "order arc from dead node");
+        assert!(self.is_live(to), "order arc to dead node");
+        if from == to || self.graph.has_arc(from, to) {
+            return Ok(false);
+        }
+        if self.would_cycle(&[from], to) {
+            return Err(CgError::OrderingCycle(
+                self.info(from).txn,
+                self.info(to).txn,
+            ));
+        }
+        if self.graph.add_arc(from, to) {
+            self.stats.bridge_arcs += 1;
+            if let Some(c) = &mut self.closure {
+                c.on_add_arc(from, to);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Drains the queue of completed nodes that *may* have become
+    /// deletable since the last drain (deduplicated, dead nodes pruned).
+    /// A node enters the queue when it completes and whenever one of its
+    /// entities is overwritten — exactly the events after which the
+    /// noncurrency test of Corollary 1 can newly pass — so a GC loop
+    /// polling this method touches O(affected) nodes per sweep instead
+    /// of scanning the whole graph.
+    pub fn drain_gc_candidates(&mut self) -> Vec<NodeId> {
+        let mut v = std::mem::take(&mut self.gc_candidates);
+        v.sort_unstable();
+        v.dedup();
+        v.retain(|&n| self.is_completed(n));
+        v
+    }
+
+    /// Length of the pending GC-candidate queue (undeduplicated) — the
+    /// backpressure signal: a committer seeing a long queue runs an
+    /// inline sweep instead of waiting for the background GC tick.
+    pub fn gc_candidate_count(&self) -> usize {
+        self.gc_candidates.len()
+    }
+
     /// The strongest access mode `n` holds on `x`, if any.
     pub fn access_mode(&self, n: NodeId, x: EntityId) -> Option<AccessMode> {
         self.info(n).mode_of(x)
+    }
+
+    /// Live nodes that have written `x`, ascending — the arc sources
+    /// Rule 2 would use for a read of `x`. Exposed so a caller that must
+    /// pre-check a step against several graphs at once (the engine's
+    /// cross-partition commit) can compute the would-be arcs first.
+    pub fn writers_of(&self, x: EntityId) -> Vec<NodeId> {
+        self.writers.get(&x).cloned().unwrap_or_default()
+    }
+
+    /// Live nodes that have accessed `x` in any mode, ascending — the
+    /// arc sources Rule 3 would use for a final write covering `x`.
+    pub fn accessors_of(&self, x: EntityId) -> Vec<NodeId> {
+        self.accessors.get(&x).cloned().unwrap_or_default()
     }
 
     /// Internal consistency check used by tests and `debug_assert!`s:
@@ -779,5 +932,97 @@ mod tests {
         let cg = run("b1 r1(x) w1()");
         let t1 = cg.node_of(TxnId(1)).unwrap();
         assert!(cg.is_completed(t1));
+    }
+
+    #[test]
+    fn voluntary_abort_removes_active_without_bridging() {
+        // T1 writes x, T2 reads x (arc 1->2), T2 aborts voluntarily:
+        // the arc disappears with the node, nothing is bridged.
+        let mut cg = run("b1 w1(x) b2 r2(x) b3");
+        cg.abort_txn(TxnId(2)).unwrap();
+        assert!(cg.node_of(TxnId(2)).is_none());
+        assert!(cg.aborted_txns().contains(&TxnId(2)));
+        assert_eq!(cg.stats().aborts, 1);
+        // Late-arriving steps of the aborted transaction are ignored.
+        assert_eq!(
+            cg.apply(&Step::read(2, 0)).unwrap(),
+            Applied::IgnoredAborted
+        );
+        cg.check_invariants();
+    }
+
+    #[test]
+    fn voluntary_abort_rejects_completed_and_unknown() {
+        let mut cg = run("b1 w1(x)");
+        assert_eq!(
+            cg.abort_txn(TxnId(1)),
+            Err(CgError::AlreadyCompleted(TxnId(1)))
+        );
+        assert_eq!(cg.abort_txn(TxnId(9)), Err(CgError::UnknownTxn(TxnId(9))));
+    }
+
+    #[test]
+    fn ghost_nodes_carry_ordering_only() {
+        let mut cg = run("b1 r1(x) b2 r2(x) w2(x)");
+        let t1 = cg.node_of(TxnId(1)).unwrap();
+        let g = cg.admit_completed_ghost(TxnId(77)).unwrap();
+        assert!(cg.is_completed(g));
+        assert!(cg.info(g).access.is_empty());
+        // Ordering arcs install and refuse to close cycles.
+        assert_eq!(cg.add_order_arc(t1, g), Ok(true));
+        assert_eq!(cg.add_order_arc(t1, g), Ok(false), "idempotent");
+        assert_eq!(
+            cg.add_order_arc(g, t1),
+            Err(CgError::OrderingCycle(TxnId(77), TxnId(1)))
+        );
+        // Ghost ids count as seen: no reuse.
+        assert_eq!(
+            cg.admit_completed_ghost(TxnId(77)),
+            Err(CgError::DuplicateBegin(TxnId(77)))
+        );
+        assert_eq!(
+            cg.apply(&Step::begin(77)),
+            Err(CgError::DuplicateBegin(TxnId(77)))
+        );
+        // A ghost is a completed node: deletable like any other.
+        cg.delete(g).unwrap();
+        cg.check_invariants();
+    }
+
+    #[test]
+    fn gc_tracking_off_accumulates_nothing() {
+        // Default state: consumers that never drain (offline
+        // schedulers, simulators) must not build up a queue.
+        let mut cg = CgState::new();
+        cg.run(parse("b1 r1(x) b2 r2(x) w2(x) b3 w3(x)").unwrap().steps())
+            .unwrap();
+        assert_eq!(cg.gc_candidate_count(), 0);
+        assert!(cg.drain_gc_candidates().is_empty());
+    }
+
+    #[test]
+    fn gc_candidates_track_completions_and_overwrites() {
+        let mut cg = CgState::new();
+        cg.set_gc_tracking(true);
+        let p = parse("b1 r1(x) b2 r2(x) w2(x)").unwrap();
+        cg.run(p.steps()).unwrap();
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        // T2 just completed: it is the only candidate (and is current).
+        assert_eq!(cg.drain_gc_candidates(), vec![t2]);
+        assert!(cg.drain_gc_candidates().is_empty(), "drained");
+        // T3 overwrites x: T2 requeued (now noncurrent), T3 enqueued.
+        let p2 = parse("b3 r3(x) w3(x)").unwrap();
+        cg.run(p2.steps()).unwrap();
+        let t3 = cg.node_of(TxnId(3)).unwrap();
+        let mut want = vec![t2, t3];
+        want.sort_unstable();
+        assert_eq!(cg.drain_gc_candidates(), want);
+        // Incremental noncurrent agrees with the full scan.
+        cg.run(parse("b4 w4(x)").unwrap().steps()).unwrap();
+        let candidates = cg.drain_gc_candidates();
+        assert_eq!(
+            crate::noncurrent::noncurrent_among(&cg, &candidates),
+            crate::noncurrent::noncurrent_completed(&cg),
+        );
     }
 }

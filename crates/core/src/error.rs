@@ -25,6 +25,10 @@ pub enum CgError {
     NotDeletable(TxnId),
     /// The predeclared scheduler saw an access outside the declaration.
     UndeclaredAccess(TxnId),
+    /// An explicitly requested ordering arc would have closed a cycle.
+    /// Bridging arcs that follow existing paths can never trigger this;
+    /// seeing it means the caller's graph bookkeeping is inconsistent.
+    OrderingCycle(TxnId, TxnId),
 }
 
 impl std::fmt::Display for CgError {
@@ -37,6 +41,9 @@ impl std::fmt::Display for CgError {
             CgError::WrongModel(m) => write!(f, "step not valid in this model: {m}"),
             CgError::NotDeletable(t) => write!(f, "transaction {t} is not deletable here"),
             CgError::UndeclaredAccess(t) => write!(f, "{t} accessed an undeclared entity"),
+            CgError::OrderingCycle(a, b) => {
+                write!(f, "ordering arc {a} -> {b} would close a cycle")
+            }
         }
     }
 }

@@ -152,13 +152,11 @@ pub fn figure4_dot(fig: &Figure4) -> String {
     deltx_graph::dot::to_dot(
         fig.state.graph(),
         "figure4",
-        |n| {
-            match fig.state.info(n).txn {
-                TxnId(1) => "A".to_string(),
-                TxnId(2) => "B".to_string(),
-                TxnId(3) => "C".to_string(),
-                other => other.to_string(),
-            }
+        |n| match fig.state.info(n).txn {
+            TxnId(1) => "A".to_string(),
+            TxnId(2) => "B".to_string(),
+            TxnId(3) => "C".to_string(),
+            other => other.to_string(),
         },
         |n| {
             if fig.state.phase(n) == crate::pre::PrePhase::Active {

@@ -572,7 +572,9 @@ mod tests {
         let p = parse("b0 sw0(x) f0 b1 r1(y) sw1(x) b2 sw2(y) sw1(y)").unwrap();
         let mut mw = MwState::new();
         let out = mw.run(p.steps()).unwrap();
-        assert!(matches!(out.last().unwrap(), MwApplied::AbortedCascade(k) if k.contains(&TxnId(1))));
+        assert!(
+            matches!(out.last().unwrap(), MwApplied::AbortedCascade(k) if k.contains(&TxnId(1)))
+        );
         // Now T3 reads x: current writer is the committed T0.
         mw.apply(&Step::begin(3)).unwrap();
         mw.apply(&Step::read(3, 0)).unwrap();
@@ -614,10 +616,7 @@ mod tests {
         let a = raw.raw_node(TxnId(1), MwPhase::Active, [(x, AccessMode::Write)]);
         let b = raw.raw_node(TxnId(2), MwPhase::Active, [(x, AccessMode::Read)]);
         raw.raw_dep(b, a);
-        assert_eq!(
-            scheduled.graph().arc_count(),
-            raw.graph().arc_count()
-        );
+        assert_eq!(scheduled.graph().arc_count(), raw.graph().arc_count());
         let st2 = scheduled.node_of(TxnId(2)).unwrap();
         assert_eq!(scheduled.info(st2).deps.len(), raw.info(b).deps.len());
         raw.check_invariants();

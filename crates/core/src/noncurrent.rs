@@ -39,6 +39,18 @@ pub fn noncurrent_completed(cg: &CgState) -> Vec<NodeId> {
         .collect()
 }
 
+/// The noncurrent completed nodes **among** `candidates` — the
+/// incremental form of [`noncurrent_completed`] driven by
+/// [`CgState::drain_gc_candidates`]: a sweep touches only nodes whose
+/// status can have changed instead of scanning the whole graph.
+pub fn noncurrent_among(cg: &CgState, candidates: &[NodeId]) -> Vec<NodeId> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|&n| cg.is_completed(n) && !is_current(cg, n))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

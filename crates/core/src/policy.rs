@@ -34,6 +34,16 @@ pub trait DeletionPolicy {
     fn reduce(&mut self, cg: &mut CgState);
 }
 
+impl<P: DeletionPolicy + ?Sized> DeletionPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn reduce(&mut self, cg: &mut CgState) {
+        (**self).reduce(cg)
+    }
+}
+
 /// Never deletes anything: the plain conflict-graph scheduler. The graph
 /// grows without bound (baseline for experiment E12).
 #[derive(Clone, Copy, Debug, Default)]
@@ -134,6 +144,82 @@ impl DeletionPolicy for BatchC2 {
     }
 }
 
+/// A nameable deletion policy, shared by every consumer that selects
+/// policies at run time (the simulation drivers, the reduced scheduler
+/// CLIs, and the online engine's GC configuration) so the zoo of
+/// `match`-and-construct blocks lives in one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`NoDeletion`].
+    NoDeletion,
+    /// [`Noncurrent`].
+    Noncurrent,
+    /// [`GreedyC1`].
+    GreedyC1,
+    /// [`BatchC2`].
+    BatchC2,
+    /// [`CommitTimeUnsafe`] — kept selectable for the experiments that
+    /// demonstrate *why* it is wrong.
+    CommitTimeUnsafe,
+}
+
+impl PolicyKind {
+    /// Every kind, safe ones first.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::NoDeletion,
+        PolicyKind::Noncurrent,
+        PolicyKind::GreedyC1,
+        PolicyKind::BatchC2,
+        PolicyKind::CommitTimeUnsafe,
+    ];
+
+    /// The kinds whose every deletion is safe (Theorem 2 compliant).
+    pub const SAFE: [PolicyKind; 4] = [
+        PolicyKind::NoDeletion,
+        PolicyKind::Noncurrent,
+        PolicyKind::GreedyC1,
+        PolicyKind::BatchC2,
+    ];
+
+    /// Stable display name (matches the built policy's
+    /// [`DeletionPolicy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::NoDeletion => "no-deletion",
+            PolicyKind::Noncurrent => "noncurrent",
+            PolicyKind::GreedyC1 => "greedy-C1",
+            PolicyKind::BatchC2 => "batch-C2",
+            PolicyKind::CommitTimeUnsafe => "commit-time (unsafe)",
+        }
+    }
+
+    /// Constructs the policy.
+    pub fn build(self) -> Box<dyn DeletionPolicy + Send> {
+        match self {
+            PolicyKind::NoDeletion => Box::new(NoDeletion),
+            PolicyKind::Noncurrent => Box::new(Noncurrent),
+            PolicyKind::GreedyC1 => Box::new(GreedyC1),
+            PolicyKind::BatchC2 => Box::new(BatchC2),
+            PolicyKind::CommitTimeUnsafe => Box::new(CommitTimeUnsafe),
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "no-deletion" | "none" => Ok(PolicyKind::NoDeletion),
+            "noncurrent" => Ok(PolicyKind::Noncurrent),
+            "greedy-c1" | "c1" => Ok(PolicyKind::GreedyC1),
+            "batch-c2" | "c2" => Ok(PolicyKind::BatchC2),
+            "commit-time" | "unsafe" => Ok(PolicyKind::CommitTimeUnsafe),
+            other => Err(format!("unknown deletion policy `{other}`")),
+        }
+    }
+}
+
 /// Runs a full step stream through a scheduler with policy `p`, applying
 /// the policy after every accepted step; returns the final state.
 /// (The simulation driver in `deltx-sim` offers a metered version.)
@@ -196,7 +282,10 @@ mod tests {
             accepted_all &= r == crate::cg::Applied::Accepted;
             pol.reduce(&mut cg);
         }
-        assert!(accepted_all, "unsafe policy accepted the cycle-closing step");
+        assert!(
+            accepted_all,
+            "unsafe policy accepted the cycle-closing step"
+        );
         // Ground truth: accepted subschedule (= everything) is not CSR.
         assert!(!deltx_model::history::is_csr(&p));
     }
@@ -226,6 +315,35 @@ mod tests {
         let t3 = cg.node_of(TxnId(3)).unwrap();
         assert!(cg.is_completed(t3));
         assert!(cg.node_of(TxnId(2)).is_none());
+    }
+
+    #[test]
+    fn policy_kinds_roundtrip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.build().name(), kind.name());
+            let parsed: PolicyKind = kind
+                .name()
+                .split(' ')
+                .next()
+                .unwrap()
+                .to_lowercase()
+                .parse()
+                .unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("gibberish".parse::<PolicyKind>().is_err());
+        assert!(PolicyKind::SAFE
+            .iter()
+            .all(|k| *k != PolicyKind::CommitTimeUnsafe));
+        // Built policies are live trait objects.
+        let p = steps("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)");
+        let mut boxed = PolicyKind::GreedyC1.build();
+        let mut cg = CgState::new();
+        for s in p.steps() {
+            cg.apply(s).unwrap();
+            boxed.reduce(&mut cg);
+        }
+        assert_eq!(cg.completed_count(), 1);
     }
 
     #[test]

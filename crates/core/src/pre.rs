@@ -209,9 +209,7 @@ impl PreState {
     /// [`CgError::UndeclaredAccess`] if `(x, mode)` is not among `t`'s
     /// remaining declared accesses.
     pub fn step(&mut self, t: TxnId, x: EntityId, mode: AccessMode) -> Result<PreApplied, CgError> {
-        let n = self
-            .node_of(t)
-            .ok_or(CgError::UnknownTxn(t))?;
+        let n = self.node_of(t).ok_or(CgError::UnknownTxn(t))?;
         if self.phase(n) == PrePhase::Completed {
             return Err(CgError::AlreadyCompleted(t));
         }
@@ -329,10 +327,7 @@ mod tests {
                 _ => unreachable!(),
             })
             .collect();
-        TxnSpec {
-            id: TxnId(id),
-            ops,
-        }
+        TxnSpec { id: TxnId(id), ops }
     }
 
     #[test]
@@ -340,7 +335,10 @@ mod tests {
         let mut pre = PreState::new();
         // T1 declares read x then executes it.
         let a = pre.begin(&spec(1, &[("r", 0), ("r", 5)])).unwrap();
-        assert_eq!(pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap(), PreApplied::Accepted);
+        assert_eq!(
+            pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap(),
+            PreApplied::Accepted
+        );
         // T2 declares write x: arc T1 -> T2 because T1 already READ x.
         let b = pre.begin(&spec(2, &[("w", 0)])).unwrap();
         assert!(pre.graph().has_arc(a, b));
@@ -353,7 +351,10 @@ mod tests {
         // T1 declares write x but hasn't run it; T2 reads x now:
         let a = pre.begin(&spec(1, &[("w", 0)])).unwrap();
         let b = pre.begin(&spec(2, &[("r", 0)])).unwrap();
-        assert_eq!(pre.step(TxnId(2), EntityId(0), AccessMode::Read).unwrap(), PreApplied::Accepted);
+        assert_eq!(
+            pre.step(TxnId(2), EntityId(0), AccessMode::Read).unwrap(),
+            PreApplied::Accepted
+        );
         // Arc T2 -> T1: T2 executed before T1's future conflicting write.
         assert!(pre.graph().has_arc(b, a));
         pre.check_invariants();
@@ -394,14 +395,29 @@ mod tests {
         let mut pre = PreState::new();
         let a = pre.begin(&spec(1, &[("r", 0), ("w", 1)])).unwrap();
         let b = pre.begin(&spec(2, &[("r", 1), ("w", 0)])).unwrap();
-        assert_eq!(pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap(), PreApplied::Accepted);
+        assert_eq!(
+            pre.step(TxnId(1), EntityId(0), AccessMode::Read).unwrap(),
+            PreApplied::Accepted
+        );
         assert!(pre.graph().has_arc(a, b));
-        assert_eq!(pre.step(TxnId(2), EntityId(1), AccessMode::Read).unwrap(), PreApplied::Delayed);
+        assert_eq!(
+            pre.step(TxnId(2), EntityId(1), AccessMode::Read).unwrap(),
+            PreApplied::Delayed
+        );
         // T1 finishes its write; now T2 can proceed (T1 completed, no
         // future conflicts remain).
-        assert_eq!(pre.step(TxnId(1), EntityId(1), AccessMode::Write).unwrap(), PreApplied::Accepted);
-        assert_eq!(pre.step(TxnId(2), EntityId(1), AccessMode::Read).unwrap(), PreApplied::Accepted);
-        assert_eq!(pre.step(TxnId(2), EntityId(0), AccessMode::Write).unwrap(), PreApplied::Accepted);
+        assert_eq!(
+            pre.step(TxnId(1), EntityId(1), AccessMode::Write).unwrap(),
+            PreApplied::Accepted
+        );
+        assert_eq!(
+            pre.step(TxnId(2), EntityId(1), AccessMode::Read).unwrap(),
+            PreApplied::Accepted
+        );
+        assert_eq!(
+            pre.step(TxnId(2), EntityId(0), AccessMode::Write).unwrap(),
+            PreApplied::Accepted
+        );
         pre.check_invariants();
         assert_eq!(pre.completed_nodes().len(), 2);
     }

@@ -63,8 +63,12 @@ pub fn diverges(
                 d.begin(spec).expect("malformed continuation (reduced)");
             }
             PreAction::Step(t, x, m) => {
-                let ro = o.step(*t, *x, *m).expect("malformed continuation (original)");
-                let rd = d.step(*t, *x, *m).expect("malformed continuation (reduced)");
+                let ro = o
+                    .step(*t, *x, *m)
+                    .expect("malformed continuation (original)");
+                let rd = d
+                    .step(*t, *x, *m)
+                    .expect("malformed continuation (reduced)");
                 if ro != rd {
                     return Some(PreDivergence {
                         at: i,
@@ -130,27 +134,24 @@ pub fn necessity_witness(pre: &PreState, ti: NodeId, v: &C4Violation) -> Vec<Pre
     }
 
     // Phase 2: the fresh transaction Tw attacking x then y.
-    let max_txn = pre
-        .nodes()
-        .map(|n| pre.info(n).txn.0)
-        .max()
-        .unwrap_or(0);
+    let max_txn = pre.nodes().map(|n| pre.info(n).txn.0).max().unwrap_or(0);
     let tw = TxnId(max_txn + 1);
     let mx = weakest_conflicting(pre.info(ti).executed[&v.x]);
     let need_y = pre.info(v.tj).future[&v.y]
         .strongest()
         .expect("violation y has pending access");
     let my = weakest_conflicting(need_y);
-    let mut ops = Vec::new();
-    ops.push(match mx {
-        AccessMode::Read => Op::Read(v.x),
-        AccessMode::Write => Op::Write(v.x),
-    });
     // x == y is possible; declare both accesses regardless.
-    ops.push(match my {
-        AccessMode::Read => Op::Read(v.y),
-        AccessMode::Write => Op::Write(v.y),
-    });
+    let ops = vec![
+        match mx {
+            AccessMode::Read => Op::Read(v.x),
+            AccessMode::Write => Op::Write(v.x),
+        },
+        match my {
+            AccessMode::Read => Op::Read(v.y),
+            AccessMode::Write => Op::Write(v.y),
+        },
+    ];
     actions.push(PreAction::Begin(TxnSpec { id: tw, ops }));
     actions.push(PreAction::Step(tw, v.x, mx));
     actions.push(PreAction::Step(tw, v.y, my));
@@ -214,10 +215,7 @@ pub fn random_divergence(
                 };
                 next_txn += 1;
                 news += 1;
-                pending.push((
-                    spec.id,
-                    spec.flat_accesses(),
-                ));
+                pending.push((spec.id, spec.flat_accesses()));
                 actions.push(PreAction::Begin(spec));
             } else if !pending.is_empty() {
                 let i = rng.gen_range(0..pending.len());
@@ -250,8 +248,8 @@ mod tests {
         let actions = necessity_witness(&fig.state, fig.b, &v);
         let mut reduced = fig.state.clone();
         reduced.delete(fig.b).expect("completed");
-        let d = diverges(&fig.state, &reduced, &actions)
-            .expect("Theorem 7 necessity: must diverge");
+        let d =
+            diverges(&fig.state, &reduced, &actions).expect("Theorem 7 necessity: must diverge");
         assert_eq!(d.original, PreApplied::Delayed, "full scheduler delays");
         assert_eq!(d.reduced, PreApplied::Accepted, "reduced accepts");
     }

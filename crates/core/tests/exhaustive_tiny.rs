@@ -12,11 +12,7 @@ use deltx_model::{Op, Step, TxnId};
 /// entity, over entities {0, 1}.
 fn programs() -> Vec<Vec<Op>> {
     use deltx_model::EntityId as E;
-    let reads = [
-        vec![],
-        vec![Op::Read(E(0))],
-        vec![Op::Read(E(1))],
-    ];
+    let reads = [vec![], vec![Op::Read(E(0))], vec![Op::Read(E(1))]];
     let writes = [
         Op::WriteAll(vec![]),
         Op::WriteAll(vec![E(0)]),
@@ -84,8 +80,7 @@ fn theorem1_exhaustive_on_two_txn_universe() {
             let steps_b: Vec<Step> = std::iter::once(Step::new(TxnId(2), Op::Begin))
                 .chain(pb.iter().map(|op| Step::new(TxnId(2), op.clone())))
                 .collect();
-            let steps_b_active: Vec<Step> =
-                steps_b[..steps_b.len() - 1].to_vec();
+            let steps_b_active: Vec<Step> = steps_b[..steps_b.len() - 1].to_vec();
 
             for b_variant in [&steps_b, &steps_b_active] {
                 for inter in interleavings(&steps_a, b_variant) {

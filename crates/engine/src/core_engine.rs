@@ -1,0 +1,989 @@
+//! The engine core: shard ownership, the cross-shard commit protocol,
+//! the union-graph cycle check, and the GC sweeps.
+//!
+//! ## Soundness of the sharded cycle check
+//!
+//! Entities are partitioned across shards, and every conflict arc is
+//! witnessed by one entity, so **every arc is intra-shard** and the
+//! global conflict graph is the union of the shard graphs with nodes of
+//! the same transaction identified. Two facts make the check exact:
+//!
+//! 1. *Fast path.* If a transaction has touched only shard `s` and `s`
+//!    contains no **boundary nodes** (nodes of transactions present in
+//!    more than one shard), then no path can leave `s`'s graph — a path
+//!    switches shards only through a boundary node — so the shard-local
+//!    cycle check equals the union check. One lock, no coordination.
+//! 2. *Escalated path.* Otherwise all shard locks are taken in
+//!    ascending index order (deadlock-free; the GC obeys the same
+//!    order) and the would-be arc sources are checked against
+//!    reachability in the union graph by a BFS that hops to a
+//!    transaction's twin nodes when it meets a multi-shard transaction.
+//!
+//! ## GC and cross-shard deletion
+//!
+//! Deleting a completed transaction is the paper's `D(G, N)`: remove
+//! the node, connect every predecessor to every successor. For a
+//! single-shard transaction all of that is shard-local. For a
+//! multi-shard transaction, a predecessor in shard A and a successor in
+//! shard B need a bridge no single shard can express — so the engine
+//! materializes the predecessor as a **ghost node** in B (an
+//! access-free node carrying only ordering arcs,
+//! [`CgState::admit_completed_ghost`]) and bridges there. Union
+//! reachability is preserved exactly, which keeps the engine
+//! step-for-step equivalent to a monolithic reduced scheduler — and
+//! Theorem 2 lifts that to equivalence with the full, never-deleting
+//! scheduler.
+
+use crate::error::EngineError;
+use crate::history::{Event, RecordedHistory};
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::session::{Session, SessionState};
+use deltx_core::policy::PolicyKind;
+use deltx_core::{noncurrent, Applied, CgState, TxnState};
+use deltx_model::{EntityId, Op, Step, TxnId};
+use deltx_sched::StateSize;
+use deltx_storage::{Store, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Candidate-queue length at which a committer reclaims its shard
+/// inline rather than waiting for the next background sweep.
+const SHARD_GC_THRESHOLD: usize = 32;
+/// Pending multi-shard count at which an escalated committer (already
+/// holding every lock) runs the multi-shard pass inline.
+const MULTI_GC_THRESHOLD: usize = 32;
+
+/// Which deletion policy the GC applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcPolicy {
+    /// No deletion: the live graph grows without bound (baseline).
+    Off,
+    /// Corollary 1's noncurrent test, applied incrementally from the
+    /// per-shard candidate queues, with full cross-shard deletion
+    /// support (ghost bridging). The default.
+    Noncurrent,
+    /// A `deltx-core` deletion policy run per shard, only on shards
+    /// with no boundary nodes (where the shard graph is a
+    /// self-contained component of the union graph, so per-shard
+    /// safety is union safety). Multi-shard transactions are retained.
+    ShardLocal(PolicyKind),
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of entity partitions (each with its own lock, conflict
+    /// graph, and store).
+    pub shards: usize,
+    /// Deletion policy applied by GC sweeps.
+    pub gc: GcPolicy,
+    /// Interval between background GC sweeps.
+    pub gc_interval: Duration,
+    /// Spawn the background GC thread. Disable for tests that drive
+    /// [`Engine::gc_sweep`] manually.
+    pub background_gc: bool,
+    /// Record the linearized step history (for replay verification;
+    /// costs one mutex append per operation).
+    pub record_history: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            gc: GcPolicy::Noncurrent,
+            gc_interval: Duration::from_millis(2),
+            background_gc: true,
+            record_history: false,
+        }
+    }
+}
+
+/// One partition: the conflict graph and store for the entities it
+/// owns, plus the boundary-node count that gates the fast path.
+struct Shard {
+    cg: CgState,
+    store: Store,
+    /// Live nodes in this shard belonging to multi-shard transactions
+    /// (ghosts included). Zero means no path can leave this shard.
+    boundary: usize,
+}
+
+pub(crate) struct EngineInner {
+    shards: Vec<Mutex<Shard>>,
+    /// Shard sets of multi-shard transactions. Single-shard
+    /// transactions (the common case) never appear here.
+    /// Lock order: after any/all shard locks, before `history`.
+    registry: Mutex<HashMap<TxnId, Vec<usize>>>,
+    /// Multi-shard transactions awaiting a GC decision.
+    pending_multi: Mutex<BTreeSet<TxnId>>,
+    history: Option<Mutex<RecordedHistory>>,
+    pub(crate) metrics: EngineMetrics,
+    next_txn: AtomicU32,
+    gc_policy: GcPolicy,
+    shutdown: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// The engine: construct once, [`Engine::begin`] sessions from any
+/// thread. Dropping the engine stops the GC thread.
+pub struct Engine {
+    inner: Arc<EngineInner>,
+    gc_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Builds an engine per `cfg` (spawning the GC thread unless
+    /// disabled).
+    pub fn new(cfg: EngineConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        let inner = Arc::new(EngineInner {
+            shards: (0..cfg.shards)
+                .map(|_| {
+                    let mut cg = CgState::new();
+                    cg.set_gc_tracking(true);
+                    Mutex::new(Shard {
+                        cg,
+                        store: Store::new(),
+                        boundary: 0,
+                    })
+                })
+                .collect(),
+            registry: Mutex::new(HashMap::new()),
+            pending_multi: Mutex::new(BTreeSet::new()),
+            history: cfg
+                .record_history
+                .then(|| Mutex::new(RecordedHistory::default())),
+            metrics: EngineMetrics::default(),
+            next_txn: AtomicU32::new(1),
+            gc_policy: cfg.gc,
+            shutdown: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+        let gc_thread = (cfg.background_gc && cfg.gc != GcPolicy::Off).then(|| {
+            let inner = Arc::clone(&inner);
+            let interval = cfg.gc_interval;
+            std::thread::Builder::new()
+                .name("deltx-gc".into())
+                .spawn(move || inner.gc_loop(interval))
+                .expect("spawn GC thread")
+        });
+        Self { inner, gc_thread }
+    }
+
+    /// Starts a new transaction.
+    pub fn begin(&self) -> Session {
+        Session::new(Arc::clone(&self.inner), self.inner.begin_txn())
+    }
+
+    /// Runs one synchronous GC sweep (what the background thread does
+    /// on every tick).
+    pub fn gc_sweep(&self) {
+        self.inner.gc_sweep();
+    }
+
+    /// Current metrics, including the union-graph size gauge.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(self.inner.graph_size())
+    }
+
+    /// Union-graph size: distinct nodes (ghost twins counted) and arcs
+    /// across all shards.
+    pub fn graph_size(&self) -> StateSize {
+        self.inner.graph_size()
+    }
+
+    /// The recorded history so far (only if
+    /// [`EngineConfig::record_history`] was set).
+    pub fn recorded_history(&self) -> Option<RecordedHistory> {
+        self.inner
+            .history
+            .as_ref()
+            .map(|h| h.lock().unwrap().clone())
+    }
+
+    /// The committed value of `x` (current version), outside any
+    /// transaction — a dirty-read-free peek for tests and tools.
+    pub fn peek(&self, x: u32) -> Value {
+        let x = EntityId(x);
+        let s = self.inner.shard_of(x);
+        self.inner.shards[s].lock().unwrap().store.read(x)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        *self.inner.shutdown.lock().unwrap() = true;
+        self.inner.shutdown_cv.notify_all();
+        if let Some(t) = self.gc_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl EngineInner {
+    pub(crate) fn shard_of(&self, x: EntityId) -> usize {
+        x.index() % self.shards.len()
+    }
+
+    fn begin_txn(&self) -> TxnId {
+        let t = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.metrics.txn_became_live();
+        self.record(Event::Step {
+            step: Step::new(t, Op::Begin),
+            outcome: Applied::Accepted,
+        });
+        t
+    }
+
+    fn record(&self, e: Event) {
+        if let Some(h) = &self.history {
+            h.lock().unwrap().events.push(e);
+        }
+    }
+
+    fn lock_all(&self) -> Vec<MutexGuard<'_, Shard>> {
+        self.shards.iter().map(|s| s.lock().unwrap()).collect()
+    }
+
+    fn graph_size(&self) -> StateSize {
+        let guards = self.lock_all();
+        let mut size = StateSize::default();
+        for g in &guards {
+            size.nodes += g.cg.graph().node_count();
+            size.arcs += g.cg.graph().arc_count();
+        }
+        size
+    }
+
+    /// Creates `txn`'s node in `shard` if absent (lazy Rule 1).
+    fn ensure_node(shard: &mut Shard, txn: TxnId) -> Result<(), EngineError> {
+        if shard.cg.node_of(txn).is_none() {
+            match shard.cg.apply(&Step::new(txn, Op::Begin))? {
+                Applied::Accepted => {}
+                out => {
+                    return Err(EngineError::Protocol(deltx_core::CgError::WrongModel(
+                        match out {
+                            Applied::IgnoredAborted => "begin for aborted txn",
+                            _ => "begin rejected",
+                        },
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers that `txn` now spans `shards` (2+), bumping boundary
+    /// counts for nodes that just became boundary nodes. Caller holds
+    /// all shard locks.
+    fn note_multi_shard(
+        guards: &mut [MutexGuard<'_, Shard>],
+        registry: &mut HashMap<TxnId, Vec<usize>>,
+        txn: TxnId,
+        shards: &BTreeSet<usize>,
+    ) {
+        if shards.len() < 2 {
+            return;
+        }
+        let entry = registry.entry(txn).or_default();
+        let old: BTreeSet<usize> = entry.iter().copied().collect();
+        if old.is_empty() {
+            // Every existing node of txn just became a boundary node.
+            for &s in shards {
+                if guards[s].cg.node_of(txn).is_some() {
+                    guards[s].boundary += 1;
+                }
+            }
+        } else {
+            for &s in shards.difference(&old) {
+                if guards[s].cg.node_of(txn).is_some() {
+                    guards[s].boundary += 1;
+                }
+            }
+        }
+        *entry = shards.iter().copied().collect();
+    }
+
+    /// Union-graph reachability: can `from_txn` reach any of `targets`
+    /// following shard arcs and twin-node identities? Caller holds all
+    /// shard locks.
+    fn union_reaches(
+        guards: &[MutexGuard<'_, Shard>],
+        registry: &HashMap<TxnId, Vec<usize>>,
+        from_txn: TxnId,
+        targets: &HashSet<(usize, deltx_graph::NodeId)>,
+    ) -> bool {
+        if targets.is_empty() {
+            return false;
+        }
+        let mut visited: HashSet<(usize, deltx_graph::NodeId)> = HashSet::new();
+        let mut frontier: Vec<(usize, deltx_graph::NodeId)> = Vec::new();
+        for (s, g) in guards.iter().enumerate() {
+            if let Some(n) = g.cg.node_of(from_txn) {
+                visited.insert((s, n));
+                frontier.push((s, n));
+            }
+        }
+        while let Some((s, n)) = frontier.pop() {
+            // Hop to twin nodes of the same transaction first.
+            let txn = guards[s].cg.info(n).txn;
+            if let Some(shards) = registry.get(&txn) {
+                for &t in shards {
+                    if t == s {
+                        continue;
+                    }
+                    if let Some(twin) = guards[t].cg.node_of(txn) {
+                        if visited.insert((t, twin)) {
+                            if targets.contains(&(t, twin)) {
+                                return true;
+                            }
+                            frontier.push((t, twin));
+                        }
+                    }
+                }
+            }
+            for &succ in guards[s].cg.graph().succs(n) {
+                if visited.insert((s, succ)) {
+                    if targets.contains(&(s, succ)) {
+                        return true;
+                    }
+                    frontier.push((s, succ));
+                }
+            }
+        }
+        false
+    }
+
+    /// Aborts `txn` everywhere it has nodes. Caller holds all shard
+    /// locks (escalated paths) — or exactly the one shard the
+    /// transaction lives in (fast path).
+    fn abort_everywhere(
+        guards: &mut [MutexGuard<'_, Shard>],
+        registry: &mut HashMap<TxnId, Vec<usize>>,
+        txn: TxnId,
+    ) {
+        let multi = registry.remove(&txn);
+        for g in guards.iter_mut() {
+            if g.cg.node_of(txn).is_some() {
+                if multi.is_some() {
+                    g.boundary -= 1;
+                }
+                g.cg.abort_txn(txn).expect("live node aborts");
+            }
+        }
+    }
+
+    /// A transaction's read of `x`.
+    pub(crate) fn read(&self, st: &mut SessionState, x: EntityId) -> Result<Value, EngineError> {
+        st.check_open()?;
+        let s = self.shard_of(x);
+        let single = st.shards.is_empty() || (st.shards.len() == 1 && st.shards.contains(&s));
+        if single {
+            let mut g = self.shards[s].lock().unwrap();
+            if g.boundary == 0 {
+                // Fast path: this shard is a closed component of the
+                // union graph, so the local cycle check is complete.
+                Self::ensure_node(&mut g, st.txn)?;
+                {
+                    let step = Step::new(st.txn, Op::Read(x));
+                    let out = g.cg.apply(&step)?;
+                    return match out {
+                        Applied::Accepted => {
+                            let v = st.buf(s).read(&g.store, x);
+                            self.record(Event::Step {
+                                step,
+                                outcome: Applied::Accepted,
+                            });
+                            drop(g);
+                            st.shards.insert(s);
+                            self.metrics.reads.add(1);
+                            self.metrics.fast_path_ops.add(1);
+                            Ok(v)
+                        }
+                        Applied::SelfAborted => {
+                            self.record(Event::Step {
+                                step,
+                                outcome: Applied::SelfAborted,
+                            });
+                            drop(g);
+                            self.after_scheduler_abort(st);
+                            Err(EngineError::Aborted(st.txn))
+                        }
+                        Applied::IgnoredAborted => Err(EngineError::Closed(st.txn)),
+                    };
+                }
+            }
+            // Boundary nodes present: fall through to escalation.
+        }
+        self.read_escalated(st, x, s)
+    }
+
+    fn read_escalated(
+        &self,
+        st: &mut SessionState,
+        x: EntityId,
+        s: usize,
+    ) -> Result<Value, EngineError> {
+        let mut guards = self.lock_all();
+        let mut registry = self.registry.lock().unwrap();
+        Self::ensure_node(&mut guards[s], st.txn)?;
+        let mut touched: BTreeSet<usize> = st.shards.iter().copied().collect();
+        touched.insert(s);
+        for &t in registry.get(&st.txn).into_iter().flatten() {
+            touched.insert(t);
+        }
+        Self::note_multi_shard(&mut guards, &mut registry, st.txn, &touched);
+        let own = guards[s].cg.node_of(st.txn);
+        let targets: HashSet<_> = guards[s]
+            .cg
+            .writers_of(x)
+            .into_iter()
+            .filter(|&n| Some(n) != own)
+            .map(|n| (s, n))
+            .collect();
+        let step = Step::new(st.txn, Op::Read(x));
+        self.metrics.escalated_ops.add(1);
+        if Self::union_reaches(&guards, &registry, st.txn, &targets) {
+            Self::abort_everywhere(&mut guards, &mut registry, st.txn);
+            self.record(Event::Step {
+                step,
+                outcome: Applied::SelfAborted,
+            });
+            drop(registry);
+            drop(guards);
+            self.after_scheduler_abort(st);
+            return Err(EngineError::Aborted(st.txn));
+        }
+        let out = guards[s].cg.apply(&step)?;
+        debug_assert_eq!(out, Applied::Accepted, "local check is a union subset");
+        let g = &mut guards[s];
+        let v = st.buf(s).read(&g.store, x);
+        self.record(Event::Step {
+            step,
+            outcome: Applied::Accepted,
+        });
+        drop(registry);
+        drop(guards);
+        st.shards.insert(s);
+        self.metrics.reads.add(1);
+        Ok(v)
+    }
+
+    /// The transaction's final atomic write: install every staged
+    /// write, complete the transaction.
+    pub(crate) fn commit(&self, st: &mut SessionState) -> Result<(), EngineError> {
+        st.check_open()?;
+        // Entities staged per shard.
+        let mut writes: BTreeMap<usize, Vec<EntityId>> = BTreeMap::new();
+        for (&s, buf) in &st.bufs {
+            let ws = buf.write_set();
+            if !ws.is_empty() {
+                writes.insert(s, ws);
+            }
+        }
+        let mut involved: BTreeSet<usize> = st.shards.iter().copied().collect();
+        involved.extend(writes.keys().copied());
+        let all_entities: Vec<EntityId> = writes.values().flatten().copied().collect();
+        let n_written = all_entities.len() as u64;
+
+        if involved.is_empty() {
+            // Touched nothing: trivially committed (the recorded Begin
+            // gives the replayed graph a node; complete it there too).
+            self.record(Event::Step {
+                step: Step::new(st.txn, Op::WriteAll(Vec::new())),
+                outcome: Applied::Accepted,
+            });
+            st.closed = true;
+            self.metrics.commits.add(1);
+            self.metrics.txns_left(1);
+            return Ok(());
+        }
+
+        if involved.len() == 1 {
+            let s = *involved.iter().next().unwrap();
+            let mut g = self.shards[s].lock().unwrap();
+            Self::ensure_node(&mut g, st.txn)?;
+            if g.boundary == 0 {
+                let step = Step::new(st.txn, Op::WriteAll(all_entities));
+                let out = g.cg.apply(&step)?;
+                return match out {
+                    Applied::Accepted => {
+                        if let Some(buf) = st.bufs.get_mut(&s) {
+                            buf.install(&mut g.store);
+                        }
+                        self.record(Event::Step {
+                            step,
+                            outcome: Applied::Accepted,
+                        });
+                        // Backpressure GC: a hot shard reclaims inline
+                        // instead of waiting for the background tick.
+                        if self.gc_policy == GcPolicy::Noncurrent
+                            && g.cg.gc_candidate_count() >= SHARD_GC_THRESHOLD
+                        {
+                            let registry = self.registry.lock().unwrap();
+                            self.reclaim_shard(&mut g, &registry);
+                        }
+                        drop(g);
+                        st.closed = true;
+                        self.metrics.commits.add(1);
+                        self.metrics.entities_written.add(n_written);
+                        self.metrics.fast_path_ops.add(1);
+                        Ok(())
+                    }
+                    Applied::SelfAborted => {
+                        self.record(Event::Step {
+                            step,
+                            outcome: Applied::SelfAborted,
+                        });
+                        drop(g);
+                        self.after_scheduler_abort(st);
+                        Err(EngineError::Aborted(st.txn))
+                    }
+                    Applied::IgnoredAborted => Err(EngineError::Closed(st.txn)),
+                };
+            }
+            drop(g);
+        }
+        self.commit_escalated(st, involved, writes, all_entities, n_written)
+    }
+
+    fn commit_escalated(
+        &self,
+        st: &mut SessionState,
+        mut involved: BTreeSet<usize>,
+        writes: BTreeMap<usize, Vec<EntityId>>,
+        all_entities: Vec<EntityId>,
+        n_written: u64,
+    ) -> Result<(), EngineError> {
+        let mut guards = self.lock_all();
+        let mut registry = self.registry.lock().unwrap();
+        for &t in registry.get(&st.txn).into_iter().flatten() {
+            involved.insert(t);
+        }
+        for &s in &involved {
+            Self::ensure_node(&mut guards[s], st.txn)?;
+        }
+        Self::note_multi_shard(&mut guards, &mut registry, st.txn, &involved);
+        // Rule 3 arc sources for the combined atomic write.
+        let mut targets: HashSet<(usize, deltx_graph::NodeId)> = HashSet::new();
+        for (&s, xs) in &writes {
+            let own = guards[s].cg.node_of(st.txn);
+            for &x in xs {
+                for n in guards[s].cg.accessors_of(x) {
+                    if Some(n) != own {
+                        targets.insert((s, n));
+                    }
+                }
+            }
+        }
+        let step = Step::new(st.txn, Op::WriteAll(all_entities));
+        self.metrics.escalated_ops.add(1);
+        if Self::union_reaches(&guards, &registry, st.txn, &targets) {
+            Self::abort_everywhere(&mut guards, &mut registry, st.txn);
+            self.record(Event::Step {
+                step,
+                outcome: Applied::SelfAborted,
+            });
+            drop(registry);
+            drop(guards);
+            self.after_scheduler_abort(st);
+            return Err(EngineError::Aborted(st.txn));
+        }
+        let empty: Vec<EntityId> = Vec::new();
+        for &s in &involved {
+            let xs = writes.get(&s).unwrap_or(&empty);
+            let sub = Step::new(st.txn, Op::WriteAll(xs.clone()));
+            let out = guards[s].cg.apply(&sub)?;
+            debug_assert_eq!(out, Applied::Accepted, "local check is a union subset");
+            if let Some(buf) = st.bufs.get_mut(&s) {
+                if !xs.is_empty() {
+                    buf.install(&mut guards[s].store);
+                }
+            }
+        }
+        if involved.len() > 1 {
+            self.pending_multi.lock().unwrap().insert(st.txn);
+        }
+        self.record(Event::Step {
+            step,
+            outcome: Applied::Accepted,
+        });
+        // Backpressure GC while the locks are already held.
+        if self.gc_policy == GcPolicy::Noncurrent {
+            for &s in &involved {
+                if guards[s].cg.gc_candidate_count() >= SHARD_GC_THRESHOLD {
+                    self.reclaim_shard(&mut guards[s], &registry);
+                }
+            }
+            if self.pending_multi.lock().unwrap().len() >= MULTI_GC_THRESHOLD {
+                self.sweep_multi_locked(&mut guards, &mut registry);
+            }
+        }
+        drop(registry);
+        drop(guards);
+        st.closed = true;
+        self.metrics.commits.add(1);
+        self.metrics.entities_written.add(n_written);
+        Ok(())
+    }
+
+    /// Client rollback (or session drop).
+    pub(crate) fn client_abort(&self, st: &mut SessionState) {
+        if st.closed {
+            return;
+        }
+        st.closed = true;
+        if st.shards.len() <= 1 {
+            if let Some(&s) = st.shards.iter().next() {
+                let mut g = self.shards[s].lock().unwrap();
+                let multi = self.registry.lock().unwrap().contains_key(&st.txn);
+                if !multi {
+                    if g.cg.node_of(st.txn).is_some() {
+                        g.cg.abort_txn(st.txn).expect("live node aborts");
+                    }
+                    self.record(Event::ClientAbort(st.txn));
+                    drop(g);
+                    self.metrics.aborts_voluntary.add(1);
+                    self.metrics.txns_left(1);
+                    return;
+                }
+                drop(g);
+            } else {
+                // Never touched a shard.
+                self.record(Event::ClientAbort(st.txn));
+                self.metrics.aborts_voluntary.add(1);
+                self.metrics.txns_left(1);
+                return;
+            }
+        }
+        let mut guards = self.lock_all();
+        let mut registry = self.registry.lock().unwrap();
+        Self::abort_everywhere(&mut guards, &mut registry, st.txn);
+        self.record(Event::ClientAbort(st.txn));
+        drop(registry);
+        drop(guards);
+        self.metrics.aborts_voluntary.add(1);
+        self.metrics.txns_left(1);
+    }
+
+    fn after_scheduler_abort(&self, st: &mut SessionState) {
+        st.closed = true;
+        self.metrics.aborts_scheduler.add(1);
+        self.metrics.txns_left(1);
+    }
+
+    // ---------------------------------------------------------------
+    // GC
+    // ---------------------------------------------------------------
+
+    fn gc_loop(&self, interval: Duration) {
+        let mut guard = self.shutdown.lock().unwrap();
+        loop {
+            if *guard {
+                return;
+            }
+            let (g, _) = self
+                .shutdown_cv
+                .wait_timeout(guard, interval)
+                .expect("GC condvar");
+            guard = g;
+            if *guard {
+                return;
+            }
+            drop(guard);
+            self.gc_sweep();
+            guard = self.shutdown.lock().unwrap();
+        }
+    }
+
+    /// One full GC sweep: per-shard incremental pass, then the
+    /// multi-shard pass.
+    pub(crate) fn gc_sweep(&self) {
+        match self.gc_policy {
+            GcPolicy::Off => {}
+            GcPolicy::Noncurrent => {
+                self.sweep_shards_noncurrent();
+                self.sweep_multi_shard();
+            }
+            GcPolicy::ShardLocal(kind) => self.sweep_shard_local(kind),
+        }
+        self.metrics.gc_sweeps.add(1);
+    }
+
+    /// Incremental noncurrent reclaim of one shard: drains the
+    /// candidate queue, deletes noncurrent single-shard transactions,
+    /// defers multi-shard candidates to the multi pass, prunes stale
+    /// store versions. Callers hold the shard's lock; `registry` is the
+    /// (already locked) multi-shard map.
+    fn reclaim_shard(&self, g: &mut Shard, registry: &HashMap<TxnId, Vec<usize>>) {
+        let t0 = Instant::now();
+        let candidates = g.cg.drain_gc_candidates();
+        if candidates.is_empty() {
+            return;
+        }
+        let mut deleted: Vec<TxnId> = Vec::new();
+        let mut deferred: Vec<TxnId> = Vec::new();
+        let mut written: Vec<EntityId> = Vec::new();
+        for n in candidates {
+            if !g.cg.is_completed(n) {
+                continue;
+            }
+            let txn = g.cg.info(n).txn;
+            if registry.contains_key(&txn) {
+                deferred.push(txn);
+                continue;
+            }
+            if !noncurrent::is_current(&g.cg, n) {
+                for (&x, rec) in &g.cg.info(n).access {
+                    if rec.mode == deltx_model::AccessMode::Write {
+                        written.push(x);
+                    }
+                }
+                g.cg.delete(n).expect("completed node deletes");
+                deleted.push(txn);
+            }
+        }
+        let truncated = g.store.truncate_versions_in(&deleted, &written);
+        if !deferred.is_empty() {
+            self.pending_multi.lock().unwrap().extend(deferred);
+        }
+        self.metrics.gc_deletions.add(deleted.len() as u64);
+        self.metrics.txns_left(deleted.len() as u64);
+        self.metrics.gc_versions_truncated.add(truncated as u64);
+        self.metrics
+            .gc_pause_nanos
+            .add(t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Per-shard incremental noncurrent pass over all shards.
+    fn sweep_shards_noncurrent(&self) {
+        for s in 0..self.shards.len() {
+            let mut g = self.shards[s].lock().unwrap();
+            if g.cg.gc_candidate_count() == 0 {
+                continue;
+            }
+            let registry = self.registry.lock().unwrap();
+            self.reclaim_shard(&mut g, &registry);
+        }
+    }
+
+    /// Multi-shard deletion pass: noncurrent-everywhere transactions
+    /// are deleted from every shard, with `D(G, N)` bridges
+    /// re-materialized across shards via ghosts.
+    fn sweep_multi_shard(&self) {
+        if self.pending_multi.lock().unwrap().is_empty() {
+            return;
+        }
+        let mut guards = self.lock_all();
+        let mut registry = self.registry.lock().unwrap();
+        self.sweep_multi_locked(&mut guards, &mut registry);
+    }
+
+    /// The multi-shard pass body, for callers already holding every
+    /// shard lock plus the registry (the background sweep, and
+    /// escalated committers applying backpressure).
+    fn sweep_multi_locked(
+        &self,
+        guards: &mut [MutexGuard<'_, Shard>],
+        registry: &mut HashMap<TxnId, Vec<usize>>,
+    ) {
+        let pending: Vec<TxnId> = {
+            let mut p = self.pending_multi.lock().unwrap();
+            std::mem::take(&mut *p).into_iter().collect()
+        };
+        if pending.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let mut still_pending: BTreeSet<TxnId> = BTreeSet::new();
+        let mut deleted: Vec<TxnId> = Vec::new();
+        // Entities the deleted transactions wrote, per shard — the
+        // targets for store truncation afterwards.
+        let mut written: BTreeMap<usize, Vec<EntityId>> = BTreeMap::new();
+        let mut ghosts_made = 0u64;
+        for txn in pending {
+            let Some(shards) = registry.get(&txn).cloned() else {
+                continue; // aborted or already deleted
+            };
+            let nodes: Vec<(usize, deltx_graph::NodeId)> = shards
+                .iter()
+                .filter_map(|&s| guards[s].cg.node_of(txn).map(|n| (s, n)))
+                .collect();
+            // Not deletable yet? Drop it from the queue: the events
+            // that can change the answer re-enqueue it — committing
+            // (commit_escalated), an overwrite of one of its entities
+            // (the shard candidate queue -> reclaim_shard deferral),
+            // or being ghosted (bridge_cross_shard).
+            let all_completed = nodes.iter().all(|&(s, n)| guards[s].cg.is_completed(n));
+            if !all_completed {
+                continue;
+            }
+            let current = nodes
+                .iter()
+                .any(|&(s, n)| noncurrent::is_current(&guards[s].cg, n));
+            if current {
+                continue;
+            }
+            // Collect cross-shard pred/succ transaction pairs (local
+            // pairs are bridged by `delete` itself) and the written
+            // entities, before deleting forgets them.
+            let mut preds: Vec<(usize, TxnId)> = Vec::new();
+            let mut succs: Vec<(usize, TxnId)> = Vec::new();
+            for &(s, n) in &nodes {
+                for &p in guards[s].cg.graph().preds(n) {
+                    preds.push((s, guards[s].cg.info(p).txn));
+                }
+                for &q in guards[s].cg.graph().succs(n) {
+                    succs.push((s, guards[s].cg.info(q).txn));
+                }
+                for (&x, rec) in &guards[s].cg.info(n).access {
+                    if rec.mode == deltx_model::AccessMode::Write {
+                        written.entry(s).or_default().push(x);
+                    }
+                }
+            }
+            for &(s, n) in &nodes {
+                if guards[s].cg.node_of(txn) == Some(n) {
+                    guards[s].boundary -= 1;
+                    guards[s].cg.delete(n).expect("completed node deletes");
+                }
+            }
+            registry.remove(&txn);
+            for &(ps, p) in &preds {
+                for &(qs, q) in &succs {
+                    if ps == qs || p == q {
+                        continue; // same shard: bridged locally
+                    }
+                    ghosts_made += Self::bridge_cross_shard(
+                        guards,
+                        registry,
+                        &mut still_pending,
+                        (ps, p),
+                        (qs, q),
+                    );
+                }
+            }
+            deleted.push(txn);
+        }
+        // Prune the reclaimed writers' stale versions, only in the
+        // entities they actually wrote.
+        let mut truncated = 0usize;
+        for (s, xs) in &written {
+            truncated += guards[*s].store.truncate_versions_in(&deleted, xs);
+        }
+        if !still_pending.is_empty() {
+            self.pending_multi.lock().unwrap().extend(still_pending);
+        }
+        self.metrics.gc_deletions.add(deleted.len() as u64);
+        self.metrics.txns_left(deleted.len() as u64);
+        self.metrics.gc_ghosts.add(ghosts_made);
+        self.metrics.gc_versions_truncated.add(truncated as u64);
+        self.metrics
+            .gc_pause_nanos
+            .add(t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Ensures an ordering arc `pred -> succ` exists somewhere in the
+    /// union graph, materializing a ghost for `pred` in `succ`'s shard
+    /// if the two transactions share no shard. Returns how many ghosts
+    /// were created (0 or 1).
+    fn bridge_cross_shard(
+        guards: &mut [MutexGuard<'_, Shard>],
+        registry: &mut HashMap<TxnId, Vec<usize>>,
+        pending: &mut BTreeSet<TxnId>,
+        (ps, p): (usize, TxnId),
+        (qs, q): (usize, TxnId),
+    ) -> u64 {
+        // A shard where both live already?
+        let p_shards: Vec<usize> = registry.get(&p).cloned().unwrap_or_else(|| vec![ps]);
+        let q_shards: Vec<usize> = registry.get(&q).cloned().unwrap_or_else(|| vec![qs]);
+        for &c in &p_shards {
+            if q_shards.contains(&c) {
+                let (pn, qn) = (
+                    guards[c].cg.node_of(p).expect("registered node"),
+                    guards[c].cg.node_of(q).expect("registered node"),
+                );
+                guards[c]
+                    .cg
+                    .add_order_arc(pn, qn)
+                    .expect("bridge follows an existing union path");
+                return 0;
+            }
+        }
+        // Materialize p as a ghost in q's shard.
+        let target = qs;
+        let p_node = guards[ps].cg.node_of(p).expect("registered node");
+        let p_completed = guards[ps].cg.info(p_node).state == TxnState::Completed;
+        let ghost = if p_completed {
+            guards[target]
+                .cg
+                .admit_completed_ghost(p)
+                .expect("ghost id unseen in target shard")
+        } else {
+            // Active predecessor: an access-free *active* node — it
+            // will be completed by p's own commit (which consults the
+            // registry) or removed by p's abort.
+            guards[target]
+                .cg
+                .apply(&Step::new(p, Op::Begin))
+                .expect("ghost begin");
+            guards[target].cg.node_of(p).expect("just admitted")
+        };
+        let qn = guards[target].cg.node_of(q).expect("registered node");
+        guards[target]
+            .cg
+            .add_order_arc(ghost, qn)
+            .expect("bridge follows an existing union path");
+        // p is now multi-shard: update registry and boundary counts.
+        let mut shards: BTreeSet<usize> = p_shards.iter().copied().collect();
+        let was_single = shards.len() == 1;
+        shards.insert(target);
+        if was_single {
+            guards[ps].boundary += 1;
+        }
+        guards[target].boundary += 1;
+        registry.insert(p, shards.into_iter().collect());
+        if p_completed {
+            pending.insert(p);
+        }
+        1
+    }
+
+    /// Per-shard sweep with a `deltx-core` policy, restricted to shards
+    /// whose graph is a closed component (no boundary nodes).
+    fn sweep_shard_local(&self, kind: PolicyKind) {
+        let mut policy = kind.build();
+        for s in 0..self.shards.len() {
+            let t0 = Instant::now();
+            let mut g = self.shards[s].lock().unwrap();
+            let _ = g.cg.drain_gc_candidates(); // keep the queue bounded
+            if g.boundary != 0 {
+                continue;
+            }
+            let before: HashMap<TxnId, ()> =
+                g.cg.completed_nodes()
+                    .into_iter()
+                    .map(|n| (g.cg.info(n).txn, ()))
+                    .collect();
+            let deletions_before = g.cg.stats().deletions;
+            policy.reduce(&mut g.cg);
+            let deleted: Vec<TxnId> = before
+                .keys()
+                .filter(|t| g.cg.node_of(**t).is_none())
+                .copied()
+                .collect();
+            let n_deleted = g.cg.stats().deletions - deletions_before;
+            let truncated = g.store.truncate_versions(&deleted);
+            drop(g);
+            self.metrics.gc_deletions.add(n_deleted);
+            self.metrics.txns_left(deleted.len() as u64);
+            self.metrics.gc_versions_truncated.add(truncated as u64);
+            self.metrics
+                .gc_pause_nanos
+                .add(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Optional recording of the engine's linearized step history.
+//!
+//! When [`crate::EngineConfig::record_history`] is set, every scheduler
+//! decision is appended — *while the deciding locks are still held*, so
+//! the recorded order of any two conflicting operations is their true
+//! order — together with the outcome the engine produced. Tests replay
+//! the record through a single full (never-deleting) `CgState` and
+//! assert outcome-for-outcome equality: Theorem 2 says a scheduler whose
+//! deletions are all safe behaves *identically* to the full scheduler,
+//! so any divergence convicts the engine's sharding or its GC.
+
+use deltx_core::Applied;
+use deltx_model::{Step, TxnId};
+
+/// One recorded engine event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A step was offered to the scheduler and decided as recorded.
+    Step {
+        /// The step (multi-shard final writes are recorded as the one
+        /// combined `WriteAll` the paper's model prescribes).
+        step: Step,
+        /// The engine's decision for it.
+        outcome: Applied,
+    },
+    /// The client voluntarily aborted the transaction (rollback).
+    ClientAbort(TxnId),
+}
+
+/// The full recorded history of an engine run.
+#[derive(Clone, Debug, Default)]
+pub struct RecordedHistory {
+    /// Events in linearization order.
+    pub events: Vec<Event>,
+}
+
+impl RecordedHistory {
+    /// The accepted steps, in order — the engine's *output schedule*
+    /// (what actually executed), with self-aborted and ignored steps
+    /// dropped. Feed this to `deltx_model::history::is_csr`.
+    pub fn accepted_steps(&self) -> Vec<Step> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Step {
+                    step,
+                    outcome: Applied::Accepted,
+                } => Some(step.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ids of transactions the client rolled back.
+    pub fn client_aborted(&self) -> Vec<TxnId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ClientAbort(t) => Some(*t),
+                _ => None,
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,96 @@
+//! # deltx-engine — a concurrent, sharded online transaction engine
+//!
+//! Everything else in this workspace *analyzes* the paper's machinery;
+//! this crate *serves* with it. `deltx-engine` turns the conflict-graph
+//! scheduler of Hadzilacos & Yannakakis into an online OLTP-style
+//! service in which "deleting completed transactions" is a live memory
+//! reclamation mechanism: a background GC incrementally removes
+//! completed transactions the moment the paper's conditions allow,
+//! keeping the scheduler state `O(active transactions + entities)` under
+//! sustained load.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!        Engine::begin()                 Engine::begin()
+//!              │                               │
+//!        ┌─────▼─────┐                   ┌─────▼─────┐
+//!        │ Session T1 │  read/write/...  │ Session T8 │   (one per client
+//!        └─────┬─────┘                   └─────┬─────┘    thread; owns its
+//!              │  route by entity:  x -> shard(x)    │    TxnBuffers)
+//!     ┌────────┼───────────────┬────────────────────┘
+//!  ┌──▼───────────┐  ┌─────────▼────┐       ┌──────────────┐
+//!  │ Shard 0      │  │ Shard 1      │  ...  │ Shard N-1    │
+//!  │  Mutex<      │  │  Mutex<      │       │  Mutex<      │
+//!  │   CgState +  │  │   CgState +  │       │   CgState +  │
+//!  │   Store>     │  │   Store>     │       │   Store>     │
+//!  └──────▲───────┘  └──────▲───────┘       └──────▲───────┘
+//!         │ lock one (fast path) or all, ascending │
+//!         └────────────┬───────────────────────────┘
+//!                ┌─────▼──────┐
+//!                │  GC thread │  noncurrent / C1 / C2 sweeps,
+//!                └────────────┘  Store::truncate_versions
+//! ```
+//!
+//! * **Sessions** ([`Session`]) follow the paper's basic model:
+//!   `BEGIN -> reads -> one atomic final write` (the write set is staged
+//!   in per-shard [`deltx_storage::TxnBuffer`]s and installed atomically
+//!   at [`Session::commit`]). [`Session::abort`] rolls back by simply
+//!   dropping the buffers — deferred writes mean there is nothing to
+//!   undo.
+//! * **Shards**: entities are partitioned by `x mod N`; each shard owns
+//!   an independent [`deltx_core::CgState`] (Rules 1–3 applied to the
+//!   entities it owns) plus the [`deltx_storage::Store`] holding their
+//!   versions, behind its own mutex. Every conflict arc is witnessed by
+//!   a single entity, so every arc is *intra-shard*, and the global
+//!   conflict graph is exactly the union of the shard graphs with nodes
+//!   of the same transaction identified.
+//! * **Cross-shard commits**: a transaction that stays inside one shard
+//!   whose graph contains no *boundary nodes* (nodes of multi-shard
+//!   transactions) takes the fast path — one lock, one local cycle
+//!   check, which is complete because no path can leave such a shard's
+//!   graph. Anything else escalates: all shard locks are taken in
+//!   ascending order (deadlock-free) and the cycle check runs on the
+//!   union graph, hopping between shards at multi-shard nodes.
+//! * **GC**: a background thread drains per-shard candidate queues
+//!   (fed by [`deltx_core::CgState::drain_gc_candidates`] — no full
+//!   scans) and deletes completed transactions per the configured
+//!   [`GcPolicy`]. Deleting a multi-shard transaction re-materializes
+//!   the paper's `D(G, N)` bridges across shard boundaries with *ghost
+//!   nodes* ([`deltx_core::CgState::admit_completed_ghost`]), so union
+//!   reachability is preserved exactly. Reclaimed writers' stale
+//!   versions are pruned with [`deltx_storage::Store::truncate_versions`].
+//! * **Metrics** ([`metrics`]): throughput, aborts, live-graph size,
+//!   deletions, GC pause time.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deltx_engine::{Engine, EngineConfig};
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let mut t = engine.begin();
+//! let a = t.read(0).unwrap();
+//! t.write(0, a + 10);
+//! t.commit().unwrap();
+//!
+//! let mut t = engine.begin();
+//! assert_eq!(t.read(0).unwrap(), 10);
+//! t.abort();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_engine;
+mod history;
+pub mod metrics;
+mod session;
+
+pub mod error;
+
+pub use core_engine::{Engine, EngineConfig, GcPolicy};
+pub use error::EngineError;
+pub use history::{Event, RecordedHistory};
+pub use metrics::MetricsSnapshot;
+pub use session::Session;

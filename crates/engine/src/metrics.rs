@@ -1,0 +1,143 @@
+//! Engine metrics: lock-free counters sampled into snapshots.
+//!
+//! Counters are plain relaxed atomics — they order nothing, they only
+//! count — and a [`MetricsSnapshot`] is a consistent-enough read for
+//! dashboards and tests. Graph-size *gauges* (`live_txns`) are
+//! maintained by the engine under its shard locks, so the live-graph
+//! bound the paper promises is directly observable.
+
+use deltx_sched::StateSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Relaxed-ordering counter cell.
+#[derive(Debug, Default)]
+pub(crate) struct Counter(AtomicU64);
+
+impl Counter {
+    pub(crate) fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The engine's metric registry (one per engine, shared with the GC
+/// thread).
+#[derive(Debug, Default)]
+pub(crate) struct EngineMetrics {
+    pub commits: Counter,
+    pub aborts_scheduler: Counter,
+    pub aborts_voluntary: Counter,
+    pub reads: Counter,
+    pub entities_written: Counter,
+    pub fast_path_ops: Counter,
+    pub escalated_ops: Counter,
+    pub gc_sweeps: Counter,
+    pub gc_deletions: Counter,
+    pub gc_ghosts: Counter,
+    pub gc_versions_truncated: Counter,
+    pub gc_pause_nanos: Counter,
+    /// Distinct live transactions across all shards (gauge; updated
+    /// under shard locks).
+    pub live_txns: Counter,
+    /// High-water mark of `live_txns`.
+    pub peak_live_txns: AtomicU64,
+}
+
+impl EngineMetrics {
+    pub(crate) fn txn_became_live(&self) {
+        let now = self.live_txns.0.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_live_txns.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn txns_left(&self, n: u64) {
+        self.live_txns.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, graph: StateSize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            commits: self.commits.get(),
+            aborts_scheduler: self.aborts_scheduler.get(),
+            aborts_voluntary: self.aborts_voluntary.get(),
+            reads: self.reads.get(),
+            entities_written: self.entities_written.get(),
+            fast_path_ops: self.fast_path_ops.get(),
+            escalated_ops: self.escalated_ops.get(),
+            gc_sweeps: self.gc_sweeps.get(),
+            gc_deletions: self.gc_deletions.get(),
+            gc_ghosts: self.gc_ghosts.get(),
+            gc_versions_truncated: self.gc_versions_truncated.get(),
+            gc_pause: Duration::from_nanos(self.gc_pause_nanos.get()),
+            live_txns: self.live_txns.get(),
+            peak_live_txns: self.peak_live_txns.load(Ordering::Relaxed),
+            graph,
+        }
+    }
+}
+
+/// A point-in-time reading of the engine's counters and gauges.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted by cycle rejection.
+    pub aborts_scheduler: u64,
+    /// Transactions rolled back by the client (or dropped sessions).
+    pub aborts_voluntary: u64,
+    /// Read operations served.
+    pub reads: u64,
+    /// Entities installed by commits.
+    pub entities_written: u64,
+    /// Operations that ran under a single shard lock.
+    pub fast_path_ops: u64,
+    /// Operations that had to take every shard lock.
+    pub escalated_ops: u64,
+    /// GC sweeps executed.
+    pub gc_sweeps: u64,
+    /// Completed transactions deleted from the live graph.
+    pub gc_deletions: u64,
+    /// Ghost nodes materialized for cross-shard bridges.
+    pub gc_ghosts: u64,
+    /// Stale versions pruned from the stores.
+    pub gc_versions_truncated: u64,
+    /// Total wall-clock time GC spent holding shard locks.
+    pub gc_pause: Duration,
+    /// Distinct live transactions in the conflict graph right now.
+    pub live_txns: u64,
+    /// High-water mark of `live_txns`.
+    pub peak_live_txns: u64,
+    /// Union-graph size (nodes include ghosts; arcs include bridges).
+    pub graph: StateSize,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "commits {} | sched-aborts {} | client-aborts {} | reads {}",
+            self.commits, self.aborts_scheduler, self.aborts_voluntary, self.reads
+        )?;
+        writeln!(
+            f,
+            "fast-path {} | escalated {} | live txns {} (peak {}) | graph {} nodes / {} arcs",
+            self.fast_path_ops,
+            self.escalated_ops,
+            self.live_txns,
+            self.peak_live_txns,
+            self.graph.nodes,
+            self.graph.arcs
+        )?;
+        write!(
+            f,
+            "gc: {} sweeps, {} deletions, {} ghosts, {} versions pruned, {:?} total pause",
+            self.gc_sweeps,
+            self.gc_deletions,
+            self.gc_ghosts,
+            self.gc_versions_truncated,
+            self.gc_pause
+        )
+    }
+}

@@ -98,7 +98,10 @@ impl CycleChecker {
         sources: &[NodeId],
         target: NodeId,
     ) -> bool {
-        debug_assert!(sources.windows(2).all(|w| w[0] < w[1]), "sources must be sorted");
+        debug_assert!(
+            sources.windows(2).all(|w| w[0] < w[1]),
+            "sources must be sorted"
+        );
         if sources.is_empty() {
             return false;
         }

@@ -23,7 +23,12 @@ where
     for n in g.nodes() {
         let extra = style(n);
         let sep = if extra.is_empty() { "" } else { ", " };
-        let _ = writeln!(out, "  n{} [label=\"{}\"{sep}{extra}];", n.index(), label(n));
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"{sep}{extra}];",
+            n.index(),
+            label(n)
+        );
     }
     for (a, b) in g.arcs() {
         let _ = writeln!(out, "  n{} -> n{};", a.index(), b.index());

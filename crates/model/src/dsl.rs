@@ -164,15 +164,15 @@ mod tests {
     #[test]
     fn error_cases() {
         for bad in [
-            "q1",        // unknown op
-            "r1",        // missing args
-            "r1(x,y)",   // read of two entities
-            "b1(x)",     // begin with args
-            "rx(x)",     // missing txn number
-            "r1(x",      // unbalanced parens
-            "w1(x,,y)",  // empty name
-            "sw1(x,y)",  // single write of two entities
-            "f2(z)",     // finish with args
+            "q1",       // unknown op
+            "r1",       // missing args
+            "r1(x,y)",  // read of two entities
+            "b1(x)",    // begin with args
+            "rx(x)",    // missing txn number
+            "r1(x",     // unbalanced parens
+            "w1(x,,y)", // empty name
+            "sw1(x,y)", // single write of two entities
+            "f2(z)",    // finish with args
         ] {
             assert!(parse(bad).is_err(), "`{bad}` should fail");
         }

@@ -7,9 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a transaction (`T1`, `T2`, … in the paper).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TxnId(pub u32);
 
 impl TxnId {
@@ -33,9 +31,7 @@ impl std::fmt::Display for TxnId {
 }
 
 /// Identifier of a database entity (`x`, `y`, `z1`, … in the paper).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EntityId(pub u32);
 
 impl EntityId {

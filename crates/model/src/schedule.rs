@@ -251,10 +251,7 @@ mod tests {
     fn txn_and_entity_enumeration() {
         let s = Schedule::serial(&[TxnSpec::basic(3, [5, 1], [2])]);
         assert_eq!(s.txn_ids(), vec![TxnId(3)]);
-        assert_eq!(
-            s.entity_ids(),
-            vec![EntityId(1), EntityId(2), EntityId(5)]
-        );
+        assert_eq!(s.entity_ids(), vec![EntityId(1), EntityId(2), EntityId(5)]);
         assert_eq!(s.completed_txns(), vec![TxnId(3)]);
     }
 

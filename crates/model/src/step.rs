@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 /// **stronger** than a read access."* The derived `Ord` realizes exactly
 /// that: `Read < Write`, so "`a` accesses x at least as strongly as `b`"
 /// is `a_mode >= b_mode`.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AccessMode {
     /// Read access.
     Read,
@@ -175,7 +173,9 @@ mod tests {
             vec![(EntityId(1), AccessMode::Read)]
         );
         assert_eq!(
-            Op::WriteAll(vec![EntityId(1), EntityId(2)]).accesses().len(),
+            Op::WriteAll(vec![EntityId(1), EntityId(2)])
+                .accesses()
+                .len(),
             2
         );
         assert!(Op::WriteAll(vec![]).is_terminal());

@@ -374,7 +374,10 @@ mod tests {
         // 1 begin + 4 reads + 3 * (begin, read, write)
         assert_eq!(s.len(), 5 + 9);
         assert_eq!(s.completed_txns().len(), 3);
-        assert!(!s.completed_txns().contains(&TxnId(1)), "reader stays active");
+        assert!(
+            !s.completed_txns().contains(&TxnId(1)),
+            "reader stays active"
+        );
     }
 
     #[test]
@@ -399,6 +402,9 @@ mod tests {
         };
         let u = count_e0(WorkloadGen::new(cfg_uniform).collect());
         let z = count_e0(WorkloadGen::new(cfg_zipf).collect());
-        assert!(z > u * 3, "zipf should hammer entity 0 (uniform {u}, zipf {z})");
+        assert!(
+            z > u * 3,
+            "zipf should hammer entity 0 (uniform {u}, zipf {z})"
+        );
     }
 }

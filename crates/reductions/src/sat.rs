@@ -52,9 +52,7 @@ pub struct Cnf {
 impl Cnf {
     /// Builds a formula, checking variable bounds.
     pub fn new(n_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
-        assert!(clauses
-            .iter()
-            .all(|c| c.iter().all(|l| l.var < n_vars)));
+        assert!(clauses.iter().all(|c| c.iter().all(|l| l.var < n_vars)));
         Self { n_vars, clauses }
     }
 

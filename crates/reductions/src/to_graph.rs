@@ -107,12 +107,8 @@ pub fn build(cnf: &Cnf) -> Thm6Instance {
     let a = b.node(MwPhase::Active);
     let a_pos: Vec<NodeId> = (0..cnf.n_vars).map(|_| b.node(MwPhase::Active)).collect();
     let a_neg: Vec<NodeId> = (0..cnf.n_vars).map(|_| b.node(MwPhase::Active)).collect();
-    let x_pos: Vec<NodeId> = (0..cnf.n_vars)
-        .map(|_| b.node(MwPhase::Finished))
-        .collect();
-    let x_neg: Vec<NodeId> = (0..cnf.n_vars)
-        .map(|_| b.node(MwPhase::Finished))
-        .collect();
+    let x_pos: Vec<NodeId> = (0..cnf.n_vars).map(|_| b.node(MwPhase::Finished)).collect();
+    let x_neg: Vec<NodeId> = (0..cnf.n_vars).map(|_| b.node(MwPhase::Finished)).collect();
     let bb = b.node(MwPhase::Committed);
     let cc = b.node(MwPhase::Committed);
     let dd = b.node(MwPhase::Committed);
@@ -169,15 +165,12 @@ pub fn build(cnf: &Cnf) -> Thm6Instance {
     }
     // Clause nodes' privates were skipped above (they're created in the
     // loop); give them privates too.
-    let clause_nodes: Vec<NodeId> = b
-        .mw
-        .nodes()
-        .filter(|&n| {
-            b.mw.phase(n) == MwPhase::Finished
-                && !x_pos.contains(&n)
-                && !x_neg.contains(&n)
-        })
-        .collect();
+    let clause_nodes: Vec<NodeId> =
+        b.mw.nodes()
+            .filter(|&n| {
+                b.mw.phase(n) == MwPhase::Finished && !x_pos.contains(&n) && !x_neg.contains(&n)
+            })
+            .collect();
     for n in clause_nodes {
         b.private(n);
     }
@@ -251,10 +244,7 @@ mod tests {
             let g = build(&f);
             let sat = dpll(&f).is_some();
             let deletable = c3::holds_exact(&g.state, g.c);
-            assert_eq!(
-                deletable, !sat,
-                "seed {seed}: C3(C) must equal UNSAT(f)"
-            );
+            assert_eq!(deletable, !sat, "seed {seed}: C3(C) must equal UNSAT(f)");
         }
     }
 

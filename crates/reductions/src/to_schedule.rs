@@ -134,8 +134,8 @@ pub fn complement_as_cover(inst: &Thm5Instance, cg: &CgState, n: &BTreeSet<NodeI
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deltx_core::{c1, c2};
     use crate::setcover::{greedy_cover, min_cover_exact};
+    use deltx_core::{c1, c2};
 
     fn small() -> SetCoverInstance {
         // Universe {0,1,2,3}; sets: {0,1}, {1,2}, {2,3}, {0,3}, {1,3}.

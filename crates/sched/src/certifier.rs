@@ -221,9 +221,9 @@ impl Scheduler for Certifier {
                 }
                 Ok(self.certify(t, log, seq))
             }
-            Op::Write(_) | Op::Finish => Err(CgError::WrongModel(
-                "certifier runs the basic model only",
-            )),
+            Op::Write(_) | Op::Finish => {
+                Err(CgError::WrongModel("certifier runs the basic model only"))
+            }
         }
     }
 
@@ -269,14 +269,10 @@ mod tests {
         // writes y: T1 read x before T2's write (T1->T2) and writes y
         // after T2's read (T2->T1): immediate cycle at certification.
         let (c, p, outs) = drive("b1 r1(x) b2 r2(y) w2(x) w1(y)");
-        assert_eq!(
-            *outs.last().unwrap(),
-            FeedOutcome::Aborted(vec![TxnId(1)])
-        );
+        assert_eq!(*outs.last().unwrap(), FeedOutcome::Aborted(vec![TxnId(1)]));
         assert_eq!(c.certified_count(), 1);
         // Accepted subschedule is CSR.
-        let aborted: std::collections::HashSet<TxnId> =
-            c.aborted_txns().into_iter().collect();
+        let aborted: std::collections::HashSet<TxnId> = c.aborted_txns().into_iter().collect();
         assert!(is_csr(&p.accepted_subschedule(&aborted)));
     }
 
@@ -295,10 +291,7 @@ mod tests {
         // certifies: arcs T1->T2 (first read before write) and T2->T1
         // (second read after write) form a 2-cycle: abort.
         let (_, p, outs) = drive("b1 r1(x) b2 w2(x) r1(x) w1()");
-        assert_eq!(
-            *outs.last().unwrap(),
-            FeedOutcome::Aborted(vec![TxnId(1)])
-        );
+        assert_eq!(*outs.last().unwrap(), FeedOutcome::Aborted(vec![TxnId(1)]));
         assert!(!is_csr(&p), "ground truth agrees the full history is bad");
     }
 
@@ -309,10 +302,7 @@ mod tests {
         // T1 then writes c read earlier by T3 (3->1): cycle at T1's
         // certification.
         let (_, p, outs) = drive("b3 r3(c) b1 r1(a) b2 r2(b) w2(a) w3(b) w1(c)");
-        assert_eq!(
-            *outs.last().unwrap(),
-            FeedOutcome::Aborted(vec![TxnId(1)])
-        );
+        assert_eq!(*outs.last().unwrap(), FeedOutcome::Aborted(vec![TxnId(1)]));
         assert!(!is_csr(&p));
     }
 

@@ -62,7 +62,9 @@ impl MultiWrite {
         }
         loop {
             let committed = self.state.nodes_in_phase(MwPhase::Committed);
-            let victim = committed.into_iter().find(|&n| c3::holds_exact(&self.state, n));
+            let victim = committed
+                .into_iter()
+                .find(|&n| c3::holds_exact(&self.state, n));
             match victim {
                 Some(n) => {
                     self.state.delete_committed(n).expect("committed");

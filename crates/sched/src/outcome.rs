@@ -70,9 +70,6 @@ mod tests {
     #[test]
     fn outcomes_compare() {
         assert_eq!(FeedOutcome::Accepted, FeedOutcome::Accepted);
-        assert_ne!(
-            FeedOutcome::Accepted,
-            FeedOutcome::Aborted(vec![TxnId(1)])
-        );
+        assert_ne!(FeedOutcome::Accepted, FeedOutcome::Aborted(vec![TxnId(1)]));
     }
 }

@@ -114,8 +114,7 @@ impl PredeclaredDriver {
                         self.accepted += 1;
                         made += 1;
                         self.collect();
-                        self.peak_nodes =
-                            self.peak_nodes.max(self.state.graph().node_count());
+                        self.peak_nodes = self.peak_nodes.max(self.state.graph().node_count());
                     }
                     PreApplied::Delayed => {
                         self.delays += 1;
@@ -148,21 +147,27 @@ mod tests {
     use deltx_model::Op;
 
     fn spec(id: u32, ops: Vec<Op>) -> TxnSpec {
-        TxnSpec {
-            id: TxnId(id),
-            ops,
-        }
+        TxnSpec { id: TxnId(id), ops }
     }
 
     #[test]
     fn contended_trio_completes() {
         let mut d = PredeclaredDriver::new();
-        d.submit(&spec(1, vec![Op::Read(EntityId(0)), Op::Write(EntityId(1))]))
-            .unwrap();
-        d.submit(&spec(2, vec![Op::Read(EntityId(1)), Op::Write(EntityId(2))]))
-            .unwrap();
-        d.submit(&spec(3, vec![Op::Read(EntityId(2)), Op::Write(EntityId(0))]))
-            .unwrap();
+        d.submit(&spec(
+            1,
+            vec![Op::Read(EntityId(0)), Op::Write(EntityId(1))],
+        ))
+        .unwrap();
+        d.submit(&spec(
+            2,
+            vec![Op::Read(EntityId(1)), Op::Write(EntityId(2))],
+        ))
+        .unwrap();
+        d.submit(&spec(
+            3,
+            vec![Op::Read(EntityId(2)), Op::Write(EntityId(0))],
+        ))
+        .unwrap();
         d.run_to_completion().unwrap();
         assert_eq!(d.state().completed_nodes().len(), 3);
         assert_eq!(d.accepted, 6);

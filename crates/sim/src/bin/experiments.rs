@@ -33,11 +33,7 @@ fn main() {
             failed += 1;
         }
     }
-    eprintln!(
-        "{} experiment(s), {} failed",
-        reports.len(),
-        failed
-    );
+    eprintln!("{} experiment(s), {} failed", reports.len(), failed);
     if failed > 0 {
         std::process::exit(1);
     }

@@ -9,10 +9,8 @@
 //!
 //! Columns: `step, scheduler, nodes`.
 
-use deltx_core::policy::{BatchC2, GreedyC1, Noncurrent};
-use deltx_model::workload::{
-    long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen,
-};
+use deltx_core::policy::PolicyKind;
+use deltx_model::workload::{long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen};
 use deltx_model::Step;
 use deltx_sched::locking::TwoPhaseLocking;
 use deltx_sched::preventive::Preventive;
@@ -23,14 +21,8 @@ use deltx_sim::driver::drive;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let kind = args.first().map(String::as_str).unwrap_or("long-reader");
-    let txns: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
-    let sample: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let txns: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let sample: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
 
     let steps: Vec<Step> = match kind {
         "zipf" => WorkloadGen::new(WorkloadConfig {
@@ -55,9 +47,15 @@ fn main() {
     type Mk = fn() -> Box<dyn Scheduler>;
     let schedulers: [(&str, Mk); 5] = [
         ("no-deletion", || Box::new(Preventive::new())),
-        ("noncurrent", || Box::new(Reduced::new(Noncurrent))),
-        ("greedy-c1", || Box::new(Reduced::new(GreedyC1))),
-        ("batch-c2", || Box::new(Reduced::new(BatchC2))),
+        ("noncurrent", || {
+            Box::new(Reduced::new(PolicyKind::Noncurrent.build()))
+        }),
+        ("greedy-c1", || {
+            Box::new(Reduced::new(PolicyKind::GreedyC1.build()))
+        }),
+        ("batch-c2", || {
+            Box::new(Reduced::new(PolicyKind::BatchC2.build()))
+        }),
         ("2pl", || Box::new(TwoPhaseLocking::new())),
     ];
     println!("step,scheduler,nodes");

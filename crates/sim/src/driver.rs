@@ -46,23 +46,24 @@ pub fn drive(steps: &[Step], sched: &mut dyn Scheduler, sample_every: usize) -> 
             out
         };
 
+    type FeedFn<'a> = &'a mut dyn FnMut(
+        &mut dyn Scheduler,
+        &Step,
+        &mut RunMetrics,
+        &mut Vec<Step>,
+    ) -> FeedOutcome;
+
     let retry_parked = |sched: &mut dyn Scheduler,
                         parked: &mut HashMap<TxnId, VecDeque<Step>>,
                         parked_order: &mut VecDeque<TxnId>,
                         m: &mut RunMetrics,
                         executed: &mut Vec<Step>,
-                        feed: &mut dyn FnMut(
-        &mut dyn Scheduler,
-        &Step,
-        &mut RunMetrics,
-        &mut Vec<Step>,
-    ) -> FeedOutcome| {
+                        feed: FeedFn| {
         loop {
             let mut progressed = false;
             let txns: Vec<TxnId> = parked_order.iter().copied().collect();
             for t in txns {
-                loop {
-                    let Some(q) = parked.get_mut(&t) else { break };
+                while let Some(q) = parked.get_mut(&t) {
                     let Some(head) = q.front().cloned() else {
                         parked.remove(&t);
                         break;
@@ -141,7 +142,9 @@ pub fn drive(steps: &[Step], sched: &mut dyn Scheduler, sample_every: usize) -> 
 mod tests {
     use super::*;
     use deltx_core::policy::GreedyC1;
-    use deltx_model::workload::{long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen};
+    use deltx_model::workload::{
+        long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen,
+    };
     use deltx_sched::locking::TwoPhaseLocking;
     use deltx_sched::preventive::Preventive;
     use deltx_sched::reduced::Reduced;

@@ -55,12 +55,7 @@ pub fn run_with(sizes: &[usize]) -> ExperimentReport {
             }
             _ => "-".to_string(),
         };
-        r.row(vec![
-            nodes.to_string(),
-            micros(dt),
-            f2(per_node),
-            ratio,
-        ]);
+        r.row(vec![nodes.to_string(), micros(dt), f2(per_node), ratio]);
         r.check(!eligible.is_empty(), "some candidates eligible");
         prev_per_node = Some(per_node);
         prev_size = Some(nodes);

@@ -60,11 +60,46 @@ pub fn run() -> ExperimentReport {
     })
     .collect();
 
-    probe(&mut r, "no-deletion", deltx_core::policy::NoDeletion, adversarial.steps(), &random, true);
-    probe(&mut r, "noncurrent", Noncurrent, adversarial.steps(), &random, true);
-    probe(&mut r, "greedy-C1", GreedyC1, adversarial.steps(), &random, true);
-    probe(&mut r, "batch-C2", BatchC2, adversarial.steps(), &random, true);
-    probe(&mut r, "commit-time (unsafe)", CommitTimeUnsafe, adversarial.steps(), &random, false);
+    probe(
+        &mut r,
+        "no-deletion",
+        deltx_core::policy::NoDeletion,
+        adversarial.steps(),
+        &random,
+        true,
+    );
+    probe(
+        &mut r,
+        "noncurrent",
+        Noncurrent,
+        adversarial.steps(),
+        &random,
+        true,
+    );
+    probe(
+        &mut r,
+        "greedy-C1",
+        GreedyC1,
+        adversarial.steps(),
+        &random,
+        true,
+    );
+    probe(
+        &mut r,
+        "batch-C2",
+        BatchC2,
+        adversarial.steps(),
+        &random,
+        true,
+    );
+    probe(
+        &mut r,
+        "commit-time (unsafe)",
+        CommitTimeUnsafe,
+        adversarial.steps(),
+        &random,
+        false,
+    );
     r.note(format!("adversarial schedule: {adversarial}"));
     r
 }

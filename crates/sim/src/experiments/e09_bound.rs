@@ -62,7 +62,9 @@ pub fn run_with(concurrency: &[usize], entities: &[u32], txns: usize) -> Experim
             r.check(peak_ratio <= 1.0, "bound exceeded");
         }
     }
-    r.note("bound uses e = entities actually seen (a superset never helps an adversary)".to_string());
+    r.note(
+        "bound uses e = entities actually seen (a superset never helps an adversary)".to_string(),
+    );
     r
 }
 

@@ -13,7 +13,10 @@ use std::time::Instant;
 /// An unsatisfiable 3-CNF over `n` variables: pins `x_0` both ways and
 /// pads with random clauses over the rest.
 fn unsat_formula(n: usize, extra_clauses: usize, seed: u64) -> Cnf {
-    let lit = |v: usize, p: bool| Lit { var: v, positive: p };
+    let lit = |v: usize, p: bool| Lit {
+        var: v,
+        positive: p,
+    };
     let mut clauses = vec![
         vec![lit(0, true), lit(0, true), lit(0, true)],
         vec![lit(0, false), lit(0, false), lit(0, false)],

@@ -16,11 +16,10 @@ fn random_spec(id: u32, n_entities: u32, rng: &mut StdRng) -> TxnSpec {
     let mut ops: Vec<Op> = (0..n_reads)
         .map(|_| Op::Read(deltx_model::EntityId(rng.gen_range(0..n_entities))))
         .collect();
-    ops.push(Op::Write(deltx_model::EntityId(rng.gen_range(0..n_entities))));
-    TxnSpec {
-        id: TxnId(id),
-        ops,
-    }
+    ops.push(Op::Write(deltx_model::EntityId(
+        rng.gen_range(0..n_entities),
+    )));
+    TxnSpec { id: TxnId(id), ops }
 }
 
 /// Runs with default sizes.
@@ -58,7 +57,7 @@ pub fn run_with(sizes: &[usize]) -> ExperimentReport {
     for &sz in sizes {
         let mut rng = StdRng::seed_from_u64(31 + sz as u64);
         let mut d = PredeclaredDriver::new(); // no GC: let the graph grow
-        // One long-lived declared reader that never finishes its program.
+                                              // One long-lived declared reader that never finishes its program.
         let reader = TxnSpec {
             id: TxnId(1),
             ops: vec![

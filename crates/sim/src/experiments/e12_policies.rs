@@ -10,9 +10,7 @@ use crate::driver::drive;
 use crate::metrics::RunMetrics;
 use crate::report::ExperimentReport;
 use deltx_core::policy::{BatchC2, GreedyC1, Noncurrent};
-use deltx_model::workload::{
-    long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen,
-};
+use deltx_model::workload::{long_running_reader, LongReaderConfig, WorkloadConfig, WorkloadGen};
 use deltx_model::Step;
 use deltx_sched::certifier::Certifier;
 use deltx_sched::locking::TwoPhaseLocking;

@@ -41,7 +41,9 @@ pub fn run_with(txns: usize) -> ExperimentReport {
     type Mk = fn(CycleStrategy) -> Box<dyn deltx_sched::Scheduler>;
     let kinds: [(&str, Mk); 2] = [
         ("preventive", |s| Box::new(Preventive::with_strategy(s))),
-        ("greedy-C1", |s| Box::new(Reduced::with_strategy(GreedyC1, s))),
+        ("greedy-C1", |s| {
+            Box::new(Reduced::with_strategy(GreedyC1, s))
+        }),
     ];
     for (kind, mk) in kinds {
         let mut base: Option<(usize, usize, f64)> = None;

@@ -68,7 +68,10 @@ pub fn f2() -> ExperimentReport {
         "no divergence on the continuation",
     );
     r.check(oo == deltx_core::Applied::SelfAborted, "full rejects w1(x)");
-    r.check(dd == deltx_core::Applied::SelfAborted, "reduced rejects w1(x)");
+    r.check(
+        dd == deltx_core::Applied::SelfAborted,
+        "reduced rejects w1(x)",
+    );
     r
 }
 
@@ -80,7 +83,10 @@ pub fn f3() -> ExperimentReport {
         "in the constructed multi-write graph, committed C is C3-deletable iff the formula is unsatisfiable; B and D never are",
         &["formula", "nodes", "satisfiable", "C3(C)", "C3(B)", "C3(D)"],
     );
-    let lit = |v: usize, p: bool| Lit { var: v, positive: p };
+    let lit = |v: usize, p: bool| Lit {
+        var: v,
+        positive: p,
+    };
     let cases: Vec<(&str, Cnf)> = vec![
         (
             "(x)(¬x) [unsat]",

@@ -18,6 +18,20 @@ pub struct Version {
     pub seq: u64,
 }
 
+/// Drops every non-newest version of one entity whose writer is in
+/// `dead`; returns how many were reclaimed.
+fn prune(h: &mut Vec<Version>, dead: &std::collections::HashSet<TxnId>) -> usize {
+    let last = h.len().saturating_sub(1);
+    let before = h.len();
+    let mut i = 0;
+    h.retain(|v| {
+        let keep = i == last || !dead.contains(&v.writer);
+        i += 1;
+        keep
+    });
+    before - h.len()
+}
+
 /// An in-memory multi-version store. Entities spring into existence with
 /// value `0` and no version history.
 #[derive(Clone, Debug, Default)]
@@ -73,6 +87,51 @@ impl Store {
         self.history.get(&x).map_or(&[], Vec::as_slice)
     }
 
+    /// Prunes version history installed by `deleted` writers: every
+    /// non-newest version whose writer is in `deleted` is dropped (the
+    /// newest version of each entity always survives — it *is* the
+    /// current value, whoever wrote it). Returns the number of versions
+    /// reclaimed.
+    ///
+    /// This is the storage half of deleting a completed transaction:
+    /// once the scheduler has forgotten a writer (conditions C1/C2 or
+    /// the noncurrent test), nothing can ever ask for its overwritten
+    /// versions, so the engine's GC sweep calls this with each batch of
+    /// deleted transaction ids.
+    pub fn truncate_versions(&mut self, deleted: &[TxnId]) -> usize {
+        if deleted.is_empty() {
+            return 0;
+        }
+        let dead: std::collections::HashSet<TxnId> = deleted.iter().copied().collect();
+        self.history.values_mut().map(|h| prune(h, &dead)).sum()
+    }
+
+    /// Targeted form of [`Store::truncate_versions`]: prunes only the
+    /// listed entities' histories. Callers that know what the deleted
+    /// writers wrote (the engine's GC does — the scheduler records
+    /// each node's write set until the moment of deletion) avoid the
+    /// full-store scan.
+    pub fn truncate_versions_in(&mut self, deleted: &[TxnId], entities: &[EntityId]) -> usize {
+        if deleted.is_empty() || entities.is_empty() {
+            return 0;
+        }
+        let dead: std::collections::HashSet<TxnId> = deleted.iter().copied().collect();
+        let mut reclaimed = 0;
+        for x in entities {
+            if let Some(h) = self.history.get_mut(x) {
+                reclaimed += prune(h, &dead);
+            }
+        }
+        reclaimed
+    }
+
+    /// Total number of retained versions across all entities (the
+    /// storage-side memory gauge, the analogue of the scheduler's node
+    /// count).
+    pub fn total_versions(&self) -> usize {
+        self.history.values().map(Vec::len).sum()
+    }
+
     /// Entities with at least one installed version.
     pub fn written_entities(&self) -> Vec<EntityId> {
         let mut v: Vec<EntityId> = self.history.keys().copied().collect();
@@ -104,6 +163,49 @@ mod tests {
         let h = s.history(EntityId(0));
         assert_eq!(h[0].value, 10);
         assert!(h[0].seq < h[1].seq, "sequence numbers monotone");
+    }
+
+    #[test]
+    fn truncate_drops_only_deleted_noncurrent_versions() {
+        let mut s = Store::new();
+        s.write(EntityId(0), 10, TxnId(1));
+        s.write(EntityId(0), 20, TxnId(2));
+        s.write(EntityId(0), 30, TxnId(3));
+        s.write(EntityId(1), 5, TxnId(2));
+        assert_eq!(s.total_versions(), 4);
+        // T2 deleted: its e0 version goes, but its e1 version is newest
+        // and must survive.
+        let reclaimed = s.truncate_versions(&[TxnId(2)]);
+        assert_eq!(reclaimed, 1);
+        assert_eq!(s.version_count(EntityId(0)), 2);
+        assert_eq!(s.read(EntityId(0)), 30, "current value untouched");
+        assert_eq!(s.read(EntityId(1)), 5, "newest version always kept");
+        assert_eq!(s.current_writer(EntityId(1)), Some(TxnId(2)));
+        // Deleting the remaining writers prunes all but the newest.
+        let reclaimed = s.truncate_versions(&[TxnId(1), TxnId(3)]);
+        assert_eq!(reclaimed, 1, "T1's version pruned, T3's is current");
+        assert_eq!(s.history(EntityId(0)).len(), 1);
+        assert_eq!(s.truncate_versions(&[]), 0);
+    }
+
+    #[test]
+    fn targeted_truncation_matches_full_scan_on_listed_entities() {
+        let mut s = Store::new();
+        s.write(EntityId(0), 1, TxnId(1));
+        s.write(EntityId(0), 2, TxnId(2));
+        s.write(EntityId(1), 3, TxnId(1));
+        s.write(EntityId(1), 4, TxnId(3));
+        // Only entity 0 listed: T1's version there goes, entity 1's
+        // T1 version is untouched.
+        let n = s.truncate_versions_in(&[TxnId(1)], &[EntityId(0), EntityId(9)]);
+        assert_eq!(n, 1);
+        assert_eq!(s.version_count(EntityId(0)), 1);
+        assert_eq!(s.version_count(EntityId(1)), 2, "unlisted entity kept");
+        assert_eq!(s.truncate_versions_in(&[TxnId(1)], &[]), 0);
+        assert_eq!(s.truncate_versions_in(&[], &[EntityId(1)]), 0);
+        // The full-scan form finishes the job.
+        assert_eq!(s.truncate_versions(&[TxnId(1)]), 1);
+        assert_eq!(s.read(EntityId(1)), 4);
     }
 
     #[test]

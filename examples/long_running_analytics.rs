@@ -41,8 +41,13 @@ fn main() {
         let m = drive(schedule.steps(), sched, 0);
         println!(
             "{:<16} {:>10} {:>11} {:>9} {:>7} {:>9} {:>6}",
-            m.scheduler, m.peak_nodes, m.final_nodes, m.accepted, m.block_events,
-            m.aborted_txns, m.csr_ok
+            m.scheduler,
+            m.peak_nodes,
+            m.final_nodes,
+            m.accepted,
+            m.block_events,
+            m.aborted_txns,
+            m.csr_ok
         );
         m
     };
@@ -65,7 +70,9 @@ fn main() {
         m_2pl.block_events,
         m_greedy.accepted.saturating_sub(m_2pl.accepted)
     );
-    println!("the paper's trade in one table: locking closes at commit, conflict graphs need Theorem 1.");
+    println!(
+        "the paper's trade in one table: locking closes at commit, conflict graphs need Theorem 1."
+    );
 
     // Growth curve (sampled) for the no-deletion run.
     let m_series = drive(schedule.steps(), &mut Preventive::new(), 100);

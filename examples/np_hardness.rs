@@ -14,8 +14,8 @@
 //! formulas into Figure-3 conflict graphs and watch the exact C3 checker
 //! sweep abort subsets while DPLL answers in microseconds.
 
-use deltx::core::{c2, c3};
 use deltx::core::mw::MwPhase;
+use deltx::core::{c2, c3};
 use deltx::reductions::sat::{dpll, Cnf};
 use deltx::reductions::setcover::{greedy_cover, min_cover_exact, SetCoverInstance};
 use deltx::reductions::{to_graph, to_schedule};
@@ -38,8 +38,14 @@ fn main() {
     let mincover = min_cover_exact(&inst).unwrap().len();
     let gcover = greedy_cover(&inst).unwrap().len();
 
-    println!("  graph exact max-deletable : {} txns in {exact_dt:?}", exact.len());
-    println!("  graph greedy deletable    : {} txns in {greedy_dt:?}", greedy.len());
+    println!(
+        "  graph exact max-deletable : {} txns in {exact_dt:?}",
+        exact.len()
+    );
+    println!(
+        "  graph greedy deletable    : {} txns in {greedy_dt:?}",
+        greedy.len()
+    );
     println!("  m - min_cover (exact)     : {}", t5.m - mincover);
     println!("  m - greedy_cover          : {}", t5.m - gcover);
     assert_eq!(exact.len(), t5.m - mincover, "Theorem 5 correspondence");
@@ -58,8 +64,15 @@ fn main() {
         let t0 = Instant::now();
         let (violation, scanned) = c3::violation_exact(&gadget.state, gadget.c);
         let c3_dt = t0.elapsed();
-        println!("  formula {label}: {} vars, {} clauses", f.n_vars, f.clauses.len());
-        println!("    DPLL: {} in {dpll_dt:?}", if sat { "SAT" } else { "UNSAT" });
+        println!(
+            "  formula {label}: {} vars, {} clauses",
+            f.n_vars,
+            f.clauses.len()
+        );
+        println!(
+            "    DPLL: {} in {dpll_dt:?}",
+            if sat { "SAT" } else { "UNSAT" }
+        );
         println!(
             "    exact C3 on the Figure-3 gadget ({} nodes, {actives} active): scanned {scanned}/{} subsets in {c3_dt:?}",
             gadget.state.nodes().count(),

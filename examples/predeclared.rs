@@ -54,13 +54,12 @@ fn main() -> Result<(), CgError> {
     for i in 0..6u32 {
         driver.submit(&TxnSpec {
             id: TxnId(100 + i),
-            ops: vec![
-                Op::Read(EntityId(i)),
-                Op::Write(EntityId((i + 1) % 6)),
-            ],
+            ops: vec![Op::Read(EntityId(i)), Op::Write(EntityId((i + 1) % 6))],
         })?;
     }
-    driver.run_to_completion().expect("the paper proves no deadlock");
+    driver
+        .run_to_completion()
+        .expect("the paper proves no deadlock");
     println!(
         "ring of 6 contended transactions completed with {} delays, 0 aborts;",
         driver.delays

@@ -17,43 +17,39 @@ fn arb_schedule() -> impl Strategy<Value = Vec<Step>> {
         prop::collection::vec(0u32..4, 0..3),
         prop::collection::vec(0u32..4, 0..2),
     );
-    (
-        prop::collection::vec(program, 1..7),
-        any::<u64>(),
-    )
-        .prop_map(|(programs, seed)| {
-            // Interleave round-robin with a seed-driven skew.
-            let specs: Vec<Vec<Step>> = programs
-                .into_iter()
+    (prop::collection::vec(program, 1..7), any::<u64>()).prop_map(|(programs, seed)| {
+        // Interleave round-robin with a seed-driven skew.
+        let specs: Vec<Vec<Step>> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (reads, writes))| {
+                let id = i as u32 + 1;
+                let mut v = vec![Step::begin(id)];
+                v.extend(reads.into_iter().map(|x| Step::read(id, x)));
+                v.push(Step::write_all(id, writes));
+                v
+            })
+            .collect();
+        let mut queues: Vec<std::collections::VecDeque<Step>> =
+            specs.into_iter().map(Into::into).collect();
+        let mut out = Vec::new();
+        let mut rng = seed;
+        while queues.iter().any(|q| !q.is_empty()) {
+            // xorshift for cheap determinism
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let live: Vec<usize> = queues
+                .iter()
                 .enumerate()
-                .map(|(i, (reads, writes))| {
-                    let id = i as u32 + 1;
-                    let mut v = vec![Step::begin(id)];
-                    v.extend(reads.into_iter().map(|x| Step::read(id, x)));
-                    v.push(Step::write_all(id, writes));
-                    v
-                })
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(i, _)| i)
                 .collect();
-            let mut queues: Vec<std::collections::VecDeque<Step>> =
-                specs.into_iter().map(Into::into).collect();
-            let mut out = Vec::new();
-            let mut rng = seed;
-            while queues.iter().any(|q| !q.is_empty()) {
-                // xorshift for cheap determinism
-                rng ^= rng << 13;
-                rng ^= rng >> 7;
-                rng ^= rng << 17;
-                let live: Vec<usize> = queues
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, q)| !q.is_empty())
-                    .map(|(i, _)| i)
-                    .collect();
-                let pick = live[(rng as usize) % live.len()];
-                out.push(queues[pick].pop_front().expect("nonempty"));
-            }
-            out
-        })
+            let pick = live[(rng as usize) % live.len()];
+            out.push(queues[pick].pop_front().expect("nonempty"));
+        }
+        out
+    })
 }
 
 proptest! {
@@ -193,10 +189,7 @@ fn txn_ids_unique_in_generated_streams() {
     use proptest::test_runner::TestRunner;
     let mut runner = TestRunner::default();
     for _ in 0..10 {
-        let steps = arb_schedule()
-            .new_tree(&mut runner)
-            .expect("gen")
-            .current();
+        let steps = arb_schedule().new_tree(&mut runner).expect("gen").current();
         let begins: Vec<TxnId> = steps
             .iter()
             .filter(|s| matches!(s.op, Op::Begin))

@@ -55,7 +55,10 @@ fn execute_interleaved(steps: &[Step]) -> (Store, Vec<Step>, HashSet<TxnId>) {
 
 /// Replays complete transactions serially in `order` with the same value
 /// functions; returns the final store.
-fn execute_serial(programs: &BTreeMap<TxnId, (Vec<EntityId>, Vec<EntityId>)>, order: &[TxnId]) -> Store {
+fn execute_serial(
+    programs: &BTreeMap<TxnId, (Vec<EntityId>, Vec<EntityId>)>,
+    order: &[TxnId],
+) -> Store {
     let mut store = Store::new();
     for &t in order {
         let (reads, writes) = &programs[&t];

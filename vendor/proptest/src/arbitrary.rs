@@ -1,0 +1,61 @@
+//! `any::<T>()` for the primitive types the workspace generates.
+
+use crate::strategy::{AnyStrategy, Strategy};
+use crate::test_runner::Rng;
+use rand::Rng as _;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Clone + std::fmt::Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut Rng) -> Self;
+}
+
+/// The canonical strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut Rng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut Rng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_value(rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary_value(rng: &mut Rng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary_value(rng: &mut Rng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary_value(rng: &mut Rng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary_value(rng: &mut Rng) -> i64 {
+        rng.next_u64() as i64
+    }
+}

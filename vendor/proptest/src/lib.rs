@@ -1,0 +1,164 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `name(binding in strategy, ..)` test functions;
+//! * [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`] (plain
+//!   panicking asserts here — there is no shrinking to resume);
+//! * strategies: integer/float ranges, tuples, [`strategy::Just`],
+//!   [`prop_oneof!`] (weighted and unweighted),
+//!   [`collection::vec`]/[`collection::btree_set`],
+//!   [`strategy::Strategy::prop_map`], and [`arbitrary::any`];
+//! * [`test_runner::TestRunner`] with
+//!   [`strategy::Strategy::new_tree`]/[`strategy::ValueTree::current`].
+//!
+//! Values are generated from a deterministic RNG; failing cases are
+//! reported by the panic message, **without shrinking**.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(..)`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Picks among alternative strategies, optionally weighted
+/// (`w => strategy`). All arms must yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Defines property tests: each listed function runs `config.cases`
+/// times over freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests $config; $($rest)*);
+    };
+    (@tests $config:expr; ) => {};
+    (@tests $config:expr;
+        $(#[$meta:meta])+
+        fn $name:ident($($binding:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config.clone());
+            for _case in 0..config.cases {
+                $(let $binding = $crate::strategy::Strategy::gen(&($strat), runner.rng());)*
+                $body
+            }
+        }
+        $crate::proptest!(@tests $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3u32..10, (a, b) in ((0usize..4), (1i64..=5))) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((1..=5).contains(&b));
+        }
+
+        #[test]
+        fn mapped_vectors(v in prop::collection::vec((0u32..5).prop_map(|n| n * 2), 0..8)) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&n| n % 2 == 0 && n < 10));
+        }
+
+        #[test]
+        fn oneof_weighted(k in prop_oneof![3 => Just(0u8), 1 => Just(1u8)]) {
+            prop_assert!(k <= 1);
+        }
+
+        #[test]
+        fn any_values(seed in any::<u64>(), flag in any::<bool>()) {
+            // Both type-check and are usable.
+            let _ = seed.wrapping_add(u64::from(flag));
+        }
+
+        #[test]
+        fn btree_sets(s in prop::collection::btree_set(0usize..6, 0..4)) {
+            prop_assert!(s.len() < 4);
+            prop_assert!(s.iter().all(|&n| n < 6));
+        }
+    }
+
+    #[test]
+    fn manual_runner() {
+        let mut runner = TestRunner::default();
+        let strat = prop::collection::vec(0u32..9, 2..5);
+        for _ in 0..20 {
+            let v = strat.new_tree(&mut runner).expect("gen").current();
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut runner = TestRunner::default();
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.gen(runner.rng()) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Test-runner state: configuration and the RNG driving generation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Re-export so strategies can name the RNG type.
+pub type Rng = StdRng;
+
+/// Configuration for a property-test run.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many generated cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Drives value generation for one test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: Rng,
+}
+
+impl TestRunner {
+    /// Runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self {
+            config,
+            // Fixed seed: deterministic test runs, like proptest's
+            // default deterministic-rng configuration.
+            rng: StdRng::seed_from_u64(0x5EED_CAFE_F00D),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProptestConfig {
+        &self.config
+    }
+
+    /// The generation RNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+}

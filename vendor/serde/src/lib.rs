@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Exposes the `Serialize`/`Deserialize` *names* in both the trait and
+//! macro namespaces, as real serde does: `use serde::{Serialize,
+//! Deserialize}` brings in both the (empty) marker traits and the no-op
+//! derive macros from `serde_derive`. Nothing in this workspace actually
+//! serializes, so no methods are needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Empty marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Empty marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
