@@ -97,6 +97,109 @@ fn bench_locality(c: &mut Criterion) {
     g.finish();
 }
 
+/// Drives a **skewed** cross-shard mix: `cross_pct` of transactions
+/// transfer between the hot shard pair {0, 1}; the rest stay inside a
+/// uniformly chosen single shard. Partial escalation should confine
+/// the hot pair's commits to ~2 locks, leaving shards 2..N on the
+/// single-lock fast path — all-locks escalation serializes everything.
+fn drive_skewed(
+    engine: &Engine,
+    shards: usize,
+    threads: usize,
+    txns: usize,
+    cross_pct: u32,
+    seed: u64,
+) {
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + tid as u64);
+                let span = ENTITIES / shards as u32;
+                for _ in 0..txns / threads {
+                    let (x, y) = if rng.gen_range(0u32..100) < cross_pct {
+                        // Hot pair: shard 0 <-> shard 1.
+                        (
+                            shards as u32 * rng.gen_range(0..span),
+                            1 + shards as u32 * rng.gen_range(0..span),
+                        )
+                    } else {
+                        let s = 2 + rng.gen_range(0..(shards as u32 - 2));
+                        (
+                            s + shards as u32 * rng.gen_range(0..span),
+                            s + shards as u32 * rng.gen_range(0..span),
+                        )
+                    };
+                    let mut t = engine.begin();
+                    let Ok(a) = t.read(x) else { continue };
+                    t.write(x, a + 1);
+                    if y != x {
+                        t.write(y, a);
+                    }
+                    let _ = t.commit();
+                }
+            });
+        }
+    });
+}
+
+/// Partial vs all-locks escalation on the skewed workload — the
+/// headline comparison: escalated commits should lock a strict subset
+/// of shards (~the hot pair) and stop serializing the fast-path
+/// shards. Prints the escalated-subset-size metrics after the timed
+/// runs so CI can publish them.
+fn bench_escalation(c: &mut Criterion) {
+    const ESC_SHARDS: usize = 8;
+    let esc_engine = |partial: bool| {
+        Engine::new(EngineConfig {
+            shards: ESC_SHARDS,
+            gc: GcPolicy::Noncurrent,
+            background_gc: false,
+            record_history: false,
+            partial_escalation: partial,
+            ..EngineConfig::default()
+        })
+    };
+    let mut g = c.benchmark_group("c5_engine/escalation");
+    let txns = 4_000;
+    g.throughput(Throughput::Elements(txns as u64));
+    for (name, partial) in [("partial", true), ("all-locks", false)] {
+        g.bench_function(BenchmarkId::new("skewed", name), |b| {
+            b.iter(|| {
+                let e = esc_engine(partial);
+                drive_skewed(&e, ESC_SHARDS, 4, txns, 30, 4);
+                e.metrics().commits
+            })
+        });
+    }
+    g.finish();
+    // Diagnostic pass (untimed): publish the subset-size histogram.
+    // Honors the CLI filter like the timed benches do — it runs iff
+    // the filter selects either timed escalation bench.
+    let ids = [
+        "c5_engine/escalation/skewed/partial",
+        "c5_engine/escalation/skewed/all-locks",
+    ];
+    let filtered_out = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .is_some_and(|f| !ids.iter().any(|id| id.contains(&f)));
+    if filtered_out {
+        return;
+    }
+    let e = esc_engine(true);
+    drive_skewed(&e, ESC_SHARDS, 4, txns, 30, 4);
+    let m = e.metrics();
+    eprintln!(
+        "c5_engine/escalation subset metrics ({ESC_SHARDS} shards): \
+         {} partial of {} acquisitions, mean {:.2} locks, hist {:?}, fallbacks {}",
+        m.escalated_partial,
+        m.escalated_subset_hist.iter().sum::<u64>(),
+        m.escalated_locks_taken as f64 / m.escalated_subset_hist.iter().sum::<u64>().max(1) as f64,
+        m.escalated_subset_hist,
+        m.escalation_fallbacks,
+    );
+}
+
 /// Thread scaling on a partitionable workload.
 fn bench_threads(c: &mut Criterion) {
     let mut g = c.benchmark_group("c5_engine/threads");
@@ -117,6 +220,6 @@ fn bench_threads(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_policies, bench_locality, bench_threads
+    targets = bench_policies, bench_locality, bench_threads, bench_escalation
 }
 criterion_main!(benches);

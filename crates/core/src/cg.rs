@@ -31,7 +31,7 @@ use crate::error::CgError;
 use deltx_graph::cycle::CycleChecker;
 use deltx_graph::{Closure, DiGraph, NodeId};
 use deltx_model::{AccessMode, EntityId, Op, Step, TxnId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Lifecycle state of a transaction node in the basic model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,11 +139,79 @@ pub struct CgState {
     /// incremental GC sweeps that avoid full graph scans. Only
     /// populated when [`CgState::set_gc_tracking`] enabled it — a
     /// consumer that never drains must not accumulate the queue.
+    /// Deduplicated via `gc_queued`: each node id appears at most once
+    /// between drains, so the queue is bounded by the graph's slab
+    /// capacity even if a consumer enables tracking and stops draining.
     gc_candidates: Vec<NodeId>,
+    /// Node ids currently sitting in `gc_candidates` (coalesces
+    /// repeated enqueues of the same node into one entry).
+    gc_queued: HashSet<NodeId>,
     track_gc: bool,
+    /// Nodes the embedding marked as *boundary* nodes (in the sharded
+    /// engine: nodes of multi-shard transactions, ghosts included).
+    /// Endpoints of the boundary reachability summary.
+    boundary_nodes: HashSet<NodeId>,
+    /// The boundary reachability summary: for each boundary node's
+    /// transaction, the transactions of the boundary nodes its node
+    /// reaches through *this* graph (intermediate nodes arbitrary).
+    /// Kept exact under arc insertion (incremental), deletion (`D(G,
+    /// N)` bridging preserves reachability among survivors, so only the
+    /// removed endpoint's pairs drop) and abort (recompute; removal
+    /// without bridging can only shrink reachability).
+    boundary_reach: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    /// Reusable traversal scratch for the summary maintenance BFS.
+    scratch: BfsScratch,
+    /// Boundary transactions whose reach-set changed (or left the
+    /// summary) since the last [`CgState::take_summary_dirty`] — lets
+    /// a mirror copy only the touched entries instead of the map.
+    summary_dirty: BTreeSet<TxnId>,
+    /// Bumped on *every* summary change — the mirror/copy-out signal.
+    summary_rev: u64,
+    /// Bumped only when the summary **grows** (a member or a pair is
+    /// added). Growth is the only change that can invalidate a lock
+    /// subset planned from a stale copy — shrinkage keeps any superset
+    /// valid — so partial escalation keys its staleness check on this.
+    summary_epoch: u64,
     max_entity: Option<EntityId>,
     max_txn: u32,
     stats: CgStats,
+}
+
+/// Generation-stamped visited set + stack for the summary BFS: beats
+/// per-call `HashSet` allocation and hashing on the maintenance hot
+/// path (one stamp compare per node visit).
+#[derive(Clone, Debug, Default)]
+struct BfsScratch {
+    stamp: Vec<u32>,
+    gen: u32,
+    stack: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    /// Starts a fresh traversal over a graph with `cap` node slots.
+    fn begin(&mut self, cap: usize) {
+        if self.stamp.len() < cap {
+            self.stamp.resize(cap, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Wrapped: old stamps could alias the new generation.
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+        self.stack.clear();
+    }
+
+    /// First visit of `n` this traversal?
+    fn visit(&mut self, n: NodeId) -> bool {
+        let slot = &mut self.stamp[n.index()];
+        if *slot == self.gen {
+            false
+        } else {
+            *slot = self.gen;
+            true
+        }
+    }
 }
 
 fn sorted_insert(v: &mut Vec<NodeId>, n: NodeId) {
@@ -187,7 +255,14 @@ impl CgState {
             writers: HashMap::new(),
             version: HashMap::new(),
             gc_candidates: Vec::new(),
+            gc_queued: HashSet::new(),
             track_gc: false,
+            boundary_nodes: HashSet::new(),
+            boundary_reach: BTreeMap::new(),
+            scratch: BfsScratch::default(),
+            summary_dirty: BTreeSet::new(),
+            summary_rev: 0,
+            summary_epoch: 0,
             max_entity: None,
             max_txn: 0,
             stats: CgStats::default(),
@@ -203,6 +278,7 @@ impl CgState {
         self.track_gc = on;
         if !on {
             self.gc_candidates = Vec::new();
+            self.gc_queued = HashSet::new();
         }
     }
 
@@ -379,13 +455,27 @@ impl CgState {
     }
 
     fn add_arcs(&mut self, sources: &[NodeId], target: NodeId) {
+        let mut added: Vec<NodeId> = Vec::new();
         for &s in sources {
             if self.graph.add_arc(s, target) {
                 self.stats.arcs_added += 1;
                 if let Some(c) = &mut self.closure {
                     c.on_add_arc(s, target);
                 }
+                added.push(s);
             }
+        }
+        if !added.is_empty() {
+            self.summary_on_fan_in(&added, target);
+        }
+    }
+
+    /// Coalescing enqueue onto the GC-candidate queue: a node already
+    /// waiting is not pushed again, so the queue length is bounded by
+    /// the slab capacity no matter how many overwrites hit an entity.
+    fn enqueue_gc_candidate(&mut self, n: NodeId) {
+        if self.track_gc && self.gc_queued.insert(n) {
+            self.gc_candidates.push(n);
         }
     }
 
@@ -450,7 +540,7 @@ impl CgState {
             if self.track_gc {
                 if let Some(acc) = self.accessors.get(&x) {
                     for &a in acc {
-                        if a != n && self.is_completed(a) {
+                        if a != n && self.is_completed(a) && self.gc_queued.insert(a) {
                             self.gc_candidates.push(a);
                         }
                     }
@@ -476,9 +566,7 @@ impl CgState {
         self.info[n.index()].as_mut().expect("live node").state = TxnState::Completed;
         // The node itself may already be deletable (e.g. a read-only
         // transaction whose reads were overwritten before it completed).
-        if self.track_gc {
-            self.gc_candidates.push(n);
-        }
+        self.enqueue_gc_candidate(n);
         self.stats.accepted += 1;
         Ok(Applied::Accepted)
     }
@@ -499,12 +587,30 @@ impl CgState {
     fn abort_node(&mut self, n: NodeId) {
         let txn = self.info(n).txn;
         self.forget_node_metadata(n);
-        self.graph.remove_node(n);
+        let (preds, succs) = self.graph.remove_node(n);
         if let Some(c) = &mut self.closure {
             // Take the closure out to appease the borrow checker.
             let mut c = std::mem::take(c);
             c.on_abort_node(&self.graph, n);
             self.closure = Some(c);
+        }
+        if self.boundary_nodes.remove(&n) {
+            self.boundary_reach.remove(&txn);
+            self.summary_dirty.insert(txn);
+            for (a, set) in self.boundary_reach.iter_mut() {
+                if set.remove(&txn) {
+                    self.summary_dirty.insert(*a);
+                }
+            }
+            self.summary_rev += 1;
+        }
+        // Removal *without* bridging can sever boundary-to-boundary
+        // paths *through* n, so the summary must be recomputed (it can
+        // only shrink: no epoch bump). Only a node with both preds and
+        // succs can route such a path — the common cycle-victim abort
+        // (incoming arcs only) skips the recompute.
+        if !preds.is_empty() && !succs.is_empty() && !self.boundary_nodes.is_empty() {
+            self.recompute_boundary_summary();
         }
         self.aborted.insert(txn);
         self.stats.aborts += 1;
@@ -529,6 +635,7 @@ impl CgState {
             };
             return Err(CgError::NotDeletable(t));
         }
+        let txn = self.info(n).txn;
         self.forget_node_metadata(n);
         let (preds, succs) = self.graph.remove_node(n);
         for &p in &preds {
@@ -541,6 +648,19 @@ impl CgState {
         }
         if let Some(c) = &mut self.closure {
             c.on_delete_node(n);
+        }
+        // `D(G, N)` bridging preserves reachability among the remaining
+        // nodes, so only pairs with the deleted node as an endpoint go
+        // (a shrink: no epoch bump).
+        if self.boundary_nodes.remove(&n) {
+            self.boundary_reach.remove(&txn);
+            self.summary_dirty.insert(txn);
+            for (a, set) in self.boundary_reach.iter_mut() {
+                if set.remove(&txn) {
+                    self.summary_dirty.insert(*a);
+                }
+            }
+            self.summary_rev += 1;
         }
         self.stats.deletions += 1;
         Ok(())
@@ -632,6 +752,7 @@ impl CgState {
             if let Some(c) = &mut self.closure {
                 c.on_add_arc(from, to);
             }
+            self.summary_on_arc(from, to);
         }
         Ok(true)
     }
@@ -644,16 +765,17 @@ impl CgState {
     /// polling this method touches O(affected) nodes per sweep instead
     /// of scanning the whole graph.
     pub fn drain_gc_candidates(&mut self) -> Vec<NodeId> {
+        self.gc_queued.clear();
         let mut v = std::mem::take(&mut self.gc_candidates);
         v.sort_unstable();
-        v.dedup();
         v.retain(|&n| self.is_completed(n));
         v
     }
 
-    /// Length of the pending GC-candidate queue (undeduplicated) — the
-    /// backpressure signal: a committer seeing a long queue runs an
-    /// inline sweep instead of waiting for the background GC tick.
+    /// Length of the pending GC-candidate queue (already deduplicated:
+    /// each node appears at most once) — the backpressure signal: a
+    /// committer seeing a long queue runs an inline sweep instead of
+    /// waiting for the background GC tick.
     pub fn gc_candidate_count(&self) -> usize {
         self.gc_candidates.len()
     }
@@ -675,6 +797,303 @@ impl CgState {
     /// arc sources Rule 3 would use for a final write covering `x`.
     pub fn accessors_of(&self, x: EntityId) -> Vec<NodeId> {
         self.accessors.get(&x).cloned().unwrap_or_default()
+    }
+
+    // ---------------------------------------------------------------
+    // Boundary reachability summary
+    // ---------------------------------------------------------------
+
+    /// Marks (or unmarks) the live node of `t` as a **boundary node**.
+    /// The sharded engine marks every node of a multi-shard transaction
+    /// (ghosts included): those are the only nodes through which a path
+    /// can leave a shard's graph, so reachability *between* them —
+    /// the boundary reachability summary — is exactly what a remote
+    /// planner needs to know about this graph.
+    ///
+    /// # Panics
+    /// Panics if `on` is set for a transaction with no live node.
+    pub fn set_boundary(&mut self, t: TxnId, on: bool) {
+        if on {
+            let n = *self.by_txn.get(&t).expect("boundary mark of live txn");
+            if !self.boundary_nodes.insert(n) {
+                return;
+            }
+            // Pairs through n as an *intermediate* node already exist
+            // (BFS never cared about marks), so only pairs with n as an
+            // endpoint are new.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let fwd = self.boundary_scan(&mut scratch, &[n], false);
+            let back = self.boundary_scan(&mut scratch, &[n], true);
+            self.scratch = scratch;
+            self.summary_dirty.insert(t);
+            self.boundary_reach.insert(t, fwd);
+            for a in back {
+                self.boundary_reach.entry(a).or_default().insert(t);
+                self.summary_dirty.insert(a);
+            }
+            self.summary_rev += 1;
+            self.summary_epoch += 1; // membership growth
+        } else {
+            let Some(&n) = self.by_txn.get(&t) else {
+                return;
+            };
+            if self.boundary_nodes.remove(&n) {
+                self.boundary_reach.remove(&t);
+                self.summary_dirty.insert(t);
+                for (a, set) in self.boundary_reach.iter_mut() {
+                    if set.remove(&t) {
+                        self.summary_dirty.insert(*a);
+                    }
+                }
+                self.summary_rev += 1;
+            }
+        }
+    }
+
+    /// Number of live boundary nodes.
+    pub fn boundary_count(&self) -> usize {
+        self.boundary_nodes.len()
+    }
+
+    /// The boundary reachability summary: each boundary transaction
+    /// mapped to the boundary transactions its node reaches through
+    /// this graph. Exact at all times.
+    pub fn boundary_reach(&self) -> &BTreeMap<TxnId, BTreeSet<TxnId>> {
+        &self.boundary_reach
+    }
+
+    /// Revision counter bumped on every summary change — the signal to
+    /// copy the summary out to a shared registry.
+    pub fn summary_rev(&self) -> u64 {
+        self.summary_rev
+    }
+
+    /// Epoch counter bumped only when the summary **grows**. A lock
+    /// subset planned from an older epoch may be too small; one planned
+    /// from the same epoch is still a superset of every reachable
+    /// shard (shrinkage cannot invalidate it).
+    pub fn summary_epoch(&self) -> u64 {
+        self.summary_epoch
+    }
+
+    /// Boundary transactions reached from `starts` following preds
+    /// (`backward`) or succs — the starts themselves only count when
+    /// reached through an arc (impossible for a single start: the
+    /// graph is acyclic). Callers `mem::take` the reusable scratch
+    /// around the call to satisfy the borrow checker.
+    fn boundary_scan(
+        &self,
+        scratch: &mut BfsScratch,
+        starts: &[NodeId],
+        backward: bool,
+    ) -> BTreeSet<TxnId> {
+        let mut out = BTreeSet::new();
+        scratch.begin(self.graph.capacity());
+        let mut stack = std::mem::take(&mut scratch.stack);
+        for &s in starts {
+            let adj = if backward {
+                self.graph.preds(s)
+            } else {
+                self.graph.succs(s)
+            };
+            for &n in adj {
+                if scratch.visit(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        while let Some(n) = stack.pop() {
+            if self.boundary_nodes.contains(&n) {
+                out.insert(self.info(n).txn);
+            }
+            let adj = if backward {
+                self.graph.preds(n)
+            } else {
+                self.graph.succs(n)
+            };
+            for &m in adj {
+                if scratch.visit(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        scratch.stack = stack;
+        out
+    }
+
+    /// Incremental summary maintenance for a just-inserted arc
+    /// `u -> v`.
+    fn summary_on_arc(&mut self, u: NodeId, v: NodeId) {
+        self.summary_on_fan_in(&[u], v);
+    }
+
+    /// Incremental summary maintenance for just-inserted arcs
+    /// `sources -> target` (a Rule 2/3 fan-in): every boundary node
+    /// reaching any source now reaches every boundary node reachable
+    /// from the target. One backward multi-source BFS plus one forward
+    /// BFS — exact, because a simple path can use at most one of the
+    /// new arcs (they share the target), and the target cannot reach a
+    /// source (the arcs passed the cycle check).
+    fn summary_on_fan_in(&mut self, sources: &[NodeId], target: NodeId) {
+        if self.boundary_nodes.is_empty() {
+            return;
+        }
+        // Forward set first: a just-completed target usually has no
+        // successors and is not boundary, so the expensive backward
+        // cone scan is skipped for most single-shard fan-ins.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut fwd = self.boundary_scan(&mut scratch, &[target], false);
+        if self.boundary_nodes.contains(&target) {
+            fwd.insert(self.info(target).txn);
+        }
+        if fwd.is_empty() {
+            self.scratch = scratch;
+            return;
+        }
+        let mut back = self.boundary_scan(&mut scratch, sources, true);
+        self.scratch = scratch;
+        for &s in sources {
+            if self.boundary_nodes.contains(&s) {
+                back.insert(self.info(s).txn);
+            }
+        }
+        if back.is_empty() {
+            return;
+        }
+        let mut grew = false;
+        for a in back {
+            let set = self.boundary_reach.entry(a).or_default();
+            let mut touched = false;
+            for &b in &fwd {
+                if a != b && set.insert(b) {
+                    touched = true;
+                }
+            }
+            if touched {
+                self.summary_dirty.insert(a);
+                grew = true;
+            }
+        }
+        if grew {
+            self.summary_rev += 1;
+            self.summary_epoch += 1;
+        }
+    }
+
+    /// Recomputes the summary from scratch (used after aborts, whose
+    /// unbridged removals can shrink reachability arbitrarily).
+    pub fn recompute_boundary_summary(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut fresh = BTreeMap::new();
+        for &n in &self.boundary_nodes {
+            fresh.insert(
+                self.info(n).txn,
+                self.boundary_scan(&mut scratch, &[n], false),
+            );
+        }
+        self.scratch = scratch;
+        if fresh != self.boundary_reach {
+            // Mark every entry that differs (either direction).
+            for (t, set) in &fresh {
+                if self.boundary_reach.get(t) != Some(set) {
+                    self.summary_dirty.insert(*t);
+                }
+            }
+            for t in self.boundary_reach.keys() {
+                if !fresh.contains_key(t) {
+                    self.summary_dirty.insert(*t);
+                }
+            }
+            self.boundary_reach = fresh;
+            self.summary_rev += 1;
+        }
+    }
+
+    /// Drains the set of boundary transactions whose summary entry
+    /// changed since the last drain — the incremental copy-out list
+    /// for an external mirror (absent entries mean "remove").
+    pub fn take_summary_dirty(&mut self) -> BTreeSet<TxnId> {
+        std::mem::take(&mut self.summary_dirty)
+    }
+
+    /// Transitive-reduction compaction of the **ghost-only** subgraph:
+    /// removes every ordering arc between two ghost nodes (completed,
+    /// access-free) that is implied by another surviving path. `D(G,
+    /// N)` bridging accumulates such arcs without bound under sustained
+    /// cross-shard traffic; removing the redundant ones changes no
+    /// reachability — asserted in debug builds against a recomputed
+    /// summary — so cycle checks and the summary are untouched (an
+    /// incremental closure, if any, also stays exact). Returns the
+    /// number of arcs removed.
+    pub fn compact_ghost_arcs(&mut self) -> usize {
+        let ghosts: Vec<NodeId> = self
+            .nodes()
+            .filter(|&n| self.is_completed(n) && self.info(n).access.is_empty())
+            .collect();
+        if ghosts.len() < 2 {
+            return 0;
+        }
+        let ghost_set: HashSet<NodeId> = ghosts.iter().copied().collect();
+        #[cfg(debug_assertions)]
+        let before = self.boundary_reach.clone();
+        let mut removed = 0usize;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for &g in &ghosts {
+            let succs: Vec<NodeId> = self
+                .graph
+                .succs(g)
+                .iter()
+                .copied()
+                .filter(|s| ghost_set.contains(s))
+                .collect();
+            for s in succs {
+                if self.has_alternate_path(&mut scratch, g, s) {
+                    self.graph.remove_arc(g, s);
+                    removed += 1;
+                }
+            }
+        }
+        self.scratch = scratch;
+        #[cfg(debug_assertions)]
+        {
+            self.recompute_boundary_summary();
+            debug_assert_eq!(
+                before, self.boundary_reach,
+                "ghost compaction changed reachability"
+            );
+        }
+        removed
+    }
+
+    /// True if a path `from -> ... -> to` of length >= 2 exists through
+    /// **completed** intermediates only (avoiding the direct arc),
+    /// making the direct arc redundant. Active intermediates do not
+    /// count: an abort removes them *without* bridging, which would
+    /// retroactively sever the witness path — completed nodes only
+    /// ever leave via `delete`, whose bridging preserves it.
+    fn has_alternate_path(&self, scratch: &mut BfsScratch, from: NodeId, to: NodeId) -> bool {
+        scratch.begin(self.graph.capacity());
+        let mut stack = std::mem::take(&mut scratch.stack);
+        for &s in self.graph.succs(from) {
+            if s != to && self.is_completed(s) && scratch.visit(s) {
+                stack.push(s);
+            }
+        }
+        let mut found = false;
+        while let Some(n) = stack.pop() {
+            if self.graph.has_arc(n, to) {
+                found = true;
+                break;
+            }
+            for &m in self.graph.succs(n) {
+                if m != to && self.is_completed(m) && scratch.visit(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        stack.clear();
+        scratch.stack = stack;
+        found
     }
 
     /// Internal consistency check used by tests and `debug_assert!`s:
@@ -711,6 +1130,20 @@ impl CgState {
                 }
             }
         }
+        for &n in &self.boundary_nodes {
+            assert!(self.is_live(n), "dead boundary node {n:?}");
+        }
+        let mut fresh = self.clone();
+        fresh.recompute_boundary_summary();
+        assert_eq!(
+            fresh.boundary_reach, self.boundary_reach,
+            "boundary summary drift"
+        );
+        assert_eq!(
+            self.gc_candidates.len(),
+            self.gc_queued.len(),
+            "GC queue and its dedup set out of sync"
+        );
     }
 }
 
@@ -998,6 +1431,179 @@ mod tests {
             .unwrap();
         assert_eq!(cg.gc_candidate_count(), 0);
         assert!(cg.drain_gc_candidates().is_empty());
+    }
+
+    #[test]
+    fn gc_queue_coalesces_duplicates_and_stays_bounded() {
+        // A consumer that enables tracking and never drains used to
+        // accumulate one entry per overwrite; now the queue holds each
+        // node at most once, bounding it by the graph's slab capacity.
+        let mut cg = CgState::new();
+        cg.set_gc_tracking(true);
+        cg.run(parse("b1 r1(x) w1(x)").unwrap().steps()).unwrap();
+        for i in 0..200u32 {
+            let t = 2 + i;
+            cg.apply(&Step::begin(t)).unwrap();
+            cg.apply(&Step::write_all(t, [0])).unwrap();
+            // Every overwrite re-touches all completed accessors of x;
+            // without coalescing the queue would grow O(ops).
+            assert!(
+                cg.gc_candidate_count() <= cg.graph().capacity(),
+                "queue {} escaped the slab bound {}",
+                cg.gc_candidate_count(),
+                cg.graph().capacity()
+            );
+        }
+        cg.check_invariants();
+        // Drained candidates are unique.
+        let drained = cg.drain_gc_candidates();
+        let mut dedup = drained.clone();
+        dedup.dedup();
+        assert_eq!(drained, dedup);
+        assert_eq!(cg.gc_candidate_count(), 0);
+    }
+
+    #[test]
+    fn boundary_summary_tracks_arcs_deletes_and_aborts() {
+        // Chain 1 -> 2 -> 3 via writes of x; mark 1 and 3 boundary.
+        let mut cg = CgState::new();
+        cg.run(
+            parse("b1 r1(x) w1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)")
+                .unwrap()
+                .steps(),
+        )
+        .unwrap();
+        cg.set_boundary(TxnId(1), true);
+        cg.set_boundary(TxnId(3), true);
+        let epoch0 = cg.summary_epoch();
+        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+        assert!(cg.boundary_reach()[&TxnId(3)].is_empty());
+        cg.check_invariants();
+
+        // Deleting the middle node bridges 1 -> 3: summary unchanged.
+        let rev = cg.summary_rev();
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        cg.delete(t2).unwrap();
+        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+        assert_eq!(cg.summary_rev(), rev, "bridged delete is invisible");
+        cg.check_invariants();
+
+        // A new boundary member on an incoming arc is growth.
+        cg.run(parse("b4 r4(x) w4(x)").unwrap().steps()).unwrap();
+        cg.set_boundary(TxnId(4), true);
+        assert!(cg.summary_epoch() > epoch0);
+        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(4)));
+        assert!(cg.boundary_reach()[&TxnId(3)].contains(&TxnId(4)));
+        cg.check_invariants();
+
+        // Deleting a boundary endpoint drops only its pairs.
+        let t3 = cg.node_of(TxnId(3)).unwrap();
+        cg.delete(t3).unwrap();
+        assert!(!cg.boundary_reach().contains_key(&TxnId(3)));
+        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(4)));
+        cg.check_invariants();
+    }
+
+    #[test]
+    fn boundary_summary_shrinks_on_abort_without_epoch_bump() {
+        // 1 -> 2(active) and later 2 -> none; aborting 2 severs paths
+        // that ran through it.
+        let mut cg = CgState::new();
+        cg.run(parse("b1 r1(x) w1(x) b2 r2(x) b3 r3(y)").unwrap().steps())
+            .unwrap();
+        // Arc 1 -> 2 exists (write then read). Give 2 an arc into 3:
+        let n2 = cg.node_of(TxnId(2)).unwrap();
+        let n3 = cg.node_of(TxnId(3)).unwrap();
+        cg.add_order_arc(n2, n3).unwrap();
+        cg.set_boundary(TxnId(1), true);
+        cg.set_boundary(TxnId(3), true);
+        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+        let epoch = cg.summary_epoch();
+        cg.abort_txn(TxnId(2)).unwrap();
+        assert!(
+            !cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)),
+            "unbridged removal severed the path"
+        );
+        assert_eq!(cg.summary_epoch(), epoch, "shrink must not bump epoch");
+        cg.check_invariants();
+    }
+
+    #[test]
+    fn ghost_compaction_removes_redundant_arcs_only() {
+        let mut cg = CgState::new();
+        cg.run(parse("b1 r1(x) w1(x)").unwrap().steps()).unwrap();
+        let real = cg.node_of(TxnId(1)).unwrap();
+        let g1 = cg.admit_completed_ghost(TxnId(10)).unwrap();
+        let g2 = cg.admit_completed_ghost(TxnId(11)).unwrap();
+        let g3 = cg.admit_completed_ghost(TxnId(12)).unwrap();
+        for t in [10, 11, 12] {
+            cg.set_boundary(TxnId(t), true);
+        }
+        // Chain g1 -> g2 -> g3 plus the redundant shortcut g1 -> g3,
+        // plus an (irredundant) arc into a real node.
+        cg.add_order_arc(g1, g2).unwrap();
+        cg.add_order_arc(g2, g3).unwrap();
+        cg.add_order_arc(g1, g3).unwrap();
+        cg.add_order_arc(g1, real).unwrap();
+        // Full reachability before.
+        let mut ck = deltx_graph::cycle::CycleChecker::new();
+        let nodes: Vec<_> = cg.nodes().collect();
+        let before: Vec<bool> = nodes
+            .iter()
+            .flat_map(|&a| {
+                nodes
+                    .iter()
+                    .map(|&b| ck.reachable(cg.graph(), a, b))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let arcs_before = cg.graph().arc_count();
+        let removed = cg.compact_ghost_arcs();
+        assert_eq!(removed, 1, "exactly the shortcut goes");
+        assert_eq!(cg.graph().arc_count(), arcs_before - 1);
+        assert!(!cg.graph().has_arc(g1, g3), "shortcut removed");
+        assert!(cg.graph().has_arc(g1, real), "ghost->real arcs kept");
+        let after: Vec<bool> = nodes
+            .iter()
+            .flat_map(|&a| {
+                nodes
+                    .iter()
+                    .map(|&b| ck.reachable(cg.graph(), a, b))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(before, after, "union reachability must be unchanged");
+        // Idempotent: nothing left to remove.
+        assert_eq!(cg.compact_ghost_arcs(), 0);
+        cg.check_invariants();
+    }
+
+    #[test]
+    fn ghost_compaction_ignores_witness_paths_through_active_nodes() {
+        // g -> s direct, plus g -> m -> s where m is ACTIVE: the
+        // shortcut must survive, because m's abort would remove the
+        // witness path without bridging — losing the g -> s ordering.
+        let mut cg = CgState::new();
+        cg.apply(&Step::begin(1)).unwrap(); // m, stays active
+        let m = cg.node_of(TxnId(1)).unwrap();
+        let g = cg.admit_completed_ghost(TxnId(10)).unwrap();
+        let s = cg.admit_completed_ghost(TxnId(11)).unwrap();
+        cg.add_order_arc(g, m).unwrap();
+        cg.add_order_arc(m, s).unwrap();
+        cg.add_order_arc(g, s).unwrap();
+        assert_eq!(cg.compact_ghost_arcs(), 0, "active witness must not count");
+        assert!(cg.graph().has_arc(g, s));
+        // The abort that would have severed the witness: ordering kept.
+        cg.abort_txn(TxnId(1)).unwrap();
+        assert!(cg.graph().has_arc(g, s), "ordering survived the abort");
+        // Once the witness runs through completed nodes only, the
+        // shortcut is genuinely redundant and goes.
+        let m2 = cg.admit_completed_ghost(TxnId(2)).unwrap();
+        cg.add_order_arc(g, m2).unwrap();
+        cg.add_order_arc(m2, s).unwrap();
+        assert_eq!(cg.compact_ghost_arcs(), 1);
+        assert!(!cg.graph().has_arc(g, s));
+        cg.check_invariants();
     }
 
     #[test]

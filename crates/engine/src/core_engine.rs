@@ -6,18 +6,37 @@
 //! Entities are partitioned across shards, and every conflict arc is
 //! witnessed by one entity, so **every arc is intra-shard** and the
 //! global conflict graph is the union of the shard graphs with nodes of
-//! the same transaction identified. Two facts make the check exact:
+//! the same transaction identified. Three facts make the check exact:
 //!
 //! 1. *Fast path.* If a transaction has touched only shard `s` and `s`
 //!    contains no **boundary nodes** (nodes of transactions present in
 //!    more than one shard), then no path can leave `s`'s graph — a path
 //!    switches shards only through a boundary node — so the shard-local
 //!    cycle check equals the union check. One lock, no coordination.
-//! 2. *Escalated path.* Otherwise all shard locks are taken in
-//!    ascending index order (deadlock-free; the GC obeys the same
-//!    order) and the would-be arc sources are checked against
-//!    reachability in the union graph by a BFS that hops to a
-//!    transaction's twin nodes when it meets a multi-shard transaction.
+//! 2. *Partial escalation.* Otherwise the engine locks only the shards
+//!    a cycle through the committing transaction could traverse. Each
+//!    shard's `CgState` maintains a **boundary reachability summary**
+//!    (which boundary transactions reach which, through that shard's
+//!    graph, ghosts included), mirrored into the shared
+//!    [`Coordination`] registry whenever it changes. A path leaves the
+//!    transaction's own shards through a resident boundary
+//!    transaction, enters another shard at that transaction's twin,
+//!    and can only leave *that* shard through a boundary transaction
+//!    the summary says the twin reaches — so chasing summaries across
+//!    the registry closes the set of traversable shards. Those are
+//!    locked in ascending index order and the would-be arc sources are
+//!    checked against union reachability by a BFS that hops to a
+//!    transaction's twin nodes when it meets a multi-shard
+//!    transaction, restricted to the locked subset.
+//! 3. *Staleness.* The subset is planned from a lock-free snapshot, so
+//!    each shard summary carries a **growth epoch** (bumped whenever
+//!    its published reachability, boundary membership, or a resident
+//!    transaction's shard set *grows* — shrinkage cannot invalidate a
+//!    superset). After acquisition the planner re-reads the epochs of
+//!    the locked shards: any movement means the plan may be too small
+//!    and the engine falls back to all-locks. Every summary mutation
+//!    happens under the owning shard's lock and is mirrored before
+//!    that lock is released, so the re-read is authoritative.
 //!
 //! ## GC and cross-shard deletion
 //!
@@ -32,7 +51,10 @@
 //! reachability is preserved exactly, which keeps the engine
 //! step-for-step equivalent to a monolithic reduced scheduler — and
 //! Theorem 2 lifts that to equivalence with the full, never-deleting
-//! scheduler.
+//! scheduler. Sustained cross-shard traffic accretes ordering arcs
+//! between ghosts; the sweeps run a transitive-reduction compaction
+//! over the ghost-only subgraph ([`CgState::compact_ghost_arcs`]),
+//! which provably changes no reachability.
 
 use crate::error::EngineError;
 use crate::history::{Event, RecordedHistory};
@@ -40,11 +62,12 @@ use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::session::{Session, SessionState};
 use deltx_core::policy::PolicyKind;
 use deltx_core::{noncurrent, Applied, CgState, TxnState};
+use deltx_graph::NodeId;
 use deltx_model::{EntityId, Op, Step, TxnId};
 use deltx_sched::StateSize;
 use deltx_storage::{Store, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -54,6 +77,9 @@ const SHARD_GC_THRESHOLD: usize = 32;
 /// Pending multi-shard count at which an escalated committer (already
 /// holding every lock) runs the multi-shard pass inline.
 const MULTI_GC_THRESHOLD: usize = 32;
+/// Adjacency-closure size up to which the planner takes the closure
+/// as the lock subset directly, skipping the summary fine chase.
+const SMALL_PLAN_LOCKS: usize = 4;
 
 /// Which deletion policy the GC applies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,6 +113,11 @@ pub struct EngineConfig {
     /// Record the linearized step history (for replay verification;
     /// costs one mutex append per operation).
     pub record_history: bool,
+    /// Escalated operations lock only the shard subset the boundary
+    /// reachability summaries prove a cycle could traverse, instead of
+    /// every shard. Disable to force the all-locks baseline (for A/B
+    /// benchmarking; the accept/reject decisions are identical).
+    pub partial_escalation: bool,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +128,7 @@ impl Default for EngineConfig {
             gc_interval: Duration::from_millis(2),
             background_gc: true,
             record_history: false,
+            partial_escalation: true,
         }
     }
 }
@@ -109,20 +141,96 @@ struct Shard {
     /// Live nodes in this shard belonging to multi-shard transactions
     /// (ghosts included). Zero means no path can leave this shard.
     boundary: usize,
+    /// [`CgState::summary_rev`] at the last mirror into
+    /// [`Coordination`] — skips the copy when nothing changed.
+    mirrored_rev: u64,
+    /// [`CgState::summary_epoch`] at the last mirror — growth since
+    /// then bumps the published epoch.
+    mirrored_epoch: u64,
+    /// [`CgState`] bridge-arc count at the last ghost compaction:
+    /// deletions are the only source of new ghost arcs, so an
+    /// unchanged count lets the sweep skip the compaction scan.
+    compacted_bridge_arcs: u64,
 }
+
+/// Shard locks held by one escalated operation, keyed by shard index.
+/// Always acquired in ascending order (the map iterates that way).
+type Guards<'a> = BTreeMap<usize, MutexGuard<'a, Shard>>;
+
+/// A shard's published boundary reachability summary: mirror of the
+/// shard's [`CgState::boundary_reach`] — boundary transaction ->
+/// boundary transactions reachable through that shard's graph.
+type ShardSummary = BTreeMap<TxnId, BTreeSet<TxnId>>;
+
+/// Cross-shard coordination state, readable without any shard lock:
+/// the multi-shard registry plus the per-shard summary mirrors the
+/// partial-escalation planner chases.
+///
+/// Lock order: after any/all shard locks, before `pending_multi` and
+/// `history`. Mutations that follow from a shard-graph change are made
+/// while holding that shard's lock and before releasing it.
+struct Coordination {
+    /// Shard sets of multi-shard transactions. Single-shard
+    /// transactions (the common case) never appear here. Every listed
+    /// shard holds a live node (possibly a ghost) of the transaction.
+    registry: HashMap<TxnId, Vec<usize>>,
+    /// `registry` inverted: the boundary transactions resident in each
+    /// shard. Seeds the planner's closure at entry shards.
+    boundary_txns: Vec<BTreeSet<TxnId>>,
+    /// Published summary per shard.
+    summaries: Vec<ShardSummary>,
+}
+
+impl Coordination {
+    fn new(shards: usize) -> Self {
+        Self {
+            registry: HashMap::new(),
+            boundary_txns: vec![BTreeSet::new(); shards],
+            summaries: vec![ShardSummary::new(); shards],
+        }
+    }
+}
+
+fn shard_bit(s: usize) -> u64 {
+    if s < 64 {
+        1u64 << s
+    } else {
+        0
+    }
+}
+
+/// A planned lock subset went stale (summary epoch moved, or the BFS
+/// met a shard outside the subset): retake as all-locks.
+#[derive(Debug)]
+struct Stale;
 
 pub(crate) struct EngineInner {
     shards: Vec<Mutex<Shard>>,
-    /// Shard sets of multi-shard transactions. Single-shard
-    /// transactions (the common case) never appear here.
-    /// Lock order: after any/all shard locks, before `history`.
-    registry: Mutex<HashMap<TxnId, Vec<usize>>>,
+    coord: Mutex<Coordination>,
+    /// Lock-free planner inputs, written only under the coordination
+    /// lock (and, for changes derived from a shard graph, before that
+    /// shard's lock is released — so a post-acquisition re-read is
+    /// authoritative).
+    ///
+    /// Per-shard adjacency bitmask (meaningful for <= 64 shards): the
+    /// union of resident boundary transactions' shard sets — a
+    /// superset of anything the summary chase can produce, so a
+    /// fixpoint over these detects the saturated and the
+    /// already-minimal cases without taking any lock.
+    plan_adj: Vec<AtomicU64>,
+    /// Per-shard **growth epoch**: bumped whenever the shard's
+    /// published reachability, boundary membership, or a resident
+    /// transaction's shard set grows. A lock subset planned at epoch
+    /// `e` is still a superset of every reachable shard while the
+    /// epoch stays `e` (shrinkage never invalidates a superset).
+    plan_epoch: Vec<AtomicU64>,
     /// Multi-shard transactions awaiting a GC decision.
     pending_multi: Mutex<BTreeSet<TxnId>>,
     history: Option<Mutex<RecordedHistory>>,
     pub(crate) metrics: EngineMetrics,
     next_txn: AtomicU32,
     gc_policy: GcPolicy,
+    partial_escalation: bool,
     shutdown: Mutex<bool>,
     shutdown_cv: Condvar,
 }
@@ -148,10 +256,17 @@ impl Engine {
                         cg,
                         store: Store::new(),
                         boundary: 0,
+                        mirrored_rev: 0,
+                        mirrored_epoch: 0,
+                        compacted_bridge_arcs: 0,
                     })
                 })
                 .collect(),
-            registry: Mutex::new(HashMap::new()),
+            coord: Mutex::new(Coordination::new(cfg.shards)),
+            plan_adj: (0..cfg.shards)
+                .map(|s| AtomicU64::new(shard_bit(s)))
+                .collect(),
+            plan_epoch: (0..cfg.shards).map(|_| AtomicU64::new(0)).collect(),
             pending_multi: Mutex::new(BTreeSet::new()),
             history: cfg
                 .record_history
@@ -159,6 +274,7 @@ impl Engine {
             metrics: EngineMetrics::default(),
             next_txn: AtomicU32::new(1),
             gc_policy: cfg.gc,
+            partial_escalation: cfg.partial_escalation,
             shutdown: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         });
@@ -244,14 +360,26 @@ impl EngineInner {
         }
     }
 
-    fn lock_all(&self) -> Vec<MutexGuard<'_, Shard>> {
-        self.shards.iter().map(|s| s.lock().unwrap()).collect()
+    fn lock_all(&self) -> Guards<'_> {
+        (0..self.shards.len())
+            .map(|s| (s, self.shards[s].lock().unwrap()))
+            .collect()
+    }
+
+    /// Locks `subset` in ascending index order (the GC and all-locks
+    /// paths obey the same order, so mixed acquisitions cannot
+    /// deadlock).
+    fn lock_subset(&self, subset: &BTreeSet<usize>) -> Guards<'_> {
+        subset
+            .iter()
+            .map(|&s| (s, self.shards[s].lock().unwrap()))
+            .collect()
     }
 
     fn graph_size(&self) -> StateSize {
         let guards = self.lock_all();
         let mut size = StateSize::default();
-        for g in &guards {
+        for g in guards.values() {
             size.nodes += g.cg.graph().node_count();
             size.arcs += g.cg.graph().arc_count();
         }
@@ -276,52 +404,69 @@ impl EngineInner {
         Ok(())
     }
 
+    /// Decrements a shard's boundary-node count. If the registry and
+    /// the counts ever disagree this saturates (with a metrics
+    /// breadcrumb) instead of underflow-panicking in release builds
+    /// with overflow checks on.
+    fn dec_boundary(&self, g: &mut Shard) {
+        debug_assert!(g.boundary > 0, "boundary count underflow");
+        match g.boundary.checked_sub(1) {
+            Some(b) => g.boundary = b,
+            None => self.metrics.boundary_underflows.add(1),
+        }
+    }
+
     /// Registers that `txn` now spans `shards` (2+), bumping boundary
-    /// counts for nodes that just became boundary nodes. Caller holds
-    /// all shard locks.
+    /// counts and marking [`CgState`] boundary nodes where they just
+    /// became boundary. Caller holds the locks of every shard in
+    /// `shards`. With partial escalation off the `CgState` marks are
+    /// skipped — nothing consults the summaries, so the maintenance
+    /// BFS on every arc would be pure overhead.
     fn note_multi_shard(
-        guards: &mut [MutexGuard<'_, Shard>],
-        registry: &mut HashMap<TxnId, Vec<usize>>,
+        &self,
+        guards: &mut Guards<'_>,
+        coord: &mut Coordination,
         txn: TxnId,
         shards: &BTreeSet<usize>,
     ) {
         if shards.len() < 2 {
             return;
         }
-        let entry = registry.entry(txn).or_default();
-        let old: BTreeSet<usize> = entry.iter().copied().collect();
-        if old.is_empty() {
-            // Every existing node of txn just became a boundary node.
-            for &s in shards {
-                if guards[s].cg.node_of(txn).is_some() {
-                    guards[s].boundary += 1;
-                }
-            }
-        } else {
-            for &s in shards.difference(&old) {
-                if guards[s].cg.node_of(txn).is_some() {
-                    guards[s].boundary += 1;
+        let old: BTreeSet<usize> = coord
+            .registry
+            .get(&txn)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        for &s in shards.difference(&old) {
+            let g = guards.get_mut(&s).expect("spanned shard is locked");
+            if g.cg.node_of(txn).is_some() {
+                g.boundary += 1;
+                if self.partial_escalation {
+                    g.cg.set_boundary(txn, true);
                 }
             }
         }
-        *entry = shards.iter().copied().collect();
+        self.set_txn_shards(coord, txn, shards);
     }
 
-    /// Union-graph reachability: can `from_txn` reach any of `targets`
-    /// following shard arcs and twin-node identities? Caller holds all
-    /// shard locks.
+    /// Union-graph reachability restricted to the locked shards: can
+    /// `from_txn` reach any of `targets` following shard arcs and
+    /// twin-node identities? `None` means the BFS met a shard outside
+    /// the locked subset — the plan was too small, retake all locks.
     fn union_reaches(
-        guards: &[MutexGuard<'_, Shard>],
+        guards: &Guards<'_>,
         registry: &HashMap<TxnId, Vec<usize>>,
         from_txn: TxnId,
-        targets: &HashSet<(usize, deltx_graph::NodeId)>,
-    ) -> bool {
+        targets: &HashSet<(usize, NodeId)>,
+    ) -> Option<bool> {
         if targets.is_empty() {
-            return false;
+            return Some(false);
         }
-        let mut visited: HashSet<(usize, deltx_graph::NodeId)> = HashSet::new();
-        let mut frontier: Vec<(usize, deltx_graph::NodeId)> = Vec::new();
-        for (s, g) in guards.iter().enumerate() {
+        let mut visited: HashSet<(usize, NodeId)> = HashSet::new();
+        let mut frontier: Vec<(usize, NodeId)> = Vec::new();
+        for (&s, g) in guards.iter() {
             if let Some(n) = g.cg.node_of(from_txn) {
                 visited.insert((s, n));
                 frontier.push((s, n));
@@ -329,51 +474,275 @@ impl EngineInner {
         }
         while let Some((s, n)) = frontier.pop() {
             // Hop to twin nodes of the same transaction first.
-            let txn = guards[s].cg.info(n).txn;
+            let txn = guards[&s].cg.info(n).txn;
             if let Some(shards) = registry.get(&txn) {
                 for &t in shards {
                     if t == s {
                         continue;
                     }
-                    if let Some(twin) = guards[t].cg.node_of(txn) {
+                    let tg = guards.get(&t)?;
+                    if let Some(twin) = tg.cg.node_of(txn) {
                         if visited.insert((t, twin)) {
                             if targets.contains(&(t, twin)) {
-                                return true;
+                                return Some(true);
                             }
                             frontier.push((t, twin));
                         }
                     }
                 }
             }
-            for &succ in guards[s].cg.graph().succs(n) {
+            for &succ in guards[&s].cg.graph().succs(n) {
                 if visited.insert((s, succ)) {
                     if targets.contains(&(s, succ)) {
-                        return true;
+                        return Some(true);
                     }
                     frontier.push((s, succ));
                 }
             }
         }
-        false
+        Some(false)
     }
 
-    /// Aborts `txn` everywhere it has nodes. Caller holds all shard
-    /// locks (escalated paths) — or exactly the one shard the
-    /// transaction lives in (fast path).
-    fn abort_everywhere(
-        guards: &mut [MutexGuard<'_, Shard>],
-        registry: &mut HashMap<TxnId, Vec<usize>>,
-        txn: TxnId,
-    ) {
-        let multi = registry.remove(&txn);
-        for g in guards.iter_mut() {
+    /// Aborts `txn` everywhere it has nodes. Caller holds the locks of
+    /// every shard the transaction inhabits.
+    fn abort_everywhere(&self, guards: &mut Guards<'_>, coord: &mut Coordination, txn: TxnId) {
+        let multi = self.unregister_txn(coord, txn);
+        for g in guards.values_mut() {
             if g.cg.node_of(txn).is_some() {
                 if multi.is_some() {
-                    g.boundary -= 1;
+                    self.dec_boundary(g);
                 }
                 g.cg.abort_txn(txn).expect("live node aborts");
             }
         }
+    }
+
+    /// Mirrors every locked shard's summary into the coordination
+    /// registry (rev-gated: free when nothing changed). Escalated and
+    /// GC paths call this before releasing their locks.
+    fn mirror_guards(&self, coord: &mut Coordination, guards: &mut Guards<'_>) {
+        for (&s, g) in guards.iter_mut() {
+            self.mirror_shard(coord, s, g);
+        }
+    }
+
+    /// Applies shard `s`'s summary changes to the published mirror
+    /// (only the entries the `CgState` marked dirty), bumping the
+    /// shard's growth epoch when the change includes growth — shrinks
+    /// carry no bump, they cannot invalidate a planned superset. Must
+    /// run before `s`'s lock is released.
+    fn mirror_shard(&self, coord: &mut Coordination, s: usize, g: &mut Shard) {
+        let rev = g.cg.summary_rev();
+        if rev == g.mirrored_rev {
+            return;
+        }
+        for t in g.cg.take_summary_dirty() {
+            match g.cg.boundary_reach().get(&t) {
+                Some(set) => {
+                    coord.summaries[s].insert(t, set.clone());
+                }
+                None => {
+                    coord.summaries[s].remove(&t);
+                }
+            }
+        }
+        let epoch = g.cg.summary_epoch();
+        if epoch != g.mirrored_epoch {
+            self.plan_epoch[s].fetch_add(1, Ordering::Relaxed);
+            g.mirrored_epoch = epoch;
+        }
+        g.mirrored_rev = rev;
+    }
+
+    /// Rebuilds shard `s`'s adjacency mask exactly from its residents.
+    fn recompute_adj(&self, coord: &Coordination, s: usize) {
+        let mut mask = shard_bit(s);
+        for b in &coord.boundary_txns[s] {
+            for &t in coord.registry.get(b).into_iter().flatten() {
+                mask |= shard_bit(t);
+            }
+        }
+        self.plan_adj[s].store(mask, Ordering::Relaxed);
+    }
+
+    /// Replaces `txn`'s registered shard set (callers only ever grow
+    /// it), bumping the epoch of **every** shard in the new set on
+    /// growth: each shard holding one of `txn`'s nodes can now leak
+    /// paths into the added shards.
+    fn set_txn_shards(&self, coord: &mut Coordination, txn: TxnId, shards: &BTreeSet<usize>) {
+        debug_assert!(shards.len() >= 2, "registry entries are multi-shard");
+        let old: BTreeSet<usize> = coord
+            .registry
+            .get(&txn)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        if old == *shards {
+            return;
+        }
+        let mut grew = false;
+        for &s in shards.difference(&old) {
+            coord.boundary_txns[s].insert(txn);
+            grew = true;
+        }
+        for &s in old.difference(shards) {
+            coord.boundary_txns[s].remove(&txn);
+            self.recompute_adj(coord, s);
+        }
+        coord.registry.insert(txn, shards.iter().copied().collect());
+        if grew {
+            let mask: u64 = shards.iter().map(|&s| shard_bit(s)).sum();
+            for &s in shards {
+                self.plan_epoch[s].fetch_add(1, Ordering::Relaxed);
+                self.plan_adj[s].fetch_or(mask, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Unregisters a multi-shard transaction (abort or deletion). A
+    /// shrink: no epoch bump.
+    fn unregister_txn(&self, coord: &mut Coordination, txn: TxnId) -> Option<Vec<usize>> {
+        let shards = coord.registry.remove(&txn)?;
+        for &s in &shards {
+            coord.boundary_txns[s].remove(&txn);
+            self.recompute_adj(coord, s);
+        }
+        Some(shards)
+    }
+
+    /// Snapshots the growth epochs of every shard (Relaxed is enough:
+    /// the shard-mutex release/acquire pair orders the stores against
+    /// a post-acquisition re-read).
+    fn snapshot_epochs(&self) -> Vec<u64> {
+        self.plan_epoch
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Plans the shard subset a cycle through `txn` could traverse:
+    /// the entry shards (`base` plus `txn`'s registered shards) closed
+    /// under summary-chasing. Any boundary transaction resident in an
+    /// entry shard may lie on a local path from `txn`, so all of them
+    /// are potential exits; entering shard `t` at transaction `b`'s
+    /// twin, a path can only leave `t` through `b` itself or a
+    /// boundary transaction `t`'s summary says `b` reaches. Returns
+    /// the subset plus the epoch snapshot to validate after
+    /// acquisition.
+    ///
+    /// The common cases never touch a lock: the adjacency-mask
+    /// fixpoint over [`EngineInner::plan_adj`] computes a superset of
+    /// the summary chase, so when it saturates (uniform cross-shard
+    /// traffic — plan is every shard) or collapses onto the entry set
+    /// (traffic confined to a hot shard group — nothing to shrink)
+    /// the answer is final. Only the intermediate regime runs the fine
+    /// chase under the coordination lock. Note the lock-free paths
+    /// derive `txn`'s registered shards from the masks themselves: a
+    /// registered transaction is resident in its `base` shards, so its
+    /// span is folded into their adjacency masks.
+    fn plan_escalation(&self, txn: TxnId, base: &BTreeSet<usize>) -> (BTreeSet<usize>, Vec<u64>) {
+        // Epochs are snapshotted BEFORE the plan inputs are read:
+        // growth landing between the two reads then shows as an epoch
+        // mismatch at validation instead of silently blessing a plan
+        // built from pre-growth inputs.
+        let epochs = self.snapshot_epochs();
+        let n = self.shards.len();
+        if n <= 64 {
+            let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let entry_mask: u64 = base.iter().map(|&s| shard_bit(s)).sum();
+            let mut mask = entry_mask;
+            loop {
+                let mut next = mask;
+                let mut bits = mask;
+                while bits != 0 {
+                    let s = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    next |= self.plan_adj[s].load(Ordering::Relaxed);
+                }
+                if next == full {
+                    return ((0..n).collect(), epochs);
+                }
+                if next == mask {
+                    break;
+                }
+                mask = next;
+            }
+            // A small closure is taken as-is: the fine chase can only
+            // refine *within* it, and shaving one lock off an
+            // already-tiny subset is worth less than the chase costs.
+            // Pruning pays when the adjacency closure is large but the
+            // reach-sets cut paths through it — the regime below.
+            if mask == entry_mask || (mask.count_ones() as usize) <= SMALL_PLAN_LOCKS {
+                let mut subset = BTreeSet::new();
+                let mut bits = mask;
+                while bits != 0 {
+                    subset.insert(bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
+                }
+                return (subset, epochs);
+            }
+        }
+        // Intermediate regime: the fine, summary-driven chase.
+        let coord = self.coord.lock().unwrap();
+        let mut subset: BTreeSet<usize> = base.clone();
+        subset.extend(coord.registry.get(&txn).into_iter().flatten().copied());
+        let mut stack: Vec<(usize, TxnId)> = Vec::new();
+        let mut seen: HashSet<(usize, TxnId)> = HashSet::new();
+        for &u in &subset {
+            for &b in &coord.boundary_txns[u] {
+                if seen.insert((u, b)) {
+                    stack.push((u, b));
+                }
+            }
+        }
+        // Saturation short-circuit: once every shard is in, further
+        // chasing cannot change the answer.
+        while subset.len() < n {
+            let Some((u, b)) = stack.pop() else { break };
+            let reach = coord.summaries[u].get(&b);
+            for e in std::iter::once(b).chain(reach.into_iter().flatten().copied()) {
+                for &t in coord.registry.get(&e).into_iter().flatten() {
+                    subset.insert(t);
+                    if seen.insert((t, e)) {
+                        stack.push((t, e));
+                    }
+                }
+            }
+        }
+        drop(coord);
+        (subset, epochs)
+    }
+
+    /// Acquires the locks for an escalated operation: the planned
+    /// subset when partial escalation is on and the plan validates
+    /// (epochs unmoved after acquisition), every lock otherwise.
+    fn acquire_escalation(
+        &self,
+        txn: TxnId,
+        entry: &BTreeSet<usize>,
+    ) -> (Guards<'_>, MutexGuard<'_, Coordination>) {
+        let n = self.shards.len();
+        if self.partial_escalation {
+            let (subset, epochs) = self.plan_escalation(txn, entry);
+            if subset.len() < n {
+                let guards = self.lock_subset(&subset);
+                let valid = subset
+                    .iter()
+                    .all(|&s| self.plan_epoch[s].load(Ordering::Relaxed) == epochs[s]);
+                if valid {
+                    let coord = self.coord.lock().unwrap();
+                    self.metrics.record_escalation(subset.len(), n);
+                    return (guards, coord);
+                }
+                drop(guards);
+                self.metrics.escalation_fallbacks.add(1);
+            }
+        }
+        let guards = self.lock_all();
+        let coord = self.coord.lock().unwrap();
+        self.metrics.record_escalation(n, n);
+        (guards, coord)
     }
 
     /// A transaction's read of `x`.
@@ -427,17 +796,46 @@ impl EngineInner {
         x: EntityId,
         s: usize,
     ) -> Result<Value, EngineError> {
-        let mut guards = self.lock_all();
-        let mut registry = self.registry.lock().unwrap();
-        Self::ensure_node(&mut guards[s], st.txn)?;
+        self.metrics.escalated_ops.add(1);
+        let mut entry: BTreeSet<usize> = st.shards.iter().copied().collect();
+        entry.insert(s);
+        let (guards, coord) = self.acquire_escalation(st.txn, &entry);
+        match self.read_escalated_locked(st, x, s, guards, coord) {
+            Ok(res) => res,
+            Err(Stale) => {
+                self.metrics.escalation_fallbacks.add(1);
+                let n = self.shards.len();
+                let guards = self.lock_all();
+                let coord = self.coord.lock().unwrap();
+                self.metrics.record_escalation(n, n);
+                self.read_escalated_locked(st, x, s, guards, coord)
+                    .expect("all-locks body cannot go stale")
+            }
+        }
+    }
+
+    fn read_escalated_locked(
+        &self,
+        st: &mut SessionState,
+        x: EntityId,
+        s: usize,
+        mut guards: Guards<'_>,
+        mut coord: MutexGuard<'_, Coordination>,
+    ) -> Result<Result<Value, EngineError>, Stale> {
         let mut touched: BTreeSet<usize> = st.shards.iter().copied().collect();
         touched.insert(s);
-        for &t in registry.get(&st.txn).into_iter().flatten() {
+        for &t in coord.registry.get(&st.txn).into_iter().flatten() {
             touched.insert(t);
         }
-        Self::note_multi_shard(&mut guards, &mut registry, st.txn, &touched);
-        let own = guards[s].cg.node_of(st.txn);
-        let targets: HashSet<_> = guards[s]
+        if touched.iter().any(|t| !guards.contains_key(t)) {
+            return Err(Stale);
+        }
+        if let Err(e) = Self::ensure_node(guards.get_mut(&s).expect("entry shard locked"), st.txn) {
+            return Ok(Err(e));
+        }
+        self.note_multi_shard(&mut guards, &mut coord, st.txn, &touched);
+        let own = guards[&s].cg.node_of(st.txn);
+        let targets: HashSet<(usize, NodeId)> = guards[&s]
             .cg
             .writers_of(x)
             .into_iter()
@@ -445,31 +843,42 @@ impl EngineInner {
             .map(|n| (s, n))
             .collect();
         let step = Step::new(st.txn, Op::Read(x));
-        self.metrics.escalated_ops.add(1);
-        if Self::union_reaches(&guards, &registry, st.txn, &targets) {
-            Self::abort_everywhere(&mut guards, &mut registry, st.txn);
+        let reached = match Self::union_reaches(&guards, &coord.registry, st.txn, &targets) {
+            Some(r) => r,
+            None => {
+                self.mirror_guards(&mut coord, &mut guards);
+                return Err(Stale);
+            }
+        };
+        if reached {
+            self.abort_everywhere(&mut guards, &mut coord, st.txn);
             self.record(Event::Step {
                 step,
                 outcome: Applied::SelfAborted,
             });
-            drop(registry);
+            self.mirror_guards(&mut coord, &mut guards);
+            drop(coord);
             drop(guards);
             self.after_scheduler_abort(st);
-            return Err(EngineError::Aborted(st.txn));
+            return Ok(Err(EngineError::Aborted(st.txn)));
         }
-        let out = guards[s].cg.apply(&step)?;
+        let g = guards.get_mut(&s).expect("entry shard locked");
+        let out = match g.cg.apply(&step) {
+            Ok(o) => o,
+            Err(e) => return Ok(Err(e.into())),
+        };
         debug_assert_eq!(out, Applied::Accepted, "local check is a union subset");
-        let g = &mut guards[s];
         let v = st.buf(s).read(&g.store, x);
         self.record(Event::Step {
             step,
             outcome: Applied::Accepted,
         });
-        drop(registry);
+        self.mirror_guards(&mut coord, &mut guards);
+        drop(coord);
         drop(guards);
         st.shards.insert(s);
         self.metrics.reads.add(1);
-        Ok(v)
+        Ok(Ok(v))
     }
 
     /// The transaction's final atomic write: install every staged
@@ -523,8 +932,8 @@ impl EngineInner {
                         if self.gc_policy == GcPolicy::Noncurrent
                             && g.cg.gc_candidate_count() >= SHARD_GC_THRESHOLD
                         {
-                            let registry = self.registry.lock().unwrap();
-                            self.reclaim_shard(&mut g, &registry);
+                            let mut coord = self.coord.lock().unwrap();
+                            self.reclaim_shard(s, &mut g, &mut coord);
                         }
                         drop(g);
                         st.closed = true;
@@ -553,58 +962,128 @@ impl EngineInner {
     fn commit_escalated(
         &self,
         st: &mut SessionState,
-        mut involved: BTreeSet<usize>,
+        involved: BTreeSet<usize>,
         writes: BTreeMap<usize, Vec<EntityId>>,
         all_entities: Vec<EntityId>,
         n_written: u64,
     ) -> Result<(), EngineError> {
-        let mut guards = self.lock_all();
-        let mut registry = self.registry.lock().unwrap();
-        for &t in registry.get(&st.txn).into_iter().flatten() {
-            involved.insert(t);
+        self.metrics.escalated_ops.add(1);
+        let (guards, coord) = self.acquire_escalation(st.txn, &involved);
+        let res = match self.commit_escalated_locked(
+            st,
+            &involved,
+            &writes,
+            &all_entities,
+            n_written,
+            guards,
+            coord,
+        ) {
+            Ok(res) => res,
+            Err(Stale) => {
+                self.metrics.escalation_fallbacks.add(1);
+                let n = self.shards.len();
+                let guards = self.lock_all();
+                let coord = self.coord.lock().unwrap();
+                self.metrics.record_escalation(n, n);
+                self.commit_escalated_locked(
+                    st,
+                    &involved,
+                    &writes,
+                    &all_entities,
+                    n_written,
+                    guards,
+                    coord,
+                )
+                .expect("all-locks body cannot go stale")
+            }
+        };
+        // Backpressure for the multi-shard backlog: a partial committer
+        // cannot run the multi pass inline (it needs every lock), so it
+        // runs standalone here, after this commit's locks are released
+        // — otherwise multi-shard transactions would only be reclaimed
+        // by the background thread, and with that disabled the backlog
+        // (and with it every summary) would grow without bound.
+        if self.gc_policy == GcPolicy::Noncurrent
+            && self.pending_multi.lock().unwrap().len() >= MULTI_GC_THRESHOLD
+        {
+            self.sweep_multi_shard();
         }
-        for &s in &involved {
-            Self::ensure_node(&mut guards[s], st.txn)?;
+        res
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn commit_escalated_locked(
+        &self,
+        st: &mut SessionState,
+        involved: &BTreeSet<usize>,
+        writes: &BTreeMap<usize, Vec<EntityId>>,
+        all_entities: &[EntityId],
+        n_written: u64,
+        mut guards: Guards<'_>,
+        mut coord: MutexGuard<'_, Coordination>,
+    ) -> Result<Result<(), EngineError>, Stale> {
+        let mut touched: BTreeSet<usize> = involved.clone();
+        for &t in coord.registry.get(&st.txn).into_iter().flatten() {
+            touched.insert(t);
         }
-        Self::note_multi_shard(&mut guards, &mut registry, st.txn, &involved);
+        if touched.iter().any(|t| !guards.contains_key(t)) {
+            return Err(Stale);
+        }
+        for &s in &touched {
+            if let Err(e) = Self::ensure_node(guards.get_mut(&s).expect("locked"), st.txn) {
+                return Ok(Err(e));
+            }
+        }
+        self.note_multi_shard(&mut guards, &mut coord, st.txn, &touched);
         // Rule 3 arc sources for the combined atomic write.
-        let mut targets: HashSet<(usize, deltx_graph::NodeId)> = HashSet::new();
-        for (&s, xs) in &writes {
-            let own = guards[s].cg.node_of(st.txn);
+        let mut targets: HashSet<(usize, NodeId)> = HashSet::new();
+        for (&s, xs) in writes {
+            let own = guards[&s].cg.node_of(st.txn);
             for &x in xs {
-                for n in guards[s].cg.accessors_of(x) {
+                for n in guards[&s].cg.accessors_of(x) {
                     if Some(n) != own {
                         targets.insert((s, n));
                     }
                 }
             }
         }
-        let step = Step::new(st.txn, Op::WriteAll(all_entities));
-        self.metrics.escalated_ops.add(1);
-        if Self::union_reaches(&guards, &registry, st.txn, &targets) {
-            Self::abort_everywhere(&mut guards, &mut registry, st.txn);
+        let step = Step::new(st.txn, Op::WriteAll(all_entities.to_vec()));
+        let reached = match Self::union_reaches(&guards, &coord.registry, st.txn, &targets) {
+            Some(r) => r,
+            None => {
+                self.mirror_guards(&mut coord, &mut guards);
+                return Err(Stale);
+            }
+        };
+        if reached {
+            self.abort_everywhere(&mut guards, &mut coord, st.txn);
             self.record(Event::Step {
                 step,
                 outcome: Applied::SelfAborted,
             });
-            drop(registry);
+            self.mirror_guards(&mut coord, &mut guards);
+            drop(coord);
             drop(guards);
             self.after_scheduler_abort(st);
-            return Err(EngineError::Aborted(st.txn));
+            return Ok(Err(EngineError::Aborted(st.txn)));
         }
         let empty: Vec<EntityId> = Vec::new();
-        for &s in &involved {
+        for &s in &touched {
             let xs = writes.get(&s).unwrap_or(&empty);
             let sub = Step::new(st.txn, Op::WriteAll(xs.clone()));
-            let out = guards[s].cg.apply(&sub)?;
+            let g = guards.get_mut(&s).expect("locked");
+            let out = match g.cg.apply(&sub) {
+                Ok(o) => o,
+                Err(e) => return Ok(Err(e.into())),
+            };
             debug_assert_eq!(out, Applied::Accepted, "local check is a union subset");
-            if let Some(buf) = st.bufs.get_mut(&s) {
-                if !xs.is_empty() {
-                    buf.install(&mut guards[s].store);
+            if !xs.is_empty() {
+                if let Some(buf) = st.bufs.get_mut(&s) {
+                    buf.install(&mut g.store);
                 }
             }
         }
-        if involved.len() > 1 {
+        if touched.len() > 1 {
             self.pending_multi.lock().unwrap().insert(st.txn);
         }
         self.record(Event::Step {
@@ -613,60 +1092,77 @@ impl EngineInner {
         });
         // Backpressure GC while the locks are already held.
         if self.gc_policy == GcPolicy::Noncurrent {
-            for &s in &involved {
-                if guards[s].cg.gc_candidate_count() >= SHARD_GC_THRESHOLD {
-                    self.reclaim_shard(&mut guards[s], &registry);
+            for &s in &touched {
+                let g = guards.get_mut(&s).expect("locked");
+                if g.cg.gc_candidate_count() >= SHARD_GC_THRESHOLD {
+                    self.reclaim_shard(s, g, &mut coord);
                 }
             }
-            if self.pending_multi.lock().unwrap().len() >= MULTI_GC_THRESHOLD {
-                self.sweep_multi_locked(&mut guards, &mut registry);
+            if guards.len() == self.shards.len()
+                && self.pending_multi.lock().unwrap().len() >= MULTI_GC_THRESHOLD
+            {
+                self.sweep_multi_locked(&mut guards, &mut coord);
             }
         }
-        drop(registry);
+        self.mirror_guards(&mut coord, &mut guards);
+        drop(coord);
         drop(guards);
         st.closed = true;
         self.metrics.commits.add(1);
         self.metrics.entities_written.add(n_written);
-        Ok(())
+        Ok(Ok(()))
     }
 
-    /// Client rollback (or session drop).
+    /// Client rollback (or session drop): locks only the shards the
+    /// transaction inhabits (its read set plus registered ghost
+    /// shards), widening to all locks in the rare race where a GC
+    /// bridge grows the registry entry mid-acquisition.
     pub(crate) fn client_abort(&self, st: &mut SessionState) {
         if st.closed {
             return;
         }
         st.closed = true;
-        if st.shards.len() <= 1 {
-            if let Some(&s) = st.shards.iter().next() {
-                let mut g = self.shards[s].lock().unwrap();
-                let multi = self.registry.lock().unwrap().contains_key(&st.txn);
-                if !multi {
-                    if g.cg.node_of(st.txn).is_some() {
-                        g.cg.abort_txn(st.txn).expect("live node aborts");
-                    }
-                    self.record(Event::ClientAbort(st.txn));
-                    drop(g);
-                    self.metrics.aborts_voluntary.add(1);
-                    self.metrics.txns_left(1);
-                    return;
-                }
-                drop(g);
-            } else {
+        for attempt in 0..2 {
+            let subset: BTreeSet<usize> = {
+                let coord = self.coord.lock().unwrap();
+                let mut s: BTreeSet<usize> = st.shards.iter().copied().collect();
+                s.extend(coord.registry.get(&st.txn).into_iter().flatten().copied());
+                s
+            };
+            if subset.is_empty() {
                 // Never touched a shard.
                 self.record(Event::ClientAbort(st.txn));
                 self.metrics.aborts_voluntary.add(1);
                 self.metrics.txns_left(1);
                 return;
             }
+            let mut guards = if attempt == 0 {
+                self.lock_subset(&subset)
+            } else {
+                self.lock_all()
+            };
+            let mut coord = self.coord.lock().unwrap();
+            let grown = coord
+                .registry
+                .get(&st.txn)
+                .into_iter()
+                .flatten()
+                .any(|t| !guards.contains_key(t));
+            if grown {
+                drop(coord);
+                drop(guards);
+                continue;
+            }
+            self.abort_everywhere(&mut guards, &mut coord, st.txn);
+            self.record(Event::ClientAbort(st.txn));
+            self.mirror_guards(&mut coord, &mut guards);
+            drop(coord);
+            drop(guards);
+            self.metrics.aborts_voluntary.add(1);
+            self.metrics.txns_left(1);
+            return;
         }
-        let mut guards = self.lock_all();
-        let mut registry = self.registry.lock().unwrap();
-        Self::abort_everywhere(&mut guards, &mut registry, st.txn);
-        self.record(Event::ClientAbort(st.txn));
-        drop(registry);
-        drop(guards);
-        self.metrics.aborts_voluntary.add(1);
-        self.metrics.txns_left(1);
+        unreachable!("second attempt holds every lock");
     }
 
     fn after_scheduler_abort(&self, st: &mut SessionState) {
@@ -699,8 +1195,8 @@ impl EngineInner {
         }
     }
 
-    /// One full GC sweep: per-shard incremental pass, then the
-    /// multi-shard pass.
+    /// One full GC sweep: per-shard incremental pass (including ghost
+    /// compaction), then the multi-shard pass.
     pub(crate) fn gc_sweep(&self) {
         match self.gc_policy {
             GcPolicy::Off => {}
@@ -716,9 +1212,9 @@ impl EngineInner {
     /// Incremental noncurrent reclaim of one shard: drains the
     /// candidate queue, deletes noncurrent single-shard transactions,
     /// defers multi-shard candidates to the multi pass, prunes stale
-    /// store versions. Callers hold the shard's lock; `registry` is the
-    /// (already locked) multi-shard map.
-    fn reclaim_shard(&self, g: &mut Shard, registry: &HashMap<TxnId, Vec<usize>>) {
+    /// store versions. Caller holds the shard's lock and the
+    /// coordination lock.
+    fn reclaim_shard(&self, s: usize, g: &mut Shard, coord: &mut Coordination) {
         let t0 = Instant::now();
         let candidates = g.cg.drain_gc_candidates();
         if candidates.is_empty() {
@@ -732,7 +1228,7 @@ impl EngineInner {
                 continue;
             }
             let txn = g.cg.info(n).txn;
-            if registry.contains_key(&txn) {
+            if coord.registry.contains_key(&txn) {
                 deferred.push(txn);
                 continue;
             }
@@ -750,6 +1246,7 @@ impl EngineInner {
         if !deferred.is_empty() {
             self.pending_multi.lock().unwrap().extend(deferred);
         }
+        self.mirror_shard(coord, s, g);
         self.metrics.gc_deletions.add(deleted.len() as u64);
         self.metrics.txns_left(deleted.len() as u64);
         self.metrics.gc_versions_truncated.add(truncated as u64);
@@ -758,15 +1255,39 @@ impl EngineInner {
             .add(t0.elapsed().as_nanos() as u64);
     }
 
-    /// Per-shard incremental noncurrent pass over all shards.
+    /// Transitive-reduction compaction of a shard's ghost arcs,
+    /// skipped entirely unless deletions added bridge arcs since the
+    /// last pass (compaction needs no coordination: it changes no
+    /// reachability).
+    fn compact_shard_ghosts(&self, g: &mut Shard) {
+        let bridges = g.cg.stats().bridge_arcs;
+        if bridges == g.compacted_bridge_arcs {
+            return;
+        }
+        g.compacted_bridge_arcs = bridges;
+        let removed = g.cg.compact_ghost_arcs();
+        if removed > 0 {
+            self.metrics.gc_ghost_arcs_removed.add(removed as u64);
+        }
+    }
+
+    /// Per-shard incremental noncurrent pass over all shards, plus the
+    /// ghost-arc compaction (which needs no coordination: it changes no
+    /// reachability).
     fn sweep_shards_noncurrent(&self) {
         for s in 0..self.shards.len() {
             let mut g = self.shards[s].lock().unwrap();
-            if g.cg.gc_candidate_count() == 0 {
+            self.compact_shard_ghosts(&mut g);
+            let needs_mirror = g.cg.summary_rev() != g.mirrored_rev;
+            if g.cg.gc_candidate_count() == 0 && !needs_mirror {
                 continue;
             }
-            let registry = self.registry.lock().unwrap();
-            self.reclaim_shard(&mut g, &registry);
+            let mut coord = self.coord.lock().unwrap();
+            if g.cg.gc_candidate_count() > 0 {
+                self.reclaim_shard(s, &mut g, &mut coord);
+            }
+            // Re-tighten the mirror: hot paths skip shrink copies.
+            self.mirror_shard(&mut coord, s, &mut g);
         }
     }
 
@@ -778,18 +1299,14 @@ impl EngineInner {
             return;
         }
         let mut guards = self.lock_all();
-        let mut registry = self.registry.lock().unwrap();
-        self.sweep_multi_locked(&mut guards, &mut registry);
+        let mut coord = self.coord.lock().unwrap();
+        self.sweep_multi_locked(&mut guards, &mut coord);
     }
 
     /// The multi-shard pass body, for callers already holding every
-    /// shard lock plus the registry (the background sweep, and
-    /// escalated committers applying backpressure).
-    fn sweep_multi_locked(
-        &self,
-        guards: &mut [MutexGuard<'_, Shard>],
-        registry: &mut HashMap<TxnId, Vec<usize>>,
-    ) {
+    /// shard lock plus the coordination lock (the background sweep,
+    /// and escalated committers applying backpressure).
+    fn sweep_multi_locked(&self, guards: &mut Guards<'_>, coord: &mut Coordination) {
         let pending: Vec<TxnId> = {
             let mut p = self.pending_multi.lock().unwrap();
             std::mem::take(&mut *p).into_iter().collect()
@@ -805,25 +1322,25 @@ impl EngineInner {
         let mut written: BTreeMap<usize, Vec<EntityId>> = BTreeMap::new();
         let mut ghosts_made = 0u64;
         for txn in pending {
-            let Some(shards) = registry.get(&txn).cloned() else {
+            let Some(shards) = coord.registry.get(&txn).cloned() else {
                 continue; // aborted or already deleted
             };
-            let nodes: Vec<(usize, deltx_graph::NodeId)> = shards
+            let nodes: Vec<(usize, NodeId)> = shards
                 .iter()
-                .filter_map(|&s| guards[s].cg.node_of(txn).map(|n| (s, n)))
+                .filter_map(|&s| guards[&s].cg.node_of(txn).map(|n| (s, n)))
                 .collect();
             // Not deletable yet? Drop it from the queue: the events
             // that can change the answer re-enqueue it — committing
             // (commit_escalated), an overwrite of one of its entities
             // (the shard candidate queue -> reclaim_shard deferral),
             // or being ghosted (bridge_cross_shard).
-            let all_completed = nodes.iter().all(|&(s, n)| guards[s].cg.is_completed(n));
+            let all_completed = nodes.iter().all(|&(s, n)| guards[&s].cg.is_completed(n));
             if !all_completed {
                 continue;
             }
             let current = nodes
                 .iter()
-                .any(|&(s, n)| noncurrent::is_current(&guards[s].cg, n));
+                .any(|&(s, n)| noncurrent::is_current(&guards[&s].cg, n));
             if current {
                 continue;
             }
@@ -833,33 +1350,34 @@ impl EngineInner {
             let mut preds: Vec<(usize, TxnId)> = Vec::new();
             let mut succs: Vec<(usize, TxnId)> = Vec::new();
             for &(s, n) in &nodes {
-                for &p in guards[s].cg.graph().preds(n) {
-                    preds.push((s, guards[s].cg.info(p).txn));
+                for &p in guards[&s].cg.graph().preds(n) {
+                    preds.push((s, guards[&s].cg.info(p).txn));
                 }
-                for &q in guards[s].cg.graph().succs(n) {
-                    succs.push((s, guards[s].cg.info(q).txn));
+                for &q in guards[&s].cg.graph().succs(n) {
+                    succs.push((s, guards[&s].cg.info(q).txn));
                 }
-                for (&x, rec) in &guards[s].cg.info(n).access {
+                for (&x, rec) in &guards[&s].cg.info(n).access {
                     if rec.mode == deltx_model::AccessMode::Write {
                         written.entry(s).or_default().push(x);
                     }
                 }
             }
             for &(s, n) in &nodes {
-                if guards[s].cg.node_of(txn) == Some(n) {
-                    guards[s].boundary -= 1;
-                    guards[s].cg.delete(n).expect("completed node deletes");
+                let g = guards.get_mut(&s).expect("all locks held");
+                if g.cg.node_of(txn) == Some(n) {
+                    self.dec_boundary(g);
+                    g.cg.delete(n).expect("completed node deletes");
                 }
             }
-            registry.remove(&txn);
+            self.unregister_txn(coord, txn);
             for &(ps, p) in &preds {
                 for &(qs, q) in &succs {
                     if ps == qs || p == q {
                         continue; // same shard: bridged locally
                     }
-                    ghosts_made += Self::bridge_cross_shard(
+                    ghosts_made += self.bridge_cross_shard(
                         guards,
-                        registry,
+                        coord,
                         &mut still_pending,
                         (ps, p),
                         (qs, q),
@@ -872,10 +1390,14 @@ impl EngineInner {
         // entities they actually wrote.
         let mut truncated = 0usize;
         for (s, xs) in &written {
-            truncated += guards[*s].store.truncate_versions_in(&deleted, xs);
+            let g = guards.get_mut(s).expect("all locks held");
+            truncated += g.store.truncate_versions_in(&deleted, xs);
         }
         if !still_pending.is_empty() {
             self.pending_multi.lock().unwrap().extend(still_pending);
+        }
+        for (&s, g) in guards.iter_mut() {
+            self.mirror_shard(coord, s, g);
         }
         self.metrics.gc_deletions.add(deleted.len() as u64);
         self.metrics.txns_left(deleted.len() as u64);
@@ -891,61 +1413,71 @@ impl EngineInner {
     /// if the two transactions share no shard. Returns how many ghosts
     /// were created (0 or 1).
     fn bridge_cross_shard(
-        guards: &mut [MutexGuard<'_, Shard>],
-        registry: &mut HashMap<TxnId, Vec<usize>>,
+        &self,
+        guards: &mut Guards<'_>,
+        coord: &mut Coordination,
         pending: &mut BTreeSet<TxnId>,
         (ps, p): (usize, TxnId),
         (qs, q): (usize, TxnId),
     ) -> u64 {
         // A shard where both live already?
-        let p_shards: Vec<usize> = registry.get(&p).cloned().unwrap_or_else(|| vec![ps]);
-        let q_shards: Vec<usize> = registry.get(&q).cloned().unwrap_or_else(|| vec![qs]);
+        let p_shards: Vec<usize> = coord.registry.get(&p).cloned().unwrap_or_else(|| vec![ps]);
+        let q_shards: Vec<usize> = coord.registry.get(&q).cloned().unwrap_or_else(|| vec![qs]);
         for &c in &p_shards {
             if q_shards.contains(&c) {
+                let g = guards.get_mut(&c).expect("all locks held");
                 let (pn, qn) = (
-                    guards[c].cg.node_of(p).expect("registered node"),
-                    guards[c].cg.node_of(q).expect("registered node"),
+                    g.cg.node_of(p).expect("registered node"),
+                    g.cg.node_of(q).expect("registered node"),
                 );
-                guards[c]
-                    .cg
-                    .add_order_arc(pn, qn)
+                g.cg.add_order_arc(pn, qn)
                     .expect("bridge follows an existing union path");
                 return 0;
             }
         }
         // Materialize p as a ghost in q's shard.
         let target = qs;
-        let p_node = guards[ps].cg.node_of(p).expect("registered node");
-        let p_completed = guards[ps].cg.info(p_node).state == TxnState::Completed;
-        let ghost = if p_completed {
-            guards[target]
-                .cg
-                .admit_completed_ghost(p)
-                .expect("ghost id unseen in target shard")
-        } else {
-            // Active predecessor: an access-free *active* node — it
-            // will be completed by p's own commit (which consults the
-            // registry) or removed by p's abort.
-            guards[target]
-                .cg
-                .apply(&Step::new(p, Op::Begin))
-                .expect("ghost begin");
-            guards[target].cg.node_of(p).expect("just admitted")
+        let was_single = p_shards.len() == 1;
+        let p_completed = {
+            let g = &guards[&ps];
+            let pn = g.cg.node_of(p).expect("registered node");
+            g.cg.info(pn).state == TxnState::Completed
         };
-        let qn = guards[target].cg.node_of(q).expect("registered node");
-        guards[target]
-            .cg
-            .add_order_arc(ghost, qn)
-            .expect("bridge follows an existing union path");
-        // p is now multi-shard: update registry and boundary counts.
-        let mut shards: BTreeSet<usize> = p_shards.iter().copied().collect();
-        let was_single = shards.len() == 1;
-        shards.insert(target);
-        if was_single {
-            guards[ps].boundary += 1;
+        {
+            let tg = guards.get_mut(&target).expect("all locks held");
+            let ghost = if p_completed {
+                tg.cg
+                    .admit_completed_ghost(p)
+                    .expect("ghost id unseen in target shard")
+            } else {
+                // Active predecessor: an access-free *active* node — it
+                // will be completed by p's own commit (which consults
+                // the registry) or removed by p's abort.
+                tg.cg.apply(&Step::new(p, Op::Begin)).expect("ghost begin");
+                tg.cg.node_of(p).expect("just admitted")
+            };
+            // Mark the ghost boundary *before* bridging so the new arc
+            // lands in the summary.
+            if self.partial_escalation {
+                tg.cg.set_boundary(p, true);
+            }
+            tg.boundary += 1;
+            let qn = tg.cg.node_of(q).expect("registered node");
+            tg.cg
+                .add_order_arc(ghost, qn)
+                .expect("bridge follows an existing union path");
         }
-        guards[target].boundary += 1;
-        registry.insert(p, shards.into_iter().collect());
+        // p is now multi-shard: update registry and boundary marks.
+        if was_single {
+            let pg = guards.get_mut(&ps).expect("all locks held");
+            pg.boundary += 1;
+            if self.partial_escalation {
+                pg.cg.set_boundary(p, true);
+            }
+        }
+        let mut shards: BTreeSet<usize> = p_shards.iter().copied().collect();
+        shards.insert(target);
+        self.set_txn_shards(coord, p, &shards);
         if p_completed {
             pending.insert(p);
         }
@@ -960,6 +1492,7 @@ impl EngineInner {
             let t0 = Instant::now();
             let mut g = self.shards[s].lock().unwrap();
             let _ = g.cg.drain_gc_candidates(); // keep the queue bounded
+            self.compact_shard_ghosts(&mut g);
             if g.boundary != 0 {
                 continue;
             }

@@ -49,19 +49,42 @@
 //!   whose graph contains no *boundary nodes* (nodes of multi-shard
 //!   transactions) takes the fast path — one lock, one local cycle
 //!   check, which is complete because no path can leave such a shard's
-//!   graph. Anything else escalates: all shard locks are taken in
-//!   ascending order (deadlock-free) and the cycle check runs on the
-//!   union graph, hopping between shards at multi-shard nodes.
+//!   graph. Anything else escalates **partially**: each shard's
+//!   `CgState` maintains a *boundary reachability summary* (which
+//!   boundary transactions reach which through that shard's graph,
+//!   ghosts included), mirrored into a shared coordination registry
+//!   with a per-shard *growth epoch*. The committer plans the closure
+//!   of shards a cycle through it could traverse — a lock-free
+//!   adjacency-mask fixpoint, refined by chasing summaries across the
+//!   registry — locks only that subset in ascending order, and
+//!   re-validates the epochs after acquisition; if a summary grew in
+//!   the meantime the plan may be too small and the commit falls back
+//!   to all locks (still ascending, deadlock-free). The union cycle
+//!   check then runs restricted to the locked subset, hopping between
+//!   shards at multi-shard nodes — provably equal to the all-shards
+//!   check (see `core_engine` module docs). One hot cross-shard pair
+//!   no longer serializes the whole engine, and accept/reject
+//!   decisions are bit-identical to the all-locks baseline
+//!   ([`EngineConfig::partial_escalation`] toggles it for A/B runs).
 //! * **GC**: a background thread drains per-shard candidate queues
-//!   (fed by [`deltx_core::CgState::drain_gc_candidates`] — no full
-//!   scans) and deletes completed transactions per the configured
-//!   [`GcPolicy`]. Deleting a multi-shard transaction re-materializes
-//!   the paper's `D(G, N)` bridges across shard boundaries with *ghost
-//!   nodes* ([`deltx_core::CgState::admit_completed_ghost`]), so union
-//!   reachability is preserved exactly. Reclaimed writers' stale
-//!   versions are pruned with [`deltx_storage::Store::truncate_versions`].
+//!   (fed by [`deltx_core::CgState::drain_gc_candidates`] — bounded
+//!   and deduplicated; no full scans) and deletes completed
+//!   transactions per the configured [`GcPolicy`]. Deleting a
+//!   multi-shard transaction re-materializes the paper's `D(G, N)`
+//!   bridges across shard boundaries with *ghost nodes*
+//!   ([`deltx_core::CgState::admit_completed_ghost`]), so union
+//!   reachability is preserved exactly. Sweeps also run a
+//!   transitive-reduction compaction over ghost-only subgraphs
+//!   ([`deltx_core::CgState::compact_ghost_arcs`]) so bridge arcs
+//!   cannot accrete without bound, and prune reclaimed writers' stale
+//!   versions with [`deltx_storage::Store::truncate_versions`].
+//!   Escalated committers apply the same reclamation as backpressure
+//!   when queues run hot, so GC keeps up even without the background
+//!   thread.
 //! * **Metrics** ([`metrics`]): throughput, aborts, live-graph size,
-//!   deletions, GC pause time.
+//!   deletions, GC pause time, and the escalation economics — partial
+//!   vs full acquisitions, an escalated-subset-size histogram, plan
+//!   fallbacks, and a boundary-count underflow tripwire.
 //!
 //! ## Quickstart
 //!

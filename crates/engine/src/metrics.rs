@@ -24,6 +24,13 @@ impl Counter {
     }
 }
 
+/// Number of buckets in the escalated-subset-size histogram.
+pub const SUBSET_HIST_BUCKETS: usize = 8;
+
+/// Upper bounds (inclusive) of the subset-size histogram buckets:
+/// 1, 2, 3, 4, 5–8, 9–16, 17–32, 33+.
+const SUBSET_HIST_BOUNDS: [usize; SUBSET_HIST_BUCKETS - 1] = [1, 2, 3, 4, 8, 16, 32];
+
 /// The engine's metric registry (one per engine, shared with the GC
 /// thread).
 #[derive(Debug, Default)]
@@ -35,9 +42,15 @@ pub(crate) struct EngineMetrics {
     pub entities_written: Counter,
     pub fast_path_ops: Counter,
     pub escalated_ops: Counter,
+    pub escalated_partial: Counter,
+    pub escalation_fallbacks: Counter,
+    pub escalated_locks_taken: Counter,
+    pub escalated_subset_hist: [Counter; SUBSET_HIST_BUCKETS],
+    pub boundary_underflows: Counter,
     pub gc_sweeps: Counter,
     pub gc_deletions: Counter,
     pub gc_ghosts: Counter,
+    pub gc_ghost_arcs_removed: Counter,
     pub gc_versions_truncated: Counter,
     pub gc_pause_nanos: Counter,
     /// Distinct live transactions across all shards (gauge; updated
@@ -48,6 +61,20 @@ pub(crate) struct EngineMetrics {
 }
 
 impl EngineMetrics {
+    /// Records one escalated lock acquisition of `locked` of `total`
+    /// shard locks (histogram + partial/full split).
+    pub(crate) fn record_escalation(&self, locked: usize, total: usize) {
+        self.escalated_locks_taken.add(locked as u64);
+        if locked < total {
+            self.escalated_partial.add(1);
+        }
+        let bucket = SUBSET_HIST_BOUNDS
+            .iter()
+            .position(|&hi| locked <= hi)
+            .unwrap_or(SUBSET_HIST_BUCKETS - 1);
+        self.escalated_subset_hist[bucket].add(1);
+    }
+
     pub(crate) fn txn_became_live(&self) {
         let now = self.live_txns.0.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_live_txns.fetch_max(now, Ordering::Relaxed);
@@ -66,9 +93,15 @@ impl EngineMetrics {
             entities_written: self.entities_written.get(),
             fast_path_ops: self.fast_path_ops.get(),
             escalated_ops: self.escalated_ops.get(),
+            escalated_partial: self.escalated_partial.get(),
+            escalation_fallbacks: self.escalation_fallbacks.get(),
+            escalated_locks_taken: self.escalated_locks_taken.get(),
+            escalated_subset_hist: std::array::from_fn(|i| self.escalated_subset_hist[i].get()),
+            boundary_underflows: self.boundary_underflows.get(),
             gc_sweeps: self.gc_sweeps.get(),
             gc_deletions: self.gc_deletions.get(),
             gc_ghosts: self.gc_ghosts.get(),
+            gc_ghost_arcs_removed: self.gc_ghost_arcs_removed.get(),
             gc_versions_truncated: self.gc_versions_truncated.get(),
             gc_pause: Duration::from_nanos(self.gc_pause_nanos.get()),
             live_txns: self.live_txns.get(),
@@ -93,14 +126,34 @@ pub struct MetricsSnapshot {
     pub entities_written: u64,
     /// Operations that ran under a single shard lock.
     pub fast_path_ops: u64,
-    /// Operations that had to take every shard lock.
+    /// Operations that could not take the fast path and escalated to a
+    /// multi-shard lock acquisition (partial or full).
     pub escalated_ops: u64,
+    /// Escalated lock acquisitions that locked a **strict subset** of
+    /// the shards (the summary closure proved the rest unreachable).
+    pub escalated_partial: u64,
+    /// Planned subsets found stale after acquisition (a summary epoch
+    /// moved, or a shard was missing mid-check): retaken as all-locks.
+    pub escalation_fallbacks: u64,
+    /// Total shard locks taken across escalated acquisitions; divided
+    /// by the histogram's total count this is the mean subset size.
+    pub escalated_locks_taken: u64,
+    /// Histogram of escalated lock-subset sizes. Buckets: 1, 2, 3, 4,
+    /// 5–8, 9–16, 17–32, 33+ locks per acquisition.
+    pub escalated_subset_hist: [u64; SUBSET_HIST_BUCKETS],
+    /// Boundary-count decrements that would have underflowed (registry
+    /// and per-shard counts disagreed — always 0 unless there is a
+    /// bookkeeping bug; the decrement saturates instead of panicking).
+    pub boundary_underflows: u64,
     /// GC sweeps executed.
     pub gc_sweeps: u64,
     /// Completed transactions deleted from the live graph.
     pub gc_deletions: u64,
     /// Ghost nodes materialized for cross-shard bridges.
     pub gc_ghosts: u64,
+    /// Redundant ghost-to-ghost ordering arcs removed by the GC's
+    /// transitive-reduction compaction pass.
+    pub gc_ghost_arcs_removed: u64,
     /// Stale versions pruned from the stores.
     pub gc_versions_truncated: u64,
     /// Total wall-clock time GC spent holding shard locks.
@@ -130,12 +183,31 @@ impl std::fmt::Display for MetricsSnapshot {
             self.graph.nodes,
             self.graph.arcs
         )?;
+        let acquisitions: u64 = self.escalated_subset_hist.iter().sum();
+        let mean = if acquisitions == 0 {
+            0.0
+        } else {
+            self.escalated_locks_taken as f64 / acquisitions as f64
+        };
+        writeln!(
+            f,
+            "escalation: {} partial / {} acquisitions (mean {:.1} locks, fallbacks {}), \
+             subset hist [1|2|3|4|≤8|≤16|≤32|>32] = {:?}, boundary underflows {}",
+            self.escalated_partial,
+            acquisitions,
+            mean,
+            self.escalation_fallbacks,
+            self.escalated_subset_hist,
+            self.boundary_underflows
+        )?;
         write!(
             f,
-            "gc: {} sweeps, {} deletions, {} ghosts, {} versions pruned, {:?} total pause",
+            "gc: {} sweeps, {} deletions, {} ghosts ({} ghost arcs compacted), \
+             {} versions pruned, {:?} total pause",
             self.gc_sweeps,
             self.gc_deletions,
             self.gc_ghosts,
+            self.gc_ghost_arcs_removed,
             self.gc_versions_truncated,
             self.gc_pause
         )

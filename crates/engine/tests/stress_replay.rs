@@ -73,6 +73,7 @@ fn contended_run_replays_identically_and_stays_serializable() {
         background_gc: true,
         gc_interval: std::time::Duration::from_millis(1),
         record_history: true,
+        ..EngineConfig::default()
     });
     run_mix(&e, 8, 125, 16, 30, 0xBEEF);
     e.gc_sweep();

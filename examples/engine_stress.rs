@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! cargo run --release --example engine_stress                  # 8 threads, 10k txns
-//! cargo run --release --example engine_stress -- 16 40000 64 30
-//! #                       threads ───────────────┘    │    │  │
-//! #                       total txns ────────────────-┘    │  │
-//! #                       entities ────────────────────────┘  │
-//! #                       cross-shard % ──────────────────────┘
+//! cargo run --release --example engine_stress -- 16 40000 64 30 all-locks
+//! #                       threads ───────────────┘    │    │  │      │
+//! #                       total txns ────────────────-┘    │  │      │
+//! #                       entities ────────────────────────┘  │      │
+//! #                       cross-shard % ──────────────────────┘      │
+//! #                       "all-locks" disables partial escalation ───┘
 //! ```
 //!
 //! Every transaction transfers between two accounts (read both, write
@@ -45,6 +46,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(25)
         .min(100);
+    let partial: bool = args.get(4).map(|s| s != "all-locks").unwrap_or(true);
     let shards = 8usize;
 
     let engine = Engine::new(EngineConfig {
@@ -53,6 +55,7 @@ fn main() {
         gc_interval: Duration::from_millis(1),
         background_gc: true,
         record_history: false,
+        partial_escalation: partial,
     });
 
     println!(

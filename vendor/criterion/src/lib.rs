@@ -126,11 +126,17 @@ impl Bencher {
 /// The benchmark manager.
 pub struct Criterion {
     sample_size: usize,
+    /// Substring filter from the command line: only benchmarks whose
+    /// full id (`group/bench`) contains it are run.
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        Self {
+            sample_size: 10,
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
     }
 }
 
@@ -147,11 +153,19 @@ impl Criterion {
         self
     }
 
+    fn selected(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let id = id.to_string();
+        if !self.selected(&id) {
+            return self;
+        }
         println!("bench: {id}");
         let mut b = Bencher {
             samples: self.sample_size,
@@ -162,8 +176,9 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
-        println!("group: {name}");
         BenchmarkGroup {
+            name: name.to_string(),
+            header_printed: false,
             parent: self,
             sample_size: None,
         }
@@ -172,6 +187,8 @@ impl Criterion {
 
 /// A group of related benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
+    name: String,
+    header_printed: bool,
     parent: &'a mut Criterion,
     sample_size: Option<usize>,
 }
@@ -189,11 +206,28 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// True (printing the lazy group header) if the bench is selected
+    /// by the CLI filter.
+    fn enter(&mut self, id: &str) -> bool {
+        if !self.parent.selected(&format!("{}/{id}", self.name)) {
+            return false;
+        }
+        if !self.header_printed {
+            println!("group: {}", self.name);
+            self.header_printed = true;
+        }
+        true
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let id = id.to_string();
+        if !self.enter(&id) {
+            return self;
+        }
         println!("  bench: {id}");
         let mut b = Bencher {
             samples: self.sample_size.unwrap_or(self.parent.sample_size),
@@ -212,6 +246,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
+        let id = id.to_string();
+        if !self.enter(&id) {
+            return self;
+        }
         println!("  bench: {id}");
         let mut b = Bencher {
             samples: self.sample_size.unwrap_or(self.parent.sample_size),
