@@ -41,6 +41,17 @@ fn drive(engine: &Engine, threads: usize, txns: usize, cross_pct: u32, seed: u64
     });
 }
 
+/// Whether an untimed diagnostic pass should run under the current
+/// CLI filter: true iff the (first positional) filter would select at
+/// least one of `ids` — the same substring rule the stub criterion
+/// harness applies to the timed benches.
+fn runs_under_filter(ids: &[&str]) -> bool {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .is_none_or(|f| ids.iter().any(|id| id.contains(&f)))
+}
+
 fn engine(gc: GcPolicy) -> Engine {
     Engine::new(EngineConfig {
         shards: SHARDS,
@@ -175,15 +186,10 @@ fn bench_escalation(c: &mut Criterion) {
     // Diagnostic pass (untimed): publish the subset-size histogram.
     // Honors the CLI filter like the timed benches do — it runs iff
     // the filter selects either timed escalation bench.
-    let ids = [
+    if !runs_under_filter(&[
         "c5_engine/escalation/skewed/partial",
         "c5_engine/escalation/skewed/all-locks",
-    ];
-    let filtered_out = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
-        .is_some_and(|f| !ids.iter().any(|id| id.contains(&f)));
-    if filtered_out {
+    ]) {
         return;
     }
     let e = esc_engine(true);
@@ -197,6 +203,65 @@ fn bench_escalation(c: &mut Criterion) {
         m.escalated_locks_taken as f64 / m.escalated_subset_hist.iter().sum::<u64>().max(1) as f64,
         m.escalated_subset_hist,
         m.escalation_fallbacks,
+    );
+}
+
+/// Closure-scoped vs stop-the-world multi-shard GC on the skewed
+/// workload: with `partial_gc` the deletion pass locks only each
+/// candidate's closure (~the hot pair), so cold fast-path shards are
+/// no longer paused every ~32 multi-shard commits. Prints the
+/// gc-closure-size metrics after the timed runs so CI can publish
+/// them; the headline number is mean GC closure size < all-shards.
+fn bench_gc_escalation(c: &mut Criterion) {
+    const GC_SHARDS: usize = 8;
+    let gc_engine = |partial_gc: bool| {
+        Engine::new(EngineConfig {
+            shards: GC_SHARDS,
+            gc: GcPolicy::Noncurrent,
+            background_gc: false, // backpressure GC only: deterministic work
+            record_history: false,
+            partial_escalation: true,
+            partial_gc,
+            ..EngineConfig::default()
+        })
+    };
+    let mut g = c.benchmark_group("c5_engine/gc_escalation");
+    let txns = 4_000;
+    g.throughput(Throughput::Elements(txns as u64));
+    for (name, partial_gc) in [("partial", true), ("all-locks", false)] {
+        g.bench_function(BenchmarkId::new("skewed", name), |b| {
+            b.iter(|| {
+                let e = gc_engine(partial_gc);
+                drive_skewed(&e, GC_SHARDS, 4, txns, 30, 5);
+                e.gc_sweep();
+                e.metrics().gc_deletions
+            })
+        });
+    }
+    g.finish();
+    // Diagnostic pass (untimed): publish the GC closure histogram.
+    // Honors the CLI filter like the timed benches do.
+    if !runs_under_filter(&[
+        "c5_engine/gc_escalation/skewed/partial",
+        "c5_engine/gc_escalation/skewed/all-locks",
+    ]) {
+        return;
+    }
+    let e = gc_engine(true);
+    drive_skewed(&e, GC_SHARDS, 4, txns, 30, 5);
+    e.gc_sweep();
+    let m = e.metrics();
+    let acqs = m.gc_closure_hist.iter().sum::<u64>();
+    eprintln!(
+        "c5_engine/gc_escalation closure metrics ({GC_SHARDS} shards): \
+         {} partial of {} acquisitions, mean closure {:.2} locks \
+         (all-shards = {GC_SHARDS}), hist {:?}, fallbacks {}, {} deletions",
+        m.gc_partial_sweeps,
+        acqs,
+        m.gc_closure_locks_taken as f64 / acqs.max(1) as f64,
+        m.gc_closure_hist,
+        m.gc_closure_fallbacks,
+        m.gc_deletions,
     );
 }
 
@@ -220,6 +285,6 @@ fn bench_threads(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_policies, bench_locality, bench_threads, bench_escalation
+    targets = bench_policies, bench_locality, bench_threads, bench_escalation, bench_gc_escalation
 }
 criterion_main!(benches);

@@ -857,7 +857,34 @@ impl CgState {
 
     /// The boundary reachability summary: each boundary transaction
     /// mapped to the boundary transactions its node reaches through
-    /// this graph. Exact at all times.
+    /// this graph. Exact at all times — maintained incrementally on
+    /// arc fan-ins, preserved across `D(G, N)` deletes (bridging keeps
+    /// reachability among survivors), recomputed on unbridged aborts.
+    ///
+    /// ```
+    /// use deltx_core::CgState;
+    /// use deltx_model::dsl::parse;
+    /// use deltx_model::TxnId;
+    ///
+    /// // Chain T1 -> T2 -> T3 through writes of x; T1 and T3 are the
+    /// // boundary endpoints a remote planner would care about.
+    /// let mut cg = CgState::new();
+    /// let p = parse("b1 r1(x) w1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+    /// cg.run(p.steps()).unwrap();
+    /// cg.set_boundary(TxnId(1), true);
+    /// cg.set_boundary(TxnId(3), true);
+    /// assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+    ///
+    /// // Deleting the (non-boundary) middle node bridges around it:
+    /// // the summary — and any lock subset planned from it — is
+    /// // unaffected, which is what lets the engine delete under a
+    /// // subset of shard locks.
+    /// let epoch = cg.summary_epoch();
+    /// let t2 = cg.node_of(TxnId(2)).unwrap();
+    /// cg.delete(t2).unwrap();
+    /// assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+    /// assert_eq!(cg.summary_epoch(), epoch);
+    /// ```
     pub fn boundary_reach(&self) -> &BTreeMap<TxnId, BTreeSet<TxnId>> {
         &self.boundary_reach
     }
@@ -1604,6 +1631,62 @@ mod tests {
         assert_eq!(cg.compact_ghost_arcs(), 1);
         assert!(!cg.graph().has_arc(g, s));
         cg.check_invariants();
+    }
+
+    #[test]
+    fn boundary_summary_preserved_across_boundary_node_delete() {
+        // The subset-locked GC sweep deletes a *boundary* node while
+        // other shards stay unlocked, relying on two facts proved
+        // here: (a) pairs routed THROUGH the deleted node survive via
+        // the `D(G, N)` bridges, exactly; (b) only pairs with the
+        // deleted node as an endpoint drop, and the change is a pure
+        // shrink (no epoch bump), so no remotely planned lock subset
+        // is invalidated.
+        let mut cg = CgState::new();
+        cg.run(
+            parse("b1 r1(x) w1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)")
+                .unwrap()
+                .steps(),
+        )
+        .unwrap();
+        // 1 -> 2 -> 3; every node boundary (a multi-shard pile-up).
+        for t in [1, 2, 3] {
+            cg.set_boundary(TxnId(t), true);
+        }
+        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(2)));
+        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+        let epoch = cg.summary_epoch();
+
+        // Delete the boundary middle: 1 -> 3 must survive (bridge),
+        // 1 -> 2 and 2 -> 3 must drop, epoch must not move.
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        cg.delete(t2).unwrap();
+        assert!(!cg.boundary_reach().contains_key(&TxnId(2)));
+        assert!(
+            cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)),
+            "through-pair lost by a boundary-node delete"
+        );
+        assert!(!cg.boundary_reach()[&TxnId(1)].contains(&TxnId(2)));
+        assert_eq!(cg.summary_epoch(), epoch, "delete is a pure shrink");
+        // The dirty list names exactly the touched entries, so an
+        // engine mirroring under a subset of locks copies out the
+        // whole change.
+        let dirty = cg.take_summary_dirty();
+        assert!(dirty.contains(&TxnId(1)) && dirty.contains(&TxnId(2)));
+        cg.check_invariants();
+
+        // Same story when the deleted boundary node is bridged via a
+        // ghost in another graph: deleting here and re-admitting a
+        // ghost there composes into unchanged union reachability.
+        let mut other = CgState::new();
+        let g1 = other.admit_completed_ghost(TxnId(1)).unwrap();
+        other.run(parse("b9 r9(z) w9(z)").unwrap().steps()).unwrap();
+        other.set_boundary(TxnId(1), true);
+        other.set_boundary(TxnId(9), true);
+        let n9 = other.node_of(TxnId(9)).unwrap();
+        other.add_order_arc(g1, n9).unwrap();
+        assert!(other.boundary_reach()[&TxnId(1)].contains(&TxnId(9)));
+        other.check_invariants();
     }
 
     #[test]

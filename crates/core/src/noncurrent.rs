@@ -42,7 +42,32 @@ pub fn noncurrent_completed(cg: &CgState) -> Vec<NodeId> {
 /// The noncurrent completed nodes **among** `candidates` — the
 /// incremental form of [`noncurrent_completed`] driven by
 /// [`CgState::drain_gc_candidates`]: a sweep touches only nodes whose
-/// status can have changed instead of scanning the whole graph.
+/// status can have changed instead of scanning the whole graph. Stale
+/// candidates (deleted or re-aborted since they were enqueued) are
+/// filtered out, so the result is always safe to pass to
+/// [`CgState::delete`].
+///
+/// ```
+/// use deltx_core::{noncurrent, CgState};
+/// use deltx_model::dsl::parse;
+/// use deltx_model::TxnId;
+///
+/// // Example 1's prefix: T2 writes x, then T3 overwrites it.
+/// let mut cg = CgState::new();
+/// cg.set_gc_tracking(true);
+/// let p = parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+/// cg.run(p.steps()).unwrap();
+///
+/// // The overwrite enqueued T2 (and T3's completion enqueued T3);
+/// // only T2 is noncurrent — T3 wrote the current version of x.
+/// let candidates = cg.drain_gc_candidates();
+/// let deletable = noncurrent::noncurrent_among(&cg, &candidates);
+/// assert_eq!(deletable, vec![cg.node_of(TxnId(2)).unwrap()]);
+///
+/// // Corollary 1: deleting it is safe, and its memory is reclaimed.
+/// cg.delete(deletable[0]).unwrap();
+/// assert!(cg.node_of(TxnId(2)).is_none());
+/// ```
 pub fn noncurrent_among(cg: &CgState, candidates: &[NodeId]) -> Vec<NodeId> {
     candidates
         .iter()

@@ -148,6 +148,24 @@ impl DeletionPolicy for BatchC2 {
 /// policies at run time (the simulation drivers, the reduced scheduler
 /// CLIs, and the online engine's GC configuration) so the zoo of
 /// `match`-and-construct blocks lives in one place.
+///
+/// ```
+/// use deltx_core::policy::{run_with_policy, PolicyKind};
+/// use deltx_model::dsl::parse;
+///
+/// // Parse by the same stable names `name()` reports...
+/// let kind: PolicyKind = "noncurrent".parse().unwrap();
+/// assert_eq!(kind, PolicyKind::Noncurrent);
+/// assert_eq!(kind.name(), "noncurrent");
+/// assert!(PolicyKind::SAFE.contains(&kind));
+///
+/// // ...and build the policy to drive a scheduler run: T2's write of
+/// // x is overwritten by T3, so the noncurrent policy reclaims T2.
+/// let p = parse("b1 r1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)").unwrap();
+/// let cg = run_with_policy(p.steps(), &mut kind.build()).unwrap();
+/// assert_eq!(cg.completed_count(), 1);
+/// assert_eq!(cg.stats().deletions, 1);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PolicyKind {
     /// [`NoDeletion`].

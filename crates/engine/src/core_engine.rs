@@ -55,10 +55,33 @@
 //! between ghosts; the sweeps run a transitive-reduction compaction
 //! over the ghost-only subgraph ([`CgState::compact_ghost_arcs`]),
 //! which provably changes no reachability.
+//!
+//! The multi-shard pass does **not** stop the world: per candidate it
+//! plans the shard **closure** its bridges can touch — the
+//! transaction's own shards plus the summary-closure neighbors, from
+//! the same [`Planner`] the commit path uses — locks each closure
+//! ascending, re-validates the growth epochs after acquisition, and
+//! batches every other pending candidate the locked closure turns out
+//! to cover (a hot shard pair's backlog drains under one
+//! acquisition). The epoch check
+//! is an optimization; the authoritative guard runs under the held
+//! locks: before its first mutation, each candidate re-checks that
+//! its registered span and every neighbor's span are fully locked
+//! (a bridge lands either in a ghost target — one of the candidate's
+//! own shards — or in a shard both neighbors already inhabit). A
+//! candidate whose real closure escaped the subset is retried under
+//! every lock in the same sweep, so a stale plan can delay a deletion
+//! but never misplace a bridge. Within a shard, `D(G, N)` bridging
+//! preserves the boundary summary exactly except for the deleted
+//! endpoint's own pairs — a pure shrink, which cannot invalidate any
+//! concurrently planned subset ([`EngineConfig::partial_gc`] toggles
+//! the stop-the-world baseline; `gc_oracle.rs` proves the decisions
+//! bit-identical).
 
 use crate::error::EngineError;
 use crate::history::{Event, RecordedHistory};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::planner::{shard_bit, Planner};
 use crate::session::{Session, SessionState};
 use deltx_core::policy::PolicyKind;
 use deltx_core::{noncurrent, Applied, CgState, TxnState};
@@ -67,7 +90,7 @@ use deltx_model::{EntityId, Op, Step, TxnId};
 use deltx_sched::StateSize;
 use deltx_storage::{Store, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -77,9 +100,6 @@ const SHARD_GC_THRESHOLD: usize = 32;
 /// Pending multi-shard count at which an escalated committer (already
 /// holding every lock) runs the multi-shard pass inline.
 const MULTI_GC_THRESHOLD: usize = 32;
-/// Adjacency-closure size up to which the planner takes the closure
-/// as the lock subset directly, skipping the summary fine chase.
-const SMALL_PLAN_LOCKS: usize = 4;
 
 /// Which deletion policy the GC applies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +138,14 @@ pub struct EngineConfig {
     /// every shard. Disable to force the all-locks baseline (for A/B
     /// benchmarking; the accept/reject decisions are identical).
     pub partial_escalation: bool,
+    /// The multi-shard GC pass locks only each deletable transaction's
+    /// **closure** (its own shards plus the summary-closure neighbors
+    /// its `D(G, N)` bridges can touch) instead of stopping the world,
+    /// batching the candidates each closure covers and falling back to
+    /// all locks when a plan goes stale. Disable to force the
+    /// stop-the-world baseline (for A/B benchmarking; the deletions
+    /// performed and every subsequent decision are identical).
+    pub partial_gc: bool,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +157,7 @@ impl Default for EngineConfig {
             background_gc: true,
             record_history: false,
             partial_escalation: true,
+            partial_gc: true,
         }
     }
 }
@@ -169,16 +198,16 @@ type ShardSummary = BTreeMap<TxnId, BTreeSet<TxnId>>;
 /// Lock order: after any/all shard locks, before `pending_multi` and
 /// `history`. Mutations that follow from a shard-graph change are made
 /// while holding that shard's lock and before releasing it.
-struct Coordination {
+pub(crate) struct Coordination {
     /// Shard sets of multi-shard transactions. Single-shard
     /// transactions (the common case) never appear here. Every listed
     /// shard holds a live node (possibly a ghost) of the transaction.
-    registry: HashMap<TxnId, Vec<usize>>,
+    pub(crate) registry: HashMap<TxnId, Vec<usize>>,
     /// `registry` inverted: the boundary transactions resident in each
     /// shard. Seeds the planner's closure at entry shards.
-    boundary_txns: Vec<BTreeSet<TxnId>>,
+    pub(crate) boundary_txns: Vec<BTreeSet<TxnId>>,
     /// Published summary per shard.
-    summaries: Vec<ShardSummary>,
+    pub(crate) summaries: Vec<ShardSummary>,
 }
 
 impl Coordination {
@@ -191,39 +220,34 @@ impl Coordination {
     }
 }
 
-fn shard_bit(s: usize) -> u64 {
-    if s < 64 {
-        1u64 << s
-    } else {
-        0
-    }
-}
-
 /// A planned lock subset went stale (summary epoch moved, or the BFS
 /// met a shard outside the subset): retake as all-locks.
 #[derive(Debug)]
 struct Stale;
 
+/// Outcome of one multi-shard GC candidate under the held locks.
+#[derive(Debug)]
+enum MultiDelete {
+    /// Deleted from every shard, bridges materialized.
+    Deleted,
+    /// Not deletable now (gone, active somewhere, or still current);
+    /// dropped from the queue per the re-enqueue rules.
+    Skipped,
+    /// The candidate's real closure exceeds the locked subset: retry
+    /// under every lock.
+    NeedsWider,
+}
+
 pub(crate) struct EngineInner {
     shards: Vec<Mutex<Shard>>,
     coord: Mutex<Coordination>,
-    /// Lock-free planner inputs, written only under the coordination
-    /// lock (and, for changes derived from a shard graph, before that
-    /// shard's lock is released — so a post-acquisition re-read is
-    /// authoritative).
-    ///
-    /// Per-shard adjacency bitmask (meaningful for <= 64 shards): the
-    /// union of resident boundary transactions' shard sets — a
-    /// superset of anything the summary chase can produce, so a
-    /// fixpoint over these detects the saturated and the
-    /// already-minimal cases without taking any lock.
-    plan_adj: Vec<AtomicU64>,
-    /// Per-shard **growth epoch**: bumped whenever the shard's
-    /// published reachability, boundary membership, or a resident
-    /// transaction's shard set grows. A lock subset planned at epoch
-    /// `e` is still a superset of every reachable shard while the
-    /// epoch stays `e` (shrinkage never invalidates a superset).
-    plan_epoch: Vec<AtomicU64>,
+    /// The shared closure planner (see [`crate::planner`]): lock-free
+    /// adjacency masks + growth epochs, written only under the
+    /// coordination lock (and, for changes derived from a shard graph,
+    /// before that shard's lock is released — so a post-acquisition
+    /// epoch re-read is authoritative). Escalated operations and the
+    /// multi-shard GC both plan their lock subsets through it.
+    planner: Planner,
     /// Multi-shard transactions awaiting a GC decision.
     pending_multi: Mutex<BTreeSet<TxnId>>,
     history: Option<Mutex<RecordedHistory>>,
@@ -231,6 +255,7 @@ pub(crate) struct EngineInner {
     next_txn: AtomicU32,
     gc_policy: GcPolicy,
     partial_escalation: bool,
+    partial_gc: bool,
     shutdown: Mutex<bool>,
     shutdown_cv: Condvar,
 }
@@ -263,10 +288,7 @@ impl Engine {
                 })
                 .collect(),
             coord: Mutex::new(Coordination::new(cfg.shards)),
-            plan_adj: (0..cfg.shards)
-                .map(|s| AtomicU64::new(shard_bit(s)))
-                .collect(),
-            plan_epoch: (0..cfg.shards).map(|_| AtomicU64::new(0)).collect(),
+            planner: Planner::new(cfg.shards),
             pending_multi: Mutex::new(BTreeSet::new()),
             history: cfg
                 .record_history
@@ -275,6 +297,7 @@ impl Engine {
             next_txn: AtomicU32::new(1),
             gc_policy: cfg.gc,
             partial_escalation: cfg.partial_escalation,
+            partial_gc: cfg.partial_gc,
             shutdown: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         });
@@ -548,7 +571,7 @@ impl EngineInner {
         }
         let epoch = g.cg.summary_epoch();
         if epoch != g.mirrored_epoch {
-            self.plan_epoch[s].fetch_add(1, Ordering::Relaxed);
+            self.planner.bump_epoch(s);
             g.mirrored_epoch = epoch;
         }
         g.mirrored_rev = rev;
@@ -562,7 +585,7 @@ impl EngineInner {
                 mask |= shard_bit(t);
             }
         }
-        self.plan_adj[s].store(mask, Ordering::Relaxed);
+        self.planner.adj_set(s, mask);
     }
 
     /// Replaces `txn`'s registered shard set (callers only ever grow
@@ -594,8 +617,8 @@ impl EngineInner {
         if grew {
             let mask: u64 = shards.iter().map(|&s| shard_bit(s)).sum();
             for &s in shards {
-                self.plan_epoch[s].fetch_add(1, Ordering::Relaxed);
-                self.plan_adj[s].fetch_or(mask, Ordering::Relaxed);
+                self.planner.bump_epoch(s);
+                self.planner.adj_or(s, mask);
             }
         }
     }
@@ -611,112 +634,10 @@ impl EngineInner {
         Some(shards)
     }
 
-    /// Snapshots the growth epochs of every shard (Relaxed is enough:
-    /// the shard-mutex release/acquire pair orders the stores against
-    /// a post-acquisition re-read).
-    fn snapshot_epochs(&self) -> Vec<u64> {
-        self.plan_epoch
-            .iter()
-            .map(|e| e.load(Ordering::Relaxed))
-            .collect()
-    }
-
-    /// Plans the shard subset a cycle through `txn` could traverse:
-    /// the entry shards (`base` plus `txn`'s registered shards) closed
-    /// under summary-chasing. Any boundary transaction resident in an
-    /// entry shard may lie on a local path from `txn`, so all of them
-    /// are potential exits; entering shard `t` at transaction `b`'s
-    /// twin, a path can only leave `t` through `b` itself or a
-    /// boundary transaction `t`'s summary says `b` reaches. Returns
-    /// the subset plus the epoch snapshot to validate after
-    /// acquisition.
-    ///
-    /// The common cases never touch a lock: the adjacency-mask
-    /// fixpoint over [`EngineInner::plan_adj`] computes a superset of
-    /// the summary chase, so when it saturates (uniform cross-shard
-    /// traffic — plan is every shard) or collapses onto the entry set
-    /// (traffic confined to a hot shard group — nothing to shrink)
-    /// the answer is final. Only the intermediate regime runs the fine
-    /// chase under the coordination lock. Note the lock-free paths
-    /// derive `txn`'s registered shards from the masks themselves: a
-    /// registered transaction is resident in its `base` shards, so its
-    /// span is folded into their adjacency masks.
-    fn plan_escalation(&self, txn: TxnId, base: &BTreeSet<usize>) -> (BTreeSet<usize>, Vec<u64>) {
-        // Epochs are snapshotted BEFORE the plan inputs are read:
-        // growth landing between the two reads then shows as an epoch
-        // mismatch at validation instead of silently blessing a plan
-        // built from pre-growth inputs.
-        let epochs = self.snapshot_epochs();
-        let n = self.shards.len();
-        if n <= 64 {
-            let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-            let entry_mask: u64 = base.iter().map(|&s| shard_bit(s)).sum();
-            let mut mask = entry_mask;
-            loop {
-                let mut next = mask;
-                let mut bits = mask;
-                while bits != 0 {
-                    let s = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    next |= self.plan_adj[s].load(Ordering::Relaxed);
-                }
-                if next == full {
-                    return ((0..n).collect(), epochs);
-                }
-                if next == mask {
-                    break;
-                }
-                mask = next;
-            }
-            // A small closure is taken as-is: the fine chase can only
-            // refine *within* it, and shaving one lock off an
-            // already-tiny subset is worth less than the chase costs.
-            // Pruning pays when the adjacency closure is large but the
-            // reach-sets cut paths through it — the regime below.
-            if mask == entry_mask || (mask.count_ones() as usize) <= SMALL_PLAN_LOCKS {
-                let mut subset = BTreeSet::new();
-                let mut bits = mask;
-                while bits != 0 {
-                    subset.insert(bits.trailing_zeros() as usize);
-                    bits &= bits - 1;
-                }
-                return (subset, epochs);
-            }
-        }
-        // Intermediate regime: the fine, summary-driven chase.
-        let coord = self.coord.lock().unwrap();
-        let mut subset: BTreeSet<usize> = base.clone();
-        subset.extend(coord.registry.get(&txn).into_iter().flatten().copied());
-        let mut stack: Vec<(usize, TxnId)> = Vec::new();
-        let mut seen: HashSet<(usize, TxnId)> = HashSet::new();
-        for &u in &subset {
-            for &b in &coord.boundary_txns[u] {
-                if seen.insert((u, b)) {
-                    stack.push((u, b));
-                }
-            }
-        }
-        // Saturation short-circuit: once every shard is in, further
-        // chasing cannot change the answer.
-        while subset.len() < n {
-            let Some((u, b)) = stack.pop() else { break };
-            let reach = coord.summaries[u].get(&b);
-            for e in std::iter::once(b).chain(reach.into_iter().flatten().copied()) {
-                for &t in coord.registry.get(&e).into_iter().flatten() {
-                    subset.insert(t);
-                    if seen.insert((t, e)) {
-                        stack.push((t, e));
-                    }
-                }
-            }
-        }
-        drop(coord);
-        (subset, epochs)
-    }
-
     /// Acquires the locks for an escalated operation: the planned
     /// subset when partial escalation is on and the plan validates
-    /// (epochs unmoved after acquisition), every lock otherwise.
+    /// (epochs unmoved after acquisition), every lock otherwise. The
+    /// closure itself comes from the shared [`Planner`].
     fn acquire_escalation(
         &self,
         txn: TxnId,
@@ -724,13 +645,10 @@ impl EngineInner {
     ) -> (Guards<'_>, MutexGuard<'_, Coordination>) {
         let n = self.shards.len();
         if self.partial_escalation {
-            let (subset, epochs) = self.plan_escalation(txn, entry);
+            let (subset, epochs) = self.planner.plan(txn, entry, &self.coord);
             if subset.len() < n {
                 let guards = self.lock_subset(&subset);
-                let valid = subset
-                    .iter()
-                    .all(|&s| self.plan_epoch[s].load(Ordering::Relaxed) == epochs[s]);
-                if valid {
+                if self.planner.validate(&subset, &epochs) {
                     let coord = self.coord.lock().unwrap();
                     self.metrics.record_escalation(subset.len(), n);
                     return (guards, coord);
@@ -1294,26 +1212,133 @@ impl EngineInner {
     /// Multi-shard deletion pass: noncurrent-everywhere transactions
     /// are deleted from every shard, with `D(G, N)` bridges
     /// re-materialized across shards via ghosts.
+    ///
+    /// With [`EngineConfig::partial_gc`] on (and more than one shard),
+    /// the pass locks per-candidate **closures** instead of stopping
+    /// the world; otherwise it takes every lock, the PR-2 baseline.
     fn sweep_multi_shard(&self) {
         if self.pending_multi.lock().unwrap().is_empty() {
             return;
         }
-        let mut guards = self.lock_all();
-        let mut coord = self.coord.lock().unwrap();
-        self.sweep_multi_locked(&mut guards, &mut coord);
+        if self.partial_gc && self.shards.len() > 1 {
+            self.sweep_multi_partial();
+        } else {
+            let mut guards = self.lock_all();
+            let mut coord = self.coord.lock().unwrap();
+            // The stop-the-world baseline: these locks were taken for
+            // GC, so the acquisition is recorded.
+            if self.sweep_multi_locked(&mut guards, &mut coord) {
+                self.metrics
+                    .record_gc_closure(self.shards.len(), self.shards.len());
+            }
+        }
     }
 
-    /// The multi-shard pass body, for callers already holding every
-    /// shard lock plus the coordination lock (the background sweep,
-    /// and escalated committers applying backpressure).
-    fn sweep_multi_locked(&self, guards: &mut Guards<'_>, coord: &mut Coordination) {
+    /// The all-locks multi-shard pass, for callers already holding
+    /// every shard lock plus the coordination lock (the stop-the-world
+    /// baseline, and escalated committers applying backpressure while
+    /// they happen to hold everything anyway). Returns whether there
+    /// was anything to process — the caller decides whether the lock
+    /// acquisition counts toward the GC closure metrics (an inline
+    /// committer's locks were taken for the commit, not for GC).
+    fn sweep_multi_locked(&self, guards: &mut Guards<'_>, coord: &mut Coordination) -> bool {
         let pending: Vec<TxnId> = {
             let mut p = self.pending_multi.lock().unwrap();
             std::mem::take(&mut *p).into_iter().collect()
         };
         if pending.is_empty() {
+            return false;
+        }
+        let widen = self.sweep_multi_batch(guards, coord, &pending);
+        debug_assert!(widen.is_empty(), "all-locks batch cannot need wider");
+        true
+    }
+
+    /// The closure-scoped multi-shard pass. Repeatedly: plan the lead
+    /// candidate's closure — the shard set its `D(G, N)` bridges can
+    /// touch (its own shards plus the summary-closure neighbors), via
+    /// the shared [`Planner`] — lock it in ascending order,
+    /// re-validate the growth epochs after acquisition, and offer
+    /// **every** remaining candidate to the batch: the ones whose
+    /// spans the locked subset covers are processed for free (a hot
+    /// shard pair's whole backlog drains under one acquisition), the
+    /// rest come back and lead a later round with a *fresh* plan — so
+    /// the spans this round's bridging grew are re-planned rather
+    /// than invalidating pre-made plans. A saturated or stale plan
+    /// defers its candidate to one final all-locks pass. The epoch
+    /// check is an optimization; the authoritative guard is the
+    /// per-candidate span re-check under the held locks inside
+    /// [`Self::try_delete_multi`], so a stale plan can delay a
+    /// deletion but never misplace a bridge.
+    fn sweep_multi_partial(&self) {
+        let pending: BTreeSet<TxnId> = std::mem::take(&mut *self.pending_multi.lock().unwrap());
+        if pending.is_empty() {
             return;
         }
+        let n = self.shards.len();
+        let mut queue: Vec<TxnId> = pending.into_iter().collect();
+        let mut widen: Vec<TxnId> = Vec::new();
+        while let Some(&lead) = queue.first() {
+            // The lead's entry shards, from the current registry.
+            let base: Option<BTreeSet<usize>> = {
+                let coord = self.coord.lock().unwrap();
+                coord
+                    .registry
+                    .get(&lead)
+                    .map(|v| v.iter().copied().collect())
+            };
+            let Some(base) = base else {
+                // Aborted or already deleted: drop it from the queue.
+                queue.remove(0);
+                continue;
+            };
+            let (subset, epochs) = self.planner.plan(lead, &base, &self.coord);
+            if subset.len() >= n {
+                // Saturated closure: the final all-locks pass takes it.
+                widen.push(queue.remove(0));
+                continue;
+            }
+            let mut guards = self.lock_subset(&subset);
+            if !self.planner.validate(&subset, &epochs) {
+                drop(guards);
+                self.metrics.gc_closure_fallbacks.add(1);
+                widen.push(queue.remove(0));
+                continue;
+            }
+            let mut coord = self.coord.lock().unwrap();
+            self.metrics.record_gc_closure(subset.len(), n);
+            let batch = std::mem::take(&mut queue);
+            let mut leftover = self.sweep_multi_batch(&mut guards, &mut coord, &batch);
+            // The lead planned this validated closure, so its span is
+            // covered and it cannot come back — except through a
+            // concurrent sweep's interleaving; route it to the
+            // all-locks pass (a fallback) rather than looping.
+            if let Some(pos) = leftover.iter().position(|&t| t == lead) {
+                self.metrics.gc_closure_fallbacks.add(1);
+                widen.push(leftover.remove(pos));
+            }
+            queue = leftover;
+        }
+        if !widen.is_empty() {
+            let mut guards = self.lock_all();
+            let mut coord = self.coord.lock().unwrap();
+            self.metrics.record_gc_closure(n, n);
+            let w = self.sweep_multi_batch(&mut guards, &mut coord, &widen);
+            debug_assert!(w.is_empty(), "all-locks batch cannot need wider");
+        }
+    }
+
+    /// Deletes every deletable candidate of `batch` under whatever
+    /// shard locks are held, then truncates stores, re-queues ghosted
+    /// predecessors, and mirrors the touched summaries. Returns the
+    /// candidates whose closure turned out to exceed the locked subset
+    /// (never non-empty when every lock is held).
+    fn sweep_multi_batch(
+        &self,
+        guards: &mut Guards<'_>,
+        coord: &mut Coordination,
+        batch: &[TxnId],
+    ) -> Vec<TxnId> {
         let t0 = Instant::now();
         let mut still_pending: BTreeSet<TxnId> = BTreeSet::new();
         let mut deleted: Vec<TxnId> = Vec::new();
@@ -1321,76 +1346,26 @@ impl EngineInner {
         // targets for store truncation afterwards.
         let mut written: BTreeMap<usize, Vec<EntityId>> = BTreeMap::new();
         let mut ghosts_made = 0u64;
-        for txn in pending {
-            let Some(shards) = coord.registry.get(&txn).cloned() else {
-                continue; // aborted or already deleted
-            };
-            let nodes: Vec<(usize, NodeId)> = shards
-                .iter()
-                .filter_map(|&s| guards[&s].cg.node_of(txn).map(|n| (s, n)))
-                .collect();
-            // Not deletable yet? Drop it from the queue: the events
-            // that can change the answer re-enqueue it — committing
-            // (commit_escalated), an overwrite of one of its entities
-            // (the shard candidate queue -> reclaim_shard deferral),
-            // or being ghosted (bridge_cross_shard).
-            let all_completed = nodes.iter().all(|&(s, n)| guards[&s].cg.is_completed(n));
-            if !all_completed {
-                continue;
+        let mut widen: Vec<TxnId> = Vec::new();
+        for &txn in batch {
+            match self.try_delete_multi(
+                guards,
+                coord,
+                txn,
+                &mut still_pending,
+                &mut written,
+                &mut ghosts_made,
+            ) {
+                MultiDelete::Deleted => deleted.push(txn),
+                MultiDelete::Skipped => {}
+                MultiDelete::NeedsWider => widen.push(txn),
             }
-            let current = nodes
-                .iter()
-                .any(|&(s, n)| noncurrent::is_current(&guards[&s].cg, n));
-            if current {
-                continue;
-            }
-            // Collect cross-shard pred/succ transaction pairs (local
-            // pairs are bridged by `delete` itself) and the written
-            // entities, before deleting forgets them.
-            let mut preds: Vec<(usize, TxnId)> = Vec::new();
-            let mut succs: Vec<(usize, TxnId)> = Vec::new();
-            for &(s, n) in &nodes {
-                for &p in guards[&s].cg.graph().preds(n) {
-                    preds.push((s, guards[&s].cg.info(p).txn));
-                }
-                for &q in guards[&s].cg.graph().succs(n) {
-                    succs.push((s, guards[&s].cg.info(q).txn));
-                }
-                for (&x, rec) in &guards[&s].cg.info(n).access {
-                    if rec.mode == deltx_model::AccessMode::Write {
-                        written.entry(s).or_default().push(x);
-                    }
-                }
-            }
-            for &(s, n) in &nodes {
-                let g = guards.get_mut(&s).expect("all locks held");
-                if g.cg.node_of(txn) == Some(n) {
-                    self.dec_boundary(g);
-                    g.cg.delete(n).expect("completed node deletes");
-                }
-            }
-            self.unregister_txn(coord, txn);
-            for &(ps, p) in &preds {
-                for &(qs, q) in &succs {
-                    if ps == qs || p == q {
-                        continue; // same shard: bridged locally
-                    }
-                    ghosts_made += self.bridge_cross_shard(
-                        guards,
-                        coord,
-                        &mut still_pending,
-                        (ps, p),
-                        (qs, q),
-                    );
-                }
-            }
-            deleted.push(txn);
         }
         // Prune the reclaimed writers' stale versions, only in the
         // entities they actually wrote.
         let mut truncated = 0usize;
         for (s, xs) in &written {
-            let g = guards.get_mut(s).expect("all locks held");
+            let g = guards.get_mut(s).expect("written shard is locked");
             truncated += g.store.truncate_versions_in(&deleted, xs);
         }
         if !still_pending.is_empty() {
@@ -1406,12 +1381,125 @@ impl EngineInner {
         self.metrics
             .gc_pause_nanos
             .add(t0.elapsed().as_nanos() as u64);
+        widen
+    }
+
+    /// One candidate of the multi-shard pass: checks deletability,
+    /// verifies the locked subset covers everything the deletion can
+    /// touch, then deletes the transaction from every shard and
+    /// re-materializes its `D(G, N)` bridges.
+    ///
+    /// The coverage check is authoritative because it runs under the
+    /// held locks: the registry entries it reads (the candidate's own
+    /// span and the spans of its boundary neighbors) can only be
+    /// mutated by a thread holding the lock of a shard where the
+    /// respective transaction resides — and those shards are exactly
+    /// the ones this check demands be in `guards`. Bridging during
+    /// *this* candidate can grow a predecessor's span, but only ever
+    /// by ghost-target shards, which are shards of the candidate
+    /// itself — already locked.
+    fn try_delete_multi(
+        &self,
+        guards: &mut Guards<'_>,
+        coord: &mut Coordination,
+        txn: TxnId,
+        still_pending: &mut BTreeSet<TxnId>,
+        written: &mut BTreeMap<usize, Vec<EntityId>>,
+        ghosts_made: &mut u64,
+    ) -> MultiDelete {
+        let Some(shards) = coord.registry.get(&txn).cloned() else {
+            return MultiDelete::Skipped; // aborted or already deleted
+        };
+        // The candidate's own span must be fully locked (a commit or a
+        // concurrent sweep may have ghosted it into new shards since
+        // the plan was made).
+        if shards.iter().any(|s| !guards.contains_key(s)) {
+            return MultiDelete::NeedsWider;
+        }
+        let nodes: Vec<(usize, NodeId)> = shards
+            .iter()
+            .filter_map(|&s| guards[&s].cg.node_of(txn).map(|n| (s, n)))
+            .collect();
+        // Not deletable yet? Drop it from the queue: the events
+        // that can change the answer re-enqueue it — committing
+        // (commit_escalated), an overwrite of one of its entities
+        // (the shard candidate queue -> reclaim_shard deferral),
+        // or being ghosted (bridge_cross_shard).
+        let all_completed = nodes.iter().all(|&(s, n)| guards[&s].cg.is_completed(n));
+        if !all_completed {
+            return MultiDelete::Skipped;
+        }
+        let current = nodes
+            .iter()
+            .any(|&(s, n)| noncurrent::is_current(&guards[&s].cg, n));
+        if current {
+            return MultiDelete::Skipped;
+        }
+        // Collect cross-shard pred/succ transaction pairs (local
+        // pairs are bridged by `delete` itself) and the written
+        // entities, before deleting forgets them.
+        let mut preds: Vec<(usize, TxnId)> = Vec::new();
+        let mut succs: Vec<(usize, TxnId)> = Vec::new();
+        let mut written_local: Vec<(usize, EntityId)> = Vec::new();
+        for &(s, n) in &nodes {
+            for &p in guards[&s].cg.graph().preds(n) {
+                preds.push((s, guards[&s].cg.info(p).txn));
+            }
+            for &q in guards[&s].cg.graph().succs(n) {
+                succs.push((s, guards[&s].cg.info(q).txn));
+            }
+            for (&x, rec) in &guards[&s].cg.info(n).access {
+                if rec.mode == deltx_model::AccessMode::Write {
+                    written_local.push((s, x));
+                }
+            }
+        }
+        // Every shard the bridges can touch must be locked: a bridge
+        // lands in a ghost target (a shard of `txn` — covered above)
+        // or in a shard both neighbors already inhabit (a shard of a
+        // neighbor's span). Checked BEFORE the first mutation so a
+        // too-narrow plan defers the whole candidate instead of
+        // half-deleting it.
+        let covered = preds
+            .iter()
+            .chain(succs.iter())
+            .all(|(_, t)| match coord.registry.get(t) {
+                Some(span) => span.iter().all(|s| guards.contains_key(s)),
+                None => true, // single-shard neighbor: its only shard is txn's
+            });
+        if !covered {
+            return MultiDelete::NeedsWider;
+        }
+        for &(s, n) in &nodes {
+            let g = guards.get_mut(&s).expect("span shard is locked");
+            if g.cg.node_of(txn) == Some(n) {
+                self.dec_boundary(g);
+                g.cg.delete(n).expect("completed node deletes");
+            }
+        }
+        self.unregister_txn(coord, txn);
+        for &(ps, p) in &preds {
+            for &(qs, q) in &succs {
+                if ps == qs || p == q {
+                    continue; // same shard: bridged locally
+                }
+                *ghosts_made +=
+                    self.bridge_cross_shard(guards, coord, still_pending, (ps, p), (qs, q));
+            }
+        }
+        for (s, x) in written_local {
+            written.entry(s).or_default().push(x);
+        }
+        MultiDelete::Deleted
     }
 
     /// Ensures an ordering arc `pred -> succ` exists somewhere in the
     /// union graph, materializing a ghost for `pred` in `succ`'s shard
     /// if the two transactions share no shard. Returns how many ghosts
-    /// were created (0 or 1).
+    /// were created (0 or 1). Caller holds the locks of both
+    /// transactions' full spans plus the deleted transaction's shards
+    /// (the ghost target) — [`Self::try_delete_multi`]'s coverage
+    /// check, or all locks.
     fn bridge_cross_shard(
         &self,
         guards: &mut Guards<'_>,
@@ -1425,7 +1513,7 @@ impl EngineInner {
         let q_shards: Vec<usize> = coord.registry.get(&q).cloned().unwrap_or_else(|| vec![qs]);
         for &c in &p_shards {
             if q_shards.contains(&c) {
-                let g = guards.get_mut(&c).expect("all locks held");
+                let g = guards.get_mut(&c).expect("common neighbor shard is locked");
                 let (pn, qn) = (
                     g.cg.node_of(p).expect("registered node"),
                     g.cg.node_of(q).expect("registered node"),
@@ -1444,7 +1532,9 @@ impl EngineInner {
             g.cg.info(pn).state == TxnState::Completed
         };
         {
-            let tg = guards.get_mut(&target).expect("all locks held");
+            let tg = guards
+                .get_mut(&target)
+                .expect("ghost target shard is locked");
             let ghost = if p_completed {
                 tg.cg
                     .admit_completed_ghost(p)
@@ -1469,7 +1559,7 @@ impl EngineInner {
         }
         // p is now multi-shard: update registry and boundary marks.
         if was_single {
-            let pg = guards.get_mut(&ps).expect("all locks held");
+            let pg = guards.get_mut(&ps).expect("predecessor shard is locked");
             pg.boundary += 1;
             if self.partial_escalation {
                 pg.cg.set_boundary(p, true);

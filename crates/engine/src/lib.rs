@@ -73,8 +73,14 @@
 //!   multi-shard transaction re-materializes the paper's `D(G, N)`
 //!   bridges across shard boundaries with *ghost nodes*
 //!   ([`deltx_core::CgState::admit_completed_ghost`]), so union
-//!   reachability is preserved exactly. Sweeps also run a
-//!   transitive-reduction compaction over ghost-only subgraphs
+//!   reachability is preserved exactly — and the pass locks only each
+//!   candidate's **closure** (its own shards plus the
+//!   summary-closure neighbors its bridges can touch, planned by the
+//!   same module as escalated commits), batching the candidates each
+//!   closure covers and falling back to all locks on stale plans,
+//!   instead of stopping the world ([`EngineConfig::partial_gc`]
+//!   toggles the baseline). Sweeps also run a transitive-reduction
+//!   compaction over ghost-only subgraphs
 //!   ([`deltx_core::CgState::compact_ghost_arcs`]) so bridge arcs
 //!   cannot accrete without bound, and prune reclaimed writers' stale
 //!   versions with [`deltx_storage::Store::truncate_versions`].
@@ -83,8 +89,15 @@
 //!   thread.
 //! * **Metrics** ([`metrics`]): throughput, aborts, live-graph size,
 //!   deletions, GC pause time, and the escalation economics — partial
-//!   vs full acquisitions, an escalated-subset-size histogram, plan
-//!   fallbacks, and a boundary-count underflow tripwire.
+//!   vs full acquisitions, escalated-subset-size and GC-closure-size
+//!   histograms, plan fallbacks, and a boundary-count underflow
+//!   tripwire.
+//!
+//! A prose walkthrough of the four locking regimes (fast path,
+//! partial escalation, all-locks fallback, GC closures) with the
+//! soundness argument for each lives in `docs/architecture.md` at the
+//! repository root; the inline versions live in the `core_engine` and
+//! `planner` module docs.
 //!
 //! ## Quickstart
 //!
@@ -108,6 +121,7 @@
 mod core_engine;
 mod history;
 pub mod metrics;
+mod planner;
 mod session;
 
 pub mod error;

@@ -31,6 +31,15 @@ pub const SUBSET_HIST_BUCKETS: usize = 8;
 /// 1, 2, 3, 4, 5–8, 9–16, 17–32, 33+.
 const SUBSET_HIST_BOUNDS: [usize; SUBSET_HIST_BUCKETS - 1] = [1, 2, 3, 4, 8, 16, 32];
 
+/// Histogram bucket index for a subset/closure of `locked` shards —
+/// one bucketing rule shared by the escalation and GC histograms.
+fn subset_bucket(locked: usize) -> usize {
+    SUBSET_HIST_BOUNDS
+        .iter()
+        .position(|&hi| locked <= hi)
+        .unwrap_or(SUBSET_HIST_BUCKETS - 1)
+}
+
 /// The engine's metric registry (one per engine, shared with the GC
 /// thread).
 #[derive(Debug, Default)]
@@ -53,6 +62,10 @@ pub(crate) struct EngineMetrics {
     pub gc_ghost_arcs_removed: Counter,
     pub gc_versions_truncated: Counter,
     pub gc_pause_nanos: Counter,
+    pub gc_partial_sweeps: Counter,
+    pub gc_closure_fallbacks: Counter,
+    pub gc_closure_locks_taken: Counter,
+    pub gc_closure_hist: [Counter; SUBSET_HIST_BUCKETS],
     /// Distinct live transactions across all shards (gauge; updated
     /// under shard locks).
     pub live_txns: Counter,
@@ -68,11 +81,17 @@ impl EngineMetrics {
         if locked < total {
             self.escalated_partial.add(1);
         }
-        let bucket = SUBSET_HIST_BOUNDS
-            .iter()
-            .position(|&hi| locked <= hi)
-            .unwrap_or(SUBSET_HIST_BUCKETS - 1);
-        self.escalated_subset_hist[bucket].add(1);
+        self.escalated_subset_hist[subset_bucket(locked)].add(1);
+    }
+
+    /// Records one multi-shard GC lock acquisition of `locked` of
+    /// `total` shard locks (closure histogram + partial counter).
+    pub(crate) fn record_gc_closure(&self, locked: usize, total: usize) {
+        self.gc_closure_locks_taken.add(locked as u64);
+        if locked < total {
+            self.gc_partial_sweeps.add(1);
+        }
+        self.gc_closure_hist[subset_bucket(locked)].add(1);
     }
 
     pub(crate) fn txn_became_live(&self) {
@@ -103,6 +122,10 @@ impl EngineMetrics {
             gc_ghosts: self.gc_ghosts.get(),
             gc_ghost_arcs_removed: self.gc_ghost_arcs_removed.get(),
             gc_versions_truncated: self.gc_versions_truncated.get(),
+            gc_partial_sweeps: self.gc_partial_sweeps.get(),
+            gc_closure_fallbacks: self.gc_closure_fallbacks.get(),
+            gc_closure_locks_taken: self.gc_closure_locks_taken.get(),
+            gc_closure_hist: std::array::from_fn(|i| self.gc_closure_hist[i].get()),
             gc_pause: Duration::from_nanos(self.gc_pause_nanos.get()),
             live_txns: self.live_txns.get(),
             peak_live_txns: self.peak_live_txns.load(Ordering::Relaxed),
@@ -156,6 +179,27 @@ pub struct MetricsSnapshot {
     pub gc_ghost_arcs_removed: u64,
     /// Stale versions pruned from the stores.
     pub gc_versions_truncated: u64,
+    /// Multi-shard GC acquisitions that locked a **strict subset** of
+    /// the shards (the candidates' closures covered less than the
+    /// world).
+    pub gc_partial_sweeps: u64,
+    /// GC closure plans abandoned after planning: a growth epoch
+    /// moved between planning and acquisition, or (rare) a candidate's
+    /// closure escaped its own validated subset mid-sweep — both
+    /// retaken in the sweep's final all-locks pass. Saturated plans
+    /// (closure = every shard) are *not* fallbacks: they record as
+    /// honest full-width acquisitions, exactly like the escalation
+    /// histogram treats them. A candidate another lead's batch could
+    /// not cover is not a fallback either — it re-plans fresh in a
+    /// later round of the same sweep.
+    pub gc_closure_fallbacks: u64,
+    /// Total shard locks taken across multi-shard GC acquisitions;
+    /// divided by the closure histogram's total count this is the mean
+    /// GC closure size.
+    pub gc_closure_locks_taken: u64,
+    /// Histogram of multi-shard GC lock-closure sizes. Buckets: 1, 2,
+    /// 3, 4, 5–8, 9–16, 17–32, 33+ locks per acquisition.
+    pub gc_closure_hist: [u64; SUBSET_HIST_BUCKETS],
     /// Total wall-clock time GC spent holding shard locks.
     pub gc_pause: Duration,
     /// Distinct live transactions in the conflict graph right now.
@@ -200,7 +244,7 @@ impl std::fmt::Display for MetricsSnapshot {
             self.escalated_subset_hist,
             self.boundary_underflows
         )?;
-        write!(
+        writeln!(
             f,
             "gc: {} sweeps, {} deletions, {} ghosts ({} ghost arcs compacted), \
              {} versions pruned, {:?} total pause",
@@ -210,6 +254,22 @@ impl std::fmt::Display for MetricsSnapshot {
             self.gc_ghost_arcs_removed,
             self.gc_versions_truncated,
             self.gc_pause
+        )?;
+        let gc_acqs: u64 = self.gc_closure_hist.iter().sum();
+        let gc_mean = if gc_acqs == 0 {
+            0.0
+        } else {
+            self.gc_closure_locks_taken as f64 / gc_acqs as f64
+        };
+        write!(
+            f,
+            "gc closures: {} partial / {} acquisitions (mean {:.1} locks, fallbacks {}), \
+             closure hist [1|2|3|4|≤8|≤16|≤32|>32] = {:?}",
+            self.gc_partial_sweeps,
+            gc_acqs,
+            gc_mean,
+            self.gc_closure_fallbacks,
+            self.gc_closure_hist
         )
     }
 }

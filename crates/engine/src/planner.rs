@@ -1,0 +1,203 @@
+//! The shard-closure planner, shared by the commit path and the GC.
+//!
+//! Both escalated commits and multi-shard deletions need the same
+//! answer: *which shards could a path through this transaction
+//! traverse?* For a commit the answer bounds where a cycle through the
+//! committer could run; for a deletion it bounds where the `D(G, N)`
+//! bridges can land (the transaction's own shards plus the shard sets
+//! of its boundary neighbors — every one of which is a resident
+//! boundary transaction the summary chase visits). One planner serves
+//! both, so the two escalation regimes cannot drift apart.
+//!
+//! The planner is a pair of lock-free per-shard atomics plus a fine,
+//! summary-driven chase under the coordination lock:
+//!
+//! * `plan_adj[s]` — adjacency bitmask: shard `s` itself plus the
+//!   union of the shard sets of boundary transactions resident in
+//!   `s`. A superset of anything the summary chase can produce, so a
+//!   fixpoint over these masks detects the saturated case (plan =
+//!   every shard) and the already-minimal case (closure = entry set)
+//!   without taking any lock.
+//! * `plan_epoch[s]` — **growth epoch**: bumped whenever shard `s`'s
+//!   published reachability, boundary membership, or a resident
+//!   transaction's shard set *grows*. A subset planned at epoch `e`
+//!   is still a superset of every reachable shard while the epoch
+//!   stays `e` — shrinkage can never invalidate a superset — so a
+//!   planner client locks its subset, re-reads the epochs, and falls
+//!   back to all locks only on movement.
+//!
+//! Both atomics are written only under the coordination lock, and for
+//! changes derived from a shard's graph, before that shard's lock is
+//! released — which is what makes the post-acquisition epoch re-read
+//! authoritative.
+
+use crate::core_engine::Coordination;
+use deltx_model::TxnId;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Adjacency-closure size up to which the planner takes the closure
+/// as the lock subset directly, skipping the summary fine chase.
+const SMALL_PLAN_LOCKS: usize = 4;
+
+/// Bit of shard `s` in an adjacency mask (meaningful for < 64 shards;
+/// larger indices fall off the mask and force the fine chase).
+pub(crate) fn shard_bit(s: usize) -> u64 {
+    if s < 64 {
+        1u64 << s
+    } else {
+        0
+    }
+}
+
+/// Lock-free planner inputs plus the closure computation. One per
+/// engine; see the module docs for the maintenance contract.
+pub(crate) struct Planner {
+    plan_adj: Vec<AtomicU64>,
+    plan_epoch: Vec<AtomicU64>,
+}
+
+impl Planner {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            plan_adj: (0..shards).map(|s| AtomicU64::new(shard_bit(s))).collect(),
+            plan_epoch: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Bumps shard `s`'s growth epoch (call on any growth of its
+    /// published summary, boundary membership, or a resident
+    /// transaction's shard set).
+    pub(crate) fn bump_epoch(&self, s: usize) {
+        self.plan_epoch[s].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ors `mask` into shard `s`'s adjacency bits (growth).
+    pub(crate) fn adj_or(&self, s: usize, mask: u64) {
+        self.plan_adj[s].fetch_or(mask, Ordering::Relaxed);
+    }
+
+    /// Replaces shard `s`'s adjacency bits (exact rebuild on shrink).
+    pub(crate) fn adj_set(&self, s: usize, mask: u64) {
+        self.plan_adj[s].store(mask, Ordering::Relaxed);
+    }
+
+    /// Snapshots the growth epochs of every shard (Relaxed is enough:
+    /// the shard-mutex release/acquire pair orders the stores against
+    /// a post-acquisition re-read).
+    pub(crate) fn snapshot_epochs(&self) -> Vec<u64> {
+        self.plan_epoch
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// True if none of `subset`'s epochs moved since `epochs` was
+    /// snapshotted — the planned subset is still a superset of every
+    /// shard a path could reach. Call *after* acquiring the subset's
+    /// locks.
+    pub(crate) fn validate(&self, subset: &BTreeSet<usize>, epochs: &[u64]) -> bool {
+        subset
+            .iter()
+            .all(|&s| self.plan_epoch[s].load(Ordering::Relaxed) == epochs[s])
+    }
+
+    /// Plans the shard subset a path through `txn` could traverse: the
+    /// entry shards (`base` plus `txn`'s registered shards) closed
+    /// under summary-chasing. Any boundary transaction resident in an
+    /// entry shard may lie on a local path from `txn`, so all of them
+    /// are potential exits; entering shard `t` at transaction `b`'s
+    /// twin, a path can only leave `t` through `b` itself or a
+    /// boundary transaction `t`'s summary says `b` reaches. Returns
+    /// the subset plus the epoch snapshot to validate after
+    /// acquisition.
+    ///
+    /// The common cases never touch a lock: the adjacency-mask
+    /// fixpoint over `plan_adj` computes a superset of the summary
+    /// chase, so when it saturates (uniform cross-shard traffic —
+    /// plan is every shard) or collapses onto the entry set (traffic
+    /// confined to a hot shard group — nothing to shrink) the answer
+    /// is final. Only the intermediate regime runs the fine chase
+    /// under the coordination lock. Note the lock-free paths derive
+    /// `txn`'s registered shards from the masks themselves: a
+    /// registered transaction is resident in its `base` shards, so
+    /// its span is folded into their adjacency masks.
+    pub(crate) fn plan(
+        &self,
+        txn: TxnId,
+        base: &BTreeSet<usize>,
+        coord: &Mutex<Coordination>,
+    ) -> (BTreeSet<usize>, Vec<u64>) {
+        // Epochs are snapshotted BEFORE the plan inputs are read:
+        // growth landing between the two reads then shows as an epoch
+        // mismatch at validation instead of silently blessing a plan
+        // built from pre-growth inputs.
+        let epochs = self.snapshot_epochs();
+        let n = self.plan_adj.len();
+        if n <= 64 {
+            let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let entry_mask: u64 = base.iter().map(|&s| shard_bit(s)).sum();
+            let mut mask = entry_mask;
+            loop {
+                let mut next = mask;
+                let mut bits = mask;
+                while bits != 0 {
+                    let s = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    next |= self.plan_adj[s].load(Ordering::Relaxed);
+                }
+                if next == full {
+                    return ((0..n).collect(), epochs);
+                }
+                if next == mask {
+                    break;
+                }
+                mask = next;
+            }
+            // A small closure is taken as-is: the fine chase can only
+            // refine *within* it, and shaving one lock off an
+            // already-tiny subset is worth less than the chase costs.
+            // Pruning pays when the adjacency closure is large but the
+            // reach-sets cut paths through it — the regime below.
+            if mask == entry_mask || (mask.count_ones() as usize) <= SMALL_PLAN_LOCKS {
+                let mut subset = BTreeSet::new();
+                let mut bits = mask;
+                while bits != 0 {
+                    subset.insert(bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
+                }
+                return (subset, epochs);
+            }
+        }
+        // Intermediate regime: the fine, summary-driven chase.
+        let coord = coord.lock().unwrap();
+        let mut subset: BTreeSet<usize> = base.clone();
+        subset.extend(coord.registry.get(&txn).into_iter().flatten().copied());
+        let mut stack: Vec<(usize, TxnId)> = Vec::new();
+        let mut seen: HashSet<(usize, TxnId)> = HashSet::new();
+        for &u in &subset {
+            for &b in &coord.boundary_txns[u] {
+                if seen.insert((u, b)) {
+                    stack.push((u, b));
+                }
+            }
+        }
+        // Saturation short-circuit: once every shard is in, further
+        // chasing cannot change the answer.
+        while subset.len() < n {
+            let Some((u, b)) = stack.pop() else { break };
+            let reach = coord.summaries[u].get(&b);
+            for e in std::iter::once(b).chain(reach.into_iter().flatten().copied()) {
+                for &t in coord.registry.get(&e).into_iter().flatten() {
+                    subset.insert(t);
+                    if seen.insert((t, e)) {
+                        stack.push((t, e));
+                    }
+                }
+            }
+        }
+        drop(coord);
+        (subset, epochs)
+    }
+}

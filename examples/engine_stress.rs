@@ -4,12 +4,13 @@
 //!
 //! ```text
 //! cargo run --release --example engine_stress                  # 8 threads, 10k txns
-//! cargo run --release --example engine_stress -- 16 40000 64 30 all-locks
-//! #                       threads ───────────────┘    │    │  │      │
-//! #                       total txns ────────────────-┘    │  │      │
-//! #                       entities ────────────────────────┘  │      │
-//! #                       cross-shard % ──────────────────────┘      │
-//! #                       "all-locks" disables partial escalation ───┘
+//! cargo run --release --example engine_stress -- 16 40000 64 30 all-locks all-locks-gc
+//! #                       threads ───────────────┘    │    │  │      │         │
+//! #                       total txns ────────────────-┘    │  │      │         │
+//! #                       entities ────────────────────────┘  │      │         │
+//! #                       cross-shard % ──────────────────────┘      │         │
+//! #   flags (any order): "all-locks" disables partial escalation ────┘         │
+//! #                      "all-locks-gc" forces stop-the-world multi-shard GC ──┘
 //! ```
 //!
 //! Every transaction transfers between two accounts (read both, write
@@ -46,7 +47,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(25)
         .min(100);
-    let partial: bool = args.get(4).map(|s| s != "all-locks").unwrap_or(true);
+    let flags: Vec<&str> = args.iter().skip(4).map(String::as_str).collect();
+    if let Some(bad) = flags
+        .iter()
+        .find(|f| !matches!(**f, "all-locks" | "all-locks-gc"))
+    {
+        eprintln!("unknown flag `{bad}` (expected `all-locks` and/or `all-locks-gc`)");
+        std::process::exit(2);
+    }
+    let partial: bool = !flags.contains(&"all-locks");
+    let partial_gc: bool = !flags.contains(&"all-locks-gc");
     let shards = 8usize;
 
     let engine = Engine::new(EngineConfig {
@@ -56,6 +66,7 @@ fn main() {
         background_gc: true,
         record_history: false,
         partial_escalation: partial,
+        partial_gc,
     });
 
     println!(
