@@ -204,6 +204,16 @@ fn bench_escalation(c: &mut Criterion) {
         m.escalated_subset_hist,
         m.escalation_fallbacks,
     );
+    eprintln!(
+        "c5_engine/escalation summary metrics: {} updates, mean {:.0} ns, total {:?}, \
+         hist {:?}, boundary index hwm {} slots, registry-slot contention {}",
+        m.summary_updates,
+        m.summary_update_nanos as f64 / m.summary_updates.max(1) as f64,
+        std::time::Duration::from_nanos(m.summary_update_nanos),
+        m.summary_update_hist,
+        m.boundary_index_hwm,
+        m.registry_slot_contention,
+    );
 }
 
 /// Closure-scoped vs stop-the-world multi-shard GC on the skewed
@@ -265,6 +275,100 @@ fn bench_gc_escalation(c: &mut Criterion) {
     );
 }
 
+/// How one summary-churn pass maintains its summary.
+#[derive(Clone, Copy, PartialEq)]
+enum SummaryMode {
+    /// `CgState` boundary marks + incremental bitmask maintenance.
+    Bitmask,
+    /// Same, with each round's marks and fan-ins batched into one
+    /// propagation (the engine's per-commit pattern).
+    BitmaskBatched,
+    /// No `CgState` marks at all (zero bitmask maintenance): the
+    /// marked set lives outside and the summary is recomputed naively
+    /// after every round — a pure set-based cost model, not stacked
+    /// on top of the bitmask work.
+    NaiveRecompute,
+}
+
+/// One steady-state summary churn pass over a single `CgState`: every
+/// round begins a transaction, marks it boundary, fans in its Rule 2/3
+/// arcs on a small hot entity set, and `D(G, N)`-deletes the oldest
+/// boundary transaction once the window fills — the exact maintenance
+/// pattern one hot cross-shard pair induces in a shard. Returns a
+/// value derived from the summary so the work cannot be optimized out.
+fn drive_summary_churn(rounds: usize, mode: SummaryMode) -> u64 {
+    use deltx_core::CgState;
+    use deltx_model::{Step, TxnId};
+    let batched = mode == SummaryMode::BitmaskBatched;
+    let marks = mode != SummaryMode::NaiveRecompute;
+    let mut cg = CgState::new();
+    let mut window: std::collections::VecDeque<TxnId> = std::collections::VecDeque::new();
+    let mut sink = 0u64;
+    for i in 0..rounds {
+        let t = (i + 1) as u32;
+        if batched {
+            cg.begin_summary_batch();
+        }
+        cg.apply(&Step::begin(t)).unwrap();
+        let _ = cg.apply(&Step::read(t, (i % 4) as u32));
+        // This access pattern cannot cycle-abort, but keep the guard
+        // structural: the batch is always closed, the window only
+        // ever holds live transactions.
+        if cg.node_of(TxnId(t)).is_some() {
+            if marks {
+                cg.set_boundary(TxnId(t), true);
+            }
+            let _ = cg.apply(&Step::write_all(t, [(i % 4) as u32]));
+        }
+        if batched {
+            cg.end_summary_batch();
+        }
+        if cg.node_of(TxnId(t)).is_some() {
+            window.push_back(TxnId(t));
+        }
+        if window.len() > 24 {
+            let victim = window.pop_front().unwrap();
+            if let Some(n) = cg.node_of(victim) {
+                cg.delete(n).unwrap();
+            }
+        }
+        if mode == SummaryMode::NaiveRecompute {
+            // The shared oracle: a from-scratch per-event DFS recompute
+            // into `BTreeSet`s — the set-based cost model the bitmask
+            // summary replaces (the PR-2 incremental scanner sat
+            // between this upper bound and the bitmask maintainer).
+            let marked: Vec<TxnId> = window.iter().copied().collect();
+            sink = sink.wrapping_add(cg.naive_boundary_reach(&marked).len() as u64);
+        }
+    }
+    sink.wrapping_add(cg.summary_rev())
+}
+
+/// Summary-maintenance micro-bench: mark/unmark/fan-in churn through
+/// the bitmask summary (eager and commit-batched) against the naive
+/// per-event `BTreeSet` recomputation baseline. The naive variant
+/// runs with `CgState` marks disabled, so it pays *only* the
+/// set-based cost (plus the shared scheduler base both variants pay)
+/// — the ratio is not inflated by stacking the two maintainers. CI
+/// publishes these numbers next to the escalation metrics — the
+/// maintenance constant is exactly what the partial-locking tax is
+/// made of.
+fn bench_summary_maintenance(c: &mut Criterion) {
+    let rounds = 2_000;
+    let mut g = c.benchmark_group("c5_engine/summary_maintenance");
+    g.throughput(Throughput::Elements(rounds as u64));
+    g.bench_function("bitmask", |b| {
+        b.iter(|| drive_summary_churn(rounds, SummaryMode::Bitmask))
+    });
+    g.bench_function("bitmask-batched", |b| {
+        b.iter(|| drive_summary_churn(rounds, SummaryMode::BitmaskBatched))
+    });
+    g.bench_function("naive-recompute", |b| {
+        b.iter(|| drive_summary_churn(rounds, SummaryMode::NaiveRecompute))
+    });
+    g.finish();
+}
+
 /// Thread scaling on a partitionable workload.
 fn bench_threads(c: &mut Criterion) {
     let mut g = c.benchmark_group("c5_engine/threads");
@@ -285,6 +389,7 @@ fn bench_threads(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_policies, bench_locality, bench_threads, bench_escalation, bench_gc_escalation
+    targets = bench_policies, bench_locality, bench_threads, bench_escalation,
+        bench_gc_escalation, bench_summary_maintenance
 }
 criterion_main!(benches);

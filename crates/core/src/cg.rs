@@ -29,7 +29,7 @@
 
 use crate::error::CgError;
 use deltx_graph::cycle::CycleChecker;
-use deltx_graph::{Closure, DiGraph, NodeId};
+use deltx_graph::{BitSet, Closure, DiGraph, NodeId};
 use deltx_model::{AccessMode, EntityId, Op, Step, TxnId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -147,30 +147,55 @@ pub struct CgState {
     /// repeated enqueues of the same node into one entry).
     gc_queued: HashSet<NodeId>,
     track_gc: bool,
-    /// Nodes the embedding marked as *boundary* nodes (in the sharded
-    /// engine: nodes of multi-shard transactions, ghosts included).
-    /// Endpoints of the boundary reachability summary.
-    boundary_nodes: HashSet<NodeId>,
-    /// The boundary reachability summary: for each boundary node's
-    /// transaction, the transactions of the boundary nodes its node
-    /// reaches through *this* graph (intermediate nodes arbitrary).
-    /// Kept exact under arc insertion (incremental), deletion (`D(G,
-    /// N)` bridging preserves reachability among survivors, so only the
-    /// removed endpoint's pairs drop) and abort (recompute; removal
-    /// without bridging can only shrink reachability).
-    boundary_reach: BTreeMap<TxnId, BTreeSet<TxnId>>,
-    /// Reusable traversal scratch for the summary maintenance BFS.
+    /// Compact index of the live boundary nodes (in the sharded
+    /// engine: nodes of multi-shard transactions, ghosts included) —
+    /// each gets a dense *slot* so reachability among them can be
+    /// kept as word-parallel bitmasks instead of per-pair sets.
+    bindex: BoundaryIndex,
+    /// `node.index()` → bitmask of boundary slots the node reaches
+    /// through this graph (the node's own slot excluded — the graph
+    /// is acyclic). The boundary reachability summary is this vector
+    /// restricted to boundary nodes. Kept exact under arc insertion
+    /// (backward word-parallel propagation with subsumption pruning),
+    /// deletion (`D(G, N)` bridging preserves reachability among
+    /// survivors, so only the removed slot's bit drops) and abort
+    /// (recompute; removal without bridging can only shrink
+    /// reachability).
+    reach_mask: Vec<BitSet>,
+    /// Reusable delta mask for the propagation hot path.
+    delta_scratch: BitSet,
+    /// Reusable worklist for the propagation hot path.
+    prop_stack: Vec<NodeId>,
+    /// When set ([`CgState::begin_summary_batch`]), fan-ins and
+    /// boundary marks are queued instead of propagated, and one
+    /// combined propagation runs at flush — a commit updates the
+    /// summary once instead of once per arc and mark.
+    summary_batch: bool,
+    /// Fan-in targets awaiting propagation (deduplicated via
+    /// `pending_target_bits`).
+    pending_targets: Vec<NodeId>,
+    pending_target_bits: BitSet,
+    /// Freshly marked boundary nodes awaiting backward propagation of
+    /// their new slot bit.
+    pending_marks: Vec<NodeId>,
+    /// Reusable traversal scratch for the ghost-compaction BFS.
     scratch: BfsScratch,
     /// Boundary transactions whose reach-set changed (or left the
     /// summary) since the last [`CgState::take_summary_dirty`] — lets
     /// a mirror copy only the touched entries instead of the map.
     summary_dirty: BTreeSet<TxnId>,
-    /// Bumped on *every* summary change — the mirror/copy-out signal.
+    /// Bumped whenever the **mirrored content** of the summary changes
+    /// (a reach-pair appears or disappears, or an entry with pairs is
+    /// added/removed) — the mirror/copy-out signal. Deletes and aborts
+    /// that touch no reach-pair do *not* bump it, so mirrors skip
+    /// no-op refreshes.
     summary_rev: u64,
-    /// Bumped only when the summary **grows** (a member or a pair is
-    /// added). Growth is the only change that can invalidate a lock
-    /// subset planned from a stale copy — shrinkage keeps any superset
-    /// valid — so partial escalation keys its staleness check on this.
+    /// Bumped only when the summary **grows** (a reach-pair is added;
+    /// a new member with no pairs extends no path and counts only once
+    /// pairs appear). Growth is the only change that can invalidate a
+    /// lock subset planned from a stale copy — shrinkage keeps any
+    /// superset valid — so partial escalation keys its staleness check
+    /// on this.
     summary_epoch: u64,
     max_entity: Option<EntityId>,
     max_txn: u32,
@@ -211,6 +236,73 @@ impl BfsScratch {
             *slot = self.gen;
             true
         }
+    }
+}
+
+/// Sentinel in `BoundaryIndex::slot_of_node` for "not a boundary node".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Dense slot index over the live boundary nodes: the compact
+/// boundary-txn index the bitmask reach-sets are keyed by. Slots are
+/// recycled through a free list; a freed slot's bit is eagerly cleared
+/// from every mask before the slot can be reused.
+#[derive(Clone, Debug, Default)]
+struct BoundaryIndex {
+    /// slot → transaction (stale for freed slots).
+    txn_of: Vec<TxnId>,
+    /// slot → node (stale for freed slots).
+    node_of: Vec<NodeId>,
+    /// Recycled slots.
+    free: Vec<u32>,
+    /// `node.index()` → slot, [`NO_SLOT`] if the node is not boundary.
+    slot_of_node: Vec<u32>,
+    /// Live slot count.
+    live: usize,
+    /// High-water mark of *allocated* slots (`txn_of.len()`): the
+    /// summary's worst-case mask width, exposed as a metric.
+    hwm: usize,
+}
+
+impl BoundaryIndex {
+    fn slot_of(&self, n: NodeId) -> Option<usize> {
+        self.slot_of_node
+            .get(n.index())
+            .copied()
+            .filter(|&s| s != NO_SLOT)
+            .map(|s| s as usize)
+    }
+
+    fn alloc(&mut self, n: NodeId, t: TxnId) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.txn_of[s as usize] = t;
+                self.node_of[s as usize] = n;
+                s as usize
+            }
+            None => {
+                self.txn_of.push(t);
+                self.node_of.push(n);
+                self.txn_of.len() - 1
+            }
+        };
+        if self.slot_of_node.len() <= n.index() {
+            self.slot_of_node.resize(n.index() + 1, NO_SLOT);
+        }
+        self.slot_of_node[n.index()] = u32::try_from(slot).expect("slot overflow");
+        self.live += 1;
+        self.hwm = self.hwm.max(self.txn_of.len());
+        slot
+    }
+
+    /// Frees `n`'s slot (caller has already cleared its bit from every
+    /// mask). Returns the freed slot.
+    fn release(&mut self, n: NodeId) -> usize {
+        let slot = self.slot_of_node[n.index()];
+        debug_assert_ne!(slot, NO_SLOT, "release of non-boundary node");
+        self.slot_of_node[n.index()] = NO_SLOT;
+        self.free.push(slot);
+        self.live -= 1;
+        slot as usize
     }
 }
 
@@ -257,8 +349,14 @@ impl CgState {
             gc_candidates: Vec::new(),
             gc_queued: HashSet::new(),
             track_gc: false,
-            boundary_nodes: HashSet::new(),
-            boundary_reach: BTreeMap::new(),
+            bindex: BoundaryIndex::default(),
+            reach_mask: Vec::new(),
+            delta_scratch: BitSet::new(),
+            prop_stack: Vec::new(),
+            summary_batch: false,
+            pending_targets: Vec::new(),
+            pending_target_bits: BitSet::new(),
+            pending_marks: Vec::new(),
             scratch: BfsScratch::default(),
             summary_dirty: BTreeSet::new(),
             summary_rev: 0,
@@ -438,11 +536,30 @@ impl CgState {
             access: BTreeMap::new(),
         });
         self.by_txn.insert(t, n);
+        self.reset_node_summary(n);
         if let Some(c) = &mut self.closure {
             c.on_add_node(n);
         }
         self.stats.accepted += 1;
         Ok(Applied::Accepted)
+    }
+
+    /// Sizes (and clears) the summary-side per-node state for a node
+    /// slot that may be recycled from the slab free list.
+    fn reset_node_summary(&mut self, n: NodeId) {
+        let i = n.index();
+        if self.bindex.slot_of_node.len() <= i {
+            self.bindex.slot_of_node.resize(i + 1, NO_SLOT);
+        }
+        debug_assert_eq!(
+            self.bindex.slot_of_node[i], NO_SLOT,
+            "slot leaked across reuse"
+        );
+        self.bindex.slot_of_node[i] = NO_SLOT;
+        if self.reach_mask.len() <= i {
+            self.reach_mask.resize_with(i + 1, BitSet::new);
+        }
+        self.reach_mask[i].clear();
     }
 
     fn would_cycle(&mut self, sources: &[NodeId], target: NodeId) -> bool {
@@ -455,18 +572,18 @@ impl CgState {
     }
 
     fn add_arcs(&mut self, sources: &[NodeId], target: NodeId) {
-        let mut added: Vec<NodeId> = Vec::new();
+        let mut any_added = false;
         for &s in sources {
             if self.graph.add_arc(s, target) {
                 self.stats.arcs_added += 1;
                 if let Some(c) = &mut self.closure {
                     c.on_add_arc(s, target);
                 }
-                added.push(s);
+                any_added = true;
             }
         }
-        if !added.is_empty() {
-            self.summary_on_fan_in(&added, target);
+        if any_added {
+            self.summary_on_fan_in(target);
         }
     }
 
@@ -585,7 +702,13 @@ impl CgState {
     }
 
     fn abort_node(&mut self, n: NodeId) {
+        // Pending batched propagation references live structure; make
+        // the summary exact before removing any of it.
+        self.flush_pending_summary();
         let txn = self.info(n).txn;
+        // Release while the in-arcs still exist: the backward walk
+        // that clears the slot bit is seeded through them.
+        let mut changed = self.release_boundary_slot(n, txn);
         self.forget_node_metadata(n);
         let (preds, succs) = self.graph.remove_node(n);
         if let Some(c) = &mut self.closure {
@@ -594,23 +717,17 @@ impl CgState {
             c.on_abort_node(&self.graph, n);
             self.closure = Some(c);
         }
-        if self.boundary_nodes.remove(&n) {
-            self.boundary_reach.remove(&txn);
-            self.summary_dirty.insert(txn);
-            for (a, set) in self.boundary_reach.iter_mut() {
-                if set.remove(&txn) {
-                    self.summary_dirty.insert(*a);
-                }
-            }
-            self.summary_rev += 1;
-        }
+        self.reach_mask[n.index()].clear();
         // Removal *without* bridging can sever boundary-to-boundary
         // paths *through* n, so the summary must be recomputed (it can
         // only shrink: no epoch bump). Only a node with both preds and
         // succs can route such a path — the common cycle-victim abort
         // (incoming arcs only) skips the recompute.
-        if !preds.is_empty() && !succs.is_empty() && !self.boundary_nodes.is_empty() {
-            self.recompute_boundary_summary();
+        if !preds.is_empty() && !succs.is_empty() && self.bindex.live > 0 {
+            changed |= self.recompute_masks_diff();
+        }
+        if changed {
+            self.summary_rev += 1;
         }
         self.aborted.insert(txn);
         self.stats.aborts += 1;
@@ -635,7 +752,13 @@ impl CgState {
             };
             return Err(CgError::NotDeletable(t));
         }
+        // Pending batched propagation must land before the node (and
+        // the exactness argument below) goes away.
+        self.flush_pending_summary();
         let txn = self.info(n).txn;
+        // Release while the in-arcs still exist: the backward walk
+        // that clears the slot bit is seeded through them.
+        let slot_pairs_changed = self.release_boundary_slot(n, txn);
         self.forget_node_metadata(n);
         let (preds, succs) = self.graph.remove_node(n);
         for &p in &preds {
@@ -650,18 +773,14 @@ impl CgState {
             c.on_delete_node(n);
         }
         // `D(G, N)` bridging preserves reachability among the remaining
-        // nodes, so only pairs with the deleted node as an endpoint go
-        // (a shrink: no epoch bump).
-        if self.boundary_nodes.remove(&n) {
-            self.boundary_reach.remove(&txn);
-            self.summary_dirty.insert(txn);
-            for (a, set) in self.boundary_reach.iter_mut() {
-                if set.remove(&txn) {
-                    self.summary_dirty.insert(*a);
-                }
-            }
+        // nodes — every survivor's mask already subsumed everything
+        // reachable through `n` — so only pairs with the deleted node
+        // as an endpoint go (a shrink: no epoch bump), and the rev only
+        // moves when such a pair actually existed.
+        if slot_pairs_changed {
             self.summary_rev += 1;
         }
+        self.reach_mask[n.index()].clear();
         self.stats.deletions += 1;
         Ok(())
     }
@@ -720,6 +839,7 @@ impl CgState {
             access: BTreeMap::new(),
         });
         self.by_txn.insert(t, n);
+        self.reset_node_summary(n);
         if let Some(c) = &mut self.closure {
             c.on_add_node(n);
         }
@@ -752,7 +872,7 @@ impl CgState {
             if let Some(c) = &mut self.closure {
                 c.on_add_arc(from, to);
             }
-            self.summary_on_arc(from, to);
+            self.summary_on_fan_in(to);
         }
         Ok(true)
     }
@@ -815,36 +935,38 @@ impl CgState {
     pub fn set_boundary(&mut self, t: TxnId, on: bool) {
         if on {
             let n = *self.by_txn.get(&t).expect("boundary mark of live txn");
-            if !self.boundary_nodes.insert(n) {
+            if self.bindex.slot_of(n).is_some() {
+                return;
+            }
+            let slot = self.bindex.alloc(n, t);
+            if self.summary_batch {
+                self.pending_marks.push(n);
                 return;
             }
             // Pairs through n as an *intermediate* node already exist
-            // (BFS never cared about marks), so only pairs with n as an
-            // endpoint are new.
-            let mut scratch = std::mem::take(&mut self.scratch);
-            let fwd = self.boundary_scan(&mut scratch, &[n], false);
-            let back = self.boundary_scan(&mut scratch, &[n], true);
-            self.scratch = scratch;
-            self.summary_dirty.insert(t);
-            self.boundary_reach.insert(t, fwd);
-            for a in back {
-                self.boundary_reach.entry(a).or_default().insert(t);
-                self.summary_dirty.insert(a);
+            // (masks never cared about marks), so only pairs with n as
+            // an endpoint are new: t's own entry is `mask[n]`, already
+            // exact, and the backward cone gains t's slot bit.
+            let mut grew = !self.reach_mask[n.index()].is_empty();
+            if grew {
+                self.summary_dirty.insert(t);
             }
-            self.summary_rev += 1;
-            self.summary_epoch += 1; // membership growth
+            self.delta_scratch.clear();
+            self.delta_scratch.insert(slot);
+            grew |= self.propagate_from(n);
+            if grew {
+                self.summary_rev += 1;
+                self.summary_epoch += 1; // reach-pair growth
+            }
         } else {
             let Some(&n) = self.by_txn.get(&t) else {
                 return;
             };
-            if self.boundary_nodes.remove(&n) {
-                self.boundary_reach.remove(&t);
-                self.summary_dirty.insert(t);
-                for (a, set) in self.boundary_reach.iter_mut() {
-                    if set.remove(&t) {
-                        self.summary_dirty.insert(*a);
-                    }
-                }
+            if self.bindex.slot_of(n).is_none() {
+                return;
+            }
+            self.flush_pending_summary();
+            if self.release_boundary_slot(n, t) {
                 self.summary_rev += 1;
             }
         }
@@ -852,14 +974,23 @@ impl CgState {
 
     /// Number of live boundary nodes.
     pub fn boundary_count(&self) -> usize {
-        self.boundary_nodes.len()
+        self.bindex.live
     }
 
-    /// The boundary reachability summary: each boundary transaction
-    /// mapped to the boundary transactions its node reaches through
-    /// this graph. Exact at all times — maintained incrementally on
-    /// arc fan-ins, preserved across `D(G, N)` deletes (bridging keeps
-    /// reachability among survivors), recomputed on unbridged aborts.
+    /// High-water mark of the boundary-txn index: the widest the
+    /// compact slot index (and with it every reach mask) has ever
+    /// grown, in slots. A metrics gauge for sizing the summary.
+    pub fn boundary_index_hwm(&self) -> usize {
+        self.bindex.hwm
+    }
+
+    /// The boundary reachability summary, materialized: each boundary
+    /// transaction mapped to the boundary transactions its node
+    /// reaches through this graph. Exact at all times — maintained
+    /// incrementally on arc fan-ins (word-parallel bitmask
+    /// propagation), preserved across `D(G, N)` deletes (bridging
+    /// keeps reachability among survivors), recomputed on unbridged
+    /// aborts.
     ///
     /// ```
     /// use deltx_core::CgState;
@@ -873,7 +1004,7 @@ impl CgState {
     /// cg.run(p.steps()).unwrap();
     /// cg.set_boundary(TxnId(1), true);
     /// cg.set_boundary(TxnId(3), true);
-    /// assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+    /// assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)));
     ///
     /// // Deleting the (non-boundary) middle node bridges around it:
     /// // the summary — and any lock subset planned from it — is
@@ -882,11 +1013,44 @@ impl CgState {
     /// let epoch = cg.summary_epoch();
     /// let t2 = cg.node_of(TxnId(2)).unwrap();
     /// cg.delete(t2).unwrap();
-    /// assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+    /// assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)));
     /// assert_eq!(cg.summary_epoch(), epoch);
     /// ```
-    pub fn boundary_reach(&self) -> &BTreeMap<TxnId, BTreeSet<TxnId>> {
-        &self.boundary_reach
+    pub fn boundary_reach_map(&self) -> BTreeMap<TxnId, BTreeSet<TxnId>> {
+        debug_assert!(!self.summary_batch_pending(), "summary batch not flushed");
+        let mut out = BTreeMap::new();
+        for n in self.graph.nodes() {
+            if self.bindex.slot_of(n).is_some() {
+                let set: BTreeSet<TxnId> = self.reach_mask[n.index()]
+                    .iter()
+                    .map(|s| self.bindex.txn_of[s])
+                    .collect();
+                out.insert(self.info(n).txn, set);
+            }
+        }
+        out
+    }
+
+    /// The raw reach bitmask of one boundary transaction over the
+    /// compact slot index, or `None` if `t` has no live boundary node
+    /// here. The cheapest copy-out primitive: a mirror stores the mask
+    /// (one word per 64 boundary slots) and decodes slots through
+    /// [`CgState::boundary_slot_txns`] — provided mask and table are
+    /// copied out together, after the same dirty drain, so they are
+    /// mutually consistent.
+    pub fn boundary_reach_mask_of(&self, t: TxnId) -> Option<&BitSet> {
+        debug_assert!(!self.summary_batch_pending(), "summary batch not flushed");
+        let &n = self.by_txn.get(&t)?;
+        self.bindex.slot_of(n)?;
+        Some(&self.reach_mask[n.index()])
+    }
+
+    /// slot → transaction decode table for
+    /// [`CgState::boundary_reach_mask_of`] masks. Entries of freed
+    /// slots are stale — only address it through bits of a mask read
+    /// at the same time (no live mask carries a freed slot's bit).
+    pub fn boundary_slot_txns(&self) -> &[TxnId] {
+        &self.bindex.txn_of
     }
 
     /// Revision counter bumped on every summary change — the signal to
@@ -903,137 +1067,223 @@ impl CgState {
         self.summary_epoch
     }
 
-    /// Boundary transactions reached from `starts` following preds
-    /// (`backward`) or succs — the starts themselves only count when
-    /// reached through an arc (impossible for a single start: the
-    /// graph is acyclic). Callers `mem::take` the reusable scratch
-    /// around the call to satisfy the borrow checker.
-    fn boundary_scan(
-        &self,
-        scratch: &mut BfsScratch,
-        starts: &[NodeId],
-        backward: bool,
-    ) -> BTreeSet<TxnId> {
-        let mut out = BTreeSet::new();
-        scratch.begin(self.graph.capacity());
-        let mut stack = std::mem::take(&mut scratch.stack);
-        for &s in starts {
-            let adj = if backward {
-                self.graph.preds(s)
-            } else {
-                self.graph.succs(s)
-            };
-            for &n in adj {
-                if scratch.visit(n) {
-                    stack.push(n);
-                }
-            }
+    /// Incremental summary maintenance after arcs were just inserted
+    /// *into* `target` (a Rule 2/3 fan-in, or one ordering arc): every
+    /// node reaching the target — in particular every boundary node
+    /// doing so — now also reaches everything in `mask[target]` plus
+    /// the target's own slot. One backward word-parallel propagation
+    /// with subsumption pruning computes exactly that, with no need to
+    /// know which arcs are new: old predecessors already subsume the
+    /// delta and stop the frontier immediately. In batch mode the
+    /// target is queued instead and one combined propagation runs at
+    /// flush.
+    fn summary_on_fan_in(&mut self, target: NodeId) {
+        if self.bindex.live == 0 {
+            return;
         }
+        if self.summary_batch {
+            if self.pending_target_bits.insert(target.index()) {
+                self.pending_targets.push(target);
+            }
+            return;
+        }
+        let i = target.index();
+        self.delta_scratch.copy_from(&self.reach_mask[i]);
+        if let Some(slot) = self.bindex.slot_of(target) {
+            self.delta_scratch.insert(slot);
+        }
+        if self.delta_scratch.is_empty() {
+            // The common single-shard fan-in: the target reaches no
+            // boundary node and is none itself — nothing to push.
+            return;
+        }
+        if self.propagate_from(target) {
+            self.summary_rev += 1;
+            self.summary_epoch += 1;
+        }
+    }
+
+    /// Pushes `delta_scratch` into the backward cone of `from` (whose
+    /// own mask is deliberately untouched — a node does not reach
+    /// itself): each predecessor whose mask actually changes continues
+    /// the frontier, so in steady state the walk collapses after one
+    /// word-compare per incident arc. Marks changed boundary entries
+    /// dirty; returns whether any boundary mask grew (the caller's
+    /// rev/epoch signal).
+    fn propagate_from(&mut self, from: NodeId) -> bool {
+        let mut grew = false;
+        let mut stack = std::mem::take(&mut self.prop_stack);
+        stack.clear();
+        stack.push(from);
         while let Some(n) = stack.pop() {
-            if self.boundary_nodes.contains(&n) {
-                out.insert(self.info(n).txn);
-            }
-            let adj = if backward {
-                self.graph.preds(n)
-            } else {
-                self.graph.succs(n)
-            };
-            for &m in adj {
-                if scratch.visit(m) {
-                    stack.push(m);
+            for &p in self.graph.preds(n) {
+                if self.reach_mask[p.index()].union_with(&self.delta_scratch) {
+                    if let Some(slot) = self.bindex.slot_of(p) {
+                        self.summary_dirty.insert(self.bindex.txn_of[slot]);
+                        grew = true;
+                    }
+                    stack.push(p);
                 }
             }
         }
-        scratch.stack = stack;
-        out
+        self.prop_stack = stack;
+        grew
     }
 
-    /// Incremental summary maintenance for a just-inserted arc
-    /// `u -> v`.
-    fn summary_on_arc(&mut self, u: NodeId, v: NodeId) {
-        self.summary_on_fan_in(&[u], v);
-    }
-
-    /// Incremental summary maintenance for just-inserted arcs
-    /// `sources -> target` (a Rule 2/3 fan-in): every boundary node
-    /// reaching any source now reaches every boundary node reachable
-    /// from the target. One backward multi-source BFS plus one forward
-    /// BFS — exact, because a simple path can use at most one of the
-    /// new arcs (they share the target), and the target cannot reach a
-    /// source (the arcs passed the cycle check).
-    fn summary_on_fan_in(&mut self, sources: &[NodeId], target: NodeId) {
-        if self.boundary_nodes.is_empty() {
-            return;
+    /// Frees `n`'s boundary slot if it has one, clearing the slot's
+    /// bit from every mask that holds it (eagerly, so a recycled slot
+    /// can never inherit stale bits) and marking the affected entries
+    /// dirty. Only ancestors of `n` can hold the bit, so the clear is
+    /// a backward walk from `n` using the bit itself as the visited
+    /// marker — O(ancestor cone), not O(graph); must therefore run
+    /// while `n`'s in-arcs still exist. Returns whether any mirrored
+    /// content changed — `n`'s own entry had pairs, or some boundary
+    /// node reached it. The caller bumps `summary_rev` on `true`; the
+    /// change is a pure shrink, so the epoch never moves.
+    fn release_boundary_slot(&mut self, n: NodeId, t: TxnId) -> bool {
+        let Some(slot) = self.bindex.slot_of(n) else {
+            return false;
+        };
+        let mut changed = !self.reach_mask[n.index()].is_empty();
+        if changed {
+            self.summary_dirty.insert(t);
         }
-        // Forward set first: a just-completed target usually has no
-        // successors and is not boundary, so the expensive backward
-        // cone scan is skipped for most single-shard fan-ins.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut fwd = self.boundary_scan(&mut scratch, &[target], false);
-        if self.boundary_nodes.contains(&target) {
-            fwd.insert(self.info(target).txn);
-        }
-        if fwd.is_empty() {
-            self.scratch = scratch;
-            return;
-        }
-        let mut back = self.boundary_scan(&mut scratch, sources, true);
-        self.scratch = scratch;
-        for &s in sources {
-            if self.boundary_nodes.contains(&s) {
-                back.insert(self.info(s).txn);
+        let mut stack = std::mem::take(&mut self.prop_stack);
+        stack.clear();
+        stack.push(n);
+        while let Some(m) = stack.pop() {
+            for &p in self.graph.preds(m) {
+                if self.reach_mask[p.index()].remove(slot) {
+                    if let Some(ps) = self.bindex.slot_of(p) {
+                        self.summary_dirty.insert(self.bindex.txn_of[ps]);
+                        changed = true;
+                    }
+                    stack.push(p);
+                }
             }
         }
-        if back.is_empty() {
+        self.prop_stack = stack;
+        self.bindex.release(n);
+        changed
+    }
+
+    /// Defers summary maintenance: until the matching
+    /// [`CgState::end_summary_batch`], fan-in arcs and boundary marks
+    /// are queued instead of propagated, and one combined word-parallel
+    /// propagation runs at the flush — so a commit that marks a node
+    /// boundary *and* fans in its Rule 2/3 arcs updates the summary
+    /// once instead of per node and per arc. Structural removals
+    /// (`delete`, aborts, unmarks) flush the queue themselves, so the
+    /// summary consulted by any reader is always exact.
+    pub fn begin_summary_batch(&mut self) {
+        self.summary_batch = true;
+    }
+
+    /// Ends a summary batch: flushes the queued propagation and
+    /// returns to eager maintenance. Must run before the summary is
+    /// mirrored out.
+    pub fn end_summary_batch(&mut self) {
+        self.flush_pending_summary();
+        self.summary_batch = false;
+    }
+
+    /// True if a batch is open with work queued (the signal that an
+    /// [`CgState::end_summary_batch`] will actually do something).
+    pub fn summary_batch_pending(&self) -> bool {
+        !self.pending_targets.is_empty() || !self.pending_marks.is_empty()
+    }
+
+    /// Runs the queued batched propagation (keeping the batch open).
+    /// Exactness does not depend on the flush order: the worklist
+    /// keeps walking through every node whose mask changes, so a later
+    /// flush re-pushes anything an earlier one computed from
+    /// not-yet-flushed masks.
+    fn flush_pending_summary(&mut self) {
+        if self.pending_targets.is_empty() && self.pending_marks.is_empty() {
             return;
         }
         let mut grew = false;
-        for a in back {
-            let set = self.boundary_reach.entry(a).or_default();
-            let mut touched = false;
-            for &b in &fwd {
-                if a != b && set.insert(b) {
-                    touched = true;
-                }
+        let mut targets = std::mem::take(&mut self.pending_targets);
+        for &n in &targets {
+            if !self.is_live(n) {
+                continue; // removed after queueing (removals flush first)
             }
-            if touched {
-                self.summary_dirty.insert(a);
+            self.delta_scratch.copy_from(&self.reach_mask[n.index()]);
+            if let Some(slot) = self.bindex.slot_of(n) {
+                self.delta_scratch.insert(slot);
+            }
+            if self.delta_scratch.is_empty() {
+                continue;
+            }
+            grew |= self.propagate_from(n);
+        }
+        targets.clear();
+        self.pending_targets = targets;
+        self.pending_target_bits.clear();
+        let mut marks = std::mem::take(&mut self.pending_marks);
+        for &n in &marks {
+            if !self.is_live(n) {
+                continue;
+            }
+            let Some(slot) = self.bindex.slot_of(n) else {
+                continue; // unmarked again before the flush
+            };
+            if !self.reach_mask[n.index()].is_empty() {
+                self.summary_dirty.insert(self.bindex.txn_of[slot]);
                 grew = true;
             }
+            self.delta_scratch.clear();
+            self.delta_scratch.insert(slot);
+            grew |= self.propagate_from(n);
         }
+        marks.clear();
+        self.pending_marks = marks;
         if grew {
             self.summary_rev += 1;
             self.summary_epoch += 1;
         }
     }
 
-    /// Recomputes the summary from scratch (used after aborts, whose
-    /// unbridged removals can shrink reachability arbitrarily).
+    /// Recomputes every reach mask from scratch (used after aborts,
+    /// whose unbridged removals can shrink reachability arbitrarily —
+    /// the change is shrink-only there, so no epoch bump).
     pub fn recompute_boundary_summary(&mut self) {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut fresh = BTreeMap::new();
-        for &n in &self.boundary_nodes {
-            fresh.insert(
-                self.info(n).txn,
-                self.boundary_scan(&mut scratch, &[n], false),
-            );
-        }
-        self.scratch = scratch;
-        if fresh != self.boundary_reach {
-            // Mark every entry that differs (either direction).
-            for (t, set) in &fresh {
-                if self.boundary_reach.get(t) != Some(set) {
-                    self.summary_dirty.insert(*t);
-                }
-            }
-            for t in self.boundary_reach.keys() {
-                if !fresh.contains_key(t) {
-                    self.summary_dirty.insert(*t);
-                }
-            }
-            self.boundary_reach = fresh;
+        self.flush_pending_summary();
+        if self.recompute_masks_diff() {
             self.summary_rev += 1;
         }
+    }
+
+    /// One reverse-topological DP pass rebuilding all masks exactly;
+    /// marks boundary entries that changed dirty and reports whether
+    /// any did.
+    fn recompute_masks_diff(&mut self) -> bool {
+        let mut old: Vec<(usize, NodeId, BitSet)> = Vec::new();
+        for n in self.graph.nodes() {
+            if let Some(slot) = self.bindex.slot_of(n) {
+                old.push((slot, n, self.reach_mask[n.index()].clone()));
+            }
+        }
+        let order = deltx_graph::topo::topo_order(&self.graph).expect("conflict graph is acyclic");
+        for &n in order.iter().rev() {
+            let mut m = std::mem::take(&mut self.reach_mask[n.index()]);
+            m.clear();
+            for &s in self.graph.succs(n) {
+                if let Some(slot) = self.bindex.slot_of(s) {
+                    m.insert(slot);
+                }
+                m.union_with(&self.reach_mask[s.index()]);
+            }
+            self.reach_mask[n.index()] = m;
+        }
+        let mut changed = false;
+        for (slot, n, old_mask) in &old {
+            if self.reach_mask[n.index()] != *old_mask {
+                self.summary_dirty.insert(self.bindex.txn_of[*slot]);
+                changed = true;
+            }
+        }
+        changed
     }
 
     /// Drains the set of boundary transactions whose summary entry
@@ -1041,6 +1291,40 @@ impl CgState {
     /// for an external mirror (absent entries mean "remove").
     pub fn take_summary_dirty(&mut self) -> BTreeSet<TxnId> {
         std::mem::take(&mut self.summary_dirty)
+    }
+
+    /// Test/bench-support oracle: recomputes the boundary summary from
+    /// nothing but the public graph surface — for every transaction of
+    /// `marked` with a live node, a DFS over successors collecting the
+    /// marked transactions it reaches. Deliberately shares no code or
+    /// state with the incremental bitmask maintainer (it does not even
+    /// consult the boundary marks — `marked` is the caller's own
+    /// list), so the property test and the `summary_maintenance` bench
+    /// validate/measure against one independent cost model.
+    #[doc(hidden)]
+    pub fn naive_boundary_reach(&self, marked: &[TxnId]) -> BTreeMap<TxnId, BTreeSet<TxnId>> {
+        let marked_set: BTreeSet<TxnId> = marked.iter().copied().collect();
+        let mut out = BTreeMap::new();
+        for &t in &marked_set {
+            let Some(start) = self.node_of(t) else {
+                continue;
+            };
+            let mut reached = BTreeSet::new();
+            let mut visited = BTreeSet::new();
+            let mut stack: Vec<NodeId> = self.graph.succs(start).to_vec();
+            while let Some(n) = stack.pop() {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let txn = self.info(n).txn;
+                if marked_set.contains(&txn) {
+                    reached.insert(txn);
+                }
+                stack.extend_from_slice(self.graph.succs(n));
+            }
+            out.insert(t, reached);
+        }
+        out
     }
 
     /// Transitive-reduction compaction of the **ghost-only** subgraph:
@@ -1062,7 +1346,7 @@ impl CgState {
         }
         let ghost_set: HashSet<NodeId> = ghosts.iter().copied().collect();
         #[cfg(debug_assertions)]
-        let before = self.boundary_reach.clone();
+        let before = self.boundary_reach_map();
         let mut removed = 0usize;
         let mut scratch = std::mem::take(&mut self.scratch);
         for &g in &ghosts {
@@ -1085,7 +1369,8 @@ impl CgState {
         {
             self.recompute_boundary_summary();
             debug_assert_eq!(
-                before, self.boundary_reach,
+                before,
+                self.boundary_reach_map(),
                 "ghost compaction changed reachability"
             );
         }
@@ -1157,13 +1442,44 @@ impl CgState {
                 }
             }
         }
-        for &n in &self.boundary_nodes {
-            assert!(self.is_live(n), "dead boundary node {n:?}");
+        assert!(
+            !self.summary_batch_pending(),
+            "summary batch left unflushed"
+        );
+        // Boundary-index consistency: slots and node/txn tables agree,
+        // live count matches, no mask carries a freed slot's bit.
+        let mut live_slots = 0usize;
+        for n in self.graph.nodes() {
+            if let Some(slot) = self.bindex.slot_of(n) {
+                assert_eq!(self.bindex.node_of[slot], n, "slot/node drift");
+                assert_eq!(self.bindex.txn_of[slot], self.info(n).txn, "slot/txn drift");
+                live_slots += 1;
+            }
         }
+        assert_eq!(live_slots, self.bindex.live, "boundary live-count drift");
+        for n in self.graph.nodes() {
+            for slot in self.reach_mask[n.index()].iter() {
+                let owner = self.bindex.node_of[slot];
+                assert_eq!(
+                    self.bindex.slot_of(owner),
+                    Some(slot),
+                    "mask of {n:?} carries freed slot {slot}"
+                );
+            }
+        }
+        // Per-node mask exactness against a from-scratch DP recompute.
         let mut fresh = self.clone();
         fresh.recompute_boundary_summary();
+        for n in self.graph.nodes() {
+            assert_eq!(
+                fresh.reach_mask[n.index()],
+                self.reach_mask[n.index()],
+                "reach-mask drift at {n:?}"
+            );
+        }
         assert_eq!(
-            fresh.boundary_reach, self.boundary_reach,
+            fresh.boundary_reach_map(),
+            self.boundary_reach_map(),
             "boundary summary drift"
         );
         assert_eq!(
@@ -1503,15 +1819,15 @@ mod tests {
         cg.set_boundary(TxnId(1), true);
         cg.set_boundary(TxnId(3), true);
         let epoch0 = cg.summary_epoch();
-        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
-        assert!(cg.boundary_reach()[&TxnId(3)].is_empty());
+        assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)));
+        assert!(cg.boundary_reach_map()[&TxnId(3)].is_empty());
         cg.check_invariants();
 
         // Deleting the middle node bridges 1 -> 3: summary unchanged.
         let rev = cg.summary_rev();
         let t2 = cg.node_of(TxnId(2)).unwrap();
         cg.delete(t2).unwrap();
-        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+        assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)));
         assert_eq!(cg.summary_rev(), rev, "bridged delete is invisible");
         cg.check_invariants();
 
@@ -1519,15 +1835,15 @@ mod tests {
         cg.run(parse("b4 r4(x) w4(x)").unwrap().steps()).unwrap();
         cg.set_boundary(TxnId(4), true);
         assert!(cg.summary_epoch() > epoch0);
-        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(4)));
-        assert!(cg.boundary_reach()[&TxnId(3)].contains(&TxnId(4)));
+        assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(4)));
+        assert!(cg.boundary_reach_map()[&TxnId(3)].contains(&TxnId(4)));
         cg.check_invariants();
 
         // Deleting a boundary endpoint drops only its pairs.
         let t3 = cg.node_of(TxnId(3)).unwrap();
         cg.delete(t3).unwrap();
-        assert!(!cg.boundary_reach().contains_key(&TxnId(3)));
-        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(4)));
+        assert!(!cg.boundary_reach_map().contains_key(&TxnId(3)));
+        assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(4)));
         cg.check_invariants();
     }
 
@@ -1544,11 +1860,11 @@ mod tests {
         cg.add_order_arc(n2, n3).unwrap();
         cg.set_boundary(TxnId(1), true);
         cg.set_boundary(TxnId(3), true);
-        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+        assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)));
         let epoch = cg.summary_epoch();
         cg.abort_txn(TxnId(2)).unwrap();
         assert!(
-            !cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)),
+            !cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)),
             "unbridged removal severed the path"
         );
         assert_eq!(cg.summary_epoch(), epoch, "shrink must not bump epoch");
@@ -1653,20 +1969,20 @@ mod tests {
         for t in [1, 2, 3] {
             cg.set_boundary(TxnId(t), true);
         }
-        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(2)));
-        assert!(cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)));
+        assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(2)));
+        assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)));
         let epoch = cg.summary_epoch();
 
         // Delete the boundary middle: 1 -> 3 must survive (bridge),
         // 1 -> 2 and 2 -> 3 must drop, epoch must not move.
         let t2 = cg.node_of(TxnId(2)).unwrap();
         cg.delete(t2).unwrap();
-        assert!(!cg.boundary_reach().contains_key(&TxnId(2)));
+        assert!(!cg.boundary_reach_map().contains_key(&TxnId(2)));
         assert!(
-            cg.boundary_reach()[&TxnId(1)].contains(&TxnId(3)),
+            cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)),
             "through-pair lost by a boundary-node delete"
         );
-        assert!(!cg.boundary_reach()[&TxnId(1)].contains(&TxnId(2)));
+        assert!(!cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(2)));
         assert_eq!(cg.summary_epoch(), epoch, "delete is a pure shrink");
         // The dirty list names exactly the touched entries, so an
         // engine mirroring under a subset of locks copies out the
@@ -1685,8 +2001,110 @@ mod tests {
         other.set_boundary(TxnId(9), true);
         let n9 = other.node_of(TxnId(9)).unwrap();
         other.add_order_arc(g1, n9).unwrap();
-        assert!(other.boundary_reach()[&TxnId(1)].contains(&TxnId(9)));
+        assert!(other.boundary_reach_map()[&TxnId(1)].contains(&TxnId(9)));
         other.check_invariants();
+    }
+
+    #[test]
+    fn summary_batch_coalesces_marks_and_fan_ins() {
+        // Build the same state twice — once eagerly, once under a
+        // batch — and require identical summaries, with the batched
+        // run bumping rev/epoch at most once.
+        let src = "b1 r1(x) w1(x) b2 r2(x)";
+        let eager = {
+            let mut cg = CgState::new();
+            cg.run(parse(src).unwrap().steps()).unwrap();
+            cg.set_boundary(TxnId(1), true);
+            cg.set_boundary(TxnId(2), true);
+            cg.apply(&Step::write_all(2, [0])).unwrap();
+            cg.check_invariants();
+            cg
+        };
+        let mut cg = CgState::new();
+        cg.run(parse(src).unwrap().steps()).unwrap();
+        let rev0 = cg.summary_rev();
+        cg.begin_summary_batch();
+        cg.set_boundary(TxnId(1), true);
+        cg.set_boundary(TxnId(2), true);
+        cg.apply(&Step::write_all(2, [0])).unwrap();
+        assert!(cg.summary_batch_pending());
+        cg.end_summary_batch();
+        assert_eq!(cg.boundary_reach_map(), eager.boundary_reach_map());
+        assert_eq!(
+            cg.summary_rev(),
+            rev0 + 1,
+            "one combined update for the whole batch"
+        );
+        cg.check_invariants();
+        // Dirty entries cover the change for a mirror: T1 gained the
+        // pair (1, 2); T2's entry stayed empty, so it is *not* dirty
+        // (empty entries are never mirrored).
+        let dirty = cg.take_summary_dirty();
+        assert!(dirty.contains(&TxnId(1)));
+        assert!(!dirty.contains(&TxnId(2)));
+    }
+
+    #[test]
+    fn summary_batch_structural_ops_flush_first() {
+        // A delete landing mid-batch must see an exact summary: the
+        // queued propagation is flushed before the node goes away.
+        let mut cg = CgState::new();
+        cg.run(
+            parse("b1 r1(x) w1(x) b2 r2(x) w2(x) b3 r3(x) w3(x)")
+                .unwrap()
+                .steps(),
+        )
+        .unwrap();
+        cg.begin_summary_batch();
+        cg.set_boundary(TxnId(1), true);
+        cg.set_boundary(TxnId(3), true);
+        let t2 = cg.node_of(TxnId(2)).unwrap();
+        cg.delete(t2).unwrap(); // flushes the pending marks itself
+        cg.end_summary_batch();
+        assert!(cg.boundary_reach_map()[&TxnId(1)].contains(&TxnId(3)));
+        cg.check_invariants();
+    }
+
+    #[test]
+    fn no_op_deletes_do_not_bump_summary_rev() {
+        // A boundary node with no reach-pairs in either direction
+        // leaves the mirrored content untouched when deleted — the
+        // rev must not move, so mirrors skip the refresh.
+        let mut cg = CgState::new();
+        cg.run(parse("b1 r1(x) w1(x) b9 r9(y) w9(y)").unwrap().steps())
+            .unwrap();
+        cg.set_boundary(TxnId(9), true);
+        let rev = cg.summary_rev();
+        let n9 = cg.node_of(TxnId(9)).unwrap();
+        cg.delete(n9).unwrap();
+        assert_eq!(cg.summary_rev(), rev, "isolated boundary delete is a no-op");
+        assert!(cg.take_summary_dirty().is_empty());
+        // And deleting a non-boundary node never moves it either.
+        let n1 = cg.node_of(TxnId(1)).unwrap();
+        cg.delete(n1).unwrap();
+        assert_eq!(cg.summary_rev(), rev);
+        cg.check_invariants();
+    }
+
+    #[test]
+    fn boundary_index_recycles_slots_and_tracks_hwm() {
+        let mut cg = CgState::new();
+        cg.run(parse("b1 r1(x) w1(x) b2 r2(x) w2(x)").unwrap().steps())
+            .unwrap();
+        cg.set_boundary(TxnId(1), true);
+        cg.set_boundary(TxnId(2), true);
+        assert_eq!(cg.boundary_count(), 2);
+        assert_eq!(cg.boundary_index_hwm(), 2);
+        let n1 = cg.node_of(TxnId(1)).unwrap();
+        cg.delete(n1).unwrap();
+        assert_eq!(cg.boundary_count(), 1);
+        // A new mark reuses the freed slot: the hwm stays put.
+        cg.run(parse("b3 r3(x) w3(x)").unwrap().steps()).unwrap();
+        cg.set_boundary(TxnId(3), true);
+        assert_eq!(cg.boundary_count(), 2);
+        assert_eq!(cg.boundary_index_hwm(), 2, "slot recycled, not grown");
+        assert!(cg.boundary_reach_map()[&TxnId(2)].contains(&TxnId(3)));
+        cg.check_invariants();
     }
 
     #[test]

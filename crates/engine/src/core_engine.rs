@@ -17,26 +17,32 @@
 //!    a cycle through the committing transaction could traverse. Each
 //!    shard's `CgState` maintains a **boundary reachability summary**
 //!    (which boundary transactions reach which, through that shard's
-//!    graph, ghosts included), mirrored into the shared
-//!    [`Coordination`] registry whenever it changes. A path leaves the
-//!    transaction's own shards through a resident boundary
-//!    transaction, enters another shard at that transaction's twin,
-//!    and can only leave *that* shard through a boundary transaction
-//!    the summary says the twin reaches — so chasing summaries across
-//!    the registry closes the set of traversable shards. Those are
-//!    locked in ascending index order and the would-be arc sources are
-//!    checked against union reachability by a BFS that hops to a
-//!    transaction's twin nodes when it meets a multi-shard
-//!    transaction, restricted to the locked subset.
+//!    graph, ghosts included) as bitmask reach-sets over a compact
+//!    boundary-txn index, mirrored into the **sharded**
+//!    [`Coordination`] state (one mirror slot per shard, a striped
+//!    span registry — no global coordination mutex) whenever it
+//!    changes. A path leaves the transaction's own shards through a
+//!    resident boundary transaction, enters another shard at that
+//!    transaction's twin, and can only leave *that* shard through a
+//!    boundary transaction the summary says the twin reaches — so
+//!    chasing summaries across the mirror slots closes the set of
+//!    traversable shards. Those are locked in ascending index order
+//!    and the would-be arc sources are checked against union
+//!    reachability by a BFS that hops to a transaction's twin nodes
+//!    when it meets a multi-shard transaction, restricted to the
+//!    locked subset.
 //! 3. *Staleness.* The subset is planned from a lock-free snapshot, so
 //!    each shard summary carries a **growth epoch** (bumped whenever
-//!    its published reachability, boundary membership, or a resident
-//!    transaction's shard set *grows* — shrinkage cannot invalidate a
-//!    superset). After acquisition the planner re-reads the epochs of
-//!    the locked shards: any movement means the plan may be too small
-//!    and the engine falls back to all-locks. Every summary mutation
-//!    happens under the owning shard's lock and is mirrored before
-//!    that lock is released, so the re-read is authoritative.
+//!    its published reachability or a resident transaction's shard
+//!    set *grows* — shrinkage cannot invalidate a superset). After
+//!    acquisition the planner re-reads the epochs of the locked
+//!    shards: any movement means the plan may be too small and the
+//!    engine falls back to all-locks. Every summary mutation happens
+//!    under the owning shard's lock and is published — mirror slot
+//!    and registry first, epoch bump second — before that lock is
+//!    released, so the re-read is authoritative even though the
+//!    planner's slot-at-a-time snapshot is fuzzy (see
+//!    [`crate::planner`] for the argument).
 //!
 //! ## GC and cross-shard deletion
 //!
@@ -80,7 +86,7 @@
 
 use crate::error::EngineError;
 use crate::history::{Event, RecordedHistory};
-use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::metrics::{lock_counted, EngineMetrics, MetricsSnapshot};
 use crate::planner::{shard_bit, Planner};
 use crate::session::{Session, SessionState};
 use deltx_core::policy::PolicyKind;
@@ -186,37 +192,116 @@ struct Shard {
 /// Always acquired in ascending order (the map iterates that way).
 type Guards<'a> = BTreeMap<usize, MutexGuard<'a, Shard>>;
 
-/// A shard's published boundary reachability summary: mirror of the
-/// shard's [`CgState::boundary_reach`] — boundary transaction ->
-/// boundary transactions reachable through that shard's graph.
-type ShardSummary = BTreeMap<TxnId, BTreeSet<TxnId>>;
+/// Number of registry stripes (power of two; keyed by `TxnId`).
+const REG_STRIPES: usize = 16;
 
-/// Cross-shard coordination state, readable without any shard lock:
-/// the multi-shard registry plus the per-shard summary mirrors the
-/// partial-escalation planner chases.
+/// One shard's slice of the coordination state, behind its own lock:
+/// its published summary mirror and the boundary transactions resident
+/// in it. Updated only by threads holding that *shard's* graph lock
+/// (plus this mirror lock for memory safety), read lock-free-ish by
+/// planners chasing closures — so two operations whose plans touch
+/// disjoint shards never serialize on any coordination lock.
+pub(crate) struct ShardMirror {
+    /// The shard's published boundary reachability summary: boundary
+    /// transaction → reach bitmask over the shard's compact
+    /// boundary-slot index, decoded through `slot_txns`. Only
+    /// **nonempty** reach-sets are stored (an absent entry and an
+    /// empty one are indistinguishable to the chase), so no-op
+    /// shrinks never force a copy — and a copy is one word per 64
+    /// boundary slots, not a materialized transaction list.
+    pub(crate) summary: HashMap<TxnId, deltx_graph::BitSet>,
+    /// slot → transaction decode table, copied out together with the
+    /// dirty masks (so the two are mutually consistent even across
+    /// slot recycling).
+    pub(crate) slot_txns: Vec<TxnId>,
+    /// Boundary transactions resident in this shard, each with its
+    /// registered span as a bitmask. Seeds the planner's closure at
+    /// entry shards, and makes the adjacency-mask rebuild a pure fold
+    /// over this map — no cross-structure reads under the lock.
+    pub(crate) residents: BTreeMap<TxnId, u64>,
+}
+
+/// Cross-shard coordination state, readable without any shard lock —
+/// **sharded**: per-shard summary mirrors behind their own locks plus
+/// a stripe-locked span registry, so partial commits and GC sweeps
+/// with disjoint closures proceed fully in parallel (the old single
+/// coordination mutex serialized them even when their shard locks
+/// didn't conflict).
 ///
-/// Lock order: after any/all shard locks, before `pending_multi` and
-/// `history`. Mutations that follow from a shard-graph change are made
-/// while holding that shard's lock and before releasing it.
+/// Lock order: mirror and stripe locks are **leaf** locks — taken one
+/// at a time, after any shard locks, never while holding each other or
+/// `pending_multi`/`history`. Soundness of lock-free readers rests on
+/// the publication protocol: every mutation that *grows* what a shard
+/// can reach is made while holding that shard's graph lock, published
+/// here, and only then bumps the shard's planner epoch — all before
+/// the shard lock is released — so a plan validated under the subset's
+/// locks against unmoved epochs has seen every relevant growth.
 pub(crate) struct Coordination {
-    /// Shard sets of multi-shard transactions. Single-shard
-    /// transactions (the common case) never appear here. Every listed
-    /// shard holds a live node (possibly a ghost) of the transaction.
-    pub(crate) registry: HashMap<TxnId, Vec<usize>>,
-    /// `registry` inverted: the boundary transactions resident in each
-    /// shard. Seeds the planner's closure at entry shards.
-    pub(crate) boundary_txns: Vec<BTreeSet<TxnId>>,
-    /// Published summary per shard.
-    pub(crate) summaries: Vec<ShardSummary>,
+    /// Per-shard mirror slots.
+    pub(crate) mirrors: Vec<Mutex<ShardMirror>>,
+    /// Shard sets of multi-shard transactions, striped by id.
+    /// Single-shard transactions (the common case) never appear here.
+    /// Every listed shard holds a live node (possibly a ghost) of the
+    /// transaction, and an entry is only ever mutated by a thread
+    /// holding at least one of those shards' locks — which is what
+    /// makes reads under a covering lock set authoritative.
+    registry: Vec<Mutex<HashMap<TxnId, Vec<usize>>>>,
 }
 
 impl Coordination {
     fn new(shards: usize) -> Self {
         Self {
-            registry: HashMap::new(),
-            boundary_txns: vec![BTreeSet::new(); shards],
-            summaries: vec![ShardSummary::new(); shards],
+            mirrors: (0..shards)
+                .map(|_| {
+                    Mutex::new(ShardMirror {
+                        summary: HashMap::new(),
+                        slot_txns: Vec::new(),
+                        residents: BTreeMap::new(),
+                    })
+                })
+                .collect(),
+            registry: (0..REG_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
+    }
+
+    fn stripe(t: TxnId) -> usize {
+        (t.0 as usize) & (REG_STRIPES - 1)
+    }
+
+    /// The registered span of `txn`, if it is multi-shard.
+    pub(crate) fn reg_get(&self, txn: TxnId, metrics: &EngineMetrics) -> Option<Vec<usize>> {
+        lock_counted(
+            &self.registry[Self::stripe(txn)],
+            &metrics.registry_slot_contention,
+        )
+        .get(&txn)
+        .cloned()
+    }
+
+    fn reg_contains(&self, txn: TxnId, metrics: &EngineMetrics) -> bool {
+        lock_counted(
+            &self.registry[Self::stripe(txn)],
+            &metrics.registry_slot_contention,
+        )
+        .contains_key(&txn)
+    }
+
+    fn reg_insert(&self, txn: TxnId, span: Vec<usize>, metrics: &EngineMetrics) {
+        lock_counted(
+            &self.registry[Self::stripe(txn)],
+            &metrics.registry_slot_contention,
+        )
+        .insert(txn, span);
+    }
+
+    fn reg_remove(&self, txn: TxnId, metrics: &EngineMetrics) -> Option<Vec<usize>> {
+        lock_counted(
+            &self.registry[Self::stripe(txn)],
+            &metrics.registry_slot_contention,
+        )
+        .remove(&txn)
     }
 }
 
@@ -240,7 +325,7 @@ enum MultiDelete {
 
 pub(crate) struct EngineInner {
     shards: Vec<Mutex<Shard>>,
-    coord: Mutex<Coordination>,
+    pub(crate) coord: Coordination,
     /// The shared closure planner (see [`crate::planner`]): lock-free
     /// adjacency masks + growth epochs, written only under the
     /// coordination lock (and, for changes derived from a shard graph,
@@ -287,7 +372,7 @@ impl Engine {
                     })
                 })
                 .collect(),
-            coord: Mutex::new(Coordination::new(cfg.shards)),
+            coord: Coordination::new(cfg.shards),
             planner: Planner::new(cfg.shards),
             pending_multi: Mutex::new(BTreeSet::new()),
             history: cfg
@@ -445,22 +530,15 @@ impl EngineInner {
     /// `shards`. With partial escalation off the `CgState` marks are
     /// skipped — nothing consults the summaries, so the maintenance
     /// BFS on every arc would be pure overhead.
-    fn note_multi_shard(
-        &self,
-        guards: &mut Guards<'_>,
-        coord: &mut Coordination,
-        txn: TxnId,
-        shards: &BTreeSet<usize>,
-    ) {
+    fn note_multi_shard(&self, guards: &mut Guards<'_>, txn: TxnId, shards: &BTreeSet<usize>) {
         if shards.len() < 2 {
             return;
         }
-        let old: BTreeSet<usize> = coord
-            .registry
-            .get(&txn)
+        let old: BTreeSet<usize> = self
+            .coord
+            .reg_get(txn, &self.metrics)
             .into_iter()
             .flatten()
-            .copied()
             .collect();
         for &s in shards.difference(&old) {
             let g = guards.get_mut(&s).expect("spanned shard is locked");
@@ -471,7 +549,7 @@ impl EngineInner {
                 }
             }
         }
-        self.set_txn_shards(coord, txn, shards);
+        self.set_txn_shards(txn, shards);
     }
 
     /// Union-graph reachability restricted to the locked shards: can
@@ -479,8 +557,8 @@ impl EngineInner {
     /// twin-node identities? `None` means the BFS met a shard outside
     /// the locked subset — the plan was too small, retake all locks.
     fn union_reaches(
+        &self,
         guards: &Guards<'_>,
-        registry: &HashMap<TxnId, Vec<usize>>,
         from_txn: TxnId,
         targets: &HashSet<(usize, NodeId)>,
     ) -> Option<bool> {
@@ -489,6 +567,11 @@ impl EngineInner {
         }
         let mut visited: HashSet<(usize, NodeId)> = HashSet::new();
         let mut frontier: Vec<(usize, NodeId)> = Vec::new();
+        // Registry spans memoized for the whole BFS: the reads are
+        // stable under the held locks (see below), a transaction is
+        // revisited once per twin node, and each miss costs a stripe
+        // lock + clone — pay it once per transaction, not per node.
+        let mut spans: HashMap<TxnId, Option<Vec<usize>>> = HashMap::new();
         for (&s, g) in guards.iter() {
             if let Some(n) = g.cg.node_of(from_txn) {
                 visited.insert((s, n));
@@ -496,10 +579,16 @@ impl EngineInner {
             }
         }
         while let Some((s, n)) = frontier.pop() {
-            // Hop to twin nodes of the same transaction first.
+            // Hop to twin nodes of the same transaction first. The
+            // registry read is stable: the transaction has a node in a
+            // locked shard, so its entry can only be mutated by a
+            // thread holding one of the locks we hold.
             let txn = guards[&s].cg.info(n).txn;
-            if let Some(shards) = registry.get(&txn) {
-                for &t in shards {
+            let span = spans
+                .entry(txn)
+                .or_insert_with(|| self.coord.reg_get(txn, &self.metrics));
+            if let Some(shards) = span {
+                for &t in shards.iter() {
                     if t == s {
                         continue;
                     }
@@ -528,8 +617,8 @@ impl EngineInner {
 
     /// Aborts `txn` everywhere it has nodes. Caller holds the locks of
     /// every shard the transaction inhabits.
-    fn abort_everywhere(&self, guards: &mut Guards<'_>, coord: &mut Coordination, txn: TxnId) {
-        let multi = self.unregister_txn(coord, txn);
+    fn abort_everywhere(&self, guards: &mut Guards<'_>, txn: TxnId) {
+        let multi = self.unregister_txn(txn);
         for g in guards.values_mut() {
             if g.cg.node_of(txn).is_some() {
                 if multi.is_some() {
@@ -540,96 +629,132 @@ impl EngineInner {
         }
     }
 
-    /// Mirrors every locked shard's summary into the coordination
-    /// registry (rev-gated: free when nothing changed). Escalated and
-    /// GC paths call this before releasing their locks.
-    fn mirror_guards(&self, coord: &mut Coordination, guards: &mut Guards<'_>) {
+    /// Flushes batched summary propagation and mirrors every locked
+    /// shard's summary into its coordination slot (rev-gated: free
+    /// when nothing changed). Escalated and GC paths call this before
+    /// releasing their locks.
+    fn mirror_guards(&self, guards: &mut Guards<'_>) {
         for (&s, g) in guards.iter_mut() {
-            self.mirror_shard(coord, s, g);
+            self.mirror_shard(s, g);
         }
     }
 
-    /// Applies shard `s`'s summary changes to the published mirror
-    /// (only the entries the `CgState` marked dirty), bumping the
-    /// shard's growth epoch when the change includes growth — shrinks
-    /// carry no bump, they cannot invalidate a planned superset. Must
-    /// run before `s`'s lock is released.
-    fn mirror_shard(&self, coord: &mut Coordination, s: usize, g: &mut Shard) {
-        let rev = g.cg.summary_rev();
-        if rev == g.mirrored_rev {
+    /// Ends shard `s`'s summary batch (one combined propagation) and
+    /// applies its summary changes to the published mirror slot (only
+    /// the entries the `CgState` marked dirty; empty reach-sets are
+    /// simply absent), bumping the shard's growth epoch when the
+    /// change includes growth — shrinks carry no bump, they cannot
+    /// invalidate a planned superset. Must run before `s`'s lock is
+    /// released: publication happens-before the epoch bump, which
+    /// happens-before the lock release a validator synchronizes with.
+    fn mirror_shard(&self, s: usize, g: &mut Shard) {
+        if !g.cg.summary_batch_pending() && g.cg.summary_rev() == g.mirrored_rev {
+            g.cg.end_summary_batch(); // cheap: clears the mode flag
             return;
         }
-        for t in g.cg.take_summary_dirty() {
-            match g.cg.boundary_reach().get(&t) {
-                Some(set) => {
-                    coord.summaries[s].insert(t, set.clone());
+        let t0 = Instant::now();
+        g.cg.end_summary_batch();
+        let rev = g.cg.summary_rev();
+        if rev != g.mirrored_rev {
+            let dirty = g.cg.take_summary_dirty();
+            if !dirty.is_empty() {
+                let mut mir = lock_counted(
+                    &self.coord.mirrors[s],
+                    &self.metrics.registry_slot_contention,
+                );
+                for t in dirty {
+                    match g.cg.boundary_reach_mask_of(t) {
+                        Some(m) if !m.is_empty() => {
+                            mir.summary
+                                .entry(t)
+                                .and_modify(|cur| cur.copy_from(m))
+                                .or_insert_with(|| m.clone());
+                        }
+                        _ => {
+                            mir.summary.remove(&t);
+                        }
+                    }
                 }
-                None => {
-                    coord.summaries[s].remove(&t);
-                }
+                // Republish the decode table with the masks: a dirty
+                // mask may carry a freshly recycled slot.
+                mir.slot_txns.clear();
+                mir.slot_txns.extend_from_slice(g.cg.boundary_slot_txns());
             }
-        }
-        let epoch = g.cg.summary_epoch();
-        if epoch != g.mirrored_epoch {
-            self.planner.bump_epoch(s);
-            g.mirrored_epoch = epoch;
-        }
-        g.mirrored_rev = rev;
-    }
-
-    /// Rebuilds shard `s`'s adjacency mask exactly from its residents.
-    fn recompute_adj(&self, coord: &Coordination, s: usize) {
-        let mut mask = shard_bit(s);
-        for b in &coord.boundary_txns[s] {
-            for &t in coord.registry.get(b).into_iter().flatten() {
-                mask |= shard_bit(t);
+            let epoch = g.cg.summary_epoch();
+            if epoch != g.mirrored_epoch {
+                self.planner.bump_epoch(s);
+                g.mirrored_epoch = epoch;
             }
+            g.mirrored_rev = rev;
+            self.metrics
+                .note_boundary_index_hwm(g.cg.boundary_index_hwm());
         }
-        self.planner.adj_set(s, mask);
+        self.metrics
+            .record_summary_update(t0.elapsed().as_nanos() as u64);
     }
 
     /// Replaces `txn`'s registered shard set (callers only ever grow
     /// it), bumping the epoch of **every** shard in the new set on
     /// growth: each shard holding one of `txn`'s nodes can now leak
-    /// paths into the added shards.
-    fn set_txn_shards(&self, coord: &mut Coordination, txn: TxnId, shards: &BTreeSet<usize>) {
+    /// paths into the added shards. Publication order matters — mirror
+    /// slots, then the registry stripe, then the epoch bumps — so a
+    /// planner that snapshots epochs after the bumps reads
+    /// post-publication data (mutex release/acquire pairs order it).
+    fn set_txn_shards(&self, txn: TxnId, shards: &BTreeSet<usize>) {
         debug_assert!(shards.len() >= 2, "registry entries are multi-shard");
-        let old: BTreeSet<usize> = coord
-            .registry
-            .get(&txn)
+        let old: BTreeSet<usize> = self
+            .coord
+            .reg_get(txn, &self.metrics)
             .into_iter()
             .flatten()
-            .copied()
             .collect();
         if old == *shards {
             return;
         }
-        let mut grew = false;
-        for &s in shards.difference(&old) {
-            coord.boundary_txns[s].insert(txn);
-            grew = true;
+        let grew = shards.difference(&old).next().is_some();
+        let mask: u64 = shards.iter().map(|&s| shard_bit(s)).sum();
+        for &s in shards {
+            // The adjacency OR runs inside the mirror critical section
+            // so it cannot be clobbered by a concurrent exact rebuild
+            // (rebuilds also hold the mirror lock).
+            let mut mir = lock_counted(
+                &self.coord.mirrors[s],
+                &self.metrics.registry_slot_contention,
+            );
+            mir.residents.insert(txn, mask);
+            self.planner.adj_or(s, mask);
         }
         for &s in old.difference(shards) {
-            coord.boundary_txns[s].remove(&txn);
-            self.recompute_adj(coord, s);
+            self.release_resident(s, txn);
         }
-        coord.registry.insert(txn, shards.iter().copied().collect());
+        self.coord
+            .reg_insert(txn, shards.iter().copied().collect(), &self.metrics);
         if grew {
-            let mask: u64 = shards.iter().map(|&s| shard_bit(s)).sum();
             for &s in shards {
                 self.planner.bump_epoch(s);
-                self.planner.adj_or(s, mask);
             }
         }
     }
 
+    /// Drops `txn` from shard `s`'s resident set and rebuilds the
+    /// shard's adjacency mask exactly (a pure fold over the remaining
+    /// residents' span masks, all under the mirror lock).
+    fn release_resident(&self, s: usize, txn: TxnId) {
+        let mut mir = lock_counted(
+            &self.coord.mirrors[s],
+            &self.metrics.registry_slot_contention,
+        );
+        mir.residents.remove(&txn);
+        let mask = shard_bit(s) | mir.residents.values().fold(0u64, |a, &b| a | b);
+        self.planner.adj_set(s, mask);
+    }
+
     /// Unregisters a multi-shard transaction (abort or deletion). A
     /// shrink: no epoch bump.
-    fn unregister_txn(&self, coord: &mut Coordination, txn: TxnId) -> Option<Vec<usize>> {
-        let shards = coord.registry.remove(&txn)?;
+    fn unregister_txn(&self, txn: TxnId) -> Option<Vec<usize>> {
+        let shards = self.coord.reg_remove(txn, &self.metrics)?;
         for &s in &shards {
-            coord.boundary_txns[s].remove(&txn);
-            self.recompute_adj(coord, s);
+            self.release_resident(s, txn);
         }
         Some(shards)
     }
@@ -638,29 +763,23 @@ impl EngineInner {
     /// subset when partial escalation is on and the plan validates
     /// (epochs unmoved after acquisition), every lock otherwise. The
     /// closure itself comes from the shared [`Planner`].
-    fn acquire_escalation(
-        &self,
-        txn: TxnId,
-        entry: &BTreeSet<usize>,
-    ) -> (Guards<'_>, MutexGuard<'_, Coordination>) {
+    fn acquire_escalation(&self, txn: TxnId, entry: &BTreeSet<usize>) -> Guards<'_> {
         let n = self.shards.len();
         if self.partial_escalation {
-            let (subset, epochs) = self.planner.plan(txn, entry, &self.coord);
+            let (subset, token) = self.planner.plan(txn, entry, &self.coord, &self.metrics);
             if subset.len() < n {
                 let guards = self.lock_subset(&subset);
-                if self.planner.validate(&subset, &epochs) {
-                    let coord = self.coord.lock().unwrap();
+                if self.planner.validate(&subset, token) {
                     self.metrics.record_escalation(subset.len(), n);
-                    return (guards, coord);
+                    return guards;
                 }
                 drop(guards);
                 self.metrics.escalation_fallbacks.add(1);
             }
         }
         let guards = self.lock_all();
-        let coord = self.coord.lock().unwrap();
         self.metrics.record_escalation(n, n);
-        (guards, coord)
+        guards
     }
 
     /// A transaction's read of `x`.
@@ -717,16 +836,15 @@ impl EngineInner {
         self.metrics.escalated_ops.add(1);
         let mut entry: BTreeSet<usize> = st.shards.iter().copied().collect();
         entry.insert(s);
-        let (guards, coord) = self.acquire_escalation(st.txn, &entry);
-        match self.read_escalated_locked(st, x, s, guards, coord) {
+        let guards = self.acquire_escalation(st.txn, &entry);
+        match self.read_escalated_locked(st, x, s, guards) {
             Ok(res) => res,
             Err(Stale) => {
                 self.metrics.escalation_fallbacks.add(1);
                 let n = self.shards.len();
                 let guards = self.lock_all();
-                let coord = self.coord.lock().unwrap();
                 self.metrics.record_escalation(n, n);
-                self.read_escalated_locked(st, x, s, guards, coord)
+                self.read_escalated_locked(st, x, s, guards)
                     .expect("all-locks body cannot go stale")
             }
         }
@@ -738,20 +856,30 @@ impl EngineInner {
         x: EntityId,
         s: usize,
         mut guards: Guards<'_>,
-        mut coord: MutexGuard<'_, Coordination>,
     ) -> Result<Result<Value, EngineError>, Stale> {
         let mut touched: BTreeSet<usize> = st.shards.iter().copied().collect();
         touched.insert(s);
-        for &t in coord.registry.get(&st.txn).into_iter().flatten() {
+        for t in self
+            .coord
+            .reg_get(st.txn, &self.metrics)
+            .into_iter()
+            .flatten()
+        {
             touched.insert(t);
         }
         if touched.iter().any(|t| !guards.contains_key(t)) {
             return Err(Stale);
         }
+        // One summary update per operation: batch the mark + fan-in
+        // maintenance, flushed by the mirror pass before lock release.
+        for g in guards.values_mut() {
+            g.cg.begin_summary_batch();
+        }
         if let Err(e) = Self::ensure_node(guards.get_mut(&s).expect("entry shard locked"), st.txn) {
+            self.mirror_guards(&mut guards);
             return Ok(Err(e));
         }
-        self.note_multi_shard(&mut guards, &mut coord, st.txn, &touched);
+        self.note_multi_shard(&mut guards, st.txn, &touched);
         let own = guards[&s].cg.node_of(st.txn);
         let targets: HashSet<(usize, NodeId)> = guards[&s]
             .cg
@@ -761,21 +889,20 @@ impl EngineInner {
             .map(|n| (s, n))
             .collect();
         let step = Step::new(st.txn, Op::Read(x));
-        let reached = match Self::union_reaches(&guards, &coord.registry, st.txn, &targets) {
+        let reached = match self.union_reaches(&guards, st.txn, &targets) {
             Some(r) => r,
             None => {
-                self.mirror_guards(&mut coord, &mut guards);
+                self.mirror_guards(&mut guards);
                 return Err(Stale);
             }
         };
         if reached {
-            self.abort_everywhere(&mut guards, &mut coord, st.txn);
+            self.abort_everywhere(&mut guards, st.txn);
             self.record(Event::Step {
                 step,
                 outcome: Applied::SelfAborted,
             });
-            self.mirror_guards(&mut coord, &mut guards);
-            drop(coord);
+            self.mirror_guards(&mut guards);
             drop(guards);
             self.after_scheduler_abort(st);
             return Ok(Err(EngineError::Aborted(st.txn)));
@@ -783,7 +910,10 @@ impl EngineInner {
         let g = guards.get_mut(&s).expect("entry shard locked");
         let out = match g.cg.apply(&step) {
             Ok(o) => o,
-            Err(e) => return Ok(Err(e.into())),
+            Err(e) => {
+                self.mirror_guards(&mut guards);
+                return Ok(Err(e.into()));
+            }
         };
         debug_assert_eq!(out, Applied::Accepted, "local check is a union subset");
         let v = st.buf(s).read(&g.store, x);
@@ -791,8 +921,7 @@ impl EngineInner {
             step,
             outcome: Applied::Accepted,
         });
-        self.mirror_guards(&mut coord, &mut guards);
-        drop(coord);
+        self.mirror_guards(&mut guards);
         drop(guards);
         st.shards.insert(s);
         self.metrics.reads.add(1);
@@ -850,8 +979,7 @@ impl EngineInner {
                         if self.gc_policy == GcPolicy::Noncurrent
                             && g.cg.gc_candidate_count() >= SHARD_GC_THRESHOLD
                         {
-                            let mut coord = self.coord.lock().unwrap();
-                            self.reclaim_shard(s, &mut g, &mut coord);
+                            self.reclaim_shard(s, &mut g);
                         }
                         drop(g);
                         st.closed = true;
@@ -886,7 +1014,7 @@ impl EngineInner {
         n_written: u64,
     ) -> Result<(), EngineError> {
         self.metrics.escalated_ops.add(1);
-        let (guards, coord) = self.acquire_escalation(st.txn, &involved);
+        let guards = self.acquire_escalation(st.txn, &involved);
         let res = match self.commit_escalated_locked(
             st,
             &involved,
@@ -894,14 +1022,12 @@ impl EngineInner {
             &all_entities,
             n_written,
             guards,
-            coord,
         ) {
             Ok(res) => res,
             Err(Stale) => {
                 self.metrics.escalation_fallbacks.add(1);
                 let n = self.shards.len();
                 let guards = self.lock_all();
-                let coord = self.coord.lock().unwrap();
                 self.metrics.record_escalation(n, n);
                 self.commit_escalated_locked(
                     st,
@@ -910,7 +1036,6 @@ impl EngineInner {
                     &all_entities,
                     n_written,
                     guards,
-                    coord,
                 )
                 .expect("all-locks body cannot go stale")
             }
@@ -929,7 +1054,6 @@ impl EngineInner {
         res
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn commit_escalated_locked(
         &self,
         st: &mut SessionState,
@@ -938,21 +1062,32 @@ impl EngineInner {
         all_entities: &[EntityId],
         n_written: u64,
         mut guards: Guards<'_>,
-        mut coord: MutexGuard<'_, Coordination>,
     ) -> Result<Result<(), EngineError>, Stale> {
         let mut touched: BTreeSet<usize> = involved.clone();
-        for &t in coord.registry.get(&st.txn).into_iter().flatten() {
+        for t in self
+            .coord
+            .reg_get(st.txn, &self.metrics)
+            .into_iter()
+            .flatten()
+        {
             touched.insert(t);
         }
         if touched.iter().any(|t| !guards.contains_key(t)) {
             return Err(Stale);
         }
+        // One summary update per shard per commit: the boundary mark
+        // and every Rule 2/3 fan-in below coalesce into one batched
+        // propagation, flushed by the mirror pass before lock release.
+        for g in guards.values_mut() {
+            g.cg.begin_summary_batch();
+        }
         for &s in &touched {
             if let Err(e) = Self::ensure_node(guards.get_mut(&s).expect("locked"), st.txn) {
+                self.mirror_guards(&mut guards);
                 return Ok(Err(e));
             }
         }
-        self.note_multi_shard(&mut guards, &mut coord, st.txn, &touched);
+        self.note_multi_shard(&mut guards, st.txn, &touched);
         // Rule 3 arc sources for the combined atomic write.
         let mut targets: HashSet<(usize, NodeId)> = HashSet::new();
         for (&s, xs) in writes {
@@ -966,21 +1101,20 @@ impl EngineInner {
             }
         }
         let step = Step::new(st.txn, Op::WriteAll(all_entities.to_vec()));
-        let reached = match Self::union_reaches(&guards, &coord.registry, st.txn, &targets) {
+        let reached = match self.union_reaches(&guards, st.txn, &targets) {
             Some(r) => r,
             None => {
-                self.mirror_guards(&mut coord, &mut guards);
+                self.mirror_guards(&mut guards);
                 return Err(Stale);
             }
         };
         if reached {
-            self.abort_everywhere(&mut guards, &mut coord, st.txn);
+            self.abort_everywhere(&mut guards, st.txn);
             self.record(Event::Step {
                 step,
                 outcome: Applied::SelfAborted,
             });
-            self.mirror_guards(&mut coord, &mut guards);
-            drop(coord);
+            self.mirror_guards(&mut guards);
             drop(guards);
             self.after_scheduler_abort(st);
             return Ok(Err(EngineError::Aborted(st.txn)));
@@ -992,7 +1126,10 @@ impl EngineInner {
             let g = guards.get_mut(&s).expect("locked");
             let out = match g.cg.apply(&sub) {
                 Ok(o) => o,
-                Err(e) => return Ok(Err(e.into())),
+                Err(e) => {
+                    self.mirror_guards(&mut guards);
+                    return Ok(Err(e.into()));
+                }
             };
             debug_assert_eq!(out, Applied::Accepted, "local check is a union subset");
             if !xs.is_empty() {
@@ -1013,17 +1150,16 @@ impl EngineInner {
             for &s in &touched {
                 let g = guards.get_mut(&s).expect("locked");
                 if g.cg.gc_candidate_count() >= SHARD_GC_THRESHOLD {
-                    self.reclaim_shard(s, g, &mut coord);
+                    self.reclaim_shard(s, g);
                 }
             }
             if guards.len() == self.shards.len()
                 && self.pending_multi.lock().unwrap().len() >= MULTI_GC_THRESHOLD
             {
-                self.sweep_multi_locked(&mut guards, &mut coord);
+                self.sweep_multi_locked(&mut guards);
             }
         }
-        self.mirror_guards(&mut coord, &mut guards);
-        drop(coord);
+        self.mirror_guards(&mut guards);
         drop(guards);
         st.closed = true;
         self.metrics.commits.add(1);
@@ -1042,9 +1178,13 @@ impl EngineInner {
         st.closed = true;
         for attempt in 0..2 {
             let subset: BTreeSet<usize> = {
-                let coord = self.coord.lock().unwrap();
                 let mut s: BTreeSet<usize> = st.shards.iter().copied().collect();
-                s.extend(coord.registry.get(&st.txn).into_iter().flatten().copied());
+                s.extend(
+                    self.coord
+                        .reg_get(st.txn, &self.metrics)
+                        .into_iter()
+                        .flatten(),
+                );
                 s
             };
             if subset.is_empty() {
@@ -1059,22 +1199,19 @@ impl EngineInner {
             } else {
                 self.lock_all()
             };
-            let mut coord = self.coord.lock().unwrap();
-            let grown = coord
-                .registry
-                .get(&st.txn)
+            let grown = self
+                .coord
+                .reg_get(st.txn, &self.metrics)
                 .into_iter()
                 .flatten()
-                .any(|t| !guards.contains_key(t));
+                .any(|t| !guards.contains_key(&t));
             if grown {
-                drop(coord);
                 drop(guards);
                 continue;
             }
-            self.abort_everywhere(&mut guards, &mut coord, st.txn);
+            self.abort_everywhere(&mut guards, st.txn);
             self.record(Event::ClientAbort(st.txn));
-            self.mirror_guards(&mut coord, &mut guards);
-            drop(coord);
+            self.mirror_guards(&mut guards);
             drop(guards);
             self.metrics.aborts_voluntary.add(1);
             self.metrics.txns_left(1);
@@ -1130,9 +1267,8 @@ impl EngineInner {
     /// Incremental noncurrent reclaim of one shard: drains the
     /// candidate queue, deletes noncurrent single-shard transactions,
     /// defers multi-shard candidates to the multi pass, prunes stale
-    /// store versions. Caller holds the shard's lock and the
-    /// coordination lock.
-    fn reclaim_shard(&self, s: usize, g: &mut Shard, coord: &mut Coordination) {
+    /// store versions. Caller holds the shard's lock.
+    fn reclaim_shard(&self, s: usize, g: &mut Shard) {
         let t0 = Instant::now();
         let candidates = g.cg.drain_gc_candidates();
         if candidates.is_empty() {
@@ -1146,7 +1282,7 @@ impl EngineInner {
                 continue;
             }
             let txn = g.cg.info(n).txn;
-            if coord.registry.contains_key(&txn) {
+            if self.coord.reg_contains(txn, &self.metrics) {
                 deferred.push(txn);
                 continue;
             }
@@ -1164,7 +1300,7 @@ impl EngineInner {
         if !deferred.is_empty() {
             self.pending_multi.lock().unwrap().extend(deferred);
         }
-        self.mirror_shard(coord, s, g);
+        self.mirror_shard(s, g);
         self.metrics.gc_deletions.add(deleted.len() as u64);
         self.metrics.txns_left(deleted.len() as u64);
         self.metrics.gc_versions_truncated.add(truncated as u64);
@@ -1200,12 +1336,11 @@ impl EngineInner {
             if g.cg.gc_candidate_count() == 0 && !needs_mirror {
                 continue;
             }
-            let mut coord = self.coord.lock().unwrap();
             if g.cg.gc_candidate_count() > 0 {
-                self.reclaim_shard(s, &mut g, &mut coord);
+                self.reclaim_shard(s, &mut g);
             }
             // Re-tighten the mirror: hot paths skip shrink copies.
-            self.mirror_shard(&mut coord, s, &mut g);
+            self.mirror_shard(s, &mut g);
         }
     }
 
@@ -1224,10 +1359,9 @@ impl EngineInner {
             self.sweep_multi_partial();
         } else {
             let mut guards = self.lock_all();
-            let mut coord = self.coord.lock().unwrap();
             // The stop-the-world baseline: these locks were taken for
             // GC, so the acquisition is recorded.
-            if self.sweep_multi_locked(&mut guards, &mut coord) {
+            if self.sweep_multi_locked(&mut guards) {
                 self.metrics
                     .record_gc_closure(self.shards.len(), self.shards.len());
             }
@@ -1241,7 +1375,7 @@ impl EngineInner {
     /// was anything to process — the caller decides whether the lock
     /// acquisition counts toward the GC closure metrics (an inline
     /// committer's locks were taken for the commit, not for GC).
-    fn sweep_multi_locked(&self, guards: &mut Guards<'_>, coord: &mut Coordination) -> bool {
+    fn sweep_multi_locked(&self, guards: &mut Guards<'_>) -> bool {
         let pending: Vec<TxnId> = {
             let mut p = self.pending_multi.lock().unwrap();
             std::mem::take(&mut *p).into_iter().collect()
@@ -1249,7 +1383,7 @@ impl EngineInner {
         if pending.is_empty() {
             return false;
         }
-        let widen = self.sweep_multi_batch(guards, coord, &pending);
+        let widen = self.sweep_multi_batch(guards, &pending);
         debug_assert!(widen.is_empty(), "all-locks batch cannot need wider");
         true
     }
@@ -1280,35 +1414,31 @@ impl EngineInner {
         let mut widen: Vec<TxnId> = Vec::new();
         while let Some(&lead) = queue.first() {
             // The lead's entry shards, from the current registry.
-            let base: Option<BTreeSet<usize>> = {
-                let coord = self.coord.lock().unwrap();
-                coord
-                    .registry
-                    .get(&lead)
-                    .map(|v| v.iter().copied().collect())
-            };
+            let base: Option<BTreeSet<usize>> = self
+                .coord
+                .reg_get(lead, &self.metrics)
+                .map(|v| v.into_iter().collect());
             let Some(base) = base else {
                 // Aborted or already deleted: drop it from the queue.
                 queue.remove(0);
                 continue;
             };
-            let (subset, epochs) = self.planner.plan(lead, &base, &self.coord);
+            let (subset, token) = self.planner.plan(lead, &base, &self.coord, &self.metrics);
             if subset.len() >= n {
                 // Saturated closure: the final all-locks pass takes it.
                 widen.push(queue.remove(0));
                 continue;
             }
             let mut guards = self.lock_subset(&subset);
-            if !self.planner.validate(&subset, &epochs) {
+            if !self.planner.validate(&subset, token) {
                 drop(guards);
                 self.metrics.gc_closure_fallbacks.add(1);
                 widen.push(queue.remove(0));
                 continue;
             }
-            let mut coord = self.coord.lock().unwrap();
             self.metrics.record_gc_closure(subset.len(), n);
             let batch = std::mem::take(&mut queue);
-            let mut leftover = self.sweep_multi_batch(&mut guards, &mut coord, &batch);
+            let mut leftover = self.sweep_multi_batch(&mut guards, &batch);
             // The lead planned this validated closure, so its span is
             // covered and it cannot come back — except through a
             // concurrent sweep's interleaving; route it to the
@@ -1321,9 +1451,8 @@ impl EngineInner {
         }
         if !widen.is_empty() {
             let mut guards = self.lock_all();
-            let mut coord = self.coord.lock().unwrap();
             self.metrics.record_gc_closure(n, n);
-            let w = self.sweep_multi_batch(&mut guards, &mut coord, &widen);
+            let w = self.sweep_multi_batch(&mut guards, &widen);
             debug_assert!(w.is_empty(), "all-locks batch cannot need wider");
         }
     }
@@ -1333,13 +1462,14 @@ impl EngineInner {
     /// predecessors, and mirrors the touched summaries. Returns the
     /// candidates whose closure turned out to exceed the locked subset
     /// (never non-empty when every lock is held).
-    fn sweep_multi_batch(
-        &self,
-        guards: &mut Guards<'_>,
-        coord: &mut Coordination,
-        batch: &[TxnId],
-    ) -> Vec<TxnId> {
+    fn sweep_multi_batch(&self, guards: &mut Guards<'_>, batch: &[TxnId]) -> Vec<TxnId> {
         let t0 = Instant::now();
+        // Batch the bridge-arc summary maintenance: ghost marks and
+        // ordering arcs between deletes coalesce, and deletes flush
+        // their shard's queue themselves to stay exact.
+        for g in guards.values_mut() {
+            g.cg.begin_summary_batch();
+        }
         let mut still_pending: BTreeSet<TxnId> = BTreeSet::new();
         let mut deleted: Vec<TxnId> = Vec::new();
         // Entities the deleted transactions wrote, per shard — the
@@ -1350,7 +1480,6 @@ impl EngineInner {
         for &txn in batch {
             match self.try_delete_multi(
                 guards,
-                coord,
                 txn,
                 &mut still_pending,
                 &mut written,
@@ -1371,9 +1500,7 @@ impl EngineInner {
         if !still_pending.is_empty() {
             self.pending_multi.lock().unwrap().extend(still_pending);
         }
-        for (&s, g) in guards.iter_mut() {
-            self.mirror_shard(coord, s, g);
-        }
+        self.mirror_guards(guards);
         self.metrics.gc_deletions.add(deleted.len() as u64);
         self.metrics.txns_left(deleted.len() as u64);
         self.metrics.gc_ghosts.add(ghosts_made);
@@ -1401,13 +1528,12 @@ impl EngineInner {
     fn try_delete_multi(
         &self,
         guards: &mut Guards<'_>,
-        coord: &mut Coordination,
         txn: TxnId,
         still_pending: &mut BTreeSet<TxnId>,
         written: &mut BTreeMap<usize, Vec<EntityId>>,
         ghosts_made: &mut u64,
     ) -> MultiDelete {
-        let Some(shards) = coord.registry.get(&txn).cloned() else {
+        let Some(shards) = self.coord.reg_get(txn, &self.metrics) else {
             return MultiDelete::Skipped; // aborted or already deleted
         };
         // The candidate's own span must be fully locked (a commit or a
@@ -1460,13 +1586,12 @@ impl EngineInner {
         // neighbor's span). Checked BEFORE the first mutation so a
         // too-narrow plan defers the whole candidate instead of
         // half-deleting it.
-        let covered = preds
-            .iter()
-            .chain(succs.iter())
-            .all(|(_, t)| match coord.registry.get(t) {
+        let covered = preds.iter().chain(succs.iter()).all(|(_, t)| {
+            match self.coord.reg_get(*t, &self.metrics) {
                 Some(span) => span.iter().all(|s| guards.contains_key(s)),
                 None => true, // single-shard neighbor: its only shard is txn's
-            });
+            }
+        });
         if !covered {
             return MultiDelete::NeedsWider;
         }
@@ -1477,14 +1602,13 @@ impl EngineInner {
                 g.cg.delete(n).expect("completed node deletes");
             }
         }
-        self.unregister_txn(coord, txn);
+        self.unregister_txn(txn);
         for &(ps, p) in &preds {
             for &(qs, q) in &succs {
                 if ps == qs || p == q {
                     continue; // same shard: bridged locally
                 }
-                *ghosts_made +=
-                    self.bridge_cross_shard(guards, coord, still_pending, (ps, p), (qs, q));
+                *ghosts_made += self.bridge_cross_shard(guards, still_pending, (ps, p), (qs, q));
             }
         }
         for (s, x) in written_local {
@@ -1503,14 +1627,19 @@ impl EngineInner {
     fn bridge_cross_shard(
         &self,
         guards: &mut Guards<'_>,
-        coord: &mut Coordination,
         pending: &mut BTreeSet<TxnId>,
         (ps, p): (usize, TxnId),
         (qs, q): (usize, TxnId),
     ) -> u64 {
         // A shard where both live already?
-        let p_shards: Vec<usize> = coord.registry.get(&p).cloned().unwrap_or_else(|| vec![ps]);
-        let q_shards: Vec<usize> = coord.registry.get(&q).cloned().unwrap_or_else(|| vec![qs]);
+        let p_shards: Vec<usize> = self
+            .coord
+            .reg_get(p, &self.metrics)
+            .unwrap_or_else(|| vec![ps]);
+        let q_shards: Vec<usize> = self
+            .coord
+            .reg_get(q, &self.metrics)
+            .unwrap_or_else(|| vec![qs]);
         for &c in &p_shards {
             if q_shards.contains(&c) {
                 let g = guards.get_mut(&c).expect("common neighbor shard is locked");
@@ -1567,7 +1696,7 @@ impl EngineInner {
         }
         let mut shards: BTreeSet<usize> = p_shards.iter().copied().collect();
         shards.insert(target);
-        self.set_txn_shards(coord, p, &shards);
+        self.set_txn_shards(p, &shards);
         if p_completed {
             pending.insert(p);
         }

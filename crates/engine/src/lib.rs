@@ -52,18 +52,24 @@
 //!   graph. Anything else escalates **partially**: each shard's
 //!   `CgState` maintains a *boundary reachability summary* (which
 //!   boundary transactions reach which through that shard's graph,
-//!   ghosts included), mirrored into a shared coordination registry
-//!   with a per-shard *growth epoch*. The committer plans the closure
-//!   of shards a cycle through it could traverse — a lock-free
-//!   adjacency-mask fixpoint, refined by chasing summaries across the
-//!   registry — locks only that subset in ascending order, and
-//!   re-validates the epochs after acquisition; if a summary grew in
-//!   the meantime the plan may be too small and the commit falls back
-//!   to all locks (still ascending, deadlock-free). The union cycle
-//!   check then runs restricted to the locked subset, hopping between
-//!   shards at multi-shard nodes — provably equal to the all-shards
-//!   check (see `core_engine` module docs). One hot cross-shard pair
-//!   no longer serializes the whole engine, and accept/reject
+//!   ghosts included) as **bitmask reach-sets over a compact
+//!   boundary-txn index** — word-parallel propagation on arc fan-ins,
+//!   one batched update per commit — mirrored into a **sharded
+//!   coordination registry** (per-shard mirror slots behind their own
+//!   leaf locks + a stripe-locked span registry; no global
+//!   coordination mutex) with a per-shard *growth epoch*. The
+//!   committer plans the closure of shards a cycle through it could
+//!   traverse — a lock-free adjacency-mask fixpoint, refined by
+//!   chasing summaries across the mirror slots — locks only that
+//!   subset in ascending order, and re-validates the epochs after
+//!   acquisition; if a summary grew in the meantime the plan may be
+//!   too small and the commit falls back to all locks (still
+//!   ascending, deadlock-free). The union cycle check then runs
+//!   restricted to the locked subset, hopping between shards at
+//!   multi-shard nodes — provably equal to the all-shards check (see
+//!   `core_engine` module docs). One hot cross-shard pair no longer
+//!   serializes the whole engine — two commits (or GC sweeps) with
+//!   disjoint closures share no lock at all — and accept/reject
 //!   decisions are bit-identical to the all-locks baseline
 //!   ([`EngineConfig::partial_escalation`] toggles it for A/B runs).
 //! * **GC**: a background thread drains per-shard candidate queues
@@ -90,8 +96,10 @@
 //! * **Metrics** ([`metrics`]): throughput, aborts, live-graph size,
 //!   deletions, GC pause time, and the escalation economics — partial
 //!   vs full acquisitions, escalated-subset-size and GC-closure-size
-//!   histograms, plan fallbacks, and a boundary-count underflow
-//!   tripwire.
+//!   histograms, plan fallbacks, a boundary-count underflow tripwire,
+//!   plus the summary's own maintenance economics: a summary-update
+//!   latency histogram, the boundary-txn index high-water mark, and a
+//!   registry-slot contention counter.
 //!
 //! A prose walkthrough of the four locking regimes (fast path,
 //! partial escalation, all-locks fallback, GC closures) with the

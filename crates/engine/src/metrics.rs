@@ -8,6 +8,7 @@
 
 use deltx_sched::StateSize;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
 use std::time::Duration;
 
 /// Relaxed-ordering counter cell.
@@ -21,6 +22,20 @@ impl Counter {
 
     pub(crate) fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Locks a coordination slot, counting the times the lock was already
+/// held (the registry-slot contention signal: how often two operations
+/// actually collided on a sharded coordination structure).
+pub(crate) fn lock_counted<'a, T>(m: &'a Mutex<T>, contended: &Counter) -> MutexGuard<'a, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::WouldBlock) => {
+            contended.add(1);
+            m.lock().unwrap()
+        }
+        Err(TryLockError::Poisoned(_)) => m.lock().unwrap(),
     }
 }
 
@@ -38,6 +53,22 @@ fn subset_bucket(locked: usize) -> usize {
         .iter()
         .position(|&hi| locked <= hi)
         .unwrap_or(SUBSET_HIST_BUCKETS - 1)
+}
+
+/// Number of buckets in the summary-update latency histogram.
+pub const SUMMARY_HIST_BUCKETS: usize = 8;
+
+/// Upper bounds (inclusive, nanoseconds) of the summary-update
+/// histogram buckets: ≤250ns, ≤1µs, ≤4µs, ≤16µs, ≤64µs, ≤256µs,
+/// ≤1ms, >1ms.
+const SUMMARY_HIST_BOUNDS_NANOS: [u64; SUMMARY_HIST_BUCKETS - 1] =
+    [250, 1_000, 4_000, 16_000, 64_000, 256_000, 1_000_000];
+
+fn summary_bucket(nanos: u64) -> usize {
+    SUMMARY_HIST_BOUNDS_NANOS
+        .iter()
+        .position(|&hi| nanos <= hi)
+        .unwrap_or(SUMMARY_HIST_BUCKETS - 1)
 }
 
 /// The engine's metric registry (one per engine, shared with the GC
@@ -66,6 +97,16 @@ pub(crate) struct EngineMetrics {
     pub gc_closure_fallbacks: Counter,
     pub gc_closure_locks_taken: Counter,
     pub gc_closure_hist: [Counter; SUBSET_HIST_BUCKETS],
+    /// Total nanoseconds spent flushing + mirroring boundary
+    /// summaries, and the latency histogram over those update spans.
+    pub summary_update_nanos: Counter,
+    pub summary_updates: Counter,
+    pub summary_update_hist: [Counter; SUMMARY_HIST_BUCKETS],
+    /// Times a sharded coordination slot (registry stripe or per-shard
+    /// mirror) was found already locked.
+    pub registry_slot_contention: Counter,
+    /// Widest any shard's boundary-txn index has grown (slots).
+    pub boundary_index_hwm: AtomicU64,
     /// Distinct live transactions across all shards (gauge; updated
     /// under shard locks).
     pub live_txns: Counter,
@@ -92,6 +133,20 @@ impl EngineMetrics {
             self.gc_partial_sweeps.add(1);
         }
         self.gc_closure_hist[subset_bucket(locked)].add(1);
+    }
+
+    /// Records one summary flush + mirror span.
+    pub(crate) fn record_summary_update(&self, nanos: u64) {
+        self.summary_update_nanos.add(nanos);
+        self.summary_updates.add(1);
+        self.summary_update_hist[summary_bucket(nanos)].add(1);
+    }
+
+    /// Folds one shard's boundary-index high-water mark into the
+    /// engine-wide gauge.
+    pub(crate) fn note_boundary_index_hwm(&self, slots: usize) {
+        self.boundary_index_hwm
+            .fetch_max(slots as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn txn_became_live(&self) {
@@ -126,6 +181,11 @@ impl EngineMetrics {
             gc_closure_fallbacks: self.gc_closure_fallbacks.get(),
             gc_closure_locks_taken: self.gc_closure_locks_taken.get(),
             gc_closure_hist: std::array::from_fn(|i| self.gc_closure_hist[i].get()),
+            summary_update_nanos: self.summary_update_nanos.get(),
+            summary_updates: self.summary_updates.get(),
+            summary_update_hist: std::array::from_fn(|i| self.summary_update_hist[i].get()),
+            registry_slot_contention: self.registry_slot_contention.get(),
+            boundary_index_hwm: self.boundary_index_hwm.load(Ordering::Relaxed),
             gc_pause: Duration::from_nanos(self.gc_pause_nanos.get()),
             live_txns: self.live_txns.get(),
             peak_live_txns: self.peak_live_txns.load(Ordering::Relaxed),
@@ -200,6 +260,23 @@ pub struct MetricsSnapshot {
     /// Histogram of multi-shard GC lock-closure sizes. Buckets: 1, 2,
     /// 3, 4, 5–8, 9–16, 17–32, 33+ locks per acquisition.
     pub gc_closure_hist: [u64; SUBSET_HIST_BUCKETS],
+    /// Total nanoseconds spent flushing batched summary propagation
+    /// and mirroring dirty entries into the coordination registry —
+    /// the maintenance tax partial locking pays over the all-locks
+    /// baseline, measured directly.
+    pub summary_update_nanos: u64,
+    /// Number of summary flush + mirror spans measured.
+    pub summary_updates: u64,
+    /// Latency histogram of those spans. Buckets: ≤250ns, ≤1µs, ≤4µs,
+    /// ≤16µs, ≤64µs, ≤256µs, ≤1ms, >1ms.
+    pub summary_update_hist: [u64; SUMMARY_HIST_BUCKETS],
+    /// Times a sharded coordination slot (registry stripe or per-shard
+    /// summary mirror) was found already locked — the residual
+    /// serialization after sharding the old global coordination mutex.
+    pub registry_slot_contention: u64,
+    /// High-water mark of any shard's boundary-txn index, in slots:
+    /// the widest a reach bitmask has had to grow.
+    pub boundary_index_hwm: u64,
     /// Total wall-clock time GC spent holding shard locks.
     pub gc_pause: Duration,
     /// Distinct live transactions in the conflict graph right now.
@@ -261,7 +338,7 @@ impl std::fmt::Display for MetricsSnapshot {
         } else {
             self.gc_closure_locks_taken as f64 / gc_acqs as f64
         };
-        write!(
+        writeln!(
             f,
             "gc closures: {} partial / {} acquisitions (mean {:.1} locks, fallbacks {}), \
              closure hist [1|2|3|4|≤8|≤16|≤32|>32] = {:?}",
@@ -270,6 +347,23 @@ impl std::fmt::Display for MetricsSnapshot {
             gc_mean,
             self.gc_closure_fallbacks,
             self.gc_closure_hist
+        )?;
+        let mean_ns = if self.summary_updates == 0 {
+            0.0
+        } else {
+            self.summary_update_nanos as f64 / self.summary_updates as f64
+        };
+        write!(
+            f,
+            "summary: {} updates (mean {:.0} ns, total {:?}), \
+             hist [≤250ns|≤1µs|≤4µs|≤16µs|≤64µs|≤256µs|≤1ms|>1ms] = {:?}, \
+             boundary index hwm {} slots, registry-slot contention {}",
+            self.summary_updates,
+            mean_ns,
+            Duration::from_nanos(self.summary_update_nanos),
+            self.summary_update_hist,
+            self.boundary_index_hwm,
+            self.registry_slot_contention
         )
     }
 }

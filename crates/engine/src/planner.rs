@@ -26,16 +26,27 @@
 //!   planner client locks its subset, re-reads the epochs, and falls
 //!   back to all locks only on movement.
 //!
-//! Both atomics are written only under the coordination lock, and for
-//! changes derived from a shard's graph, before that shard's lock is
-//! released — which is what makes the post-acquisition epoch re-read
+//! The coordination state the fine chase reads is **sharded** (one
+//! mirror slot per shard, a stripe-locked span registry), so the chase
+//! takes no global lock: it snapshots one slot at a time. That makes
+//! the view *fuzzy* — different shards may be read at different
+//! moments — but the epoch protocol keeps it sound: every mutation
+//! that grows what shard `s` contributes is published to `s`'s slot
+//! and then bumps `s`'s epoch, all while holding `s`'s graph lock. If
+//! the epochs of the planned subset are unmoved after acquisition,
+//! none of the subset's inputs grew anywhere in the window, so each
+//! slot the chase read was the validation-time truth or a superset of
+//! it (shrinks only) — and a superset only over-locks.
+//!
+//! Both atomics are written before the owning shard's lock is released
+//! — which is what makes the post-acquisition epoch re-read
 //! authoritative.
 
 use crate::core_engine::Coordination;
+use crate::metrics::{lock_counted, EngineMetrics};
 use deltx_model::TxnId;
 use std::collections::{BTreeSet, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Adjacency-closure size up to which the planner takes the closure
 /// as the lock subset directly, skipping the summary fine chase.
@@ -83,24 +94,18 @@ impl Planner {
         self.plan_adj[s].store(mask, Ordering::Relaxed);
     }
 
-    /// Snapshots the growth epochs of every shard (Relaxed is enough:
-    /// the shard-mutex release/acquire pair orders the stores against
-    /// a post-acquisition re-read).
-    pub(crate) fn snapshot_epochs(&self) -> Vec<u64> {
-        self.plan_epoch
-            .iter()
-            .map(|e| e.load(Ordering::Relaxed))
-            .collect()
-    }
-
-    /// True if none of `subset`'s epochs moved since `epochs` was
-    /// snapshotted — the planned subset is still a superset of every
-    /// shard a path could reach. Call *after* acquiring the subset's
-    /// locks.
-    pub(crate) fn validate(&self, subset: &BTreeSet<usize>, epochs: &[u64]) -> bool {
-        subset
-            .iter()
-            .all(|&s| self.plan_epoch[s].load(Ordering::Relaxed) == epochs[s])
+    /// True if none of `subset`'s epochs moved since the plan's
+    /// `token` was computed — the planned subset is still a superset
+    /// of every shard a path could reach. Call *after* acquiring the
+    /// subset's locks. The token is the wrapping sum of the subset's
+    /// epochs at plan time (Relaxed is enough: the shard-mutex
+    /// release/acquire pair orders the stores against this re-read);
+    /// epochs only ever increment, so any movement strictly grows the
+    /// sum and equality certifies that none moved.
+    pub(crate) fn validate(&self, subset: &BTreeSet<usize>, token: u64) -> bool {
+        subset.iter().fold(0u64, |acc, &s| {
+            acc.wrapping_add(self.plan_epoch[s].load(Ordering::Relaxed))
+        }) == token
     }
 
     /// Plans the shard subset a path through `txn` could traverse: the
@@ -110,8 +115,7 @@ impl Planner {
     /// are potential exits; entering shard `t` at transaction `b`'s
     /// twin, a path can only leave `t` through `b` itself or a
     /// boundary transaction `t`'s summary says `b` reaches. Returns
-    /// the subset plus the epoch snapshot to validate after
-    /// acquisition.
+    /// the subset plus the epoch token to validate after acquisition.
     ///
     /// The common cases never touch a lock: the adjacency-mask
     /// fixpoint over `plan_adj` computes a superset of the summary
@@ -127,14 +131,32 @@ impl Planner {
         &self,
         txn: TxnId,
         base: &BTreeSet<usize>,
-        coord: &Mutex<Coordination>,
-    ) -> (BTreeSet<usize>, Vec<u64>) {
+        coord: &Coordination,
+        metrics: &EngineMetrics,
+    ) -> (BTreeSet<usize>, u64) {
         // Epochs are snapshotted BEFORE the plan inputs are read:
         // growth landing between the two reads then shows as an epoch
         // mismatch at validation instead of silently blessing a plan
-        // built from pre-growth inputs.
-        let epochs = self.snapshot_epochs();
+        // built from pre-growth inputs. The snapshot lives on the
+        // stack (no per-plan allocation); the returned token is the
+        // wrapping sum over the final subset.
         let n = self.plan_adj.len();
+        let mut stack_snap = [0u64; 64];
+        let mut heap_snap: Vec<u64> = Vec::new();
+        let epochs: &[u64] = if n <= 64 {
+            for (s, slot) in stack_snap.iter_mut().enumerate().take(n) {
+                *slot = self.plan_epoch[s].load(Ordering::Relaxed);
+            }
+            &stack_snap[..n]
+        } else {
+            heap_snap.extend(self.plan_epoch.iter().map(|e| e.load(Ordering::Relaxed)));
+            &heap_snap
+        };
+        let token_of = |subset: &BTreeSet<usize>| {
+            subset
+                .iter()
+                .fold(0u64, |acc, &s| acc.wrapping_add(epochs[s]))
+        };
         if n <= 64 {
             let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
             let entry_mask: u64 = base.iter().map(|&s| shard_bit(s)).sum();
@@ -148,7 +170,9 @@ impl Planner {
                     next |= self.plan_adj[s].load(Ordering::Relaxed);
                 }
                 if next == full {
-                    return ((0..n).collect(), epochs);
+                    let subset: BTreeSet<usize> = (0..n).collect();
+                    let token = token_of(&subset);
+                    return (subset, token);
                 }
                 if next == mask {
                     break;
@@ -167,17 +191,21 @@ impl Planner {
                     subset.insert(bits.trailing_zeros() as usize);
                     bits &= bits - 1;
                 }
-                return (subset, epochs);
+                let token = token_of(&subset);
+                return (subset, token);
             }
         }
-        // Intermediate regime: the fine, summary-driven chase.
-        let coord = coord.lock().unwrap();
+        // Intermediate regime: the fine, summary-driven chase over the
+        // sharded mirrors — one slot lock at a time, never nested, so
+        // chases over disjoint closures run fully in parallel.
         let mut subset: BTreeSet<usize> = base.clone();
-        subset.extend(coord.registry.get(&txn).into_iter().flatten().copied());
+        subset.extend(coord.reg_get(txn, metrics).into_iter().flatten());
         let mut stack: Vec<(usize, TxnId)> = Vec::new();
         let mut seen: HashSet<(usize, TxnId)> = HashSet::new();
-        for &u in &subset {
-            for &b in &coord.boundary_txns[u] {
+        let entry: Vec<usize> = subset.iter().copied().collect();
+        for u in entry {
+            let mir = lock_counted(&coord.mirrors[u], &metrics.registry_slot_contention);
+            for &b in mir.residents.keys() {
                 if seen.insert((u, b)) {
                     stack.push((u, b));
                 }
@@ -187,9 +215,15 @@ impl Planner {
         // chasing cannot change the answer.
         while subset.len() < n {
             let Some((u, b)) = stack.pop() else { break };
-            let reach = coord.summaries[u].get(&b);
-            for e in std::iter::once(b).chain(reach.into_iter().flatten().copied()) {
-                for &t in coord.registry.get(&e).into_iter().flatten() {
+            let reach: Vec<TxnId> = {
+                let mir = lock_counted(&coord.mirrors[u], &metrics.registry_slot_contention);
+                match mir.summary.get(&b) {
+                    Some(mask) => mask.iter().map(|slot| mir.slot_txns[slot]).collect(),
+                    None => Vec::new(),
+                }
+            };
+            for e in std::iter::once(b).chain(reach) {
+                for t in coord.reg_get(e, metrics).into_iter().flatten() {
                     subset.insert(t);
                     if seen.insert((t, e)) {
                         stack.push((t, e));
@@ -197,7 +231,7 @@ impl Planner {
                 }
             }
         }
-        drop(coord);
-        (subset, epochs)
+        let token = token_of(&subset);
+        (subset, token)
     }
 }

@@ -9,10 +9,28 @@
 ///
 /// All operations are O(1) or O(words). The set grows automatically on
 /// [`BitSet::insert`]; queries outside the current capacity return `false`.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Equality is **semantic** (same set of bits), not representational:
+/// trailing zero words left behind by `remove`/`clear`/`copy_from` do
+/// not distinguish two sets.
+#[derive(Clone, Default)]
 pub struct BitSet {
     words: Vec<u64>,
 }
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &BitSet) -> bool {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|w| *w == 0)
+    }
+}
+
+impl Eq for BitSet {}
 
 const WORD_BITS: usize = 64;
 
@@ -64,6 +82,19 @@ impl BitSet {
     pub fn contains(&self, bit: usize) -> bool {
         let (w, b) = (bit / WORD_BITS, bit % WORD_BITS);
         self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the existing
+    /// backing buffer (unlike `clone_from` on a derived `Clone`, this
+    /// never reallocates when `self` already has enough capacity) —
+    /// for hot paths that rebuild a scratch set per event.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let (mirror, tail) = self.words.split_at_mut(other.words.len());
+        mirror.copy_from_slice(&other.words);
+        tail.iter_mut().for_each(|w| *w = 0);
     }
 
     /// Unions `other` into `self`. Returns `true` if `self` changed.
@@ -186,6 +217,18 @@ mod tests {
     }
 
     #[test]
+    fn copy_from_reuses_and_clears_tail() {
+        let mut dst: BitSet = [0usize, 200].into_iter().collect();
+        let src: BitSet = [3usize, 64].into_iter().collect();
+        dst.copy_from(&src);
+        assert_eq!(dst.iter().collect::<Vec<_>>(), vec![3, 64]);
+        assert!(!dst.contains(200), "tail word cleared");
+        let wider: BitSet = [500usize].into_iter().collect();
+        dst.copy_from(&wider);
+        assert_eq!(dst.iter().collect::<Vec<_>>(), vec![500]);
+    }
+
+    #[test]
     fn union_and_difference() {
         let mut a: BitSet = [1, 5, 130].into_iter().collect();
         let b: BitSet = [5, 7].into_iter().collect();
@@ -215,5 +258,20 @@ mod tests {
         let s = BitSet::with_capacity(200);
         assert!(s.is_empty());
         assert!(!s.contains(150));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        let empty = BitSet::new();
+        let mut zeroed = BitSet::with_capacity(200);
+        assert_eq!(empty, zeroed, "capacity is not content");
+        zeroed.insert(150);
+        assert_ne!(empty, zeroed);
+        zeroed.remove(150);
+        assert_eq!(empty, zeroed, "remove leaves a zero word behind");
+        let a: BitSet = [3usize].into_iter().collect();
+        let mut b = BitSet::with_capacity(500);
+        b.insert(3);
+        assert_eq!(a, b);
     }
 }

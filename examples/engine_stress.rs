@@ -11,13 +11,18 @@
 //! #                       cross-shard % ──────────────────────┘      │         │
 //! #   flags (any order): "all-locks" disables partial escalation ────┘         │
 //! #                      "all-locks-gc" forces stop-the-world multi-shard GC ──┘
+//! #                      "--contention": cross traffic hits many DISJOINT hot
+//! #                       shard pairs (0↔1, 2↔3, …) instead of uniform pairs —
+//! #                       the worst case for a single coordination mutex, the
+//! #                       best case for the sharded registry
 //! ```
 //!
 //! Every transaction transfers between two accounts (read both, write
 //! both), so the sum of all balances is an end-to-end serializability
 //! invariant: any lost update or dirty interleaving would break it.
 //! The driver asserts it, asserts the live graph stayed `O(active)`,
-//! and prints the engine's metrics.
+//! asserts zero boundary-count underflows, and prints the engine's
+//! metrics.
 
 use deltx_engine::{Engine, EngineConfig, GcPolicy};
 use rand::rngs::StdRng;
@@ -50,13 +55,16 @@ fn main() {
     let flags: Vec<&str> = args.iter().skip(4).map(String::as_str).collect();
     if let Some(bad) = flags
         .iter()
-        .find(|f| !matches!(**f, "all-locks" | "all-locks-gc"))
+        .find(|f| !matches!(**f, "all-locks" | "all-locks-gc" | "--contention"))
     {
-        eprintln!("unknown flag `{bad}` (expected `all-locks` and/or `all-locks-gc`)");
+        eprintln!(
+            "unknown flag `{bad}` (expected `all-locks`, `all-locks-gc` and/or `--contention`)"
+        );
         std::process::exit(2);
     }
     let partial: bool = !flags.contains(&"all-locks");
     let partial_gc: bool = !flags.contains(&"all-locks-gc");
+    let contention: bool = flags.contains(&"--contention");
     let shards = 8usize;
 
     let engine = Engine::new(EngineConfig {
@@ -71,8 +79,13 @@ fn main() {
 
     println!(
         "engine_stress: {threads} threads x {} txns, {n_entities} entities, \
-         {shards} shards, {cross_pct}% cross-shard",
-        total_txns / threads
+         {shards} shards, {cross_pct}% cross-shard{}",
+        total_txns / threads,
+        if contention {
+            " (contention mode: disjoint hot shard pairs)"
+        } else {
+            ""
+        }
     );
 
     let committed = AtomicUsize::new(0);
@@ -89,14 +102,30 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(0xD17A + tid as u64);
                 let per_thread = total_txns / threads;
                 for _ in 0..per_thread {
+                    let span = (n_entities / shards as u32).max(1);
                     let (x, y) = if rng.gen_range(0u32..100) < cross_pct {
-                        (rng.gen_range(0..n_entities), rng.gen_range(0..n_entities))
+                        if contention {
+                            // Disjoint hot pairs: shard 2i <-> 2i+1.
+                            // Each pair's closure is {2i, 2i+1}, so
+                            // partial escalation never serializes two
+                            // different pairs on the same locks.
+                            let pair = rng.gen_range(0..shards as u32 / 2);
+                            // The modulo only matters when entities <
+                            // shards (keeps every account inside the
+                            // balance-summed range).
+                            (
+                                (2 * pair + shards as u32 * rng.gen_range(0..span)) % n_entities,
+                                (2 * pair + 1 + shards as u32 * rng.gen_range(0..span))
+                                    % n_entities,
+                            )
+                        } else {
+                            (rng.gen_range(0..n_entities), rng.gen_range(0..n_entities))
+                        }
                     } else {
                         let s = rng.gen_range(0..shards as u32);
-                        let span = n_entities / shards as u32;
                         (
-                            s + shards as u32 * rng.gen_range(0..span.max(1)),
-                            s + shards as u32 * rng.gen_range(0..span.max(1)),
+                            s + shards as u32 * rng.gen_range(0..span),
+                            s + shards as u32 * rng.gen_range(0..span),
                         )
                     };
                     let mut t = engine.begin();
@@ -160,6 +189,13 @@ fn main() {
     // End-to-end value check: transfers conserve the total balance.
     let sum: i64 = (0..n_entities).map(|x| engine.peek(x)).sum();
     assert_eq!(sum, 0, "balance sum must be conserved (serializability)");
+
+    // Bookkeeping tripwire: the registry and the per-shard boundary
+    // counts must never disagree, under any locking mode.
+    assert_eq!(
+        m.boundary_underflows, 0,
+        "boundary-count underflow: registry / shard-count drift"
+    );
 
     // The paper's promise: live graph stays O(active), not O(history).
     let bound = threads + 4 * n_entities as usize + 16;
