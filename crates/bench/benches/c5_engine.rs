@@ -4,7 +4,7 @@
 //! shard-locality (fast path vs escalated commits), and thread count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use deltx_engine::{Engine, EngineConfig, GcPolicy};
+use deltx_engine::{bench_report, DurabilityConfig, Engine, EngineConfig, GcPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -369,6 +369,117 @@ fn bench_summary_maintenance(c: &mut Criterion) {
     g.finish();
 }
 
+/// Durability tax and recovery speed: the same transfer mix with the
+/// write-ahead log off vs on (group commit, no fsync — the protocol
+/// cost, not the device's), then an untimed diagnostic pass that
+/// crashes the durable engine, times `Engine::open` recovery, and
+/// merges the headline numbers (group-commit batch size, mean GC
+/// closure, recovery ms) into `BENCH_6.json` for CI to archive.
+fn bench_durability(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    let wal_dir = || {
+        std::env::temp_dir().join(format!(
+            "deltx-c5-wal-{}-{}",
+            std::process::id(),
+            RUN.fetch_add(1, Ordering::Relaxed)
+        ))
+    };
+    let durable_engine = |dir: &std::path::Path| {
+        Engine::new(EngineConfig {
+            shards: SHARDS,
+            gc: GcPolicy::Noncurrent,
+            background_gc: false,
+            record_history: false,
+            durability: Some(DurabilityConfig {
+                fsync: false,
+                ..DurabilityConfig::new(dir.to_path_buf())
+            }),
+            ..EngineConfig::default()
+        })
+    };
+    let mut g = c.benchmark_group("c5_engine/durability");
+    let txns = 4_000;
+    g.throughput(Throughput::Elements(txns as u64));
+    g.bench_function("wal-off", |b| {
+        b.iter(|| {
+            let e = engine(GcPolicy::Noncurrent);
+            drive(&e, 4, txns, 20, 6);
+            e.metrics().commits
+        })
+    });
+    g.bench_function("wal-on", |b| {
+        b.iter(|| {
+            let dir = wal_dir();
+            let e = durable_engine(&dir);
+            drive(&e, 4, txns, 20, 6);
+            let commits = e.metrics().commits;
+            drop(e);
+            let _ = std::fs::remove_dir_all(&dir);
+            commits
+        })
+    });
+    g.finish();
+    // Diagnostic pass (untimed): group-commit economics + recovery
+    // time, merged into BENCH_6.json. Honors the CLI filter like the
+    // timed benches do.
+    if !runs_under_filter(&[
+        "c5_engine/durability/wal-off",
+        "c5_engine/durability/wal-on",
+    ]) {
+        return;
+    }
+    let dir = wal_dir();
+    let e = durable_engine(&dir);
+    drive(&e, 4, txns, 20, 6);
+    e.gc_sweep();
+    let wal = e.wal_stats().expect("durable engine has a WAL");
+    let m = e.metrics();
+    drop(e);
+    let t0 = std::time::Instant::now();
+    let (recovered, report) = Engine::open(EngineConfig {
+        shards: SHARDS,
+        durability: Some(DurabilityConfig {
+            fsync: false,
+            ..DurabilityConfig::new(dir.clone())
+        }),
+        ..EngineConfig::default()
+    })
+    .expect("recovery must succeed");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    let gc_acqs = m.gc_closure_hist.iter().sum::<u64>();
+    let mean_closure = m.gc_closure_locks_taken as f64 / gc_acqs.max(1) as f64;
+    eprintln!(
+        "c5_engine/durability wal metrics: {} flushes / {} records \
+         (mean batch {:.2}), {} segments created / {} truncated, \
+         recovery {recovery_ms:.2} ms ({} commits replayed)",
+        wal.flushes,
+        wal.records,
+        wal.mean_batch(),
+        wal.segments_created,
+        wal.segments_truncated,
+        report.commits_replayed,
+    );
+    let bench_path =
+        std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json"));
+    if let Err(e) = bench_report::merge_json(
+        &bench_path,
+        &[
+            ("bench_wal_mean_batch", format!("{:.2}", wal.mean_batch())),
+            ("bench_recovery_ms", format!("{recovery_ms:.2}")),
+            (
+                "bench_recovery_commits_replayed",
+                report.commits_replayed.to_string(),
+            ),
+            ("bench_mean_gc_closure", format!("{mean_closure:.2}")),
+        ],
+    ) {
+        eprintln!("warning: could not write {}: {e}", bench_path.display());
+    }
+}
+
 /// Thread scaling on a partitionable workload.
 fn bench_threads(c: &mut Criterion) {
     let mut g = c.benchmark_group("c5_engine/threads");
@@ -390,6 +501,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_policies, bench_locality, bench_threads, bench_escalation,
-        bench_gc_escalation, bench_summary_maintenance
+        bench_gc_escalation, bench_summary_maintenance, bench_durability
 }
 criterion_main!(benches);

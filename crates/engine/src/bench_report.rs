@@ -1,0 +1,91 @@
+//! Machine-readable bench output: a flat JSON object of named metrics
+//! merged read-modify-write, so `engine_stress` and the criterion
+//! benches can each contribute their numbers to one `BENCH_6.json`
+//! tracked across PRs.
+//!
+//! The workspace builds offline with no serde_json, and the format is
+//! a flat `{"key": value}` object — a line-oriented writer is all
+//! that is needed (values are emitted verbatim: numbers or quoted
+//! strings, caller's choice).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Merges `entries` into the flat JSON object at `path`, creating the
+/// file if absent. Existing keys are overwritten, unknown keys are
+/// preserved, output is sorted by key. Values are written verbatim —
+/// pass `"3.5"`, `"120000"`, or `"\"partial\""`.
+pub fn merge_json(path: &Path, entries: &[(&str, String)]) -> std::io::Result<()> {
+    let mut map: BTreeMap<String, String> = BTreeMap::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for (k, v) in parse_flat(&existing) {
+            map.insert(k, v);
+        }
+    }
+    for (k, v) in entries {
+        map.insert((*k).to_string(), v.clone());
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in map.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{k}\": {v}{}\n",
+            if i + 1 < map.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Parses a flat one-entry-per-line JSON object (the only shape this
+/// module writes). Unparseable lines are dropped.
+fn parse_flat(s: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in s.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, val)) = rest.split_once("\":") else {
+            continue;
+        };
+        let val = val.trim();
+        if !key.is_empty() && !val.is_empty() {
+            out.push((key.to_string(), val.to_string()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_creates_updates_and_preserves() {
+        let path = std::env::temp_dir().join(format!(
+            "deltx-bench-report-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        merge_json(
+            &path,
+            &[("txn_s", "170000".into()), ("mode", "\"partial\"".into())],
+        )
+        .unwrap();
+        merge_json(
+            &path,
+            &[("recovery_ms", "3.5".into()), ("txn_s", "180000".into())],
+        )
+        .unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(got.contains("\"txn_s\": 180000"), "updated: {got}");
+        assert!(got.contains("\"mode\": \"partial\""), "preserved: {got}");
+        assert!(got.contains("\"recovery_ms\": 3.5"), "added: {got}");
+        assert!(got.starts_with("{\n") && got.ends_with("}\n"));
+        // Well-formed: one trailing-comma-free object.
+        let body: Vec<&str> = got.lines().collect();
+        assert!(!body[body.len() - 2].trim_end().ends_with(','));
+    }
+}

@@ -95,6 +95,7 @@ use deltx_graph::NodeId;
 use deltx_model::{EntityId, Op, Step, TxnId};
 use deltx_sched::StateSize;
 use deltx_storage::{Store, Value};
+use deltx_wal::{CommitRecord, CrashPoint, DurabilityConfig, RecoveryScan, Wal, WalStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -152,6 +153,12 @@ pub struct EngineConfig {
     /// stop-the-world baseline (for A/B benchmarking; the deletions
     /// performed and every subsequent decision are identical).
     pub partial_gc: bool,
+    /// Opt-in durability: a write-ahead log under the given directory.
+    /// Commits block until their record's group-commit flush; opening
+    /// an engine over an existing log replays the surviving commits
+    /// (see [`Engine::open`]). `None` (the default) keeps the engine
+    /// purely in-memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -164,8 +171,29 @@ impl Default for EngineConfig {
             record_history: false,
             partial_escalation: true,
             partial_gc: true,
+            durability: None,
         }
     }
+}
+
+/// What [`Engine::open`] rebuilt from the write-ahead log.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Committed transactions replayed into the fresh engine.
+    pub commits_replayed: u64,
+    /// Segment files present when the scan started.
+    pub segments_scanned: u64,
+    /// Segments discarded (past a corruption, or holding no commits).
+    pub segments_dropped: u64,
+    /// Bytes cut from the log (torn tails plus dropped segments).
+    pub bytes_discarded: u64,
+    /// Whether a torn or corrupt tail was found and truncated.
+    pub torn_tail: bool,
+    /// Highest LSN surviving the scan.
+    pub max_lsn: u64,
+    /// Wall-clock time of the whole open: scan + replay + the
+    /// checkpointing GC sweep.
+    pub elapsed: Duration,
 }
 
 /// One partition: the conflict graph and store for the entities it
@@ -337,6 +365,9 @@ pub(crate) struct EngineInner {
     pending_multi: Mutex<BTreeSet<TxnId>>,
     history: Option<Mutex<RecordedHistory>>,
     pub(crate) metrics: EngineMetrics,
+    /// The write-ahead log (durability on) — see the commit path for
+    /// the submit-under-locks / wait-after-release protocol.
+    wal: Option<Arc<Wal>>,
     next_txn: AtomicU32,
     gc_policy: GcPolicy,
     partial_escalation: bool,
@@ -354,8 +385,56 @@ pub struct Engine {
 
 impl Engine {
     /// Builds an engine per `cfg` (spawning the GC thread unless
-    /// disabled).
+    /// disabled). With durability configured this opens (and possibly
+    /// recovers) the log — panics if the log cannot be opened; use
+    /// [`Engine::open`] to handle that and to see the recovery report.
     pub fn new(cfg: EngineConfig) -> Self {
+        Engine::open(cfg).expect("open engine").0
+    }
+
+    /// Builds an engine per `cfg`, recovering from the write-ahead log
+    /// when durability is configured: surviving commit records are
+    /// replayed in LSN order into the fresh shards (conflict graph,
+    /// store values, multi-shard registry), then one GC sweep runs so
+    /// replayed-but-already-deletable transactions are reclaimed — and
+    /// their log segments truncated — immediately. The report says
+    /// what was rebuilt; for a non-durable engine it is all zeros.
+    ///
+    /// Recovery is `O(live graph)`, not `O(history)`: GC-driven
+    /// checkpointing removed every segment whose commits were all
+    /// deleted, and the noncurrent policy guarantees each entity's
+    /// current writer was never deleted, so replaying what remains
+    /// reproduces every current value exactly.
+    pub fn open(cfg: EngineConfig) -> Result<(Self, RecoveryReport), EngineError> {
+        let t0 = Instant::now();
+        let (wal, commits, scan) = match &cfg.durability {
+            Some(d) => {
+                let (w, commits, scan) = Wal::open(d.clone())
+                    .map_err(|e| EngineError::Durability(format!("open log: {e}")))?;
+                (Some(Arc::new(w)), commits, scan)
+            }
+            None => (None, Vec::new(), RecoveryScan::default()),
+        };
+        let engine = Self::build(cfg, wal);
+        let replayed = engine.inner.replay_commits(&commits);
+        if replayed > 0 {
+            // GC-as-checkpoint, applied to the replay itself: anything
+            // already deletable goes now, truncating its segments.
+            engine.inner.gc_sweep();
+        }
+        let report = RecoveryReport {
+            commits_replayed: replayed,
+            segments_scanned: scan.segments_scanned,
+            segments_dropped: scan.segments_dropped,
+            bytes_discarded: scan.bytes_discarded,
+            torn_tail: scan.torn_tail,
+            max_lsn: scan.max_lsn,
+            elapsed: t0.elapsed(),
+        };
+        Ok((engine, report))
+    }
+
+    fn build(cfg: EngineConfig, wal: Option<Arc<Wal>>) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         let inner = Arc::new(EngineInner {
             shards: (0..cfg.shards)
@@ -379,6 +458,7 @@ impl Engine {
                 .record_history
                 .then(|| Mutex::new(RecordedHistory::default())),
             metrics: EngineMetrics::default(),
+            wal,
             next_txn: AtomicU32::new(1),
             gc_policy: cfg.gc,
             partial_escalation: cfg.partial_escalation,
@@ -408,9 +488,34 @@ impl Engine {
         self.inner.gc_sweep();
     }
 
-    /// Current metrics, including the union-graph size gauge.
+    /// Current metrics, including the union-graph size gauge and the
+    /// WAL counters when durability is on.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot(self.inner.graph_size())
+        self.inner.metrics.snapshot(
+            self.inner.graph_size(),
+            self.inner.wal.as_ref().map(|w| w.stats()),
+        )
+    }
+
+    /// WAL activity counters (`None` when durability is off).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.inner.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Arms a crash at `cp`: the next commit's WAL submission executes
+    /// the crash instead of appending, after which every durable
+    /// commit fails with [`EngineError::Durability`] until the engine
+    /// is re-opened over the same directory. For fault-injection
+    /// harnesses.
+    ///
+    /// # Panics
+    /// If durability is not configured.
+    pub fn inject_crash(&self, cp: CrashPoint) {
+        self.inner
+            .wal
+            .as_ref()
+            .expect("inject_crash requires durability")
+            .arm_crash(cp);
     }
 
     /// Union-graph size: distinct nodes (ghost twins counted) and arcs
@@ -443,6 +548,10 @@ impl Drop for Engine {
         self.inner.shutdown_cv.notify_all();
         if let Some(t) = self.gc_thread.take() {
             let _ = t.join();
+        }
+        // After the GC thread: its sweeps may still note deletions.
+        if let Some(w) = &self.inner.wal {
+            w.close();
         }
     }
 }
@@ -944,6 +1053,17 @@ impl EngineInner {
         involved.extend(writes.keys().copied());
         let all_entities: Vec<EntityId> = writes.values().flatten().copied().collect();
         let n_written = all_entities.len() as u64;
+        // The durable record's payload: every staged (entity, value)
+        // pair, gathered before any lock is taken. Commits that write
+        // nothing leave no record — they have no replayable effect.
+        let wal_writes: Vec<(EntityId, Value)> = if self.wal.is_some() {
+            writes
+                .keys()
+                .flat_map(|s| st.bufs[s].staged_writes())
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         if involved.is_empty() {
             // Touched nothing: trivially committed (the recorded Begin
@@ -974,6 +1094,14 @@ impl EngineInner {
                             step,
                             outcome: Applied::Accepted,
                         });
+                        // Submit the commit record while the shard
+                        // lock is held: log order = conflict order.
+                        if !wal_writes.is_empty() {
+                            if let Some(w) = &self.wal {
+                                st.wal_submit =
+                                    Some(w.submit_commit(st.txn, &wal_writes, &[s as u32]));
+                            }
+                        }
                         // Backpressure GC: a hot shard reclaims inline
                         // instead of waiting for the background tick.
                         if self.gc_policy == GcPolicy::Noncurrent
@@ -983,6 +1111,7 @@ impl EngineInner {
                         }
                         drop(g);
                         st.closed = true;
+                        self.finish_durable(st)?;
                         self.metrics.commits.add(1);
                         self.metrics.entities_written.add(n_written);
                         self.metrics.fast_path_ops.add(1);
@@ -1002,9 +1131,10 @@ impl EngineInner {
             }
             drop(g);
         }
-        self.commit_escalated(st, involved, writes, all_entities, n_written)
+        self.commit_escalated(st, involved, writes, all_entities, n_written, wal_writes)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn commit_escalated(
         &self,
         st: &mut SessionState,
@@ -1012,6 +1142,7 @@ impl EngineInner {
         writes: BTreeMap<usize, Vec<EntityId>>,
         all_entities: Vec<EntityId>,
         n_written: u64,
+        wal_writes: Vec<(EntityId, Value)>,
     ) -> Result<(), EngineError> {
         self.metrics.escalated_ops.add(1);
         let guards = self.acquire_escalation(st.txn, &involved);
@@ -1021,6 +1152,7 @@ impl EngineInner {
             &writes,
             &all_entities,
             n_written,
+            &wal_writes,
             guards,
         ) {
             Ok(res) => res,
@@ -1035,6 +1167,7 @@ impl EngineInner {
                     &writes,
                     &all_entities,
                     n_written,
+                    &wal_writes,
                     guards,
                 )
                 .expect("all-locks body cannot go stale")
@@ -1054,6 +1187,7 @@ impl EngineInner {
         res
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn commit_escalated_locked(
         &self,
         st: &mut SessionState,
@@ -1061,6 +1195,7 @@ impl EngineInner {
         writes: &BTreeMap<usize, Vec<EntityId>>,
         all_entities: &[EntityId],
         n_written: u64,
+        wal_writes: &[(EntityId, Value)],
         mut guards: Guards<'_>,
     ) -> Result<Result<(), EngineError>, Stale> {
         let mut touched: BTreeSet<usize> = involved.clone();
@@ -1145,6 +1280,16 @@ impl EngineInner {
             step,
             outcome: Applied::Accepted,
         });
+        // Submit the commit record while every involved shard lock is
+        // still held, so the log order of conflicting commits matches
+        // their serialization order. The durable wait happens after
+        // the locks are released.
+        if !wal_writes.is_empty() {
+            if let Some(w) = &self.wal {
+                let spans: Vec<u32> = touched.iter().map(|&s| s as u32).collect();
+                st.wal_submit = Some(w.submit_commit(st.txn, wal_writes, &spans));
+            }
+        }
         // Backpressure GC while the locks are already held.
         if self.gc_policy == GcPolicy::Noncurrent {
             for &s in &touched {
@@ -1162,9 +1307,30 @@ impl EngineInner {
         self.mirror_guards(&mut guards);
         drop(guards);
         st.closed = true;
+        if let Err(e) = self.finish_durable(st) {
+            return Ok(Err(e));
+        }
         self.metrics.commits.add(1);
         self.metrics.entities_written.add(n_written);
         Ok(Ok(()))
+    }
+
+    /// Completes a commit's durability: waits for the group-commit
+    /// flush covering the record submitted under the shard locks. An
+    /// error means the record was never acknowledged as durable — the
+    /// commit must fail even though the in-memory install happened
+    /// (the WAL is crashed; no later commit will be accepted either,
+    /// so the discrepancy cannot be observed by a recovering client).
+    fn finish_durable(&self, st: &mut SessionState) -> Result<(), EngineError> {
+        let Some(sub) = st.wal_submit.take() else {
+            return Ok(());
+        };
+        let lsn = sub.map_err(|e| EngineError::Durability(e.to_string()))?;
+        self.wal
+            .as_ref()
+            .expect("submission implies a wal")
+            .wait_durable(lsn)
+            .map_err(|e| EngineError::Durability(e.to_string()))
     }
 
     /// Client rollback (or session drop): locks only the shards the
@@ -1190,6 +1356,7 @@ impl EngineInner {
             if subset.is_empty() {
                 // Never touched a shard.
                 self.record(Event::ClientAbort(st.txn));
+                self.note_abort(st.txn);
                 self.metrics.aborts_voluntary.add(1);
                 self.metrics.txns_left(1);
                 return;
@@ -1213,6 +1380,7 @@ impl EngineInner {
             self.record(Event::ClientAbort(st.txn));
             self.mirror_guards(&mut guards);
             drop(guards);
+            self.note_abort(st.txn);
             self.metrics.aborts_voluntary.add(1);
             self.metrics.txns_left(1);
             return;
@@ -1222,8 +1390,103 @@ impl EngineInner {
 
     fn after_scheduler_abort(&self, st: &mut SessionState) {
         st.closed = true;
+        self.note_abort(st.txn);
         self.metrics.aborts_scheduler.add(1);
         self.metrics.txns_left(1);
+    }
+
+    /// Logs an abort record (fire-and-forget: absence from the log
+    /// already means aborted; the record only eases tail diagnosis).
+    fn note_abort(&self, txn: TxnId) {
+        if let Some(w) = &self.wal {
+            w.submit_abort(txn);
+        }
+    }
+
+    /// Rebuilds the engine from the commit records that survived the
+    /// crash, in LSN order: each becomes a completed transaction with
+    /// its writes installed, its conflict-graph node(s) created, and —
+    /// for multi-shard spans — its registry entry and boundary marks
+    /// restored, so post-recovery GC treats replayed transactions
+    /// exactly like natively committed ones.
+    ///
+    /// Replay is sequential, so every `WriteAll` is accepted: all
+    /// conflict arcs point from earlier records to later ones and no
+    /// cycle can close. Correctness of the values rests on the
+    /// truncation-safety invariant (see [`Engine::open`]): the
+    /// noncurrent policy never deleted any entity's current writer, so
+    /// the surviving records, applied oldest-first, end on exactly the
+    /// pre-crash current value of every entity.
+    fn replay_commits(&self, commits: &[CommitRecord]) -> u64 {
+        let nshards = self.shards.len();
+        let mut max_txn = 0u32;
+        for rec in commits {
+            max_txn = max_txn.max(rec.txn.0);
+            self.metrics.txn_became_live();
+            self.record(Event::Step {
+                step: Step::new(rec.txn, Op::Begin),
+                outcome: Applied::Accepted,
+            });
+            // The shard span: the recorded one (reads included; spans
+            // recorded under a different shard count are re-derived
+            // from the writes instead) plus every written entity's
+            // home shard.
+            let mut involved: BTreeSet<usize> = rec
+                .shards
+                .iter()
+                .map(|&s| s as usize)
+                .filter(|&s| s < nshards)
+                .collect();
+            let mut writes: BTreeMap<usize, Vec<EntityId>> = BTreeMap::new();
+            for &(x, _) in &rec.writes {
+                let s = self.shard_of(x);
+                involved.insert(s);
+                writes.entry(s).or_default().push(x);
+            }
+            let mut guards = self.lock_subset(&involved);
+            for g in guards.values_mut() {
+                g.cg.begin_summary_batch();
+            }
+            for &s in &involved {
+                Self::ensure_node(guards.get_mut(&s).expect("locked"), rec.txn)
+                    .expect("replay begin on a fresh graph");
+            }
+            self.note_multi_shard(&mut guards, rec.txn, &involved);
+            let empty: Vec<EntityId> = Vec::new();
+            for &s in &involved {
+                let xs = writes.get(&s).unwrap_or(&empty);
+                let sub = Step::new(rec.txn, Op::WriteAll(xs.clone()));
+                let g = guards.get_mut(&s).expect("locked");
+                let out = g.cg.apply(&sub).expect("replay write");
+                debug_assert_eq!(out, Applied::Accepted, "sequential replay cannot cycle");
+            }
+            for &(x, v) in &rec.writes {
+                let s = self.shard_of(x);
+                guards
+                    .get_mut(&s)
+                    .expect("locked")
+                    .store
+                    .write(x, v, rec.txn);
+            }
+            if involved.len() > 1 {
+                self.pending_multi.lock().unwrap().insert(rec.txn);
+            }
+            self.record(Event::Step {
+                step: Step::new(
+                    rec.txn,
+                    Op::WriteAll(rec.writes.iter().map(|&(x, _)| x).collect()),
+                ),
+                outcome: Applied::Accepted,
+            });
+            self.mirror_guards(&mut guards);
+        }
+        if max_txn > 0 {
+            // Fresh transactions must not collide with replayed ids.
+            let next = self.next_txn.load(Ordering::Relaxed).max(max_txn + 1);
+            self.next_txn.store(next, Ordering::Relaxed);
+        }
+        self.metrics.wal_recovery_replayed.add(commits.len() as u64);
+        commits.len() as u64
     }
 
     // ---------------------------------------------------------------
@@ -1297,6 +1560,11 @@ impl EngineInner {
             }
         }
         let truncated = g.store.truncate_versions_in(&deleted, &written);
+        // D(G, N) deletion doubles as the durability checkpoint: dead
+        // commits release their log segments.
+        if let Some(w) = &self.wal {
+            w.note_deleted(&deleted);
+        }
         if !deferred.is_empty() {
             self.pending_multi.lock().unwrap().extend(deferred);
         }
@@ -1496,6 +1764,9 @@ impl EngineInner {
         for (s, xs) in &written {
             let g = guards.get_mut(s).expect("written shard is locked");
             truncated += g.store.truncate_versions_in(&deleted, xs);
+        }
+        if let Some(w) = &self.wal {
+            w.note_deleted(&deleted);
         }
         if !still_pending.is_empty() {
             self.pending_multi.lock().unwrap().extend(still_pending);
@@ -1730,6 +2001,9 @@ impl EngineInner {
             let n_deleted = g.cg.stats().deletions - deletions_before;
             let truncated = g.store.truncate_versions(&deleted);
             drop(g);
+            if let Some(w) = &self.wal {
+                w.note_deleted(&deleted);
+            }
             self.metrics.gc_deletions.add(n_deleted);
             self.metrics.txns_left(deleted.len() as u64);
             self.metrics.gc_versions_truncated.add(truncated as u64);

@@ -17,6 +17,12 @@ pub enum EngineError {
     /// engine bug, not a caller mistake — surfaced instead of panicking
     /// so servers can log it.
     Protocol(CgError),
+    /// The durability layer failed before acknowledging a commit: the
+    /// write-ahead log crashed (injected or real I/O failure) or could
+    /// not be opened. A commit returning this was **not** made durable
+    /// — after recovery it may be absent — and the engine accepts no
+    /// further commits until re-opened.
+    Durability(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -25,6 +31,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Aborted(t) => write!(f, "transaction {t} aborted by scheduler"),
             EngineError::Closed(t) => write!(f, "session for {t} is closed"),
             EngineError::Protocol(e) => write!(f, "scheduler protocol error: {e}"),
+            EngineError::Durability(e) => write!(f, "durability failure: {e}"),
         }
     }
 }

@@ -93,6 +93,18 @@
 //!   Escalated committers apply the same reclamation as backpressure
 //!   when queues run hot, so GC keeps up even without the background
 //!   thread.
+//! * **Durability** (opt-in via [`EngineConfig::durability`]): a
+//!   write-ahead log (`deltx-wal`) with a dedicated group-commit
+//!   writer thread. Commit records are submitted *while the shard
+//!   locks are held* — so the log order of conflicting commits equals
+//!   their serialization order — and the client waits for its LSN's
+//!   flush only after the locks are released. GC doubles as
+//!   checkpointing: deleting a transaction (`D(G, N)`) also retires
+//!   its log records, and fully-dead sealed segments are unlinked, so
+//!   [`Engine::open`] recovers by replaying `O(live graph)` records,
+//!   not the whole history. [`Engine::inject_crash`] arms simulated
+//!   crash points ([`CrashPoint`]) for fault-injection tests; the
+//!   protocol and proofs live in `docs/durability.md`.
 //! * **Metrics** ([`metrics`]): throughput, aborts, live-graph size,
 //!   deletions, GC pause time, and the escalation economics — partial
 //!   vs full acquisitions, escalated-subset-size and GC-closure-size
@@ -126,16 +138,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_report;
 mod core_engine;
 mod history;
 pub mod metrics;
 mod planner;
+mod seed;
 mod session;
 
 pub mod error;
 
-pub use core_engine::{Engine, EngineConfig, GcPolicy};
+pub use core_engine::{Engine, EngineConfig, GcPolicy, RecoveryReport};
+pub use deltx_wal::{CrashPoint, DurabilityConfig, WalError, WalStats, ALL_CRASH_POINTS};
 pub use error::EngineError;
 pub use history::{Event, RecordedHistory};
 pub use metrics::MetricsSnapshot;
+pub use seed::run_seed;
 pub use session::Session;

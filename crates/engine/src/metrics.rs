@@ -7,6 +7,7 @@
 //! bound the paper promises is directly observable.
 
 use deltx_sched::StateSize;
+use deltx_wal::WalStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, TryLockError};
 use std::time::Duration;
@@ -112,6 +113,8 @@ pub(crate) struct EngineMetrics {
     pub live_txns: Counter,
     /// High-water mark of `live_txns`.
     pub peak_live_txns: AtomicU64,
+    /// Committed transactions rebuilt from the WAL at open.
+    pub wal_recovery_replayed: Counter,
 }
 
 impl EngineMetrics {
@@ -158,7 +161,7 @@ impl EngineMetrics {
         self.live_txns.0.fetch_sub(n, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self, graph: StateSize) -> MetricsSnapshot {
+    pub(crate) fn snapshot(&self, graph: StateSize, wal: Option<WalStats>) -> MetricsSnapshot {
         MetricsSnapshot {
             commits: self.commits.get(),
             aborts_scheduler: self.aborts_scheduler.get(),
@@ -189,6 +192,8 @@ impl EngineMetrics {
             gc_pause: Duration::from_nanos(self.gc_pause_nanos.get()),
             live_txns: self.live_txns.get(),
             peak_live_txns: self.peak_live_txns.load(Ordering::Relaxed),
+            wal_recovery_replayed: self.wal_recovery_replayed.get(),
+            wal,
             graph,
         }
     }
@@ -283,6 +288,12 @@ pub struct MetricsSnapshot {
     pub live_txns: u64,
     /// High-water mark of `live_txns`.
     pub peak_live_txns: u64,
+    /// Committed transactions rebuilt from the WAL when this engine
+    /// opened (0 for a fresh or non-durable engine).
+    pub wal_recovery_replayed: u64,
+    /// WAL activity counters (`None` when durability is off): flushes,
+    /// group-commit batch sizes, segments created/truncated.
+    pub wal: Option<WalStats>,
     /// Union-graph size (nodes include ghosts; arcs include bridges).
     pub graph: StateSize,
 }
@@ -364,6 +375,25 @@ impl std::fmt::Display for MetricsSnapshot {
             self.summary_update_hist,
             self.boundary_index_hwm,
             self.registry_slot_contention
-        )
+        )?;
+        if let Some(w) = &self.wal {
+            write!(
+                f,
+                "\nwal: {} flushes / {} records (mean batch {:.1}), \
+                 batch hist [1|2|3|4|≤8|≤16|≤32|>32] = {:?}, \
+                 {} segments created / {} truncated ({} live), \
+                 durable lsn {}, recovery replayed {}",
+                w.flushes,
+                w.records,
+                w.mean_batch(),
+                w.batch_hist,
+                w.segments_created,
+                w.segments_truncated,
+                w.segments_live,
+                w.durable_lsn,
+                self.wal_recovery_replayed
+            )?;
+        }
+        Ok(())
     }
 }

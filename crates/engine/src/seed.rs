@@ -1,0 +1,18 @@
+//! Replayable randomness for stress and oracle tests.
+//!
+//! Wall-clock races make concurrent test failures hard to reproduce;
+//! a printed seed makes them replayable. Every stress/oracle harness
+//! in this workspace derives its RNG streams from [`run_seed`], so a
+//! failure's log line is all that is needed to re-run the exact mix.
+
+/// The seed for this run: `DELTX_SEED` from the environment if set
+/// and parseable, else `default`. Printed to stderr either way so a
+/// failing run can be replayed with `DELTX_SEED=<seed>`.
+pub fn run_seed(default: u64) -> u64 {
+    let seed = std::env::var("DELTX_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(default);
+    eprintln!("deltx seed: {seed} (set DELTX_SEED={seed} to replay)");
+    seed
+}

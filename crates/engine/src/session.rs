@@ -4,6 +4,7 @@ use crate::core_engine::EngineInner;
 use crate::error::EngineError;
 use deltx_model::{EntityId, TxnId};
 use deltx_storage::{TxnBuffer, Value};
+use deltx_wal::WalError;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -17,6 +18,11 @@ pub(crate) struct SessionState {
     pub(crate) bufs: HashMap<usize, TxnBuffer>,
     /// Set once the transaction committed or aborted.
     pub(crate) closed: bool,
+    /// The commit record's WAL submission, made under the commit's
+    /// shard locks; the LSN (or submit failure) the commit path waits
+    /// on after releasing them. `None` when durability is off or the
+    /// commit wrote nothing.
+    pub(crate) wal_submit: Option<Result<u64, WalError>>,
 }
 
 impl SessionState {
@@ -57,6 +63,7 @@ impl Session {
                 shards: BTreeSet::new(),
                 bufs: HashMap::new(),
                 closed: false,
+                wal_submit: None,
             },
         }
     }

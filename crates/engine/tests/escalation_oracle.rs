@@ -18,7 +18,7 @@
 //! Plus regression coverage for the boundary-count underflow fix.
 
 use deltx_core::CgState;
-use deltx_engine::{Engine, EngineConfig, EngineError, GcPolicy};
+use deltx_engine::{run_seed, Engine, EngineConfig, EngineError, GcPolicy};
 use deltx_model::{Op, Step};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -113,7 +113,7 @@ fn partial_escalation_decisions_match_full_scheduler_lockstep() {
         partial_escalation: true,
         ..EngineConfig::default()
     });
-    let scripts = make_scripts(1200, 0xE5CA);
+    let scripts = make_scripts(1200, run_seed(0xE5CA));
     for (i, sc) in scripts.iter().enumerate() {
         run_script(&e, sc);
         if i % 7 == 0 {
@@ -170,7 +170,7 @@ fn partial_and_all_locks_engines_agree_on_every_decision() {
     };
     let a = mk(true);
     let b = mk(false);
-    let scripts = make_scripts(1500, 0xAB);
+    let scripts = make_scripts(1500, run_seed(0xAB));
     for (i, sc) in scripts.iter().enumerate() {
         let oa = run_script(&a, sc);
         let ob = run_script(&b, sc);
@@ -212,7 +212,7 @@ fn escalated_subsets_are_strict_on_skewed_traffic() {
         partial_escalation: true,
         ..EngineConfig::default()
     });
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(run_seed(7));
     for i in 0..600 {
         let mut t = e.begin();
         if i % 3 == 0 {
@@ -282,7 +282,7 @@ fn boundary_underflow_regression_cross_shard_abort_churn() {
 
     // Churn: overlapping multi-shard commits + sweeps force deletion
     // with ghost bridging and re-registration.
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = StdRng::seed_from_u64(run_seed(3));
     for i in 0..300 {
         let x = rng.gen_range(0..9u32);
         let y = rng.gen_range(0..9u32);

@@ -23,7 +23,7 @@
 //! inside a hot shard pair, GC closures must stay at ~2 of 4 locks.
 
 use deltx_core::CgState;
-use deltx_engine::{Engine, EngineConfig, EngineError, GcPolicy};
+use deltx_engine::{run_seed, Engine, EngineConfig, EngineError, GcPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -117,7 +117,7 @@ fn mk_engine(partial_gc: bool, record: bool) -> Engine {
 #[test]
 fn partial_gc_decisions_match_full_scheduler_lockstep() {
     let e = mk_engine(true, true);
-    let scripts = make_skewed_scripts(1500, 0x6C05);
+    let scripts = make_skewed_scripts(1500, run_seed(0x6C05));
     for (i, sc) in scripts.iter().enumerate() {
         run_script(&e, sc);
         if i % 7 == 0 {
@@ -167,7 +167,7 @@ fn partial_and_all_locks_gc_agree_on_every_decision() {
     // the same values.
     let a = mk_engine(true, false);
     let b = mk_engine(false, false);
-    let scripts = make_skewed_scripts(1500, 0xF6C);
+    let scripts = make_skewed_scripts(1500, run_seed(0xF6C));
     for (i, sc) in scripts.iter().enumerate() {
         let oa = run_script(&a, sc);
         let ob = run_script(&b, sc);
@@ -204,7 +204,7 @@ fn gc_closures_are_strict_on_skewed_traffic() {
     // Cross-shard deletions confined to the hot pair {0, 1} must lock
     // ~2 of 4 shards; anything beyond bucket "2" is a rare fallback.
     let e = mk_engine(true, false);
-    let scripts = make_skewed_scripts(1200, 0x51);
+    let scripts = make_skewed_scripts(1200, run_seed(0x51));
     for (i, sc) in scripts.iter().enumerate() {
         run_script(&e, sc);
         if i % 11 == 0 {

@@ -12,7 +12,7 @@
 //!    thousands of transactions flow through.
 
 use deltx_core::CgState;
-use deltx_engine::{Engine, EngineConfig, Event, GcPolicy};
+use deltx_engine::{run_seed, Engine, EngineConfig, Event, GcPolicy};
 use deltx_model::{Schedule, TxnId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,7 +84,7 @@ fn contended_run_replays_identically_and_stays_serializable() {
         record_history: true,
         ..EngineConfig::default()
     });
-    run_mix(&e, 8, 125, 16, 30, 0xBEEF);
+    run_mix(&e, 8, 125, 16, 30, run_seed(0xBEEF));
     e.gc_sweep();
     let m = e.metrics();
     assert!(m.commits > 100, "the mix must make progress: {m}");
@@ -137,8 +137,9 @@ fn gc_under_churn_partial_sweeps_keep_graph_bounded_and_balances_exact() {
         record_history: false,
         partial_escalation: true,
         partial_gc: true,
+        ..EngineConfig::default()
     });
-    run_mix(&e, 8, 200, n_entities, 60, 0xC0FE);
+    run_mix(&e, 8, 200, n_entities, 60, run_seed(0xC0FE));
     e.gc_sweep();
     let m = e.metrics();
     assert!(m.commits > 400, "the mix must make progress: {m}");
@@ -156,6 +157,63 @@ fn gc_under_churn_partial_sweeps_keep_graph_bounded_and_balances_exact() {
         (m.live_txns as usize) <= bound,
         "live graph escaped its bound: {} > {bound}",
         m.live_txns
+    );
+}
+
+#[test]
+fn version_truncation_racing_reads_never_surfaces_stale_values() {
+    // The GC thread prunes overwritten versions of a hot entity
+    // (`Store::truncate_versions_in`) *while* readers keep opening
+    // sessions against it. Truncation only ever drops non-newest
+    // versions, so every read must return some value the writer
+    // actually committed — and since the writer commits a strictly
+    // increasing counter, each reader's observations must be
+    // monotonically non-decreasing. A truncation that clipped the
+    // current version (or resurrected an old one) breaks that order.
+    let e = Engine::new(EngineConfig {
+        shards: 2,
+        gc: GcPolicy::Noncurrent,
+        background_gc: true,
+        gc_interval: std::time::Duration::from_millis(1),
+        record_history: false,
+        ..EngineConfig::default()
+    });
+    let total = 2000i64;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for i in 1..=total {
+                let mut t = e.begin();
+                let _ = t.read(0);
+                t.write(0, i);
+                t.commit().expect("sole writer cannot conflict");
+            }
+        });
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let mut last = 0i64;
+                loop {
+                    let mut t = e.begin();
+                    let Ok(v) = t.read(0) else { continue };
+                    t.abort();
+                    assert!(
+                        v >= last,
+                        "read went backwards under truncation: {v} < {last}"
+                    );
+                    last = v;
+                    if v == total {
+                        return;
+                    }
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    e.gc_sweep();
+    assert_eq!(e.peek(0), total, "newest version survived every sweep");
+    let m = e.metrics();
+    assert!(
+        m.gc_versions_truncated > 0,
+        "the race must actually exercise truncation: {m}"
     );
 }
 
@@ -178,7 +236,7 @@ fn live_graph_stays_bounded_under_noncurrent_gc() {
     pin2.read(2).unwrap();
     pin2.read(3).unwrap();
 
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(run_seed(7));
     let total = 4000usize;
     // Bound: active sessions + one current txn per recently-written
     // entity + readers-of-current + in-flight multi-shard residue. The

@@ -209,6 +209,49 @@ mod tests {
     }
 
     #[test]
+    fn single_live_version_survives_its_writers_deletion() {
+        // An entity whose only version was written by a deleted
+        // transaction: that version IS the current value (Corollary
+        // 1's noncurrent test admits deleting such a writer only when
+        // someone else has overwritten every entity it wrote — but the
+        // store must defend the invariant on its own).
+        let mut s = Store::new();
+        s.write(EntityId(0), 42, TxnId(1));
+        assert_eq!(s.truncate_versions(&[TxnId(1)]), 0);
+        assert_eq!(s.read(EntityId(0)), 42, "sole version always survives");
+        assert_eq!(s.truncate_versions_in(&[TxnId(1)], &[EntityId(0)]), 0);
+        assert_eq!(s.current_writer(EntityId(0)), Some(TxnId(1)));
+    }
+
+    #[test]
+    fn repeated_truncation_is_idempotent() {
+        let mut s = Store::new();
+        s.write(EntityId(0), 1, TxnId(1));
+        s.write(EntityId(0), 2, TxnId(2));
+        s.write(EntityId(1), 3, TxnId(1));
+        s.write(EntityId(1), 4, TxnId(2));
+        assert_eq!(
+            s.truncate_versions_in(&[TxnId(1)], &[EntityId(0), EntityId(1)]),
+            2
+        );
+        let snapshot = (s.total_versions(), s.read(EntityId(0)), s.read(EntityId(1)));
+        // Re-running the same truncation (the engine's GC can queue a
+        // writer twice across overlapping closures) reclaims nothing
+        // and changes nothing.
+        for _ in 0..3 {
+            assert_eq!(
+                s.truncate_versions_in(&[TxnId(1)], &[EntityId(0), EntityId(1)]),
+                0
+            );
+            assert_eq!(s.truncate_versions(&[TxnId(1)]), 0);
+        }
+        assert_eq!(
+            (s.total_versions(), s.read(EntityId(0)), s.read(EntityId(1))),
+            snapshot
+        );
+    }
+
+    #[test]
     fn sequence_global_across_entities() {
         let mut s = Store::new();
         let a = s.write(EntityId(0), 1, TxnId(1));

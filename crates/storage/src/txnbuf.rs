@@ -61,6 +61,13 @@ impl TxnBuffer {
         self.writes.keys().copied().collect()
     }
 
+    /// The staged writes with their values, ascending by entity — what
+    /// [`TxnBuffer::install`] will put in the store, and what a
+    /// write-ahead log must record to replay the install.
+    pub fn staged_writes(&self) -> Vec<(EntityId, Value)> {
+        self.writes.iter().map(|(&x, &v)| (x, v)).collect()
+    }
+
     /// Everything read so far, in order, with the observed values.
     pub fn read_log(&self) -> &[(EntityId, Value)] {
         &self.reads

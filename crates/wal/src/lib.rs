@@ -1,0 +1,38 @@
+//! `deltx-wal` — durability for the deletion-centric engine.
+//!
+//! A segmented write-ahead log whose checkpointing *is* the paper's
+//! deletion machinery. Three ideas, one per module boundary:
+//!
+//! - **Group commit** ([`Wal::submit_commit`] / [`Wal::wait_durable`]):
+//!   commit records are enqueued under the committing session's shard
+//!   locks (log order = serialization order for conflicting commits)
+//!   and flushed in batches by one writer thread; a session's commit
+//!   backpressure is exactly "wait for the fsync covering my LSN".
+//! - **GC-driven checkpointing** ([`Wal::note_deleted`]): when the
+//!   engine's noncurrent/C1/C2 sweep deletes a transaction `D(G,N)`
+//!   and truncates its versions, the WAL decrements that commit's
+//!   segment live count; sealed all-dead segments are removed. The
+//!   log stays bounded by the live graph — recovery is `O(live)`,
+//!   not `O(history)`, the durability analogue of Theorem 2.
+//! - **Crash-point fault injection** ([`Wal::arm_crash`],
+//!   [`CrashPoint`]): a planted crash executes inside the commit path,
+//!   discards un-flushed batches, and tampers the on-disk tail to
+//!   match the scenario, so recovery tests exercise exactly the disk
+//!   images real kills produce.
+//!
+//! Why truncation is safe: the noncurrent deletion policy never
+//! deletes the *current* writer of any entity (Corollary 1's test),
+//! so every entity's current-value commit record survives in some
+//! live segment. Replaying the surviving records in LSN order
+//! therefore rebuilds the exact final value of every entity;
+//! overwritten intermediate values are lost, which is precisely the
+//! contract of `Store::truncate_versions`.
+
+mod log;
+mod record;
+
+pub use crate::log::{
+    CommitRecord, CrashPoint, DurabilityConfig, RecoveryScan, Wal, WalError, WalStats,
+    ALL_CRASH_POINTS,
+};
+pub use crate::record::{crc32, decode, encode_abort, encode_commit, DecodeError, WalRecord};

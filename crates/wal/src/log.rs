@@ -1,0 +1,769 @@
+//! The segmented write-ahead log: group commit, GC-driven segment
+//! truncation, crash-point fault injection, and the recovery scan.
+//!
+//! # Group commit
+//!
+//! Sessions call [`Wal::submit_commit`] while still holding the shard
+//! locks of their commit, so the append order of commit records equals
+//! the serialization order of conflicting transactions. The call only
+//! enqueues bytes and returns the record's LSN; the actual `write` +
+//! `fsync` happens on a dedicated writer thread that drains whatever
+//! accumulated since its last flush in one batch. After releasing its
+//! locks the session calls [`Wal::wait_durable`] with its LSN — commit
+//! backpressure is exactly "wait for the flush that covers my record",
+//! and one fsync acknowledges every record in the batch. Flushes are
+//! sequential in LSN order, so a durable later record implies every
+//! earlier record is durable too.
+//!
+//! # GC-driven checkpointing
+//!
+//! Each commit record is charged to the segment holding it. When the
+//! engine's deletion sweep (the paper's `D(G,N)` applied under the
+//! noncurrent/C1/C2 policies) deletes a transaction and truncates its
+//! versions, it also calls [`Wal::note_deleted`]; a sealed segment
+//! whose live count reaches zero is removed from disk. Deletion **is**
+//! the checkpoint boundary: no separate checkpoint writer exists, and
+//! the log stays proportional to the live graph, not to history.
+//!
+//! # Crash points
+//!
+//! [`Wal::arm_crash`] plants a [`CrashPoint`]; the next `submit_commit`
+//! executes it instead of appending: the WAL refuses all further work,
+//! un-flushed batches are discarded (their sessions were never acked),
+//! and the active segment's tail is tampered to match the scenario —
+//! nothing appended, append lost from the page cache, a torn half
+//! record made durable, or a full record made durable but never
+//! acknowledged. Recovery ([`Wal::open`]) then sees exactly the disk a
+//! real kill at that point would leave.
+
+use crate::record::{decode, encode_abort, encode_commit, DecodeError, WalRecord};
+use deltx_model::{EntityId, TxnId};
+use deltx_storage::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Configuration for the durability layer.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding the log segments (created if absent).
+    pub dir: PathBuf,
+    /// Roll to a new segment once the active one exceeds this many
+    /// bytes. Small segments make GC-driven truncation finer-grained.
+    pub segment_bytes: u64,
+    /// Issue `fsync` after each batch write. Turning this off trades
+    /// crash safety for speed (useful in benches and bounded-log
+    /// tests); the group-commit protocol is unchanged.
+    pub fsync: bool,
+}
+
+impl DurabilityConfig {
+    /// Durable log under `dir` with default segment size (64 KiB) and
+    /// fsync on.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            segment_bytes: 64 * 1024,
+            fsync: true,
+        }
+    }
+}
+
+/// Where in the commit protocol a simulated crash strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Before the record reaches the log buffer: nothing on disk.
+    BeforeAppend,
+    /// The record was appended to the in-memory log buffer but the
+    /// machine died before the flush: the page cache is lost, nothing
+    /// durable.
+    AfterAppendBeforeFlush,
+    /// The flush was cut mid-record: a torn half record is durable at
+    /// the tail.
+    MidFlushTorn,
+    /// The record is fully durable but the crash hits before the
+    /// session is acknowledged or the write becomes visible.
+    AfterFlushBeforeVisibility,
+}
+
+/// All crash points, for matrix-style harnesses.
+pub const ALL_CRASH_POINTS: [CrashPoint; 4] = [
+    CrashPoint::BeforeAppend,
+    CrashPoint::AfterAppendBeforeFlush,
+    CrashPoint::MidFlushTorn,
+    CrashPoint::AfterFlushBeforeVisibility,
+];
+
+/// Errors surfaced to sessions by the durability layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// The WAL crashed (injected or real I/O failure); the record was
+    /// not acknowledged and may or may not be durable.
+    Crashed,
+    /// The WAL was closed.
+    Closed,
+    /// An I/O error outside the writer thread.
+    Io(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Crashed => write!(f, "wal crashed before acknowledging the record"),
+            WalError::Closed => write!(f, "wal closed"),
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// A commit record surfaced by the recovery scan, in LSN order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Log sequence number.
+    pub lsn: u64,
+    /// The committed transaction.
+    pub txn: TxnId,
+    /// The writeset with installed values, in install order.
+    pub writes: Vec<(EntityId, Value)>,
+    /// Shard indices the transaction touched when it committed.
+    pub shards: Vec<u32>,
+}
+
+/// What the recovery scan found on disk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryScan {
+    /// Segment files present when the scan started.
+    pub segments_scanned: u64,
+    /// Segments discarded: past a corruption, or holding no commits.
+    pub segments_dropped: u64,
+    /// Bytes cut from the log (torn tails plus dropped segments).
+    pub bytes_discarded: u64,
+    /// Whether a torn or corrupt tail was found and truncated.
+    pub torn_tail: bool,
+    /// Highest LSN surviving the scan (0 when the log was empty).
+    pub max_lsn: u64,
+}
+
+/// A point-in-time snapshot of WAL activity counters.
+#[derive(Clone, Debug, Default)]
+pub struct WalStats {
+    /// Batched flush operations performed by the writer thread.
+    pub flushes: u64,
+    /// Records made durable.
+    pub records: u64,
+    /// Records-per-flush histogram; buckets `1, 2, 3, 4, ≤8, ≤16,
+    /// ≤32, >32` (the engine's subset-size buckets).
+    pub batch_hist: [u64; 8],
+    /// Segments rolled since open.
+    pub segments_created: u64,
+    /// Segments removed because GC deleted every commit they held.
+    pub segments_truncated: u64,
+    /// Highest acknowledged (durable) LSN.
+    pub durable_lsn: u64,
+    /// Segments currently on disk.
+    pub segments_live: u64,
+}
+
+impl WalStats {
+    /// Mean records per flush (batch size the group commit achieved).
+    pub fn mean_batch(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.records as f64 / self.flushes as f64
+        }
+    }
+}
+
+/// Bucket index for a batch of `n` records (mirrors the engine's
+/// subset-size histogram bounds).
+fn batch_bucket(n: u64) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3 => 2,
+        4 => 3,
+        5..=8 => 4,
+        9..=16 => 5,
+        17..=32 => 6,
+        _ => 7,
+    }
+}
+
+struct SegmentMeta {
+    path: PathBuf,
+    /// Commit records charged to this segment that GC has not yet
+    /// deleted. Sealed segments with `live == 0` are removed.
+    live: usize,
+    sealed: bool,
+    /// Bytes enqueued to this segment (durable or pending).
+    bytes: u64,
+    /// Bytes the writer thread has flushed.
+    durable: u64,
+}
+
+struct WalState {
+    segments: BTreeMap<u64, SegmentMeta>,
+    active: u64,
+    /// Which segment holds each live transaction's commit record.
+    txn_seg: HashMap<TxnId, u64>,
+    /// Encoded bytes awaiting the writer thread, coalesced per segment.
+    pending: Vec<(u64, Vec<u8>)>,
+    pending_recs: u64,
+    next_lsn: u64,
+    /// LSN of the newest enqueued record.
+    last_enqueued: u64,
+    durable_lsn: u64,
+    /// Segments the writer thread is flushing right now.
+    writing: HashSet<u64>,
+    writer_busy: bool,
+    armed: Option<CrashPoint>,
+    crashed: bool,
+    closing: bool,
+}
+
+#[derive(Default)]
+struct WalCounters {
+    flushes: AtomicU64,
+    records: AtomicU64,
+    batch_hist: [AtomicU64; 8],
+    segments_created: AtomicU64,
+    segments_truncated: AtomicU64,
+}
+
+struct WalInner {
+    cfg: DurabilityConfig,
+    state: Mutex<WalState>,
+    /// Wakes the writer thread when work arrives or the log closes.
+    work_cv: Condvar,
+    /// Wakes sessions when `durable_lsn` advances or the log crashes.
+    durable_cv: Condvar,
+    stats: WalCounters,
+}
+
+impl WalInner {
+    fn lock(&self) -> MutexGuard<'_, WalState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{id:08}.wal"))
+}
+
+/// Removes every sealed segment whose commits are all deleted and that
+/// no in-flight or pending write still references.
+fn collect_dead(st: &mut WalState, active: u64, stats: &WalCounters) {
+    let dead: Vec<u64> = st
+        .segments
+        .iter()
+        .filter(|(id, m)| {
+            m.sealed
+                && m.live == 0
+                && **id != active
+                && !st.writing.contains(id)
+                && !st.pending.iter().any(|(s, _)| s == *id)
+        })
+        .map(|(id, _)| *id)
+        .collect();
+    for id in dead {
+        if let Some(m) = st.segments.remove(&id) {
+            let _ = std::fs::remove_file(&m.path);
+            stats.segments_truncated.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The write-ahead log. One instance per engine; cheap to share via
+/// `Arc`.
+pub struct Wal {
+    inner: Arc<WalInner>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Wal {
+    /// Opens (or creates) the log under `cfg.dir`, scanning any
+    /// surviving segments.
+    ///
+    /// Returns the log ready for new appends, the commit records that
+    /// survived the crash in LSN order (for the engine to replay), and
+    /// a summary of what the scan found. Corruption is handled by
+    /// truncation: the first invalid byte ends the log — the file is
+    /// cut back to its valid prefix and every later segment is
+    /// deleted.
+    pub fn open(cfg: DurabilityConfig) -> std::io::Result<(Wal, Vec<CommitRecord>, RecoveryScan)> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let mut ids: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&cfg.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".wal") {
+                if let Ok(id) = stem.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+
+        let mut scan = RecoveryScan {
+            segments_scanned: ids.len() as u64,
+            ..Default::default()
+        };
+        let mut commits: Vec<CommitRecord> = Vec::new();
+        let mut segments: BTreeMap<u64, SegmentMeta> = BTreeMap::new();
+        let mut txn_seg: HashMap<TxnId, u64> = HashMap::new();
+        let mut last_lsn = 0u64;
+        let mut halted = false;
+
+        for (pos, &id) in ids.iter().enumerate() {
+            let path = segment_path(&cfg.dir, id);
+            if halted {
+                // Everything past a corruption is unusable: records
+                // there may depend on lost predecessors.
+                scan.segments_dropped += 1;
+                scan.bytes_discarded += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                std::fs::remove_file(&path)?;
+                continue;
+            }
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let mut off = 0usize;
+            let mut seg_commits = 0usize;
+            loop {
+                match decode(&bytes[off..]) {
+                    Ok(None) => break,
+                    Ok(Some((rec, used))) => {
+                        if rec.lsn() <= last_lsn && last_lsn != 0 {
+                            // Stale or replayed bytes: the log ends at
+                            // the last strictly-increasing record.
+                            halted = true;
+                            break;
+                        }
+                        last_lsn = rec.lsn();
+                        if let WalRecord::Commit {
+                            lsn,
+                            txn,
+                            writes,
+                            shards,
+                        } = rec
+                        {
+                            seg_commits += 1;
+                            txn_seg.insert(txn, id);
+                            commits.push(CommitRecord {
+                                lsn,
+                                txn,
+                                writes,
+                                shards,
+                            });
+                        }
+                        off += used;
+                    }
+                    Err(DecodeError::Torn | DecodeError::BadCrc | DecodeError::Corrupt) => {
+                        halted = true;
+                        break;
+                    }
+                }
+            }
+            if off < bytes.len() {
+                // Cut the file back to its valid prefix.
+                scan.torn_tail = true;
+                scan.bytes_discarded += (bytes.len() - off) as u64;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(off as u64)?;
+                f.sync_data()?;
+            }
+            if seg_commits == 0 {
+                // Abort-only or emptied segment: nothing to replay,
+                // nothing to keep.
+                scan.segments_dropped += 1;
+                scan.bytes_discarded += off as u64;
+                std::fs::remove_file(&path)?;
+                continue;
+            }
+            segments.insert(
+                id,
+                SegmentMeta {
+                    path,
+                    live: seg_commits,
+                    sealed: true,
+                    bytes: off as u64,
+                    durable: off as u64,
+                },
+            );
+            let _ = pos;
+        }
+        scan.max_lsn = last_lsn;
+
+        let active = ids.last().map_or(0, |m| m + 1);
+        segments.insert(
+            active,
+            SegmentMeta {
+                path: segment_path(&cfg.dir, active),
+                live: 0,
+                sealed: false,
+                bytes: 0,
+                durable: 0,
+            },
+        );
+
+        let inner = Arc::new(WalInner {
+            cfg,
+            state: Mutex::new(WalState {
+                segments,
+                active,
+                txn_seg,
+                pending: Vec::new(),
+                pending_recs: 0,
+                next_lsn: last_lsn + 1,
+                last_enqueued: last_lsn,
+                durable_lsn: last_lsn,
+                writing: HashSet::new(),
+                writer_busy: false,
+                armed: None,
+                crashed: false,
+                closing: false,
+            }),
+            work_cv: Condvar::new(),
+            durable_cv: Condvar::new(),
+            stats: WalCounters::default(),
+        });
+        let writer = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("deltx-wal".into())
+                .spawn(move || writer_loop(&inner))
+                .map_err(|e| std::io::Error::other(e.to_string()))?
+        };
+        Ok((
+            Wal {
+                inner,
+                writer: Mutex::new(Some(writer)),
+            },
+            commits,
+            scan,
+        ))
+    }
+
+    /// Enqueues a commit record and returns its LSN.
+    ///
+    /// Call while still holding the commit's shard locks so the log
+    /// order of conflicting commits matches their serialization order;
+    /// the record is *not* durable until [`Wal::wait_durable`] returns
+    /// for the LSN. If a [`CrashPoint`] is armed, the crash executes
+    /// here instead and `Err(Crashed)` is returned.
+    pub fn submit_commit(
+        &self,
+        txn: TxnId,
+        writes: &[(EntityId, Value)],
+        shards: &[u32],
+    ) -> Result<u64, WalError> {
+        let inner = &self.inner;
+        let mut st = inner.lock();
+        if st.crashed {
+            return Err(WalError::Crashed);
+        }
+        if st.closing {
+            return Err(WalError::Closed);
+        }
+        if let Some(cp) = st.armed.take() {
+            let lsn = st.next_lsn;
+            let bytes = encode_commit(lsn, txn, writes, shards);
+            self.execute_crash(st, cp, &bytes);
+            return Err(WalError::Crashed);
+        }
+        let lsn = st.next_lsn;
+        st.next_lsn += 1;
+        st.last_enqueued = lsn;
+        let bytes = encode_commit(lsn, txn, writes, shards);
+        let seg = self.enqueue(&mut st, bytes);
+        st.txn_seg.insert(txn, seg);
+        if let Some(m) = st.segments.get_mut(&seg) {
+            m.live += 1;
+        }
+        inner.work_cv.notify_one();
+        Ok(lsn)
+    }
+
+    /// Enqueues an abort record (fire-and-forget: aborts need no
+    /// durability — absence from the log already means aborted).
+    pub fn submit_abort(&self, txn: TxnId) {
+        let inner = &self.inner;
+        let mut st = inner.lock();
+        if st.crashed || st.closing {
+            return;
+        }
+        let lsn = st.next_lsn;
+        st.next_lsn += 1;
+        st.last_enqueued = lsn;
+        let bytes = encode_abort(lsn, txn);
+        self.enqueue(&mut st, bytes);
+        inner.work_cv.notify_one();
+    }
+
+    /// Appends encoded bytes to the active segment, rolling first if
+    /// the segment is full. Returns the segment charged.
+    fn enqueue(&self, st: &mut WalState, bytes: Vec<u8>) -> u64 {
+        let len = bytes.len() as u64;
+        let seg_bytes = st.segments.get(&st.active).map_or(0, |m| m.bytes);
+        if seg_bytes > 0 && seg_bytes + len > self.inner.cfg.segment_bytes {
+            if let Some(m) = st.segments.get_mut(&st.active) {
+                m.sealed = true;
+            }
+            let next = st.active + 1;
+            st.segments.insert(
+                next,
+                SegmentMeta {
+                    path: segment_path(&self.inner.cfg.dir, next),
+                    live: 0,
+                    sealed: false,
+                    bytes: 0,
+                    durable: 0,
+                },
+            );
+            st.active = next;
+            self.inner
+                .stats
+                .segments_created
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let seg = st.active;
+        if let Some(m) = st.segments.get_mut(&seg) {
+            m.bytes += len;
+        }
+        match st.pending.last_mut() {
+            Some((s, buf)) if *s == seg => buf.extend_from_slice(&bytes),
+            _ => st.pending.push((seg, bytes)),
+        }
+        st.pending_recs += 1;
+        seg
+    }
+
+    /// Blocks until the record at `lsn` is durable (its batch was
+    /// flushed). `Err(Crashed)` means the record was never flushed —
+    /// the commit must not be acknowledged.
+    pub fn wait_durable(&self, lsn: u64) -> Result<(), WalError> {
+        let inner = &self.inner;
+        let mut st = inner.lock();
+        loop {
+            if st.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if st.crashed {
+                return Err(WalError::Crashed);
+            }
+            st = inner.durable_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Reports transactions deleted by the engine's GC sweep. Sealed
+    /// segments whose every commit is now deleted are removed from
+    /// disk — `D(G,N)` deletion acting as the checkpoint boundary.
+    pub fn note_deleted(&self, deleted: &[TxnId]) {
+        if deleted.is_empty() {
+            return;
+        }
+        let mut st = self.inner.lock();
+        for t in deleted {
+            if let Some(seg) = st.txn_seg.remove(t) {
+                if let Some(m) = st.segments.get_mut(&seg) {
+                    m.live = m.live.saturating_sub(1);
+                }
+            }
+        }
+        let active = st.active;
+        collect_dead(&mut st, active, &self.inner.stats);
+    }
+
+    /// Arms a crash: the next `submit_commit` executes `cp` instead of
+    /// appending, after which every call fails with
+    /// [`WalError::Crashed`] until the log is re-opened.
+    pub fn arm_crash(&self, cp: CrashPoint) {
+        self.inner.lock().armed = Some(cp);
+    }
+
+    /// Whether an injected or real crash has killed the log.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Runs the armed crash scenario: stop the writer, discard
+    /// un-flushed batches, tamper the active segment's tail so the
+    /// disk matches what a real kill at `cp` would leave.
+    fn execute_crash(&self, mut st: MutexGuard<'_, WalState>, cp: CrashPoint, record: &[u8]) {
+        let inner = &self.inner;
+        st.crashed = true;
+        inner.work_cv.notify_all();
+        // Let an in-flight flush finish: those records were written
+        // before the crash point and their sessions will be acked,
+        // which is correct — they are durable.
+        while st.writer_busy {
+            st = inner.durable_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        // Batches that never reached the writer die in the page
+        // cache; their sessions get `Crashed`, never an ack.
+        st.pending.clear();
+        st.pending_recs = 0;
+        let active = st.active;
+        let (path, durable) = match st.segments.get(&active) {
+            Some(m) => (m.path.clone(), m.durable),
+            None => {
+                inner.durable_cv.notify_all();
+                return;
+            }
+        };
+        drop(st);
+        let tamper = || -> std::io::Result<()> {
+            let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
+            match cp {
+                CrashPoint::BeforeAppend => {}
+                CrashPoint::AfterAppendBeforeFlush => {
+                    // Appended, never flushed: the bytes existed only
+                    // in the page cache. Write then cut back to the
+                    // durable prefix — net effect, nothing survives.
+                    f.write_all(record)?;
+                    drop(f);
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(durable)?;
+                    f.sync_data()?;
+                }
+                CrashPoint::MidFlushTorn => {
+                    // The flush died halfway through the record: a
+                    // durable torn tail for recovery to cut off.
+                    f.write_all(&record[..record.len() / 2])?;
+                    f.sync_data()?;
+                }
+                CrashPoint::AfterFlushBeforeVisibility => {
+                    // Fully durable, never acknowledged: recovery must
+                    // replay it exactly once.
+                    f.write_all(record)?;
+                    f.sync_data()?;
+                }
+            }
+            Ok(())
+        };
+        // A tamper failure leaves the disk at the durable prefix,
+        // which is itself a valid crash image.
+        let _ = tamper();
+        inner.durable_cv.notify_all();
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> WalStats {
+        let s = &self.inner.stats;
+        let mut out = WalStats {
+            flushes: s.flushes.load(Ordering::Relaxed),
+            records: s.records.load(Ordering::Relaxed),
+            batch_hist: [0; 8],
+            segments_created: s.segments_created.load(Ordering::Relaxed),
+            segments_truncated: s.segments_truncated.load(Ordering::Relaxed),
+            durable_lsn: 0,
+            segments_live: 0,
+        };
+        for (i, b) in s.batch_hist.iter().enumerate() {
+            out.batch_hist[i] = b.load(Ordering::Relaxed);
+        }
+        let st = self.inner.lock();
+        out.durable_lsn = st.durable_lsn;
+        out.segments_live = st.segments.len() as u64;
+        out
+    }
+
+    /// Drains pending records, flushes them, and joins the writer
+    /// thread. Called by the engine on shutdown; idempotent.
+    pub fn close(&self) {
+        {
+            let mut st = self.inner.lock();
+            st.closing = true;
+            self.inner.work_cv.notify_all();
+        }
+        let handle = self.writer.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The group-commit writer: batches whatever accumulated since the
+/// last flush, writes and syncs it, then advances `durable_lsn` and
+/// wakes every waiting session in one shot.
+fn writer_loop(inner: &WalInner) {
+    loop {
+        let (chunks, nrec, last) = {
+            let mut st = inner.lock();
+            while st.pending.is_empty() && !st.closing && !st.crashed {
+                st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.crashed || (st.pending.is_empty() && st.closing) {
+                st.writer_busy = false;
+                inner.durable_cv.notify_all();
+                return;
+            }
+            let chunks = std::mem::take(&mut st.pending);
+            let nrec = std::mem::replace(&mut st.pending_recs, 0);
+            let last = st.last_enqueued;
+            st.writer_busy = true;
+            st.writing = chunks.iter().map(|(s, _)| *s).collect();
+            (chunks, nrec, last)
+        };
+
+        let mut written: Vec<(u64, u64)> = Vec::with_capacity(chunks.len());
+        let io = (|| -> std::io::Result<()> {
+            let mut files: Vec<File> = Vec::with_capacity(chunks.len());
+            for (seg, bytes) in &chunks {
+                let path = segment_path(&inner.cfg.dir, *seg);
+                let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
+                f.write_all(bytes)?;
+                written.push((*seg, bytes.len() as u64));
+                files.push(f);
+            }
+            if inner.cfg.fsync {
+                for f in &files {
+                    f.sync_data()?;
+                }
+            }
+            Ok(())
+        })();
+
+        let mut st = inner.lock();
+        st.writing.clear();
+        st.writer_busy = false;
+        match io {
+            Ok(()) => {
+                for (seg, len) in written {
+                    if let Some(m) = st.segments.get_mut(&seg) {
+                        m.durable += len;
+                    }
+                }
+                st.durable_lsn = last;
+                inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                inner.stats.records.fetch_add(nrec, Ordering::Relaxed);
+                inner.stats.batch_hist[batch_bucket(nrec)].fetch_add(1, Ordering::Relaxed);
+                let active = st.active;
+                collect_dead(&mut st, active, &inner.stats);
+                inner.durable_cv.notify_all();
+            }
+            Err(_) => {
+                // A real I/O failure is a crash: un-acked sessions
+                // must see an error, never a false ack.
+                st.crashed = true;
+                st.pending.clear();
+                st.pending_recs = 0;
+                inner.durable_cv.notify_all();
+                return;
+            }
+        }
+    }
+}

@@ -15,6 +15,11 @@
 //! #                       shard pairs (0↔1, 2↔3, …) instead of uniform pairs —
 //! #                       the worst case for a single coordination mutex, the
 //! #                       best case for the sharded registry
+//! #                      "--durable": run with the write-ahead log enabled,
+//! #                       then drop the engine, replay the log into a fresh
+//! #                       one, and assert every balance survived the crash
+//! #                       boundary byte-for-byte (recovery time is reported
+//! #                       and written to BENCH_6.json)
 //! ```
 //!
 //! Every transaction transfers between two accounts (read both, write
@@ -22,11 +27,13 @@
 //! invariant: any lost update or dirty interleaving would break it.
 //! The driver asserts it, asserts the live graph stayed `O(active)`,
 //! asserts zero boundary-count underflows, and prints the engine's
-//! metrics.
+//! metrics. Headline numbers are merged into `BENCH_6.json` at the
+//! repository root so CI can archive them across runs.
 
-use deltx_engine::{Engine, EngineConfig, GcPolicy};
+use deltx_engine::{bench_report, run_seed, DurabilityConfig, Engine, EngineConfig, GcPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -53,19 +60,38 @@ fn main() {
         .unwrap_or(25)
         .min(100);
     let flags: Vec<&str> = args.iter().skip(4).map(String::as_str).collect();
-    if let Some(bad) = flags
-        .iter()
-        .find(|f| !matches!(**f, "all-locks" | "all-locks-gc" | "--contention"))
-    {
+    if let Some(bad) = flags.iter().find(|f| {
+        !matches!(
+            **f,
+            "all-locks" | "all-locks-gc" | "--contention" | "--durable"
+        )
+    }) {
         eprintln!(
-            "unknown flag `{bad}` (expected `all-locks`, `all-locks-gc` and/or `--contention`)"
+            "unknown flag `{bad}` (expected `all-locks`, `all-locks-gc`, \
+             `--contention` and/or `--durable`)"
         );
         std::process::exit(2);
     }
     let partial: bool = !flags.contains(&"all-locks");
     let partial_gc: bool = !flags.contains(&"all-locks-gc");
     let contention: bool = flags.contains(&"--contention");
+    let durable: bool = flags.contains(&"--durable");
     let shards = 8usize;
+    let seed = run_seed(0xD17A);
+
+    let wal_dir: Option<PathBuf> = durable.then(|| {
+        let dir = std::env::temp_dir().join(format!("deltx-stress-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    let durability = |dir: &PathBuf| DurabilityConfig {
+        // Small segments so the long run exercises GC-driven log
+        // truncation; fsync off so the bench measures the protocol,
+        // not the device.
+        segment_bytes: 64 * 1024,
+        fsync: false,
+        ..DurabilityConfig::new(dir.clone())
+    };
 
     let engine = Engine::new(EngineConfig {
         shards,
@@ -75,17 +101,19 @@ fn main() {
         record_history: false,
         partial_escalation: partial,
         partial_gc,
+        durability: wal_dir.as_ref().map(&durability),
     });
 
     println!(
         "engine_stress: {threads} threads x {} txns, {n_entities} entities, \
-         {shards} shards, {cross_pct}% cross-shard{}",
+         {shards} shards, {cross_pct}% cross-shard{}{}",
         total_txns / threads,
         if contention {
             " (contention mode: disjoint hot shard pairs)"
         } else {
             ""
-        }
+        },
+        if durable { " (durable: WAL on)" } else { "" }
     );
 
     let committed = AtomicUsize::new(0);
@@ -99,7 +127,7 @@ fn main() {
             let committed = &committed;
             let aborted = &aborted;
             scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(0xD17A + tid as u64);
+                let mut rng = StdRng::seed_from_u64(seed + tid as u64);
                 let per_thread = total_txns / threads;
                 for _ in 0..per_thread {
                     let span = (n_entities / shards as u32).max(1);
@@ -206,14 +234,72 @@ fn main() {
     );
 
     let secs = elapsed.as_secs_f64();
+    let txn_s = (m.commits + m.aborts_scheduler) as f64 / secs;
     println!("\n== results ==");
     println!(
         "{} commits, {} scheduler aborts in {:.2}s  ({:.0} txn/s)",
-        m.commits,
-        m.aborts_scheduler,
-        secs,
-        (m.commits + m.aborts_scheduler) as f64 / secs
+        m.commits, m.aborts_scheduler, secs, txn_s
     );
     println!("peak live graph: {peak} nodes (bound {bound}) — memory stayed O(active)");
     println!("\n{m}");
+
+    let bench_path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_6.json"));
+    let mut entries: Vec<(&str, String)> = vec![
+        ("stress_txn_s", format!("{txn_s:.0}")),
+        ("stress_peak_nodes", format!("{peak}")),
+    ];
+
+    if let Some(dir) = &wal_dir {
+        // Crash boundary: snapshot what the clients could observe, drop
+        // the engine (log is the only survivor), replay it into a fresh
+        // engine, and demand byte-for-byte agreement.
+        let expected: Vec<i64> = (0..n_entities).map(|x| engine.peek(x)).collect();
+        let wal = engine.wal_stats().expect("durable run has a WAL");
+        println!(
+            "wal: {} flushes / {} records (mean batch {:.1}), {} segments truncated",
+            wal.flushes,
+            wal.records,
+            wal.mean_batch(),
+            wal.segments_truncated
+        );
+        drop(engine);
+
+        let (recovered, report) = Engine::open(EngineConfig {
+            shards,
+            durability: Some(durability(dir)),
+            ..EngineConfig::default()
+        })
+        .expect("recovery must succeed");
+        let recovery_ms = report.elapsed.as_secs_f64() * 1e3;
+        println!(
+            "recovery: {} commits replayed from {} segments in {recovery_ms:.2}ms \
+             (log bounded by GC: survivors ≪ {} total commits)",
+            report.commits_replayed, report.segments_scanned, m.commits
+        );
+        for (x, want) in expected.iter().enumerate() {
+            let got = recovered.peek(x as u32);
+            assert_eq!(
+                got, *want,
+                "entity {x} diverged across recovery: {got} != {want}"
+            );
+        }
+        assert!(
+            wal.segments_truncated > 0 || m.commits < 2_000,
+            "a long durable run must see GC truncate dead log segments"
+        );
+        entries.push(("recovery_ms", format!("{recovery_ms:.2}")));
+        entries.push((
+            "recovery_commits_replayed",
+            report.commits_replayed.to_string(),
+        ));
+        entries.push(("wal_mean_batch", format!("{:.1}", wal.mean_batch())));
+        entries.push(("wal_segments_truncated", wal.segments_truncated.to_string()));
+        println!("recovery check passed: all {n_entities} balances survived the crash boundary");
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    if let Err(e) = bench_report::merge_json(&bench_path, &entries) {
+        eprintln!("warning: could not write {}: {e}", bench_path.display());
+    }
 }
