@@ -93,13 +93,14 @@ use deltx_core::policy::PolicyKind;
 use deltx_core::{noncurrent, Applied, CgState, TxnState};
 use deltx_graph::NodeId;
 use deltx_model::{EntityId, Op, Step, TxnId};
+use deltx_runtime::{OsRuntime, RtEvent, Runtime, TaskHandle};
 use deltx_sched::StateSize;
 use deltx_storage::{Store, Value};
 use deltx_wal::{CommitRecord, CrashPoint, DurabilityConfig, RecoveryScan, Wal, WalStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Candidate-queue length at which a committer reclaims its shard
 /// inline rather than waiting for the next background sweep.
@@ -159,6 +160,12 @@ pub struct EngineConfig {
     /// (see [`Engine::open`]). `None` (the default) keeps the engine
     /// purely in-memory.
     pub durability: Option<DurabilityConfig>,
+    /// Host runtime for every thread, clock, sleep, and blocking wait
+    /// the engine (and its WAL) performs. The default [`OsRuntime`]
+    /// uses real threads and the monotonic clock; the simulation
+    /// testkit substitutes a seeded virtual scheduler so whole
+    /// concurrent runs replay deterministically.
+    pub runtime: Arc<dyn Runtime>,
 }
 
 impl Default for EngineConfig {
@@ -172,6 +179,7 @@ impl Default for EngineConfig {
             partial_escalation: true,
             partial_gc: true,
             durability: None,
+            runtime: OsRuntime::shared(),
         }
     }
 }
@@ -372,15 +380,20 @@ pub(crate) struct EngineInner {
     gc_policy: GcPolicy,
     partial_escalation: bool,
     partial_gc: bool,
-    shutdown: Mutex<bool>,
-    shutdown_cv: Condvar,
+    /// Host runtime: clock for the duration metrics, yield points on
+    /// the operation entries, and the GC task's sleep/wakeup.
+    rt: Arc<dyn Runtime>,
+    shutdown: AtomicBool,
+    /// Notified (after `shutdown` is set) to cut the GC task's sleep
+    /// short on engine drop.
+    shutdown_ev: Arc<dyn RtEvent>,
 }
 
 /// The engine: construct once, [`Engine::begin`] sessions from any
-/// thread. Dropping the engine stops the GC thread.
+/// thread. Dropping the engine stops the GC task.
 pub struct Engine {
     inner: Arc<EngineInner>,
-    gc_thread: Option<std::thread::JoinHandle<()>>,
+    gc_thread: Option<TaskHandle>,
 }
 
 impl Engine {
@@ -406,10 +419,11 @@ impl Engine {
     /// current writer was never deleted, so replaying what remains
     /// reproduces every current value exactly.
     pub fn open(cfg: EngineConfig) -> Result<(Self, RecoveryReport), EngineError> {
-        let t0 = Instant::now();
+        let rt = Arc::clone(&cfg.runtime);
+        let t0 = rt.now();
         let (wal, commits, scan) = match &cfg.durability {
             Some(d) => {
-                let (w, commits, scan) = Wal::open(d.clone())
+                let (w, commits, scan) = Wal::open_on(d.clone(), Arc::clone(&rt))
                     .map_err(|e| EngineError::Durability(format!("open log: {e}")))?;
                 (Some(Arc::new(w)), commits, scan)
             }
@@ -429,7 +443,7 @@ impl Engine {
             bytes_discarded: scan.bytes_discarded,
             torn_tail: scan.torn_tail,
             max_lsn: scan.max_lsn,
-            elapsed: t0.elapsed(),
+            elapsed: rt.now().saturating_sub(t0),
         };
         Ok((engine, report))
     }
@@ -463,16 +477,15 @@ impl Engine {
             gc_policy: cfg.gc,
             partial_escalation: cfg.partial_escalation,
             partial_gc: cfg.partial_gc,
-            shutdown: Mutex::new(false),
-            shutdown_cv: Condvar::new(),
+            rt: Arc::clone(&cfg.runtime),
+            shutdown: AtomicBool::new(false),
+            shutdown_ev: cfg.runtime.event(),
         });
         let gc_thread = (cfg.background_gc && cfg.gc != GcPolicy::Off).then(|| {
             let inner = Arc::clone(&inner);
             let interval = cfg.gc_interval;
-            std::thread::Builder::new()
-                .name("deltx-gc".into())
-                .spawn(move || inner.gc_loop(interval))
-                .expect("spawn GC thread")
+            cfg.runtime
+                .spawn("deltx-gc", Box::new(move || inner.gc_loop(interval)))
         });
         Self { inner, gc_thread }
     }
@@ -544,12 +557,12 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        *self.inner.shutdown.lock().unwrap() = true;
-        self.inner.shutdown_cv.notify_all();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.shutdown_ev.notify();
         if let Some(t) = self.gc_thread.take() {
-            let _ = t.join();
+            t.join();
         }
-        // After the GC thread: its sweeps may still note deletions.
+        // After the GC task: its sweeps may still note deletions.
         if let Some(w) = &self.inner.wal {
             w.close();
         }
@@ -761,7 +774,7 @@ impl EngineInner {
             g.cg.end_summary_batch(); // cheap: clears the mode flag
             return;
         }
-        let t0 = Instant::now();
+        let t0 = self.rt.now();
         g.cg.end_summary_batch();
         let rev = g.cg.summary_rev();
         if rev != g.mirrored_rev {
@@ -799,7 +812,7 @@ impl EngineInner {
                 .note_boundary_index_hwm(g.cg.boundary_index_hwm());
         }
         self.metrics
-            .record_summary_update(t0.elapsed().as_nanos() as u64);
+            .record_summary_update(self.rt.now().saturating_sub(t0).as_nanos() as u64);
     }
 
     /// Replaces `txn`'s registered shard set (callers only ever grow
@@ -894,6 +907,9 @@ impl EngineInner {
     /// A transaction's read of `x`.
     pub(crate) fn read(&self, st: &mut SessionState, x: EntityId) -> Result<Value, EngineError> {
         st.check_open()?;
+        // Yield point: under simulation the scheduler may interleave
+        // another session here, before any lock is taken.
+        self.rt.yield_now();
         let s = self.shard_of(x);
         let single = st.shards.is_empty() || (st.shards.len() == 1 && st.shards.contains(&s));
         if single {
@@ -1041,6 +1057,9 @@ impl EngineInner {
     /// write, complete the transaction.
     pub(crate) fn commit(&self, st: &mut SessionState) -> Result<(), EngineError> {
         st.check_open()?;
+        // Yield point: the pre-lock seam where the simulator explores
+        // commit-order interleavings.
+        self.rt.yield_now();
         // Entities staged per shard.
         let mut writes: BTreeMap<usize, Vec<EntityId>> = BTreeMap::new();
         for (&s, buf) in &st.bufs {
@@ -1494,22 +1513,18 @@ impl EngineInner {
     // ---------------------------------------------------------------
 
     fn gc_loop(&self, interval: Duration) {
-        let mut guard = self.shutdown.lock().unwrap();
         loop {
-            if *guard {
+            let key = self.shutdown_ev.prepare();
+            if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let (g, _) = self
-                .shutdown_cv
-                .wait_timeout(guard, interval)
-                .expect("GC condvar");
-            guard = g;
-            if *guard {
+            // Timed out → a normal tick; notified → recheck the flag
+            // (shutdown is the event's only notifier).
+            let _ = self.shutdown_ev.wait_timeout(key, interval);
+            if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            drop(guard);
             self.gc_sweep();
-            guard = self.shutdown.lock().unwrap();
         }
     }
 
@@ -1532,7 +1547,7 @@ impl EngineInner {
     /// defers multi-shard candidates to the multi pass, prunes stale
     /// store versions. Caller holds the shard's lock.
     fn reclaim_shard(&self, s: usize, g: &mut Shard) {
-        let t0 = Instant::now();
+        let t0 = self.rt.now();
         let candidates = g.cg.drain_gc_candidates();
         if candidates.is_empty() {
             return;
@@ -1574,7 +1589,7 @@ impl EngineInner {
         self.metrics.gc_versions_truncated.add(truncated as u64);
         self.metrics
             .gc_pause_nanos
-            .add(t0.elapsed().as_nanos() as u64);
+            .add(self.rt.now().saturating_sub(t0).as_nanos() as u64);
     }
 
     /// Transitive-reduction compaction of a shard's ghost arcs,
@@ -1731,7 +1746,7 @@ impl EngineInner {
     /// candidates whose closure turned out to exceed the locked subset
     /// (never non-empty when every lock is held).
     fn sweep_multi_batch(&self, guards: &mut Guards<'_>, batch: &[TxnId]) -> Vec<TxnId> {
-        let t0 = Instant::now();
+        let t0 = self.rt.now();
         // Batch the bridge-arc summary maintenance: ghost marks and
         // ordering arcs between deletes coalesce, and deletes flush
         // their shard's queue themselves to stay exact.
@@ -1778,7 +1793,7 @@ impl EngineInner {
         self.metrics.gc_versions_truncated.add(truncated as u64);
         self.metrics
             .gc_pause_nanos
-            .add(t0.elapsed().as_nanos() as u64);
+            .add(self.rt.now().saturating_sub(t0).as_nanos() as u64);
         widen
     }
 
@@ -1979,7 +1994,7 @@ impl EngineInner {
     fn sweep_shard_local(&self, kind: PolicyKind) {
         let mut policy = kind.build();
         for s in 0..self.shards.len() {
-            let t0 = Instant::now();
+            let t0 = self.rt.now();
             let mut g = self.shards[s].lock().unwrap();
             let _ = g.cg.drain_gc_candidates(); // keep the queue bounded
             self.compact_shard_ghosts(&mut g);
@@ -2009,7 +2024,7 @@ impl EngineInner {
             self.metrics.gc_versions_truncated.add(truncated as u64);
             self.metrics
                 .gc_pause_nanos
-                .add(t0.elapsed().as_nanos() as u64);
+                .add(self.rt.now().saturating_sub(t0).as_nanos() as u64);
         }
     }
 }

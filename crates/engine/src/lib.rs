@@ -149,9 +149,10 @@ mod session;
 pub mod error;
 
 pub use core_engine::{Engine, EngineConfig, GcPolicy, RecoveryReport};
+pub use deltx_runtime::{OsRuntime, RtEvent, Runtime, TaskHandle};
 pub use deltx_wal::{CrashPoint, DurabilityConfig, WalError, WalStats, ALL_CRASH_POINTS};
 pub use error::EngineError;
 pub use history::{Event, RecordedHistory};
 pub use metrics::MetricsSnapshot;
-pub use seed::run_seed;
+pub use seed::{run_seed, run_seed_arg};
 pub use session::Session;

@@ -9,10 +9,19 @@
 /// and parseable, else `default`. Printed to stderr either way so a
 /// failing run can be replayed with `DELTX_SEED=<seed>`.
 pub fn run_seed(default: u64) -> u64 {
-    let seed = std::env::var("DELTX_SEED")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(default);
-    eprintln!("deltx seed: {seed} (set DELTX_SEED={seed} to replay)");
+    run_seed_arg(None, default)
+}
+
+/// Like [`run_seed`], with a CLI-provided seed taking precedence:
+/// `cli` (e.g. a `--seed N` flag) beats `DELTX_SEED` beats `default`.
+/// Printed to stderr either way so any red run is replayable.
+pub fn run_seed_arg(cli: Option<u64>, default: u64) -> u64 {
+    let seed = cli.unwrap_or_else(|| {
+        std::env::var("DELTX_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(default)
+    });
+    eprintln!("deltx seed: {seed} (set DELTX_SEED={seed} or pass --seed {seed} to replay)");
     seed
 }

@@ -321,3 +321,72 @@ fn gc_checkpointing_keeps_recovery_o_live_not_o_history() {
         );
     }
 }
+
+#[test]
+fn torn_write_at_any_offset_recovers_a_clean_prefix() {
+    // The parameterized crash point: the marker commit's record is cut
+    // at an arbitrary byte offset. Any strict prefix — even one that
+    // ends exactly on the record header — must be detected, discarded,
+    // and never half-applied; an offset clamped to the full record
+    // length behaves like `AfterFlushBeforeVisibility` (durable but
+    // unacknowledged). Byte-exact truncation accounting is pinned down
+    // at the WAL layer (`wal_behavior`); this sweep proves the
+    // *engine-level* contract end to end.
+    let n = 16u32;
+    for (partial, mode) in lock_modes() {
+        // 0 = nothing of the record written; 1 and 9 = cuts inside and
+        // just past the header; MAX clamps to the whole record.
+        for &off in &[0u32, 1, 9, u32::MAX] {
+            let ctx = format!("{mode}/TornWriteAt({off})");
+            let dir = TestDir::new(&format!("torn-{mode}-{off}"));
+            let (e, _) = Engine::open(config(&dir, partial, false)).expect("fresh open");
+
+            let mut expected = vec![0i64; n as usize];
+            for i in 0..40u32 {
+                let x = (i * 7) % n;
+                let y = (x + 1 + (i % 3)) % n;
+                if x != y {
+                    assert!(
+                        transfer(&e, &mut expected, x, y, 1 + (i % 5) as i64),
+                        "[{ctx}] single-threaded commit cannot abort"
+                    );
+                }
+            }
+
+            e.inject_crash(CrashPoint::TornWriteAt(off));
+            let mut t = e.begin();
+            let a = t.read(0).expect("read before crash trips");
+            let b = t.read(1).expect("read before crash trips");
+            t.write(0, a - 7);
+            t.write(1, b + 7);
+            t.commit().expect_err("commit must surface the crash");
+            drop(e);
+
+            let (r, report) =
+                Engine::open(config(&dir, partial, true)).expect("recovery must succeed");
+            // All-or-nothing: the marker is present exactly when the
+            // cut covered the whole record (only the clamped offset).
+            let marker_applied = off == u32::MAX;
+            if marker_applied {
+                expected[0] -= 7;
+                expected[1] += 7;
+            }
+            for (x, want) in expected.iter().enumerate() {
+                assert_eq!(
+                    r.peek(x as u32),
+                    *want,
+                    "[{ctx}] entity {x} diverged across recovery"
+                );
+            }
+            let sum: i64 = (0..n).map(|x| r.peek(x)).sum();
+            assert_eq!(sum, 0, "[{ctx}] recovery must land on a consistent prefix");
+            if off > 0 && off != u32::MAX {
+                assert!(
+                    report.torn_tail && u64::from(off) == report.bytes_discarded,
+                    "[{ctx}] the {off}-byte prefix must be cut exactly: {report:?}"
+                );
+            }
+            assert_oracle_equivalent(&r, &ctx);
+        }
+    }
+}

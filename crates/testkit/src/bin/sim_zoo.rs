@@ -1,0 +1,151 @@
+//! Sweeps the workload zoo over a seed matrix under the deterministic
+//! simulator.
+//!
+//! ```text
+//! cargo run --release -p deltx-testkit --bin sim_zoo                    # seeds 1,2,3
+//! cargo run --release -p deltx-testkit --bin sim_zoo -- --seeds 7,42
+//! cargo run --release -p deltx-testkit --bin sim_zoo -- --only hot_key_skew
+//! cargo run --release -p deltx-testkit --bin sim_zoo -- --summary SIM_7.json
+//! ```
+//!
+//! Every failure line echoes the scenario and seed; rerunning with
+//! `--seeds <that seed>` (or `DELTX_SEED=<that seed>` on the tests)
+//! replays the identical interleaving. Exit code is nonzero if any
+//! scenario/seed cell fails. With `--summary`, headline counters are
+//! merged into the given JSON report (same flat format as
+//! `BENCH_6.json`).
+
+use deltx_engine::bench_report;
+use deltx_testkit::{run_spec, zoo};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut only: Option<String> = None;
+    let mut summary: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                seeds = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("--seeds: `{s}` is not an integer");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if seeds.is_empty() {
+                    eprintln!("--seeds requires a comma-separated list, e.g. 1,2,3");
+                    std::process::exit(2);
+                }
+            }
+            "--only" => match it.next() {
+                Some(n) => only = Some(n.clone()),
+                None => {
+                    eprintln!("--only requires a scenario name");
+                    std::process::exit(2);
+                }
+            },
+            "--summary" => match it.next() {
+                Some(p) => summary = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--summary requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (expected `--seeds a,b,c`, `--only NAME`, \
+                     `--summary PATH`)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let specs: Vec<_> = zoo::all()
+        .into_iter()
+        .filter(|s| only.as_deref().is_none_or(|n| s.name == n))
+        .collect();
+    if specs.is_empty() {
+        eprintln!("no scenario matches --only {only:?}");
+        std::process::exit(2);
+    }
+
+    println!(
+        "sim_zoo: {} scenarios x {} seeds {:?}",
+        specs.len(),
+        seeds.len(),
+        seeds
+    );
+    let mut failures = 0usize;
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for spec in &specs {
+        for &seed in &seeds {
+            match catch_unwind(AssertUnwindSafe(|| run_spec(spec, seed))) {
+                Ok(Ok(r)) => {
+                    println!(
+                        "  ok   {:<22} seed {:<12} {} commits, {} gc deletions, peak {} \
+                         nodes, {} switches, {:.2}ms virtual, fp {:016x}",
+                        r.name,
+                        seed,
+                        r.commits,
+                        r.gc_deletions,
+                        r.peak_nodes,
+                        r.switches,
+                        r.virtual_ns as f64 / 1e6,
+                        r.fingerprint
+                    );
+                    if seed == seeds[0] {
+                        entries.push((format!("sim_{}_commits", r.name), r.commits.to_string()));
+                        entries.push((format!("sim_{}_switches", r.name), r.switches.to_string()));
+                    }
+                }
+                Ok(Err(e)) => {
+                    failures += 1;
+                    eprintln!("  FAIL {:<22} seed {seed}: {e}", spec.name);
+                }
+                Err(_) => {
+                    failures += 1;
+                    eprintln!(
+                        "  FAIL {:<22} seed {seed}: oracle panic — replay with \
+                         `--only {} --seeds {seed}` or DELTX_SEED={seed}",
+                        spec.name, spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &summary {
+        entries.push(("sim_scenarios".into(), specs.len().to_string()));
+        entries.push((
+            "sim_seeds".into(),
+            seeds
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("/"),
+        ));
+        entries.push(("sim_failures".into(), failures.to_string()));
+        let borrowed: Vec<(&str, String)> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        if let Err(e) = bench_report::merge_json(path, &borrowed) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("sim_zoo: {failures} failing cell(s)");
+        std::process::exit(1);
+    }
+    println!("sim_zoo: all green");
+}

@@ -1,0 +1,35 @@
+//! # deltx-testkit — deterministic simulation for the deltx engine
+//!
+//! The third proof layer (after the lockstep oracles and the A/B
+//! twins; see `docs/testing.md`): run the *real* engine — sharded
+//! scheduler, background GC, WAL group commit and all — under a
+//! seeded virtual scheduler, so a concurrent failure is not a flake
+//! but a coordinate. `DELTX_SEED=<n>` replays the exact interleaving,
+//! bit for bit.
+//!
+//! Three pieces:
+//!
+//! * [`sim::VirtualRuntime`] — implements `deltx_runtime::Runtime`
+//!   over a one-task-at-a-time scheduler with virtual time. The
+//!   engine's GC task, the WAL writer, and every workload session
+//!   become simulation tasks; all cross-task ordering is drawn from
+//!   the seed.
+//! * [`workload`] — declarative [`workload::WorkloadSpec`]s (sessions,
+//!   entities, access profile, think time, faults, oracles) and
+//!   [`workload::run_spec`], which executes one under the simulator
+//!   and runs the full oracle battery.
+//! * [`zoo`] — stock scenarios: the stress transfer mix, hot-key
+//!   skew, long analytics readers, §5 batch jobs, read-mostly fanout,
+//!   adversarial cross-shard chains, and a mid-run WAL crash.
+//!
+//! The `sim_zoo` binary sweeps the zoo over a seed matrix for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod workload;
+pub mod zoo;
+
+pub use sim::VirtualRuntime;
+pub use workload::{run_spec, Checks, FaultPlan, Profile, SimError, SimReport, WorkloadSpec};

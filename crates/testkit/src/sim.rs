@@ -1,0 +1,554 @@
+//! The deterministic virtual scheduler behind [`VirtualRuntime`].
+//!
+//! # How one-at-a-time simulation works
+//!
+//! Every logical task (the root test body, each workload session, the
+//! engine's GC task, the WAL's group-commit writer) runs on a real OS
+//! thread — but at most **one** of them is ever runnable: the thread
+//! whose task id equals `current`. Everyone else blocks on a condvar.
+//! Whenever the running task reaches a scheduling point — a
+//! [`Runtime::yield_now`], a sleep, an eventcount wait, a join — it
+//! hands the token back to the scheduler, which picks the next task
+//! from the ready set with a seeded RNG. Concurrency is therefore an
+//! *explicit interleaving of logical steps*, chosen by `seed`, and
+//! the same seed replays the same interleaving bit for bit.
+//!
+//! # Virtual time
+//!
+//! The clock ([`Runtime::now`]) only moves when nothing is runnable:
+//! it then jumps straight to the earliest sleep/timeout deadline and
+//! readies the tasks that deadline releases. Timers are exact, idle
+//! time is free, and a "2 ms" GC interval elapses in microseconds of
+//! wall time. The model is a machine that is infinitely fast between
+//! timer fires — so background work (GC ticks) happens exactly when
+//! the workload leaves idle gaps (think time), never "by luck".
+//!
+//! # Why the engine stays deterministic under this scheduler
+//!
+//! No engine or WAL code path blocks, sleeps, or yields while holding
+//! a shard or log lock (waits happen after locks are released — see
+//! the commit path), so the std mutexes inside the engine are always
+//! uncontended here and never order tasks. All cross-task ordering
+//! flows through this scheduler's seeded choices; everything else in
+//! the engine is a pure function of that order (hash-map iteration
+//! order can vary between runs, but it only feeds order-insensitive
+//! decisions — set membership, bitmask fixpoints, reachability — a
+//! property the determinism self-test pins down).
+//!
+//! # Failure surfaces
+//!
+//! A deadlock (no runnable task, no pending timer, live tasks
+//! remaining) panics with the seed and a task-state dump. A panic in
+//! any task is caught, recorded, and re-raised from
+//! [`VirtualRuntime::run`] with the seed attached — a red run is
+//! always replayable by its seed alone.
+
+use deltx_runtime::{RtEvent, Runtime, TaskHandle};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+type TaskId = usize;
+type EventId = usize;
+
+thread_local! {
+    /// Which simulation task this OS thread carries (None off-task).
+    static CURRENT: Cell<Option<TaskId>> = const { Cell::new(None) };
+}
+
+/// SplitMix64: the scheduler's only randomness, advanced once per
+/// scheduling decision.
+fn next_rng(s: &mut u64) -> u64 {
+    *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Where a task stands with the scheduler.
+enum Run {
+    /// Holds the token (at most one task at a time).
+    Running,
+    /// Eligible for the next scheduling decision.
+    Ready,
+    /// Off the clock until virtual time reaches `until`.
+    Sleeping { until: u64 },
+    /// Parked on an eventcount, optionally with a deadline.
+    Waiting { ev: EventId, deadline: Option<u64> },
+    /// Done; joiners have been released.
+    Finished,
+}
+
+impl Run {
+    fn label(&self) -> String {
+        match self {
+            Run::Running => "running".into(),
+            Run::Ready => "ready".into(),
+            Run::Sleeping { until } => format!("sleeping until {until}ns"),
+            Run::Waiting { ev, deadline, .. } => match deadline {
+                Some(d) => format!("waiting on ev{ev} until {d}ns"),
+                None => format!("waiting on ev{ev}"),
+            },
+            Run::Finished => "finished".into(),
+        }
+    }
+}
+
+struct Task {
+    name: String,
+    run: Run,
+    /// After a Waiting task is readied: `true` if a notify did it,
+    /// `false` if its deadline expired. Read back by `wait_timeout`.
+    wake_notified: bool,
+    /// Bumped when this task finishes; joiners wait on it.
+    done_ev: EventId,
+}
+
+struct SimState {
+    rng: u64,
+    /// Virtual nanoseconds since the simulation started.
+    now: u64,
+    current: Option<TaskId>,
+    tasks: BTreeMap<TaskId, Task>,
+    next_task: TaskId,
+    /// Eventcount epochs.
+    events: BTreeMap<EventId, u64>,
+    next_event: EventId,
+    /// First panic payload from any task (re-raised at run end).
+    panic: Option<String>,
+    /// The simulation aborted (deadlock or propagated panic); every
+    /// parked thread unwinds instead of waiting forever.
+    dead: bool,
+    /// Scheduling decisions taken (diagnostic).
+    switches: u64,
+}
+
+struct SimShared {
+    seed: u64,
+    m: Mutex<SimState>,
+    cv: Condvar,
+}
+
+impl SimShared {
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn alloc_event(st: &mut SimState) -> EventId {
+        let id = st.next_event;
+        st.next_event += 1;
+        st.events.insert(id, 0);
+        id
+    }
+
+    /// Bumps `ev`'s epoch and readies every task parked on it.
+    fn notify_event(st: &mut SimState, ev: EventId) {
+        if let Some(e) = st.events.get_mut(&ev) {
+            *e = e.wrapping_add(1);
+        }
+        for t in st.tasks.values_mut() {
+            if let Run::Waiting { ev: we, .. } = t.run {
+                if we == ev {
+                    t.run = Run::Ready;
+                    t.wake_notified = true;
+                }
+            }
+        }
+    }
+
+    /// Picks the next task to hold the token, advancing virtual time
+    /// when nothing is ready. Panics (after marking the sim dead) on
+    /// deadlock: live tasks exist but none can ever run again.
+    fn pick_next(&self, st: &mut SimState) {
+        st.current = None;
+        loop {
+            let ready: Vec<TaskId> = st
+                .tasks
+                .iter()
+                .filter(|(_, t)| matches!(t.run, Run::Ready))
+                .map(|(id, _)| *id)
+                .collect();
+            if !ready.is_empty() {
+                let pick = ready[(next_rng(&mut st.rng) % ready.len() as u64) as usize];
+                st.tasks.get_mut(&pick).expect("picked task").run = Run::Running;
+                st.current = Some(pick);
+                st.switches += 1;
+                return;
+            }
+            // Nothing ready: jump the clock to the earliest deadline.
+            let next_wake = st
+                .tasks
+                .values()
+                .filter_map(|t| match t.run {
+                    Run::Sleeping { until } => Some(until),
+                    Run::Waiting {
+                        deadline: Some(d), ..
+                    } => Some(d),
+                    _ => None,
+                })
+                .min();
+            match next_wake {
+                Some(w) => {
+                    st.now = st.now.max(w);
+                    let now = st.now;
+                    for t in st.tasks.values_mut() {
+                        let expired = match t.run {
+                            Run::Sleeping { until } => until <= now,
+                            Run::Waiting {
+                                deadline: Some(d), ..
+                            } => d <= now,
+                            _ => false,
+                        };
+                        if expired {
+                            t.run = Run::Ready;
+                            t.wake_notified = false;
+                        }
+                    }
+                }
+                None => {
+                    if st.tasks.values().all(|t| matches!(t.run, Run::Finished)) {
+                        // Everyone is done; no token needed.
+                        return;
+                    }
+                    st.dead = true;
+                    let dump: Vec<String> = st
+                        .tasks
+                        .iter()
+                        .map(|(id, t)| format!("  task {id} `{}`: {}", t.name, t.run.label()))
+                        .collect();
+                    self.cv.notify_all();
+                    panic!(
+                        "deltx-sim DEADLOCK at t={}ns (seed {}): no runnable task and no \
+                         pending timer — replay with DELTX_SEED={}\n{}",
+                        st.now,
+                        self.seed,
+                        self.seed,
+                        dump.join("\n")
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hands the token back (the caller has already set its own run
+    /// state), then parks until re-scheduled. Returns the caller's
+    /// `wake_notified` flag.
+    fn resched_and_park(&self, mut st: MutexGuard<'_, SimState>, me: TaskId) -> bool {
+        self.pick_next(&mut st);
+        self.cv.notify_all();
+        loop {
+            if st.dead {
+                panic!(
+                    "deltx-sim: simulation aborted (seed {}) — see the primary failure",
+                    self.seed
+                );
+            }
+            if st.current == Some(me) {
+                return st.tasks.get(&me).expect("parked task").wake_notified;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks `me` finished, releases joiners, and passes the token on.
+    fn finish_task(&self, me: TaskId, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        if let Some(m) = panic_msg {
+            st.panic.get_or_insert(m);
+        }
+        let done_ev = {
+            let t = st.tasks.get_mut(&me).expect("finishing task");
+            t.run = Run::Finished;
+            t.done_ev
+        };
+        Self::notify_event(&mut st, done_ev);
+        if !st.dead && st.current == Some(me) {
+            self.pick_next(&mut st);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling task until `target` finishes.
+    fn join_task(&self, target: TaskId) {
+        let me = current_task();
+        loop {
+            let mut st = self.lock();
+            if st.dead {
+                panic!(
+                    "deltx-sim: simulation aborted (seed {}) — see the primary failure",
+                    self.seed
+                );
+            }
+            let t = st.tasks.get(&target).expect("join target");
+            if matches!(t.run, Run::Finished) {
+                return;
+            }
+            let done_ev = t.done_ev;
+            st.tasks.get_mut(&me).expect("joiner").run = Run::Waiting {
+                ev: done_ev,
+                deadline: None,
+            };
+            self.resched_and_park(st, me);
+        }
+    }
+}
+
+fn current_task() -> TaskId {
+    CURRENT
+        .with(|c| c.get())
+        .expect("deltx-sim: runtime call from a thread that is not a simulation task")
+}
+
+fn panic_payload(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Resets the thread's task registration even on unwind.
+struct TlsGuard;
+
+impl Drop for TlsGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(None));
+    }
+}
+
+/// The deterministic simulation runtime: implements [`Runtime`] over a
+/// seeded one-task-at-a-time scheduler under virtual time. Construct
+/// via [`VirtualRuntime::run`], which registers the calling thread as
+/// the root task.
+pub struct VirtualRuntime {
+    shared: Arc<SimShared>,
+}
+
+impl std::fmt::Debug for VirtualRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VirtualRuntime(seed {})", self.shared.seed)
+    }
+}
+
+impl VirtualRuntime {
+    /// Runs `f` as the root task of a fresh simulation seeded with
+    /// `seed`. Every task `f` (transitively) spawns must be joined
+    /// before it returns — dropping the engine does that. Panics from
+    /// any task are re-raised here with the seed attached.
+    pub fn run<T>(seed: u64, f: impl FnOnce(&Arc<VirtualRuntime>) -> T) -> T {
+        let shared = Arc::new(SimShared {
+            seed,
+            m: Mutex::new(SimState {
+                rng: seed ^ 0xA076_1D64_78BD_642F, // decorrelate from workload RNGs
+                now: 0,
+                current: Some(0),
+                tasks: BTreeMap::new(),
+                next_task: 1,
+                events: BTreeMap::new(),
+                next_event: 0,
+                panic: None,
+                dead: false,
+                switches: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        {
+            let mut st = shared.lock();
+            let done_ev = SimShared::alloc_event(&mut st);
+            st.tasks.insert(
+                0,
+                Task {
+                    name: "root".into(),
+                    run: Run::Running,
+                    wake_notified: false,
+                    done_ev,
+                },
+            );
+        }
+        let rt = Arc::new(VirtualRuntime {
+            shared: Arc::clone(&shared),
+        });
+        CURRENT.with(|c| c.set(Some(0)));
+        let _tls = TlsGuard;
+        let out = catch_unwind(AssertUnwindSafe(|| f(&rt)));
+
+        let mut st = shared.lock();
+        let task_panic = st.panic.take();
+        let leaked: Vec<String> = st
+            .tasks
+            .iter()
+            .filter(|(id, t)| **id != 0 && !matches!(t.run, Run::Finished))
+            .map(|(_, t)| t.name.clone())
+            .collect();
+        if !leaked.is_empty() {
+            // Wake the stranded threads so they unwind instead of
+            // leaking parked forever — then fail loudly.
+            st.dead = true;
+            shared.cv.notify_all();
+        }
+        drop(st);
+        match out {
+            Ok(v) => {
+                if let Some(m) = task_panic {
+                    panic!("deltx-sim: task panicked (seed {seed}): {m}");
+                }
+                if !leaked.is_empty() {
+                    panic!(
+                        "deltx-sim: tasks still live at end of run (seed {seed}): {leaked:?} \
+                         — join every spawned task (dropping the engine joins its tasks)"
+                    );
+                }
+                v
+            }
+            Err(e) => {
+                if let Some(m) = task_panic {
+                    eprintln!("deltx-sim: first task failure (seed {seed}): {m}");
+                }
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+
+    /// The seed this simulation runs under.
+    pub fn seed(&self) -> u64 {
+        self.shared.seed
+    }
+
+    /// Scheduling decisions taken so far (a cheap determinism probe:
+    /// two identical runs must agree on it).
+    pub fn switches(&self) -> u64 {
+        self.shared.lock().switches
+    }
+}
+
+impl Runtime for VirtualRuntime {
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) -> TaskHandle {
+        let shared = Arc::clone(&self.shared);
+        let id = {
+            let mut st = shared.lock();
+            let id = st.next_task;
+            st.next_task += 1;
+            let done_ev = SimShared::alloc_event(&mut st);
+            st.tasks.insert(
+                id,
+                Task {
+                    name: name.to_string(),
+                    run: Run::Ready,
+                    wake_notified: false,
+                    done_ev,
+                },
+            );
+            id
+        };
+        let body_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                CURRENT.with(|c| c.set(Some(id)));
+                let _tls = TlsGuard;
+                // Park until first scheduled; a dead sim releases us
+                // without ever running the body.
+                let scheduled = {
+                    let mut st = body_shared.lock();
+                    loop {
+                        if st.dead {
+                            break false;
+                        }
+                        if st.current == Some(id) {
+                            break true;
+                        }
+                        st = body_shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                let msg = if scheduled {
+                    catch_unwind(AssertUnwindSafe(f)).err().map(panic_payload)
+                } else {
+                    None
+                };
+                body_shared.finish_task(id, msg);
+            })
+            .expect("deltx-sim: task thread spawn failed");
+        TaskHandle::new(Box::new(move || shared.join_task(id)))
+    }
+
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.shared.lock().now)
+    }
+
+    fn sleep(&self, d: Duration) {
+        let me = current_task();
+        let mut st = self.shared.lock();
+        let until = st.now.saturating_add(d.as_nanos() as u64);
+        st.tasks.get_mut(&me).expect("sleeper").run = Run::Sleeping { until };
+        self.shared.resched_and_park(st, me);
+    }
+
+    fn yield_now(&self) {
+        let me = current_task();
+        let mut st = self.shared.lock();
+        st.tasks.get_mut(&me).expect("yielder").run = Run::Ready;
+        self.shared.resched_and_park(st, me);
+    }
+
+    fn event(&self) -> Arc<dyn RtEvent> {
+        let mut st = self.shared.lock();
+        let id = SimShared::alloc_event(&mut st);
+        drop(st);
+        Arc::new(SimEvent {
+            shared: Arc::clone(&self.shared),
+            id,
+        })
+    }
+}
+
+/// Eventcount whose waits are scheduling points of the simulation.
+struct SimEvent {
+    shared: Arc<SimShared>,
+    id: EventId,
+}
+
+impl RtEvent for SimEvent {
+    fn prepare(&self) -> u64 {
+        *self.shared.lock().events.get(&self.id).expect("event")
+    }
+
+    fn wait(&self, key: u64) {
+        let me = current_task();
+        let mut st = self.shared.lock();
+        if *st.events.get(&self.id).expect("event") != key {
+            return; // notified between prepare and wait
+        }
+        st.tasks.get_mut(&me).expect("waiter").run = Run::Waiting {
+            ev: self.id,
+            deadline: None,
+        };
+        self.shared.resched_and_park(st, me);
+    }
+
+    fn wait_timeout(&self, key: u64, d: Duration) -> bool {
+        let me = current_task();
+        let mut st = self.shared.lock();
+        if *st.events.get(&self.id).expect("event") != key {
+            return true;
+        }
+        let deadline = st.now.saturating_add(d.as_nanos() as u64);
+        st.tasks.get_mut(&me).expect("waiter").run = Run::Waiting {
+            ev: self.id,
+            deadline: Some(deadline),
+        };
+        self.shared.resched_and_park(st, me)
+    }
+
+    fn notify(&self) {
+        // Not a scheduling point (mirrors condvar notify): readied
+        // tasks run when the notifier next yields the token.
+        let mut st = self.shared.lock();
+        SimShared::notify_event(&mut st, self.id);
+    }
+}

@@ -1,0 +1,697 @@
+//! Declarative workload specs and the simulation runner.
+//!
+//! A [`WorkloadSpec`] describes a whole concurrent scenario — session
+//! count, entity universe, access-pattern [`Profile`], client-abort
+//! cadence, virtual think time, durability, an optional [`FaultPlan`] —
+//! as plain data. [`run_spec`] executes it under a [`VirtualRuntime`]
+//! seeded from the caller: every session, the engine's GC task and the
+//! WAL writer become simulation tasks, the interleaving is chosen by
+//! the seed, and the run finishes with the full oracle battery from
+//! the stress suite (lockstep full-scheduler replay, ground-truth CSR,
+//! balance conservation, the live-graph bound). The returned
+//! [`SimReport`] is a pure function of `(spec, seed)` — the
+//! determinism self-test runs every spec twice and demands equality,
+//! fingerprint included.
+
+use crate::sim::VirtualRuntime;
+use deltx_core::CgState;
+use deltx_engine::{
+    CrashPoint, DurabilityConfig, Engine, EngineConfig, Event, GcPolicy, OsRuntime, Runtime,
+    Session, TaskHandle,
+};
+use deltx_model::{Schedule, TxnId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How each session picks the entities a transaction touches.
+#[derive(Clone, Copy, Debug)]
+pub enum Profile {
+    /// The stress suite's banking mix: transfer between two accounts,
+    /// `cross_pct`% of pairs spanning shards (uniform), the rest
+    /// confined to one shard (same residue class).
+    Transfer {
+        /// Percentage of transactions whose two accounts live in
+        /// different shards.
+        cross_pct: u32,
+    },
+    /// The `gc_escalation` bench's skew: `cross_pct`% of traffic hits
+    /// one hot cross-shard pair (entity 0 in shard 0 ↔ entity 1 in
+    /// shard 1); the rest is uniform single-shard traffic over the
+    /// remaining shards.
+    HotKeySkew {
+        /// Percentage of transactions on the hot pair.
+        cross_pct: u32,
+    },
+    /// Long analytics readers (each scans `scan` entities with think
+    /// time between transactions, then rolls back) pinning versions
+    /// while the other sessions run the transfer mix — the paper's
+    /// Example 1 shape, where careless deletion grows the graph.
+    LongReaders {
+        /// Sessions (out of `WorkloadSpec::sessions`) that scan.
+        readers: usize,
+        /// Entities each scan reads before rolling back.
+        scan: u32,
+    },
+    /// §5-style batch jobs: each transaction reads a contiguous block
+    /// of entities (its declared access set) and rewrites the whole
+    /// block atomically — values rotate within the block, so the
+    /// global sum is conserved.
+    Batch {
+        /// Entities per block.
+        block: u32,
+    },
+    /// Read-mostly fanout: every transaction reads `fan` entities;
+    /// one in ten also bumps a counter entity. Balance conservation
+    /// does not apply (writes are increments, not transfers).
+    ReadMostly {
+        /// Entities read per transaction.
+        fan: u32,
+    },
+    /// Adversarial cross-shard chains: each transaction reads one
+    /// entity in each of `len` *consecutive* shards and moves value
+    /// from the first to the last, rewriting the middle entities
+    /// unchanged — so every commit is a multi-shard escalation whose
+    /// closure overlaps its neighbors', the worst case for the
+    /// partial-lock planner.
+    CrossShardChain {
+        /// Shards each chain spans.
+        len: usize,
+    },
+}
+
+/// A fault to inject mid-run.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultPlan {
+    /// Run to completion unharmed.
+    None,
+    /// Arm `point` on the WAL once `after_commits` commits have been
+    /// acknowledged, then let the surviving sessions drain against
+    /// the crashed log; the runner recovers afterwards and checks the
+    /// recovered image. Requires `durable`.
+    Crash {
+        /// Acknowledged commits before the crash fires.
+        after_commits: u64,
+        /// Which crash point to arm.
+        point: CrashPoint,
+    },
+    /// Reserved: a network partition between session groups. The
+    /// runner rejects it with [`SimError::Unsupported`] until a
+    /// distributed layer exists to partition.
+    Partition {
+        /// Acknowledged commits before the partition starts.
+        at_commits: u64,
+        /// Virtual nanoseconds until it heals.
+        heal_after_ns: u64,
+    },
+}
+
+/// Which oracles to run after the workload drains.
+#[derive(Clone, Copy, Debug)]
+pub struct Checks {
+    /// Replay the recorded history through a full (never-deleting)
+    /// `CgState` and demand outcome-for-outcome equality (Theorem 2),
+    /// then `check_invariants`.
+    pub oracle_replay: bool,
+    /// Ground-truth conflict-serializability of the accepted
+    /// subschedule (`deltx_model::history::is_csr`).
+    pub csr: bool,
+    /// The sum of all balances is conserved (transfers only move
+    /// value). Turn off for profiles whose writes are not transfers.
+    pub balance_sum: bool,
+    /// Peak and final live graph stay within
+    /// `sessions + 4·entities + 16`.
+    pub live_graph_bound: bool,
+}
+
+impl Checks {
+    /// Everything on — the default for conserving profiles.
+    pub fn all() -> Self {
+        Checks {
+            oracle_replay: true,
+            csr: true,
+            balance_sum: true,
+            live_graph_bound: true,
+        }
+    }
+}
+
+/// A complete declarative scenario. See the zoo ([`crate::zoo`]) for
+/// the stock instances.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Scenario name (reports, summaries, failure messages).
+    pub name: &'static str,
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Transactions each session attempts.
+    pub txns_per_session: usize,
+    /// Entity universe size.
+    pub entities: u32,
+    /// Engine shards.
+    pub shards: usize,
+    /// Access pattern.
+    pub profile: Profile,
+    /// Client rollback cadence: every `abort_every`-th transaction is
+    /// rolled back after its reads (0 = never).
+    pub abort_every: usize,
+    /// Virtual think time between a session's transactions, in
+    /// nanoseconds. Must be nonzero for background GC to run: the
+    /// virtual clock only advances when every task is idle.
+    pub think_ns: u64,
+    /// Background GC tick, in virtual microseconds.
+    pub gc_interval_us: u64,
+    /// Run with the write-ahead log (group commit under the sim).
+    pub durable: bool,
+    /// Fault to inject.
+    pub fault: FaultPlan,
+    /// Oracles to run.
+    pub checks: Checks,
+}
+
+/// What a simulated run produced. Everything here is virtual-time or
+/// count data, so two runs of the same `(spec, seed)` must compare
+/// equal — the determinism self-test asserts exactly that.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimReport {
+    /// Scenario name.
+    pub name: &'static str,
+    /// The seed the interleaving was drawn from.
+    pub seed: u64,
+    /// Commits acknowledged to clients.
+    pub commits: u64,
+    /// Scheduler + durability failures observed by clients.
+    pub failures: u64,
+    /// Client rollbacks (including reader scans).
+    pub client_aborts: u64,
+    /// GC deletions over the run.
+    pub gc_deletions: u64,
+    /// Peak live-graph nodes sampled by the monitor task.
+    pub peak_nodes: usize,
+    /// The `O(active)` bound the peak was checked against (0 when the
+    /// check is off).
+    pub graph_bound: usize,
+    /// Virtual nanoseconds the run spanned.
+    pub virtual_ns: u64,
+    /// Scheduling decisions the simulator took.
+    pub switches: u64,
+    /// FNV-1a digest of the recorded history, final entity values,
+    /// and counters — the bit-identical-replay witness.
+    pub fingerprint: u64,
+    /// Commits replayed by recovery (crash plans only).
+    pub commits_replayed: u64,
+}
+
+/// Why a spec could not run.
+#[derive(Debug)]
+pub enum SimError {
+    /// The spec asks for machinery the runner does not have yet.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Unsupported(m) => write!(f, "unsupported workload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= u64::from(*b);
+        *h = h.wrapping_mul(0x100_0000_01B3);
+    }
+}
+
+/// Spawns a task that gets a handle back to the runtime (for think
+/// time) — a thin sugar over [`Runtime::spawn`]'s `'static` closure.
+fn spawn_on(
+    rt: &Arc<VirtualRuntime>,
+    name: &str,
+    f: impl FnOnce(&Arc<VirtualRuntime>) + Send + 'static,
+) -> TaskHandle {
+    let inner = Arc::clone(rt);
+    rt.spawn(name, Box::new(move || f(&inner)))
+}
+
+/// What one transaction attempt came to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TxnOutcome {
+    /// Commit acknowledged.
+    Committed,
+    /// The client rolled it back on purpose (cadence or pure read).
+    RolledBack,
+    /// A scheduler or durability abort.
+    Failed,
+}
+
+/// One transaction of the given profile.
+fn run_txn(
+    e: &Engine,
+    spec: &WorkloadSpec,
+    rng: &mut StdRng,
+    tid: usize,
+    i: usize,
+    is_reader: bool,
+) -> TxnOutcome {
+    let n = spec.entities;
+    let shards = spec.shards as u32;
+    let span = (n / shards).max(1);
+    let mut t = e.begin();
+    let rollback = spec.abort_every != 0 && i.is_multiple_of(spec.abort_every);
+
+    if is_reader {
+        // Long analytics reader: scan a window, then roll back.
+        let scan = match spec.profile {
+            Profile::LongReaders { scan, .. } => scan,
+            _ => 4,
+        };
+        let base = rng.gen_range(0..n);
+        for k in 0..scan {
+            if t.read((base + k) % n).is_err() {
+                return TxnOutcome::Failed;
+            }
+        }
+        t.abort();
+        return TxnOutcome::RolledBack;
+    }
+
+    match spec.profile {
+        Profile::Transfer { .. } | Profile::LongReaders { .. } => {
+            let cross_pct = match spec.profile {
+                Profile::Transfer { cross_pct } => cross_pct,
+                _ => 30,
+            };
+            let (x, y) = if rng.gen_range(0u32..100) < cross_pct {
+                (rng.gen_range(0..n), rng.gen_range(0..n))
+            } else {
+                let s = rng.gen_range(0..shards);
+                (
+                    (s + shards * rng.gen_range(0..span)) % n,
+                    (s + shards * rng.gen_range(0..span)) % n,
+                )
+            };
+            transfer(t, rng, rollback, x, y)
+        }
+        Profile::HotKeySkew { cross_pct } => {
+            let (x, y) = if rng.gen_range(0u32..100) < cross_pct {
+                (0, 1 % n) // the hot shard-0 ↔ shard-1 pair
+            } else {
+                let s = if shards > 2 {
+                    2 + rng.gen_range(0..shards - 2)
+                } else {
+                    rng.gen_range(0..shards)
+                };
+                (
+                    (s + shards * rng.gen_range(0..span)) % n,
+                    (s + shards * rng.gen_range(0..span)) % n,
+                )
+            };
+            transfer(t, rng, rollback, x, y)
+        }
+        Profile::Batch { block } => {
+            let block = block.clamp(1, n);
+            let blocks = (n / block).max(1);
+            let base = (((tid + i) as u32) % blocks) * block;
+            let mut vals = Vec::with_capacity(block as usize);
+            for k in 0..block {
+                let x = (base + k) % n;
+                match t.read(x) {
+                    Ok(v) => vals.push((x, v)),
+                    Err(_) => return TxnOutcome::Failed,
+                }
+            }
+            if rollback {
+                t.abort();
+                return TxnOutcome::RolledBack;
+            }
+            // Rotate values within the block: conserves the sum.
+            let first = vals[0].1;
+            for w in 0..vals.len() {
+                let next = if w + 1 < vals.len() {
+                    vals[w + 1].1
+                } else {
+                    first
+                };
+                t.write(vals[w].0, next);
+            }
+            commit_outcome(t)
+        }
+        Profile::ReadMostly { fan } => {
+            for _ in 0..fan {
+                if t.read(rng.gen_range(0..n)).is_err() {
+                    return TxnOutcome::Failed;
+                }
+            }
+            if rollback || !i.is_multiple_of(10) {
+                t.abort(); // pure read txn: nothing to install
+                return TxnOutcome::RolledBack;
+            }
+            let x = rng.gen_range(0..n);
+            let Ok(v) = t.read(x) else {
+                return TxnOutcome::Failed;
+            };
+            t.write(x, v + 1); // counter bump: not a transfer
+            commit_outcome(t)
+        }
+        Profile::CrossShardChain { len } => {
+            let len = len.clamp(2, spec.shards) as u32;
+            let s0 = rng.gen_range(0..shards);
+            let mut chain: Vec<(u32, i64)> = Vec::with_capacity(len as usize);
+            for k in 0..len {
+                let x = ((s0 + k) % shards + shards * rng.gen_range(0..span)) % n;
+                if chain.iter().any(|&(px, _)| px == x) {
+                    continue; // tiny universes can fold the chain
+                }
+                match t.read(x) {
+                    Ok(v) => chain.push((x, v)),
+                    Err(_) => return TxnOutcome::Failed,
+                }
+            }
+            if rollback || chain.len() < 2 {
+                t.abort();
+                return TxnOutcome::RolledBack;
+            }
+            let amount = rng.gen_range(1i64..10);
+            let last = chain.len() - 1;
+            // Move value down the whole chain; middle entities are
+            // rewritten unchanged so every hop is a write conflict.
+            for (k, &(x, v)) in chain.iter().enumerate() {
+                let nv = if k == 0 {
+                    v - amount
+                } else if k == last {
+                    v + amount
+                } else {
+                    v
+                };
+                t.write(x, nv);
+            }
+            commit_outcome(t)
+        }
+    }
+}
+
+fn transfer(mut t: Session, rng: &mut StdRng, rollback: bool, x: u32, y: u32) -> TxnOutcome {
+    let Ok(a) = t.read(x) else {
+        return TxnOutcome::Failed;
+    };
+    let b = if y != x {
+        match t.read(y) {
+            Ok(v) => v,
+            Err(_) => return TxnOutcome::Failed,
+        }
+    } else {
+        0
+    };
+    if rollback {
+        t.abort();
+        return TxnOutcome::RolledBack;
+    }
+    let amount = rng.gen_range(1i64..10);
+    if y != x {
+        t.write(x, a - amount);
+        t.write(y, b + amount);
+    } else {
+        t.write(x, a);
+    }
+    if t.commit().is_ok() {
+        TxnOutcome::Committed
+    } else {
+        TxnOutcome::Failed
+    }
+}
+
+fn commit_outcome(t: Session) -> TxnOutcome {
+    if t.commit().is_ok() {
+        TxnOutcome::Committed
+    } else {
+        TxnOutcome::Failed
+    }
+}
+
+fn durability(dir: &std::path::Path) -> DurabilityConfig {
+    DurabilityConfig {
+        // Small segments so GC-driven truncation triggers in-run.
+        segment_bytes: 16 * 1024,
+        fsync: false,
+        ..DurabilityConfig::new(dir.to_path_buf())
+    }
+}
+
+/// Runs `spec` under a fresh [`VirtualRuntime`] seeded with `seed` and
+/// returns the deterministic [`SimReport`]. Panics (with the spec name
+/// and seed in the message) if any enabled oracle fails.
+pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
+    if let FaultPlan::Partition { .. } = spec.fault {
+        return Err(SimError::Unsupported(
+            "FaultPlan::Partition needs a distributed layer to partition; \
+             the variant exists so zoo specs can carry it, but no runner \
+             does yet"
+                .into(),
+        ));
+    }
+    if matches!(spec.fault, FaultPlan::Crash { .. }) && !spec.durable {
+        return Err(SimError::Unsupported(
+            "FaultPlan::Crash requires `durable: true` (the crash is armed on the WAL)".into(),
+        ));
+    }
+
+    let wal_dir: Option<PathBuf> = spec.durable.then(|| {
+        std::env::temp_dir().join(format!(
+            "deltx-sim-{}-{seed}-{}",
+            spec.name,
+            std::process::id()
+        ))
+    });
+    if let Some(d) = &wal_dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    let report = VirtualRuntime::run(seed, |rt| {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            shards: spec.shards,
+            gc: GcPolicy::Noncurrent,
+            gc_interval: Duration::from_micros(spec.gc_interval_us.max(1)),
+            background_gc: true,
+            record_history: true,
+            partial_escalation: true,
+            partial_gc: true,
+            durability: wal_dir.as_deref().map(durability),
+            runtime: Arc::clone(rt) as Arc<dyn Runtime>,
+        }));
+
+        let commits = Arc::new(AtomicU64::new(0));
+        let failures = Arc::new(AtomicU64::new(0));
+        let client_aborts = Arc::new(AtomicU64::new(0));
+        let crash_armed = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let peak = Arc::new(AtomicUsize::new(0));
+
+        // Monitor task: samples the live graph at a fixed virtual
+        // cadence — deterministic because the schedule is.
+        let mon = {
+            let (e, stop, peak) = (Arc::clone(&engine), Arc::clone(&stop), Arc::clone(&peak));
+            spawn_on(rt, "sim-monitor", move |rtm| loop {
+                rtm.sleep(Duration::from_micros(200));
+                peak.fetch_max(e.graph_size().nodes, Ordering::Relaxed);
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            })
+        };
+
+        let readers = match spec.profile {
+            Profile::LongReaders { readers, .. } => readers.min(spec.sessions),
+            _ => 0,
+        };
+
+        let mut handles = Vec::with_capacity(spec.sessions);
+        for tid in 0..spec.sessions {
+            let e = Arc::clone(&engine);
+            let spec2 = spec.clone();
+            let (commits, failures, client_aborts, crash_armed) = (
+                Arc::clone(&commits),
+                Arc::clone(&failures),
+                Arc::clone(&client_aborts),
+                Arc::clone(&crash_armed),
+            );
+            let is_reader = tid < readers;
+            handles.push(spawn_on(rt, &format!("session-{tid}"), move |rts| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x5E55_0000 + tid as u64));
+                for i in 0..spec2.txns_per_session {
+                    match run_txn(&e, &spec2, &mut rng, tid, i, is_reader) {
+                        TxnOutcome::Committed => {
+                            let c = commits.fetch_add(1, Ordering::SeqCst) + 1;
+                            if let FaultPlan::Crash {
+                                after_commits,
+                                point,
+                            } = spec2.fault
+                            {
+                                if c >= after_commits && !crash_armed.swap(true, Ordering::SeqCst) {
+                                    e.inject_crash(point);
+                                }
+                            }
+                        }
+                        TxnOutcome::RolledBack => {
+                            client_aborts.fetch_add(1, Ordering::SeqCst);
+                        }
+                        TxnOutcome::Failed => {
+                            failures.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    if spec2.think_ns > 0 {
+                        rts.sleep(Duration::from_nanos(spec2.think_ns));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        stop.store(true, Ordering::SeqCst);
+        mon.join();
+
+        let crashed = crash_armed.load(Ordering::SeqCst);
+        if !crashed {
+            engine.gc_sweep();
+        }
+        let m = engine.metrics();
+        let history = engine.recorded_history().expect("recording enabled");
+        let finals: Vec<i64> = (0..spec.entities).map(|x| engine.peek(x)).collect();
+        let peak_nodes = peak.load(Ordering::Relaxed).max(m.live_txns as usize);
+        let virtual_ns = rt.now().as_nanos() as u64;
+
+        // ---- Oracles -------------------------------------------------
+        let mut full = CgState::new();
+        if spec.checks.oracle_replay || spec.checks.csr {
+            for ev in &history.events {
+                match ev {
+                    Event::Step { step, outcome } => {
+                        let got = full.apply(step).unwrap_or_else(|err| {
+                            panic!(
+                                "[{} seed {seed}] replay rejected {step:?}: {err}",
+                                spec.name
+                            )
+                        });
+                        assert_eq!(
+                            got, *outcome,
+                            "[{} seed {seed}] engine diverged from the full scheduler on {step:?}",
+                            spec.name
+                        );
+                    }
+                    Event::ClientAbort(t) => full.abort_txn(*t).expect("client abort of live txn"),
+                }
+            }
+            full.check_invariants();
+        }
+        if spec.checks.csr {
+            let mut aborted: HashSet<TxnId> = full.aborted_txns().clone();
+            aborted.extend(history.client_aborted());
+            let accepted =
+                Schedule::from_steps(history.accepted_steps()).accepted_subschedule(&aborted);
+            assert!(
+                deltx_model::history::is_csr(&accepted),
+                "[{} seed {seed}] accepted subschedule must be CSR",
+                spec.name
+            );
+        }
+        if spec.checks.balance_sum && !crashed {
+            let sum: i64 = finals.iter().sum();
+            assert_eq!(
+                sum, 0,
+                "[{} seed {seed}] transfers must conserve the total balance",
+                spec.name
+            );
+        }
+        let graph_bound = if spec.checks.live_graph_bound {
+            let bound = spec.sessions + 4 * spec.entities as usize + 16;
+            assert!(
+                peak_nodes <= bound,
+                "[{} seed {seed}] peak live graph {peak_nodes} exceeded O(active) bound {bound}",
+                spec.name
+            );
+            bound
+        } else {
+            0
+        };
+
+        // ---- Fingerprint --------------------------------------------
+        let mut fp: u64 = 0xCBF2_9CE4_8422_2325;
+        for ev in &history.events {
+            match ev {
+                Event::Step { step, outcome } => {
+                    fnv1a(&mut fp, format!("{step:?}|{outcome:?};").as_bytes())
+                }
+                Event::ClientAbort(t) => fnv1a(&mut fp, format!("CA{t:?};").as_bytes()),
+            }
+        }
+        for v in &finals {
+            fnv1a(&mut fp, &v.to_le_bytes());
+        }
+        for c in [m.commits, m.aborts_scheduler, m.aborts_voluntary] {
+            fnv1a(&mut fp, &c.to_le_bytes());
+        }
+
+        drop(engine); // joins the GC task and the WAL writer in-sim
+        SimReport {
+            name: spec.name,
+            seed,
+            commits: commits.load(Ordering::SeqCst),
+            failures: failures.load(Ordering::SeqCst),
+            client_aborts: client_aborts.load(Ordering::SeqCst),
+            gc_deletions: m.gc_deletions,
+            peak_nodes,
+            graph_bound,
+            virtual_ns,
+            switches: rt.switches(),
+            fingerprint: fp,
+            commits_replayed: 0,
+        }
+    });
+
+    let report = match (&spec.fault, &wal_dir) {
+        (FaultPlan::Crash { .. }, Some(dir)) => {
+            // Recovery pass (outside the sim: replay is sequential,
+            // and the OS runtime's GC/writer tasks join on drop).
+            let (recovered, rec) = Engine::open(EngineConfig {
+                shards: spec.shards,
+                background_gc: false,
+                durability: Some(durability(dir)),
+                runtime: OsRuntime::shared(),
+                ..EngineConfig::default()
+            })
+            .unwrap_or_else(|e| panic!("[{} seed {seed}] recovery must succeed: {e:?}", spec.name));
+            if spec.checks.balance_sum {
+                let sum: i64 = (0..spec.entities).map(|x| recovered.peek(x)).sum();
+                assert_eq!(
+                    sum, 0,
+                    "[{} seed {seed}] recovered image must conserve the balance sum",
+                    spec.name
+                );
+            }
+            let mut fp = report.fingerprint;
+            for x in 0..spec.entities {
+                fnv1a(&mut fp, &recovered.peek(x).to_le_bytes());
+            }
+            drop(recovered);
+            SimReport {
+                commits_replayed: rec.commits_replayed,
+                fingerprint: fp,
+                ..report
+            }
+        }
+        _ => report,
+    };
+
+    if let Some(d) = &wal_dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    Ok(report)
+}

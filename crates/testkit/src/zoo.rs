@@ -1,0 +1,179 @@
+//! The workload zoo: stock [`WorkloadSpec`]s covering the engine's
+//! interesting regimes.
+//!
+//! Each entry is small enough to run under the one-step-at-a-time
+//! simulator in well under a second, yet shaped to stress a distinct
+//! mechanism: the stress suite's transfer mix, the `gc_escalation`
+//! bench's hot-pair skew, Example 1's long readers, §5 batch jobs,
+//! read-mostly fanout, adversarial cross-shard chains, and a durable
+//! run that crashes mid-flight and must recover. CI sweeps the whole
+//! zoo over a seed matrix (`sim_zoo` binary); the determinism
+//! self-test replays each spec twice per seed.
+
+use crate::workload::{Checks, FaultPlan, Profile, WorkloadSpec};
+use deltx_engine::CrashPoint;
+
+/// The stress suite's banking mix (`stress_replay::run_mix` ported to
+/// the simulator): uniform transfers, 30% cross-shard, client
+/// rollbacks every 17th transaction.
+pub fn transfer_mix() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "transfer_mix",
+        sessions: 6,
+        txns_per_session: 40,
+        entities: 16,
+        shards: 4,
+        profile: Profile::Transfer { cross_pct: 30 },
+        abort_every: 17,
+        think_ns: 2_000,
+        gc_interval_us: 50,
+        durable: false,
+        fault: FaultPlan::None,
+        checks: Checks::all(),
+    }
+}
+
+/// The `gc_escalation` bench's skew: most traffic hammers one hot
+/// cross-shard pair, forcing escalated commits to contend on the same
+/// closure while GC sweeps race them.
+pub fn hot_key_skew() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hot_key_skew",
+        sessions: 6,
+        txns_per_session: 40,
+        entities: 24,
+        shards: 8,
+        profile: Profile::HotKeySkew { cross_pct: 30 },
+        abort_every: 0,
+        think_ns: 2_000,
+        gc_interval_us: 50,
+        durable: false,
+        fault: FaultPlan::None,
+        checks: Checks::all(),
+    }
+}
+
+/// Example 1's nemesis shape: two long analytics readers pin versions
+/// while transfer traffic churns — deletion must wait for exactly the
+/// right moment and the graph must stay bounded anyway.
+pub fn long_readers() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "long_readers",
+        sessions: 6,
+        txns_per_session: 30,
+        entities: 16,
+        shards: 4,
+        profile: Profile::LongReaders {
+            readers: 2,
+            scan: 8,
+        },
+        abort_every: 0,
+        think_ns: 4_000,
+        gc_interval_us: 50,
+        durable: false,
+        fault: FaultPlan::None,
+        checks: Checks::all(),
+    }
+}
+
+/// §5 batch jobs: predeclared contiguous blocks read and rewritten
+/// atomically — wide write sets, heavy same-block conflicts.
+pub fn batch_jobs() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "batch_jobs",
+        sessions: 4,
+        txns_per_session: 30,
+        entities: 16,
+        shards: 4,
+        profile: Profile::Batch { block: 4 },
+        abort_every: 11,
+        think_ns: 3_000,
+        gc_interval_us: 50,
+        durable: false,
+        fault: FaultPlan::None,
+        checks: Checks::all(),
+    }
+}
+
+/// Read-mostly fanout: wide reads, rare counter bumps. Balance
+/// conservation does not apply; the other oracles all do.
+pub fn read_mostly_fanout() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "read_mostly_fanout",
+        sessions: 6,
+        txns_per_session: 40,
+        entities: 24,
+        shards: 4,
+        profile: Profile::ReadMostly { fan: 6 },
+        abort_every: 0,
+        think_ns: 2_000,
+        gc_interval_us: 50,
+        durable: false,
+        fault: FaultPlan::None,
+        checks: Checks {
+            balance_sum: false,
+            ..Checks::all()
+        },
+    }
+}
+
+/// Adversarial cross-shard chains: every commit escalates across a
+/// window of consecutive shards, overlapping its neighbors' closures —
+/// the partial-lock planner's worst case.
+pub fn cross_shard_chain() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "cross_shard_chain",
+        sessions: 6,
+        txns_per_session: 25,
+        entities: 32,
+        shards: 8,
+        profile: Profile::CrossShardChain { len: 4 },
+        abort_every: 13,
+        think_ns: 2_000,
+        gc_interval_us: 50,
+        durable: false,
+        fault: FaultPlan::None,
+        checks: Checks::all(),
+    }
+}
+
+/// A durable transfer run that crashes its WAL mid-flight (a torn
+/// write inside a record), drains, recovers, and checks the recovered
+/// image conserves the balance sum.
+pub fn durable_crash_mid_run() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "durable_crash_mid_run",
+        sessions: 4,
+        txns_per_session: 30,
+        entities: 16,
+        shards: 4,
+        profile: Profile::Transfer { cross_pct: 25 },
+        abort_every: 0,
+        think_ns: 3_000,
+        gc_interval_us: 50,
+        durable: true,
+        fault: FaultPlan::Crash {
+            after_commits: 40,
+            point: CrashPoint::TornWriteAt(11),
+        },
+        checks: Checks {
+            // Post-crash the live graph holds acknowledged-but-failed
+            // residue; skip the bound, keep every safety oracle.
+            live_graph_bound: false,
+            ..Checks::all()
+        },
+    }
+}
+
+/// Every stock scenario, in a stable order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        transfer_mix(),
+        hot_key_skew(),
+        long_readers(),
+        batch_jobs(),
+        read_mostly_fanout(),
+        cross_shard_chain(),
+        durable_crash_mid_run(),
+    ]
+}

@@ -1,0 +1,125 @@
+//! The virtual scheduler's own contract: exact virtual time, the
+//! eventcount protocol, deterministic scheduling, deadlock detection.
+
+use deltx_engine::Runtime;
+use deltx_testkit::VirtualRuntime;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[test]
+fn virtual_sleep_advances_the_clock_exactly() {
+    VirtualRuntime::run(1, |rt| {
+        let t0 = rt.now();
+        rt.sleep(Duration::from_millis(5));
+        assert_eq!(rt.now() - t0, Duration::from_millis(5));
+        // Idle time is free: a long sleep costs no wall clock.
+        rt.sleep(Duration::from_secs(3600));
+        assert_eq!(
+            rt.now() - t0,
+            Duration::from_secs(3600) + Duration::from_millis(5)
+        );
+    });
+}
+
+#[test]
+fn eventcount_handoff_between_tasks() {
+    VirtualRuntime::run(2, |rt| {
+        let ev = rt.event();
+        let flag = Arc::new(AtomicBool::new(false));
+        let (ev2, flag2) = (Arc::clone(&ev), Arc::clone(&flag));
+        let h = rt.spawn(
+            "setter",
+            Box::new(move || {
+                flag2.store(true, Ordering::SeqCst);
+                ev2.notify();
+            }),
+        );
+        loop {
+            let key = ev.prepare();
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+            ev.wait(key);
+        }
+        h.join();
+    });
+}
+
+#[test]
+fn wait_timeout_expires_on_virtual_deadline() {
+    VirtualRuntime::run(3, |rt| {
+        let ev = rt.event();
+        let t0 = rt.now();
+        let key = ev.prepare();
+        let notified = ev.wait_timeout(key, Duration::from_micros(10));
+        assert!(!notified, "nobody notified");
+        assert_eq!(
+            rt.now() - t0,
+            Duration::from_micros(10),
+            "woke exactly on deadline"
+        );
+    });
+}
+
+#[test]
+fn same_seed_same_schedule_different_seed_different_schedule() {
+    fn trace(seed: u64) -> (Vec<usize>, u64) {
+        VirtualRuntime::run(seed, |rt| {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let handles: Vec<_> = (0..4)
+                .map(|tid| {
+                    let rt2 = Arc::clone(rt);
+                    let order = Arc::clone(&order);
+                    rt.spawn(
+                        &format!("t{tid}"),
+                        Box::new(move || {
+                            for _ in 0..8 {
+                                order.lock().unwrap().push(tid);
+                                rt2.yield_now();
+                            }
+                        }),
+                    )
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            let v = order.lock().unwrap().clone();
+            (v, rt.switches())
+        })
+    }
+    assert_eq!(trace(7), trace(7), "same seed must replay the schedule");
+    assert_ne!(
+        trace(7).0,
+        trace(8).0,
+        "different seeds must pick different interleavings"
+    );
+}
+
+#[test]
+#[should_panic(expected = "deltx-sim")]
+fn deadlock_is_detected_not_hung() {
+    VirtualRuntime::run(9, |rt| {
+        let ev = rt.event();
+        let ev2 = Arc::clone(&ev);
+        let h = rt.spawn(
+            "stuck",
+            Box::new(move || {
+                // Waits on an event nobody will ever notify.
+                let key = ev2.prepare();
+                ev2.wait(key);
+            }),
+        );
+        h.join();
+    });
+}
+
+#[test]
+#[should_panic(expected = "seed 11")]
+fn task_panics_carry_the_seed() {
+    VirtualRuntime::run(11, |rt| {
+        let h = rt.spawn("boom", Box::new(|| panic!("workload bug")));
+        h.join();
+    });
+}

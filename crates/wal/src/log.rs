@@ -38,14 +38,14 @@
 
 use crate::record::{decode, encode_abort, encode_commit, DecodeError, WalRecord};
 use deltx_model::{EntityId, TxnId};
+use deltx_runtime::{OsRuntime, RtEvent, Runtime, TaskHandle};
 use deltx_storage::Value;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Configuration for the durability layer.
 #[derive(Clone, Debug)]
@@ -85,12 +85,22 @@ pub enum CrashPoint {
     /// The flush was cut mid-record: a torn half record is durable at
     /// the tail.
     MidFlushTorn,
+    /// The flush died after exactly this many bytes of the record had
+    /// reached the disk: a torn tail cut at an arbitrary offset. The
+    /// offset is clamped to the record length; cutting at the full
+    /// length behaves like
+    /// [`CrashPoint::AfterFlushBeforeVisibility`], at zero like
+    /// [`CrashPoint::BeforeAppend`]. Offsets under 8 tear inside the
+    /// `[len][crc]` header itself.
+    TornWriteAt(u32),
     /// The record is fully durable but the crash hits before the
     /// session is acknowledged or the write becomes visible.
     AfterFlushBeforeVisibility,
 }
 
-/// All crash points, for matrix-style harnesses.
+/// Every parameter-free crash point, for matrix-style harnesses
+/// (sweep [`CrashPoint::TornWriteAt`] offsets explicitly — they are a
+/// family, not a point).
 pub const ALL_CRASH_POINTS: [CrashPoint; 4] = [
     CrashPoint::BeforeAppend,
     CrashPoint::AfterAppendBeforeFlush,
@@ -168,6 +178,9 @@ pub struct WalStats {
     pub durable_lsn: u64,
     /// Segments currently on disk.
     pub segments_live: u64,
+    /// Total nanoseconds the writer task spent inside `write`+`fsync`,
+    /// measured on the runtime clock (virtual under simulation).
+    pub flush_nanos: u64,
 }
 
 impl WalStats {
@@ -226,6 +239,8 @@ struct WalState {
     armed: Option<CrashPoint>,
     crashed: bool,
     closing: bool,
+    /// The writer task has returned; nothing will ever flush again.
+    writer_exited: bool,
 }
 
 #[derive(Default)]
@@ -235,15 +250,20 @@ struct WalCounters {
     batch_hist: [AtomicU64; 8],
     segments_created: AtomicU64,
     segments_truncated: AtomicU64,
+    flush_nanos: AtomicU64,
 }
 
 struct WalInner {
     cfg: DurabilityConfig,
+    /// Host runtime: spawns the writer task, times flushes, and backs
+    /// the two eventcounts below. Virtual under the simulation testkit.
+    rt: Arc<dyn Runtime>,
     state: Mutex<WalState>,
-    /// Wakes the writer thread when work arrives or the log closes.
-    work_cv: Condvar,
-    /// Wakes sessions when `durable_lsn` advances or the log crashes.
-    durable_cv: Condvar,
+    /// Wakes the writer task when work arrives or the log closes.
+    work_ev: Arc<dyn RtEvent>,
+    /// Wakes sessions when `durable_lsn` advances, the log crashes, or
+    /// the writer task exits.
+    durable_ev: Arc<dyn RtEvent>,
     stats: WalCounters,
 }
 
@@ -284,7 +304,7 @@ fn collect_dead(st: &mut WalState, active: u64, stats: &WalCounters) {
 /// `Arc`.
 pub struct Wal {
     inner: Arc<WalInner>,
-    writer: Mutex<Option<JoinHandle<()>>>,
+    writer: Mutex<Option<TaskHandle>>,
 }
 
 impl Wal {
@@ -298,6 +318,17 @@ impl Wal {
     /// cut back to its valid prefix and every later segment is
     /// deleted.
     pub fn open(cfg: DurabilityConfig) -> std::io::Result<(Wal, Vec<CommitRecord>, RecoveryScan)> {
+        Wal::open_on(cfg, OsRuntime::shared())
+    }
+
+    /// Like [`Wal::open`] but on an explicit [`Runtime`]. The engine
+    /// passes its own runtime so the writer task, the flush timing,
+    /// and every waiter wakeup run under the host scheduler — virtual
+    /// and deterministic under the simulation testkit.
+    pub fn open_on(
+        cfg: DurabilityConfig,
+        rt: Arc<dyn Runtime>,
+    ) -> std::io::Result<(Wal, Vec<CommitRecord>, RecoveryScan)> {
         std::fs::create_dir_all(&cfg.dir)?;
         let mut ids: Vec<u64> = Vec::new();
         for entry in std::fs::read_dir(&cfg.dir)? {
@@ -415,6 +446,9 @@ impl Wal {
 
         let inner = Arc::new(WalInner {
             cfg,
+            work_ev: rt.event(),
+            durable_ev: rt.event(),
+            rt: Arc::clone(&rt),
             state: Mutex::new(WalState {
                 segments,
                 active,
@@ -429,17 +463,13 @@ impl Wal {
                 armed: None,
                 crashed: false,
                 closing: false,
+                writer_exited: false,
             }),
-            work_cv: Condvar::new(),
-            durable_cv: Condvar::new(),
             stats: WalCounters::default(),
         });
         let writer = {
             let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("deltx-wal".into())
-                .spawn(move || writer_loop(&inner))
-                .map_err(|e| std::io::Error::other(e.to_string()))?
+            rt.spawn("deltx-wal", Box::new(move || writer_loop(&inner)))
         };
         Ok((
             Wal {
@@ -487,7 +517,8 @@ impl Wal {
         if let Some(m) = st.segments.get_mut(&seg) {
             m.live += 1;
         }
-        inner.work_cv.notify_one();
+        drop(st);
+        inner.work_ev.notify();
         Ok(lsn)
     }
 
@@ -504,7 +535,8 @@ impl Wal {
         st.last_enqueued = lsn;
         let bytes = encode_abort(lsn, txn);
         self.enqueue(&mut st, bytes);
-        inner.work_cv.notify_one();
+        drop(st);
+        inner.work_ev.notify();
     }
 
     /// Appends encoded bytes to the active segment, rolling first if
@@ -547,18 +579,27 @@ impl Wal {
 
     /// Blocks until the record at `lsn` is durable (its batch was
     /// flushed). `Err(Crashed)` means the record was never flushed —
-    /// the commit must not be acknowledged.
+    /// the commit must not be acknowledged. `Err(Closed)` means the
+    /// writer task exited before covering the record (a shutdown raced
+    /// the submission): equally un-acked, and the waiter must not
+    /// hang.
     pub fn wait_durable(&self, lsn: u64) -> Result<(), WalError> {
         let inner = &self.inner;
-        let mut st = inner.lock();
         loop {
-            if st.durable_lsn >= lsn {
-                return Ok(());
+            let key = inner.durable_ev.prepare();
+            {
+                let st = inner.lock();
+                if st.durable_lsn >= lsn {
+                    return Ok(());
+                }
+                if st.crashed {
+                    return Err(WalError::Crashed);
+                }
+                if st.writer_exited {
+                    return Err(WalError::Closed);
+                }
             }
-            if st.crashed {
-                return Err(WalError::Crashed);
-            }
-            st = inner.durable_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            inner.durable_ev.wait(key);
         }
     }
 
@@ -599,13 +640,20 @@ impl Wal {
     fn execute_crash(&self, mut st: MutexGuard<'_, WalState>, cp: CrashPoint, record: &[u8]) {
         let inner = &self.inner;
         st.crashed = true;
-        inner.work_cv.notify_all();
+        drop(st);
+        inner.work_ev.notify();
         // Let an in-flight flush finish: those records were written
         // before the crash point and their sessions will be acked,
         // which is correct — they are durable.
-        while st.writer_busy {
-            st = inner.durable_cv.wait(st).unwrap_or_else(|e| e.into_inner());
-        }
+        let mut st = loop {
+            let key = inner.durable_ev.prepare();
+            let g = inner.lock();
+            if !g.writer_busy {
+                break g;
+            }
+            drop(g);
+            inner.durable_ev.wait(key);
+        };
         // Batches that never reached the writer die in the page
         // cache; their sessions get `Crashed`, never an ack.
         st.pending.clear();
@@ -614,7 +662,8 @@ impl Wal {
         let (path, durable) = match st.segments.get(&active) {
             Some(m) => (m.path.clone(), m.durable),
             None => {
-                inner.durable_cv.notify_all();
+                drop(st);
+                inner.durable_ev.notify();
                 return;
             }
         };
@@ -639,6 +688,15 @@ impl Wal {
                     f.write_all(&record[..record.len() / 2])?;
                     f.sync_data()?;
                 }
+                CrashPoint::TornWriteAt(off) => {
+                    // The flush died after exactly `off` bytes — the
+                    // general torn tail, able to cut inside the
+                    // `[len][crc]` header, one byte short of intact,
+                    // or anywhere between.
+                    let cut = (off as usize).min(record.len());
+                    f.write_all(&record[..cut])?;
+                    f.sync_data()?;
+                }
                 CrashPoint::AfterFlushBeforeVisibility => {
                     // Fully durable, never acknowledged: recovery must
                     // replay it exactly once.
@@ -651,7 +709,7 @@ impl Wal {
         // A tamper failure leaves the disk at the durable prefix,
         // which is itself a valid crash image.
         let _ = tamper();
-        inner.durable_cv.notify_all();
+        inner.durable_ev.notify();
     }
 
     /// Snapshot of the activity counters.
@@ -665,6 +723,7 @@ impl Wal {
             segments_truncated: s.segments_truncated.load(Ordering::Relaxed),
             durable_lsn: 0,
             segments_live: 0,
+            flush_nanos: s.flush_nanos.load(Ordering::Relaxed),
         };
         for (i, b) in s.batch_hist.iter().enumerate() {
             out.batch_hist[i] = b.load(Ordering::Relaxed);
@@ -676,16 +735,19 @@ impl Wal {
     }
 
     /// Drains pending records, flushes them, and joins the writer
-    /// thread. Called by the engine on shutdown; idempotent.
+    /// task. Called by the engine on shutdown; idempotent. Waiters on
+    /// records the final drain covers are acked `Ok`; anything the
+    /// writer can no longer flush surfaces as [`WalError::Closed`] or
+    /// [`WalError::Crashed`], never a hang.
     pub fn close(&self) {
         {
             let mut st = self.inner.lock();
             st.closing = true;
-            self.inner.work_cv.notify_all();
         }
+        self.inner.work_ev.notify();
         let handle = self.writer.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(h) = handle {
-            let _ = h.join();
+            h.join();
         }
     }
 }
@@ -698,27 +760,34 @@ impl Drop for Wal {
 
 /// The group-commit writer: batches whatever accumulated since the
 /// last flush, writes and syncs it, then advances `durable_lsn` and
-/// wakes every waiting session in one shot.
+/// wakes every waiting session in one shot. On every exit path it
+/// marks `writer_exited` and notifies the durable event, so no waiter
+/// can outlive it blocked.
 fn writer_loop(inner: &WalInner) {
     loop {
-        let (chunks, nrec, last) = {
+        let (chunks, nrec, last) = loop {
+            let key = inner.work_ev.prepare();
             let mut st = inner.lock();
-            while st.pending.is_empty() && !st.closing && !st.crashed {
-                st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
-            }
             if st.crashed || (st.pending.is_empty() && st.closing) {
                 st.writer_busy = false;
-                inner.durable_cv.notify_all();
+                st.writer_exited = true;
+                drop(st);
+                inner.durable_ev.notify();
                 return;
             }
-            let chunks = std::mem::take(&mut st.pending);
-            let nrec = std::mem::replace(&mut st.pending_recs, 0);
-            let last = st.last_enqueued;
-            st.writer_busy = true;
-            st.writing = chunks.iter().map(|(s, _)| *s).collect();
-            (chunks, nrec, last)
+            if !st.pending.is_empty() {
+                let chunks = std::mem::take(&mut st.pending);
+                let nrec = std::mem::replace(&mut st.pending_recs, 0);
+                let last = st.last_enqueued;
+                st.writer_busy = true;
+                st.writing = chunks.iter().map(|(s, _)| *s).collect();
+                break (chunks, nrec, last);
+            }
+            drop(st);
+            inner.work_ev.wait(key);
         };
 
+        let t0 = inner.rt.now();
         let mut written: Vec<(u64, u64)> = Vec::with_capacity(chunks.len());
         let io = (|| -> std::io::Result<()> {
             let mut files: Vec<File> = Vec::with_capacity(chunks.len());
@@ -737,6 +806,12 @@ fn writer_loop(inner: &WalInner) {
             Ok(())
         })();
 
+        let flush_nanos = inner.rt.now().saturating_sub(t0).as_nanos() as u64;
+        inner
+            .stats
+            .flush_nanos
+            .fetch_add(flush_nanos, Ordering::Relaxed);
+
         let mut st = inner.lock();
         st.writing.clear();
         st.writer_busy = false;
@@ -753,7 +828,8 @@ fn writer_loop(inner: &WalInner) {
                 inner.stats.batch_hist[batch_bucket(nrec)].fetch_add(1, Ordering::Relaxed);
                 let active = st.active;
                 collect_dead(&mut st, active, &inner.stats);
-                inner.durable_cv.notify_all();
+                drop(st);
+                inner.durable_ev.notify();
             }
             Err(_) => {
                 // A real I/O failure is a crash: un-acked sessions
@@ -761,7 +837,9 @@ fn writer_loop(inner: &WalInner) {
                 st.crashed = true;
                 st.pending.clear();
                 st.pending_recs = 0;
-                inner.durable_cv.notify_all();
+                st.writer_exited = true;
+                drop(st);
+                inner.durable_ev.notify();
                 return;
             }
         }

@@ -152,8 +152,103 @@ fn crash_points_leave_the_advertised_disk_image() {
                 assert_eq!(replayed, vec![1, 2, 3], "{cp:?}: durable record replays");
                 assert!(!scan.torn_tail);
             }
+            CrashPoint::TornWriteAt(_) => {
+                unreachable!("parameterized points are not in ALL_CRASH_POINTS")
+            }
         }
     }
+}
+
+#[test]
+fn torn_write_at_every_offset_recovers_the_valid_prefix() {
+    // The record the crashed commit would append: lsn 3 (after two
+    // clean commits), txn 3, one write, one shard — recomputed here so
+    // the sweep can name every interesting cut offset exactly.
+    let record = deltx_wal::encode_commit(3, TxnId(3), &[(EntityId(0), 30)], &[0]);
+    let len = record.len() as u32;
+    // Offsets crossing every structural boundary: nothing written,
+    // inside the [len] prefix, inside the [crc], the exact header
+    // boundary, one byte of payload, mid-payload, one byte short of
+    // intact, and the full record.
+    let offsets = [0, 1, 4, 7, 8, 9, len / 2, len - 1, len];
+    for off in offsets {
+        let dir = TestDir::new(&format!("torn-at-{off}"));
+        let (wal, _, _) = Wal::open(dir.cfg()).unwrap();
+        commit_one(&wal, 1, &[(0, 10)]).unwrap();
+        commit_one(&wal, 2, &[(0, 20)]).unwrap();
+        wal.arm_crash(CrashPoint::TornWriteAt(off));
+        let err = commit_one(&wal, 3, &[(0, 30)]).unwrap_err();
+        assert_eq!(err, WalError::Crashed, "off {off}: client never acked");
+        drop(wal);
+
+        let (_wal, commits, scan) = Wal::open(dir.cfg()).unwrap();
+        let replayed: Vec<u32> = commits.iter().map(|c| c.txn.0).collect();
+        if off == len {
+            // The full record made it to disk: exactly the
+            // AfterFlushBeforeVisibility contract.
+            assert_eq!(replayed, vec![1, 2, 3], "off {off}: intact record replays");
+            assert!(!scan.torn_tail, "off {off}: nothing to cut");
+        } else {
+            assert_eq!(replayed, vec![1, 2], "off {off}: torn record dropped");
+            if off == 0 {
+                assert!(!scan.torn_tail, "off 0: nothing was written");
+            } else {
+                assert!(scan.torn_tail, "off {off}: tail truncated");
+                assert_eq!(
+                    scan.bytes_discarded,
+                    u64::from(off),
+                    "off {off}: exactly the torn bytes are cut"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn close_with_pending_submissions_flushes_and_acks_them() {
+    // Shutdown ordering: submissions enqueued before close() are
+    // drained by the writer's final pass, so their waiters are acked
+    // Ok — close never strands an accepted record.
+    let dir = TestDir::new("close-drain");
+    let (wal, _, _) = Wal::open(dir.cfg()).unwrap();
+    let mut lsns = Vec::new();
+    for i in 0..16u32 {
+        lsns.push(
+            wal.submit_commit(TxnId(i), &[(EntityId(0), i as i64)], &[0])
+                .unwrap(),
+        );
+    }
+    wal.close();
+    for lsn in lsns {
+        assert_eq!(wal.wait_durable(lsn), Ok(()), "drained records are acked");
+    }
+    drop(wal);
+    let (_wal, commits, _) = Wal::open(dir.cfg()).unwrap();
+    assert_eq!(commits.len(), 16, "every pre-close submission survived");
+}
+
+#[test]
+fn waiters_for_uncovered_lsns_error_on_close_instead_of_hanging() {
+    // Shutdown ordering, the other direction: a session blocked on an
+    // LSN the writer will never flush must observe the writer's exit
+    // as an error, not a hang.
+    let dir = TestDir::new("close-waiter");
+    let (wal, _, _) = Wal::open(dir.cfg()).unwrap();
+    commit_one(&wal, 1, &[(0, 1)]).unwrap();
+    std::thread::scope(|s| {
+        let wal = &wal;
+        let waiter = s.spawn(move || wal.wait_durable(u64::MAX));
+        // Give the waiter time to park before pulling the plug; the
+        // assertion holds either way, the sleep just makes the race
+        // interesting.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        wal.close();
+        assert_eq!(
+            waiter.join().unwrap(),
+            Err(WalError::Closed),
+            "the waiter must be woken with an error when the writer exits"
+        );
+    });
 }
 
 #[test]

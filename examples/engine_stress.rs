@@ -20,6 +20,10 @@
 //! #                       one, and assert every balance survived the crash
 //! #                       boundary byte-for-byte (recovery time is reported
 //! #                       and written to BENCH_6.json)
+//! #                      "--seed N": fix the run's RNG seed (takes
+//! #                       precedence over the DELTX_SEED env var); every
+//! #                       failure message echoes the effective seed so any
+//! #                       red run is replayable
 //! ```
 //!
 //! Every transaction transfers between two accounts (read both, write
@@ -30,7 +34,7 @@
 //! metrics. Headline numbers are merged into `BENCH_6.json` at the
 //! repository root so CI can archive them across runs.
 
-use deltx_engine::{bench_report, run_seed, DurabilityConfig, Engine, EngineConfig, GcPolicy};
+use deltx_engine::{bench_report, run_seed_arg, DurabilityConfig, Engine, EngineConfig, GcPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
@@ -38,7 +42,22 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--seed N` mirrors the DELTX_SEED env var (and wins over it);
+    // pulled out before the positional parse since it takes a value.
+    let mut cli_seed: Option<u64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(v) => {
+                cli_seed = Some(v);
+                args.drain(i..=i + 1);
+            }
+            None => {
+                eprintln!("--seed requires an integer value");
+                std::process::exit(2);
+            }
+        }
+    }
     let threads: usize = args
         .first()
         .and_then(|s| s.parse().ok())
@@ -68,7 +87,7 @@ fn main() {
     }) {
         eprintln!(
             "unknown flag `{bad}` (expected `all-locks`, `all-locks-gc`, \
-             `--contention` and/or `--durable`)"
+             `--contention`, `--durable` and/or `--seed N`)"
         );
         std::process::exit(2);
     }
@@ -77,7 +96,7 @@ fn main() {
     let contention: bool = flags.contains(&"--contention");
     let durable: bool = flags.contains(&"--durable");
     let shards = 8usize;
-    let seed = run_seed(0xD17A);
+    let seed = run_seed_arg(cli_seed, 0xD17A);
 
     let wal_dir: Option<PathBuf> = durable.then(|| {
         let dir = std::env::temp_dir().join(format!("deltx-stress-wal-{}", std::process::id()));
@@ -102,6 +121,7 @@ fn main() {
         partial_escalation: partial,
         partial_gc,
         durability: wal_dir.as_ref().map(&durability),
+        ..EngineConfig::default()
     });
 
     println!(
@@ -216,13 +236,16 @@ fn main() {
 
     // End-to-end value check: transfers conserve the total balance.
     let sum: i64 = (0..n_entities).map(|x| engine.peek(x)).sum();
-    assert_eq!(sum, 0, "balance sum must be conserved (serializability)");
+    assert_eq!(
+        sum, 0,
+        "balance sum must be conserved (serializability) [seed {seed}]"
+    );
 
     // Bookkeeping tripwire: the registry and the per-shard boundary
     // counts must never disagree, under any locking mode.
     assert_eq!(
         m.boundary_underflows, 0,
-        "boundary-count underflow: registry / shard-count drift"
+        "boundary-count underflow: registry / shard-count drift [seed {seed}]"
     );
 
     // The paper's promise: live graph stays O(active), not O(history).
@@ -230,7 +253,7 @@ fn main() {
     let peak = peak_nodes.load(Ordering::Relaxed);
     assert!(
         peak <= bound,
-        "peak live graph {peak} exceeded O(active) bound {bound}"
+        "peak live graph {peak} exceeded O(active) bound {bound} [seed {seed}]"
     );
 
     let secs = elapsed.as_secs_f64();
@@ -280,12 +303,12 @@ fn main() {
             let got = recovered.peek(x as u32);
             assert_eq!(
                 got, *want,
-                "entity {x} diverged across recovery: {got} != {want}"
+                "entity {x} diverged across recovery: {got} != {want} [seed {seed}]"
             );
         }
         assert!(
             wal.segments_truncated > 0 || m.commits < 2_000,
-            "a long durable run must see GC truncate dead log segments"
+            "a long durable run must see GC truncate dead log segments [seed {seed}]"
         );
         entries.push(("recovery_ms", format!("{recovery_ms:.2}")));
         entries.push((
