@@ -761,11 +761,21 @@ impl CgState {
         let slot_pairs_changed = self.release_boundary_slot(n, txn);
         self.forget_node_metadata(n);
         let (preds, succs) = self.graph.remove_node(n);
-        for &p in &preds {
-            for &s in &succs {
-                if p != s && self.graph.add_arc(p, s) {
-                    self.stats.bridge_arcs += 1;
-                    // No closure update needed: p already reached s via n.
+        // Planted bug: skip `D(G, N)` bridging entirely. The closure
+        // masks still claim pred -> succ (no immediate change), but the
+        // next abort-driven mask recompute rebuilds from the bridgeless
+        // graph and the ordering is gone for good.
+        #[cfg(feature = "planted")]
+        let bridge = !deltx_graph::planted::drop_gc_bridge_bug();
+        #[cfg(not(feature = "planted"))]
+        let bridge = true;
+        if bridge {
+            for &p in &preds {
+                for &s in &succs {
+                    if p != s && self.graph.add_arc(p, s) {
+                        self.stats.bridge_arcs += 1;
+                        // No closure update needed: p already reached s via n.
+                    }
                 }
             }
         }

@@ -501,6 +501,39 @@ impl Engine {
         self.inner.gc_sweep();
     }
 
+    /// Audits the incremental bitmask boundary summaries against the
+    /// from-scratch DFS oracle ([`deltx_core::CgState::naive_boundary_reach`]),
+    /// shard by shard. The summaries only gate *optimizations*
+    /// (subset escalation, closure-scoped GC), so a corrupted mask
+    /// shows up as silent over- or under-locking rather than a wrong
+    /// answer — this audit is the oracle that makes such corruption a
+    /// hard failure. Returns the first divergence as an error. Call
+    /// at quiescence (no in-flight sessions).
+    pub fn summary_audit(&self) -> Result<(), String> {
+        for (s, shard) in self.inner.shards.iter().enumerate() {
+            let mut g = shard.lock().unwrap();
+            g.cg.end_summary_batch();
+            let got = g.cg.boundary_reach_map();
+            let marked: Vec<TxnId> = got.keys().copied().collect();
+            let want = g.cg.naive_boundary_reach(&marked);
+            if got != want {
+                let diverged: Vec<TxnId> = got
+                    .iter()
+                    .filter(|(t, set)| want.get(*t) != Some(*set))
+                    .map(|(t, _)| *t)
+                    .collect();
+                return Err(format!(
+                    "summary audit: shard {s} boundary summary diverged from the naive \
+                     DFS oracle for {} of {} marked txns (first: {:?})",
+                    diverged.len(),
+                    marked.len(),
+                    diverged.first()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Current metrics, including the union-graph size gauge and the
     /// WAL counters when durability is on.
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -893,10 +926,12 @@ impl EngineInner {
                 let guards = self.lock_subset(&subset);
                 if self.planner.validate(&subset, token) {
                     self.metrics.record_escalation(subset.len(), n);
+                    self.rt.emit("esc_subset", subset.len() as u64);
                     return guards;
                 }
                 drop(guards);
                 self.metrics.escalation_fallbacks.add(1);
+                self.rt.emit("esc_fallback", subset.len() as u64);
             }
         }
         let guards = self.lock_all();
@@ -966,6 +1001,7 @@ impl EngineInner {
             Ok(res) => res,
             Err(Stale) => {
                 self.metrics.escalation_fallbacks.add(1);
+                self.rt.emit("esc_stale", 0);
                 let n = self.shards.len();
                 let guards = self.lock_all();
                 self.metrics.record_escalation(n, n);
@@ -1106,21 +1142,28 @@ impl EngineInner {
                 let out = g.cg.apply(&step)?;
                 return match out {
                     Applied::Accepted => {
-                        if let Some(buf) = st.bufs.get_mut(&s) {
-                            buf.install(&mut g.store);
-                        }
-                        self.record(Event::Step {
-                            step,
-                            outcome: Applied::Accepted,
-                        });
                         // Submit the commit record while the shard
-                        // lock is held: log order = conflict order.
+                        // lock is held (log order = conflict order)
+                        // and BEFORE the install: a version the log
+                        // refused must never become visible, or GC
+                        // would judge its predecessors noncurrent and
+                        // retire records that are still the only
+                        // durable copy of their entities.
                         if !wal_writes.is_empty() {
                             if let Some(w) = &self.wal {
                                 st.wal_submit =
                                     Some(w.submit_commit(st.txn, &wal_writes, &[s as u32]));
                             }
                         }
+                        if !matches!(st.wal_submit, Some(Err(_))) {
+                            if let Some(buf) = st.bufs.get_mut(&s) {
+                                buf.install(&mut g.store);
+                            }
+                        }
+                        self.record(Event::Step {
+                            step,
+                            outcome: Applied::Accepted,
+                        });
                         // Backpressure GC: a hot shard reclaims inline
                         // instead of waiting for the background tick.
                         if self.gc_policy == GcPolicy::Noncurrent
@@ -1177,6 +1220,7 @@ impl EngineInner {
             Ok(res) => res,
             Err(Stale) => {
                 self.metrics.escalation_fallbacks.add(1);
+                self.rt.emit("esc_stale", 1);
                 let n = self.shards.len();
                 let guards = self.lock_all();
                 self.metrics.record_escalation(n, n);
@@ -1273,6 +1317,20 @@ impl EngineInner {
             self.after_scheduler_abort(st);
             return Ok(Err(EngineError::Aborted(st.txn)));
         }
+        // Submit the commit record while every involved shard lock is
+        // still held, so the log order of conflicting commits matches
+        // their serialization order — and BEFORE the installs below: a
+        // version the log refused must never become visible, or GC
+        // would judge its predecessors noncurrent and retire records
+        // that are still the only durable copy of their entities. The
+        // durable wait happens after the locks are released.
+        if !wal_writes.is_empty() {
+            if let Some(w) = &self.wal {
+                let spans: Vec<u32> = touched.iter().map(|&s| s as u32).collect();
+                st.wal_submit = Some(w.submit_commit(st.txn, wal_writes, &spans));
+            }
+        }
+        let wal_ok = !matches!(st.wal_submit, Some(Err(_)));
         let empty: Vec<EntityId> = Vec::new();
         for &s in &touched {
             let xs = writes.get(&s).unwrap_or(&empty);
@@ -1286,7 +1344,7 @@ impl EngineInner {
                 }
             };
             debug_assert_eq!(out, Applied::Accepted, "local check is a union subset");
-            if !xs.is_empty() {
+            if !xs.is_empty() && wal_ok {
                 if let Some(buf) = st.bufs.get_mut(&s) {
                     buf.install(&mut g.store);
                 }
@@ -1299,16 +1357,6 @@ impl EngineInner {
             step,
             outcome: Applied::Accepted,
         });
-        // Submit the commit record while every involved shard lock is
-        // still held, so the log order of conflicting commits matches
-        // their serialization order. The durable wait happens after
-        // the locks are released.
-        if !wal_writes.is_empty() {
-            if let Some(w) = &self.wal {
-                let spans: Vec<u32> = touched.iter().map(|&s| s as u32).collect();
-                st.wal_submit = Some(w.submit_commit(st.txn, wal_writes, &spans));
-            }
-        }
         // Backpressure GC while the locks are already held.
         if self.gc_policy == GcPolicy::Noncurrent {
             for &s in &touched {
@@ -1647,6 +1695,7 @@ impl EngineInner {
             if self.sweep_multi_locked(&mut guards) {
                 self.metrics
                     .record_gc_closure(self.shards.len(), self.shards.len());
+                self.rt.emit("gc_closure", self.shards.len() as u64);
             }
         }
     }
@@ -1716,10 +1765,12 @@ impl EngineInner {
             if !self.planner.validate(&subset, token) {
                 drop(guards);
                 self.metrics.gc_closure_fallbacks.add(1);
+                self.rt.emit("gc_closure_fallback", 0);
                 widen.push(queue.remove(0));
                 continue;
             }
             self.metrics.record_gc_closure(subset.len(), n);
+            self.rt.emit("gc_closure", subset.len() as u64);
             let batch = std::mem::take(&mut queue);
             let mut leftover = self.sweep_multi_batch(&mut guards, &batch);
             // The lead planned this validated closure, so its span is
@@ -1728,6 +1779,7 @@ impl EngineInner {
             // all-locks pass (a fallback) rather than looping.
             if let Some(pos) = leftover.iter().position(|&t| t == lead) {
                 self.metrics.gc_closure_fallbacks.add(1);
+                self.rt.emit("gc_closure_fallback", 1);
                 widen.push(leftover.remove(pos));
             }
             queue = leftover;
@@ -1735,6 +1787,7 @@ impl EngineInner {
         if !widen.is_empty() {
             let mut guards = self.lock_all();
             self.metrics.record_gc_closure(n, n);
+            self.rt.emit("gc_closure", n as u64);
             let w = self.sweep_multi_batch(&mut guards, &widen);
             debug_assert!(w.is_empty(), "all-locks batch cannot need wider");
         }
@@ -1917,6 +1970,14 @@ impl EngineInner {
         (ps, p): (usize, TxnId),
         (qs, q): (usize, TxnId),
     ) -> u64 {
+        // Planted bug: drop the D(G, N) bridge entirely — deleting N
+        // silently loses the induced pred -> succ ordering, exactly
+        // the class of bug the schedule-space search must rediscover
+        // (the never-deleting oracle replay convicts it).
+        #[cfg(feature = "planted")]
+        if crate::planted::drop_gc_bridge_bug() {
+            return 0;
+        }
         // A shard where both live already?
         let p_shards: Vec<usize> = self
             .coord
@@ -1935,6 +1996,7 @@ impl EngineInner {
                 );
                 g.cg.add_order_arc(pn, qn)
                     .expect("bridge follows an existing union path");
+                self.rt.emit("gc_bridge_local", 1);
                 return 0;
             }
         }
@@ -1986,6 +2048,7 @@ impl EngineInner {
         if p_completed {
             pending.insert(p);
         }
+        self.rt.emit("gc_bridge_ghost", 1);
         1
     }
 

@@ -148,6 +148,18 @@ mod session;
 
 pub mod error;
 
+/// Runtime toggles that reintroduce known-fixed bugs, compiled in only
+/// with the `planted` feature — targets for the schedule-space search
+/// regression tests. Also re-exports the `deltx-graph` toggles so the
+/// testkit flips everything through one module.
+#[cfg(feature = "planted")]
+pub mod planted {
+    pub use deltx_graph::planted::{
+        bitset_trailing_word_bug, drop_gc_bridge_bug, set_bitset_trailing_word_bug,
+        set_drop_gc_bridge_bug,
+    };
+}
+
 pub use core_engine::{Engine, EngineConfig, GcPolicy, RecoveryReport};
 pub use deltx_runtime::{OsRuntime, RtEvent, Runtime, TaskHandle};
 pub use deltx_wal::{CrashPoint, DurabilityConfig, WalError, WalStats, ALL_CRASH_POINTS};

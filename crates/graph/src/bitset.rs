@@ -25,8 +25,15 @@ impl PartialEq for BitSet {
         } else {
             (&other.words, &self.words)
         };
-        short.iter().zip(long.iter()).all(|(a, b)| a == b)
-            && long[short.len()..].iter().all(|w| *w == 0)
+        let prefix_eq = short.iter().zip(long.iter()).all(|(a, b)| a == b);
+        // Planted PR-4 bug: the longer set's trailing words are never
+        // inspected, so bits past the shorter set's capacity vanish
+        // from the comparison.
+        #[cfg(feature = "planted")]
+        if crate::planted::bitset_trailing_word_bug() {
+            return prefix_eq;
+        }
+        prefix_eq && long[short.len()..].iter().all(|w| *w == 0)
     }
 }
 
@@ -94,6 +101,12 @@ impl BitSet {
         }
         let (mirror, tail) = self.words.split_at_mut(other.words.len());
         mirror.copy_from_slice(&other.words);
+        // Planted PR-4 bug: skip zeroing the tail, leaving stale bits
+        // from the buffer's previous occupant in the "copy".
+        #[cfg(feature = "planted")]
+        if crate::planted::bitset_trailing_word_bug() {
+            return;
+        }
         tail.iter_mut().for_each(|w| *w = 0);
     }
 

@@ -38,6 +38,45 @@ pub mod paths;
 pub mod scc;
 pub mod topo;
 
+/// Runtime toggles that reintroduce known-fixed bugs, compiled in only
+/// with the `planted` feature. They exist so the schedule-space search
+/// regression tests can assert `sim_search` *rediscovers* each bug
+/// within a bounded budget; production builds never contain this code.
+#[cfg(feature = "planted")]
+pub mod planted {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRAILING_WORD_BUG: AtomicBool = AtomicBool::new(false);
+
+    /// Re-plants the PR-4 `BitSet` trailing-word bug family: equality
+    /// ignores nonzero words past the shorter operand's capacity, and
+    /// `copy_from` leaves the destination's tail words stale.
+    pub fn set_bitset_trailing_word_bug(on: bool) {
+        TRAILING_WORD_BUG.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the trailing-word bug is currently planted.
+    pub fn bitset_trailing_word_bug() -> bool {
+        TRAILING_WORD_BUG.load(Ordering::Relaxed)
+    }
+
+    static DROP_GC_BRIDGE: AtomicBool = AtomicBool::new(false);
+
+    /// Re-plants a dropped `D(G, N)` bridge: deletion skips the
+    /// pred x succ bridging arcs, silently losing ordering constraints
+    /// across deleted transactions. Lives here (the dependency root)
+    /// so both the core delete path and the engine's cross-shard
+    /// bridge mirror read one toggle.
+    pub fn set_drop_gc_bridge_bug(on: bool) {
+        DROP_GC_BRIDGE.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the drop-bridge bug is currently planted.
+    pub fn drop_gc_bridge_bug() -> bool {
+        DROP_GC_BRIDGE.load(Ordering::Relaxed)
+    }
+}
+
 pub use bitset::BitSet;
 pub use closure::Closure;
 pub use digraph::{DiGraph, NodeId};

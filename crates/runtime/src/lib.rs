@@ -63,6 +63,15 @@ pub trait Runtime: Send + Sync + std::fmt::Debug {
 
     /// Creates a fresh eventcount for blocking waits.
     fn event(&self) -> Arc<dyn RtEvent>;
+
+    /// Engine-event hook: reports a named event (an escalation
+    /// fallback, a GC closure shape, a WAL batch boundary) with a
+    /// small value. Hot paths call this, so implementations must be
+    /// cheap; the default is a no-op. The simulation testkit records
+    /// the `(kind, value)` pairs as a coverage signature to steer
+    /// schedule-space search toward interleavings that exercise novel
+    /// engine behavior.
+    fn emit(&self, _kind: &'static str, _value: u64) {}
 }
 
 /// An eventcount: the dyn-safe replacement for a condvar. See the

@@ -14,11 +14,59 @@
 //! scenario/seed cell fails. With `--summary`, headline counters are
 //! merged into the given JSON report (same flat format as
 //! `BENCH_6.json`).
+//!
+//! `--replay-trace FILE` re-executes a minimized repro file written by
+//! `sim_search` (spec + seed + schedule trace), **twice**, and reports
+//! whether both runs agreed exactly — exit 0 when they did (the repro
+//! is deterministic; the failure headline, if any, is printed), 1 when
+//! they disagreed, 2 on a parse error.
 
 use deltx_engine::bench_report;
+use deltx_testkit::minimize::{replay_repro, ReproFile};
 use deltx_testkit::{run_spec, zoo};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// `--replay-trace`: double-replay a repro file, print the verdict.
+fn replay_trace_mode(path: &Path) -> ! {
+    let repro = match ReproFile::read(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sim_zoo --replay-trace: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "replaying {}: spec `{}` seed {} with {} recorded decisions{}",
+        path.display(),
+        repro.spec.name,
+        repro.seed,
+        repro.trace.decisions.len(),
+        if repro.planted.is_empty() {
+            String::new()
+        } else {
+            format!(" (planted: {})", repro.planted.join(","))
+        }
+    );
+    match replay_repro(&repro) {
+        Ok((headline, deterministic)) => {
+            match &headline {
+                Some(h) => println!("  outcome: FAILURE — {}", h.lines().next().unwrap_or("")),
+                None => println!("  outcome: green"),
+            }
+            if deterministic {
+                println!("  both replays agreed — deterministic");
+                std::process::exit(0);
+            }
+            eprintln!("  replays DISAGREED — repro is not deterministic");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("sim_zoo --replay-trace: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,10 +107,17 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--replay-trace" => match it.next() {
+                Some(p) => replay_trace_mode(Path::new(p)),
+                None => {
+                    eprintln!("--replay-trace requires a repro file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown flag `{other}` (expected `--seeds a,b,c`, `--only NAME`, \
-                     `--summary PATH`)"
+                     `--summary PATH`, `--replay-trace FILE`)"
                 );
                 std::process::exit(2);
             }

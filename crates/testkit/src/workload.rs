@@ -8,28 +8,51 @@
 //! WAL writer become simulation tasks, the interleaving is chosen by
 //! the seed, and the run finishes with the full oracle battery from
 //! the stress suite (lockstep full-scheduler replay, ground-truth CSR,
-//! balance conservation, the live-graph bound). The returned
-//! [`SimReport`] is a pure function of `(spec, seed)` — the
-//! determinism self-test runs every spec twice and demands equality,
-//! fingerprint included.
+//! balance conservation, the live-graph bound, the boundary-summary
+//! audit). The returned [`SimReport`] is a pure function of
+//! `(spec, seed)` — the determinism self-test runs every spec twice
+//! and demands equality, fingerprint included.
+//!
+//! # In-sim crash recovery
+//!
+//! Crash plans run crash *and* recovery inside one simulated timeline:
+//! the post-crash [`Engine::open`] replay — including the recovered
+//! engine's GC task and WAL writer — executes on the same
+//! [`VirtualRuntime`], so a `(spec, seed)` coordinate covers the whole
+//! crash/recover/continue story with zero OS-runtime threads, and the
+//! schedule-space search can explore recovery interleavings too.
+//! [`FaultPlan::Crash`] crashes once and checks the recovered image;
+//! [`FaultPlan::CrashLoop`] crashes and *keeps running* on the
+//! recovered engine, `waves` engine lifetimes in total.
+//!
+//! # Search integration
+//!
+//! [`run_spec_traced`] is the search driver's entry point: it runs a
+//! spec under an explicit [`SimConfig`] (scheduling policy, trace
+//! recording) and returns failures as data — the [`TracedRun`] carries
+//! the decision trace, the engine-event coverage signatures, and the
+//! failure headline instead of panicking. Specs themselves serialize
+//! to a line-based text form ([`WorkloadSpec::to_text`]) so a
+//! minimized repro file can carry its (shrunk) workload along with the
+//! schedule trace.
 
-use crate::sim::VirtualRuntime;
+use crate::sim::{ScheduleTrace, SimConfig, VirtualRuntime};
 use deltx_core::CgState;
 use deltx_engine::{
-    CrashPoint, DurabilityConfig, Engine, EngineConfig, Event, GcPolicy, OsRuntime, Runtime,
-    Session, TaskHandle,
+    CrashPoint, DurabilityConfig, Engine, EngineConfig, Event, GcPolicy, Runtime, Session,
+    TaskHandle,
 };
 use deltx_model::{Schedule, TxnId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
-use std::path::PathBuf;
+use std::collections::{BTreeSet, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// How each session picks the entities a transaction touches.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Profile {
     /// The stress suite's banking mix: transfer between two accounts,
     /// `cross_pct`% of pairs spanning shards (uniform), the rest
@@ -85,19 +108,34 @@ pub enum Profile {
 }
 
 /// A fault to inject mid-run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultPlan {
     /// Run to completion unharmed.
     None,
     /// Arm `point` on the WAL once `after_commits` commits have been
     /// acknowledged, then let the surviving sessions drain against
-    /// the crashed log; the runner recovers afterwards and checks the
-    /// recovered image. Requires `durable`.
+    /// the crashed log; the runner recovers *in-sim* afterwards and
+    /// checks the recovered image. Requires `durable`.
     Crash {
         /// Acknowledged commits before the crash fires.
         after_commits: u64,
         /// Which crash point to arm.
         point: CrashPoint,
+    },
+    /// Crash and *keep going*: `waves` engine lifetimes inside one
+    /// simulated timeline. Every wave but the last arms `point` after
+    /// its own `after_commits` acknowledgements; every recovery
+    /// replays the WAL on the sim runtime, checks the recovered
+    /// balance sum, and runs a fresh round of sessions on the
+    /// recovered engine. The full oracle battery runs per wave.
+    /// Requires `durable` and `waves >= 2`.
+    CrashLoop {
+        /// Acknowledged commits (per wave) before the crash fires.
+        after_commits: u64,
+        /// Which crash point to arm.
+        point: CrashPoint,
+        /// Total engine lifetimes (the last one runs to completion).
+        waves: usize,
     },
     /// Reserved: a network partition between session groups. The
     /// runner rejects it with [`SimError::Unsupported`] until a
@@ -111,7 +149,7 @@ pub enum FaultPlan {
 }
 
 /// Which oracles to run after the workload drains.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Checks {
     /// Replay the recorded history through a full (never-deleting)
     /// `CgState` and demand outcome-for-outcome equality (Theorem 2),
@@ -126,6 +164,12 @@ pub struct Checks {
     /// Peak and final live graph stay within
     /// `sessions + 4·entities + 16`.
     pub live_graph_bound: bool,
+    /// Audit the incremental bitmask boundary summaries against the
+    /// naive DFS oracle at end of run ([`Engine::summary_audit`]).
+    /// The summaries only gate optimizations, so corruption is
+    /// otherwise silent (over-/under-locking) — this check is what
+    /// makes it a hard failure the schedule search can find.
+    pub summary_exact: bool,
 }
 
 impl Checks {
@@ -136,16 +180,17 @@ impl Checks {
             csr: true,
             balance_sum: true,
             live_graph_bound: true,
+            summary_exact: true,
         }
     }
 }
 
 /// A complete declarative scenario. See the zoo ([`crate::zoo`]) for
 /// the stock instances.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkloadSpec {
     /// Scenario name (reports, summaries, failure messages).
-    pub name: &'static str,
+    pub name: String,
     /// Concurrent client sessions.
     pub sessions: usize,
     /// Transactions each session attempts.
@@ -173,13 +218,219 @@ pub struct WorkloadSpec {
     pub checks: Checks,
 }
 
+fn crash_point_text(p: CrashPoint) -> String {
+    match p {
+        CrashPoint::BeforeAppend => "before_append".into(),
+        CrashPoint::AfterAppendBeforeFlush => "after_append".into(),
+        CrashPoint::MidFlushTorn => "mid_flush_torn".into(),
+        CrashPoint::TornWriteAt(off) => format!("torn_write_at:{off}"),
+        CrashPoint::AfterFlushBeforeVisibility => "after_flush".into(),
+    }
+}
+
+fn crash_point_parse(s: &str) -> Result<CrashPoint, String> {
+    match s {
+        "before_append" => Ok(CrashPoint::BeforeAppend),
+        "after_append" => Ok(CrashPoint::AfterAppendBeforeFlush),
+        "mid_flush_torn" => Ok(CrashPoint::MidFlushTorn),
+        "after_flush" => Ok(CrashPoint::AfterFlushBeforeVisibility),
+        other => match other.strip_prefix("torn_write_at:") {
+            Some(off) => off
+                .parse()
+                .map(CrashPoint::TornWriteAt)
+                .map_err(|_| format!("bad torn_write_at offset `{off}`")),
+            None => Err(format!("unknown crash point `{other}`")),
+        },
+    }
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+impl WorkloadSpec {
+    /// Line-based text form (`key value` per line) — embedded in
+    /// minimized repro files so a repro carries its shrunk workload.
+    /// [`WorkloadSpec::from_text`] inverts it exactly.
+    pub fn to_text(&self) -> String {
+        let profile = match self.profile {
+            Profile::Transfer { cross_pct } => format!("transfer {cross_pct}"),
+            Profile::HotKeySkew { cross_pct } => format!("hot_key_skew {cross_pct}"),
+            Profile::LongReaders { readers, scan } => format!("long_readers {readers} {scan}"),
+            Profile::Batch { block } => format!("batch {block}"),
+            Profile::ReadMostly { fan } => format!("read_mostly {fan}"),
+            Profile::CrossShardChain { len } => format!("cross_shard_chain {len}"),
+        };
+        let fault = match self.fault {
+            FaultPlan::None => "none".into(),
+            FaultPlan::Crash {
+                after_commits,
+                point,
+            } => format!("crash {after_commits} {}", crash_point_text(point)),
+            FaultPlan::CrashLoop {
+                after_commits,
+                point,
+                waves,
+            } => format!(
+                "crash_loop {after_commits} {} {waves}",
+                crash_point_text(point)
+            ),
+            FaultPlan::Partition {
+                at_commits,
+                heal_after_ns,
+            } => format!("partition {at_commits} {heal_after_ns}"),
+        };
+        let c = &self.checks;
+        format!(
+            "name {}\nsessions {}\ntxns {}\nentities {}\nshards {}\nprofile {}\n\
+             abort_every {}\nthink_ns {}\ngc_interval_us {}\ndurable {}\nfault {}\n\
+             checks replay={} csr={} balance={} bound={} summary={}\n",
+            self.name,
+            self.sessions,
+            self.txns_per_session,
+            self.entities,
+            self.shards,
+            profile,
+            self.abort_every,
+            self.think_ns,
+            self.gc_interval_us,
+            flag(self.durable),
+            fault,
+            flag(c.oracle_replay),
+            flag(c.csr),
+            flag(c.balance_sum),
+            flag(c.live_graph_bound),
+            flag(c.summary_exact),
+        )
+    }
+
+    /// Parses the [`WorkloadSpec::to_text`] form. Unknown keys are
+    /// errors; missing keys keep conservative defaults (the `name`
+    /// key is required).
+    pub fn from_text(text: &str) -> Result<WorkloadSpec, String> {
+        fn num<T: std::str::FromStr>(v: Option<&str>, what: &str) -> Result<T, String> {
+            v.and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("spec: bad or missing {what}"))
+        }
+        let mut spec = WorkloadSpec {
+            name: String::new(),
+            sessions: 1,
+            txns_per_session: 1,
+            entities: 8,
+            shards: 1,
+            profile: Profile::Transfer { cross_pct: 0 },
+            abort_every: 0,
+            think_ns: 0,
+            gc_interval_us: 50,
+            durable: false,
+            fault: FaultPlan::None,
+            checks: Checks::all(),
+        };
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let at = |e: String| format!("spec line {}: {e}", i + 1);
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            match key {
+                "name" => {
+                    spec.name = parts.next().unwrap_or("").to_string();
+                }
+                "sessions" => spec.sessions = num(parts.next(), "sessions").map_err(at)?,
+                "txns" => spec.txns_per_session = num(parts.next(), "txns").map_err(at)?,
+                "entities" => spec.entities = num(parts.next(), "entities").map_err(at)?,
+                "shards" => spec.shards = num(parts.next(), "shards").map_err(at)?,
+                "abort_every" => spec.abort_every = num(parts.next(), "abort_every").map_err(at)?,
+                "think_ns" => spec.think_ns = num(parts.next(), "think_ns").map_err(at)?,
+                "gc_interval_us" => {
+                    spec.gc_interval_us = num(parts.next(), "gc_interval_us").map_err(at)?
+                }
+                "durable" => spec.durable = parts.next() == Some("1"),
+                "profile" => {
+                    spec.profile = match parts.next() {
+                        Some("transfer") => Profile::Transfer {
+                            cross_pct: num(parts.next(), "cross_pct").map_err(at)?,
+                        },
+                        Some("hot_key_skew") => Profile::HotKeySkew {
+                            cross_pct: num(parts.next(), "cross_pct").map_err(at)?,
+                        },
+                        Some("long_readers") => Profile::LongReaders {
+                            readers: num(parts.next(), "readers").map_err(at)?,
+                            scan: num(parts.next(), "scan").map_err(at)?,
+                        },
+                        Some("batch") => Profile::Batch {
+                            block: num(parts.next(), "block").map_err(at)?,
+                        },
+                        Some("read_mostly") => Profile::ReadMostly {
+                            fan: num(parts.next(), "fan").map_err(at)?,
+                        },
+                        Some("cross_shard_chain") => Profile::CrossShardChain {
+                            len: num(parts.next(), "len").map_err(at)?,
+                        },
+                        other => return Err(at(format!("unknown profile {other:?}"))),
+                    };
+                }
+                "fault" => {
+                    spec.fault = match parts.next() {
+                        Some("none") | None => FaultPlan::None,
+                        Some("crash") => FaultPlan::Crash {
+                            after_commits: num(parts.next(), "after_commits").map_err(at)?,
+                            point: crash_point_parse(parts.next().unwrap_or("")).map_err(at)?,
+                        },
+                        Some("crash_loop") => FaultPlan::CrashLoop {
+                            after_commits: num(parts.next(), "after_commits").map_err(at)?,
+                            point: crash_point_parse(parts.next().unwrap_or("")).map_err(at)?,
+                            waves: num(parts.next(), "waves").map_err(at)?,
+                        },
+                        Some("partition") => FaultPlan::Partition {
+                            at_commits: num(parts.next(), "at_commits").map_err(at)?,
+                            heal_after_ns: num(parts.next(), "heal_after_ns").map_err(at)?,
+                        },
+                        other => return Err(at(format!("unknown fault {other:?}"))),
+                    };
+                }
+                "checks" => {
+                    let mut c = Checks::all();
+                    for kv in parts {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| at(format!("bad checks item `{kv}`")))?;
+                        let on = v == "1";
+                        match k {
+                            "replay" => c.oracle_replay = on,
+                            "csr" => c.csr = on,
+                            "balance" => c.balance_sum = on,
+                            "bound" => c.live_graph_bound = on,
+                            "summary" => c.summary_exact = on,
+                            other => return Err(at(format!("unknown check `{other}`"))),
+                        }
+                    }
+                    spec.checks = c;
+                }
+                other => return Err(at(format!("unknown spec key `{other}`"))),
+            }
+        }
+        if spec.name.is_empty() {
+            return Err("spec: missing `name`".into());
+        }
+        Ok(spec)
+    }
+}
+
 /// What a simulated run produced. Everything here is virtual-time or
 /// count data, so two runs of the same `(spec, seed)` must compare
-/// equal — the determinism self-test asserts exactly that.
+/// equal — the determinism self-test asserts exactly that. Counters
+/// are summed across crash waves; `peak_nodes` is the maximum.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimReport {
     /// Scenario name.
-    pub name: &'static str,
+    pub name: String,
     /// The seed the interleaving was drawn from.
     pub seed: u64,
     /// Commits acknowledged to clients.
@@ -202,8 +453,33 @@ pub struct SimReport {
     /// FNV-1a digest of the recorded history, final entity values,
     /// and counters — the bit-identical-replay witness.
     pub fingerprint: u64,
-    /// Commits replayed by recovery (crash plans only).
+    /// Commits replayed by in-sim recovery (crash plans only).
     pub commits_replayed: u64,
+}
+
+/// One schedule's full result, for search drivers: failure as data
+/// plus the coverage signature and (optionally) the decision trace.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The report of a green run (`None` when the run failed).
+    pub report: Option<SimReport>,
+    /// The failure headline of a red run (`None` when green).
+    pub failure: Option<String>,
+    /// The recorded decision trace (when the config asked for one).
+    pub trace: Option<ScheduleTrace>,
+    /// Distinct engine events seen — the schedule's coverage key.
+    pub signatures: BTreeSet<(&'static str, u64)>,
+    /// Scheduling decisions taken.
+    pub switches: u64,
+    /// Trace-replay divergences (recorded pick not runnable).
+    pub divergences: u64,
+}
+
+impl TracedRun {
+    /// Whether the run failed (oracle panic, deadlock, task panic).
+    pub fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
 }
 
 /// Why a spec could not run.
@@ -436,7 +712,7 @@ fn commit_outcome(t: Session) -> TxnOutcome {
     }
 }
 
-fn durability(dir: &std::path::Path) -> DurabilityConfig {
+fn durability(dir: &Path) -> DurabilityConfig {
     DurabilityConfig {
         // Small segments so GC-driven truncation triggers in-run.
         segment_bytes: 16 * 1024,
@@ -445,10 +721,7 @@ fn durability(dir: &std::path::Path) -> DurabilityConfig {
     }
 }
 
-/// Runs `spec` under a fresh [`VirtualRuntime`] seeded with `seed` and
-/// returns the deterministic [`SimReport`]. Panics (with the spec name
-/// and seed in the message) if any enabled oracle fails.
-pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
+fn precheck(spec: &WorkloadSpec) -> Result<(), SimError> {
     if let FaultPlan::Partition { .. } = spec.fault {
         return Err(SimError::Unsupported(
             "FaultPlan::Partition needs a distributed layer to partition; \
@@ -457,25 +730,103 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
                 .into(),
         ));
     }
-    if matches!(spec.fault, FaultPlan::Crash { .. }) && !spec.durable {
-        return Err(SimError::Unsupported(
-            "FaultPlan::Crash requires `durable: true` (the crash is armed on the WAL)".into(),
-        ));
+    match spec.fault {
+        FaultPlan::Crash { .. } | FaultPlan::CrashLoop { .. } if !spec.durable => {
+            return Err(SimError::Unsupported(
+                "crash fault plans require `durable: true` (the crash is armed on the WAL)".into(),
+            ));
+        }
+        FaultPlan::CrashLoop { waves, .. } if waves < 2 => {
+            return Err(SimError::Unsupported(
+                "FaultPlan::CrashLoop needs `waves >= 2` (the last wave runs clean)".into(),
+            ));
+        }
+        _ => {}
     }
+    Ok(())
+}
 
-    let wal_dir: Option<PathBuf> = spec.durable.then(|| {
+/// Distinguishes concurrent runs of the same `(spec, seed)` within one
+/// process so their WAL directories never collide.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn wal_dir_for(spec: &WorkloadSpec, seed: u64) -> Option<PathBuf> {
+    spec.durable.then(|| {
         std::env::temp_dir().join(format!(
-            "deltx-sim-{}-{seed}-{}",
+            "deltx-sim-{}-{seed}-{}-{}",
             spec.name,
-            std::process::id()
+            std::process::id(),
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
         ))
-    });
-    if let Some(d) = &wal_dir {
-        let _ = std::fs::remove_dir_all(d);
-    }
+    })
+}
 
-    let report = VirtualRuntime::run(seed, |rt| {
-        let engine = Arc::new(Engine::new(EngineConfig {
+/// The whole scenario, executed inside the sim as the root task:
+/// one engine lifetime per wave, in-sim recovery between waves.
+fn run_body(
+    spec: &WorkloadSpec,
+    seed: u64,
+    rt: &Arc<VirtualRuntime>,
+    wal_dir: Option<&Path>,
+) -> SimReport {
+    let n_waves = match spec.fault {
+        FaultPlan::Crash { .. } => 2,
+        FaultPlan::CrashLoop { waves, .. } => waves,
+        _ => 1,
+    };
+    let mut commits_total = 0u64;
+    let mut failures_total = 0u64;
+    let mut client_aborts_total = 0u64;
+    let mut gc_deletions_total = 0u64;
+    let mut commits_replayed_total = 0u64;
+    let mut peak_global = 0usize;
+    let mut fp: u64 = 0xCBF2_9CE4_8422_2325;
+
+    for wave in 0..n_waves {
+        // A single-crash plan's second wave is recovery-check only:
+        // open in-sim, verify the recovered image, fold it into the
+        // fingerprint — no new traffic (the PR-6 contract, now with
+        // the recovered engine's WAL writer as a sim task).
+        let recovery_check_only = matches!(spec.fault, FaultPlan::Crash { .. }) && wave == 1;
+        if recovery_check_only {
+            let (recovered, rec) = Engine::open(EngineConfig {
+                shards: spec.shards,
+                background_gc: false,
+                durability: wal_dir.map(durability),
+                runtime: Arc::clone(rt) as Arc<dyn Runtime>,
+                ..EngineConfig::default()
+            })
+            .unwrap_or_else(|e| panic!("[{} seed {seed}] recovery must succeed: {e:?}", spec.name));
+            if spec.checks.balance_sum {
+                let sum: i64 = (0..spec.entities).map(|x| recovered.peek(x)).sum();
+                assert_eq!(
+                    sum, 0,
+                    "[{} seed {seed}] recovered image must conserve the balance sum",
+                    spec.name
+                );
+            }
+            for x in 0..spec.entities {
+                fnv1a(&mut fp, &recovered.peek(x).to_le_bytes());
+            }
+            commits_replayed_total += rec.commits_replayed;
+            drop(recovered); // joins the recovered WAL writer in-sim
+            continue;
+        }
+
+        let crash_plan: Option<(u64, CrashPoint)> = match spec.fault {
+            FaultPlan::Crash {
+                after_commits,
+                point,
+            } if wave == 0 => Some((after_commits, point)),
+            FaultPlan::CrashLoop {
+                after_commits,
+                point,
+                ..
+            } if wave + 1 < n_waves => Some((after_commits, point)),
+            _ => None,
+        };
+
+        let (engine, rec) = Engine::open(EngineConfig {
             shards: spec.shards,
             gc: GcPolicy::Noncurrent,
             gc_interval: Duration::from_micros(spec.gc_interval_us.max(1)),
@@ -483,9 +834,25 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
             record_history: true,
             partial_escalation: true,
             partial_gc: true,
-            durability: wal_dir.as_deref().map(durability),
+            durability: wal_dir.map(durability),
             runtime: Arc::clone(rt) as Arc<dyn Runtime>,
-        }));
+        })
+        .unwrap_or_else(|e| {
+            panic!(
+                "[{} seed {seed}] wave {wave}: open must succeed: {e:?}",
+                spec.name
+            )
+        });
+        let engine = Arc::new(engine);
+        commits_replayed_total += rec.commits_replayed;
+        if wave > 0 && spec.checks.balance_sum {
+            let sum: i64 = (0..spec.entities).map(|x| engine.peek(x)).sum();
+            assert_eq!(
+                sum, 0,
+                "[{} seed {seed}] wave {wave}: recovered image must conserve the balance sum",
+                spec.name
+            );
+        }
 
         let commits = Arc::new(AtomicU64::new(0));
         let failures = Arc::new(AtomicU64::new(0));
@@ -498,7 +865,7 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
         // cadence — deterministic because the schedule is.
         let mon = {
             let (e, stop, peak) = (Arc::clone(&engine), Arc::clone(&stop), Arc::clone(&peak));
-            spawn_on(rt, "sim-monitor", move |rtm| loop {
+            spawn_on(rt, &format!("sim-monitor-{wave}"), move |rtm| loop {
                 rtm.sleep(Duration::from_micros(200));
                 peak.fetch_max(e.graph_size().nodes, Ordering::Relaxed);
                 if stop.load(Ordering::Relaxed) {
@@ -523,17 +890,15 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
                 Arc::clone(&crash_armed),
             );
             let is_reader = tid < readers;
-            handles.push(spawn_on(rt, &format!("session-{tid}"), move |rts| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x5E55_0000 + tid as u64));
+            handles.push(spawn_on(rt, &format!("session-{wave}-{tid}"), move |rts| {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x5E55_0000 + tid as u64 + ((wave as u64) << 20)),
+                );
                 for i in 0..spec2.txns_per_session {
                     match run_txn(&e, &spec2, &mut rng, tid, i, is_reader) {
                         TxnOutcome::Committed => {
                             let c = commits.fetch_add(1, Ordering::SeqCst) + 1;
-                            if let FaultPlan::Crash {
-                                after_commits,
-                                point,
-                            } = spec2.fault
-                            {
+                            if let Some((after_commits, point)) = crash_plan {
                                 if c >= after_commits && !crash_armed.swap(true, Ordering::SeqCst) {
                                     e.inject_crash(point);
                                 }
@@ -566,9 +931,9 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
         let history = engine.recorded_history().expect("recording enabled");
         let finals: Vec<i64> = (0..spec.entities).map(|x| engine.peek(x)).collect();
         let peak_nodes = peak.load(Ordering::Relaxed).max(m.live_txns as usize);
-        let virtual_ns = rt.now().as_nanos() as u64;
+        peak_global = peak_global.max(peak_nodes);
 
-        // ---- Oracles -------------------------------------------------
+        // ---- Oracles (per engine lifetime) --------------------------
         let mut full = CgState::new();
         if spec.checks.oracle_replay || spec.checks.csr {
             for ev in &history.events {
@@ -576,13 +941,14 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
                     Event::Step { step, outcome } => {
                         let got = full.apply(step).unwrap_or_else(|err| {
                             panic!(
-                                "[{} seed {seed}] replay rejected {step:?}: {err}",
+                                "[{} seed {seed}] wave {wave}: replay rejected {step:?}: {err}",
                                 spec.name
                             )
                         });
                         assert_eq!(
                             got, *outcome,
-                            "[{} seed {seed}] engine diverged from the full scheduler on {step:?}",
+                            "[{} seed {seed}] wave {wave}: engine diverged from the full \
+                             scheduler on {step:?}",
                             spec.name
                         );
                     }
@@ -598,7 +964,7 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
                 Schedule::from_steps(history.accepted_steps()).accepted_subschedule(&aborted);
             assert!(
                 deltx_model::history::is_csr(&accepted),
-                "[{} seed {seed}] accepted subschedule must be CSR",
+                "[{} seed {seed}] wave {wave}: accepted subschedule must be CSR",
                 spec.name
             );
         }
@@ -606,24 +972,17 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
             let sum: i64 = finals.iter().sum();
             assert_eq!(
                 sum, 0,
-                "[{} seed {seed}] transfers must conserve the total balance",
+                "[{} seed {seed}] wave {wave}: transfers must conserve the total balance",
                 spec.name
             );
         }
-        let graph_bound = if spec.checks.live_graph_bound {
-            let bound = spec.sessions + 4 * spec.entities as usize + 16;
-            assert!(
-                peak_nodes <= bound,
-                "[{} seed {seed}] peak live graph {peak_nodes} exceeded O(active) bound {bound}",
-                spec.name
-            );
-            bound
-        } else {
-            0
-        };
+        if spec.checks.summary_exact {
+            engine.summary_audit().unwrap_or_else(|e| {
+                panic!("[{} seed {seed}] wave {wave}: {e}", spec.name);
+            });
+        }
 
         // ---- Fingerprint --------------------------------------------
-        let mut fp: u64 = 0xCBF2_9CE4_8422_2325;
         for ev in &history.events {
             match ev {
                 Event::Step { step, outcome } => {
@@ -639,59 +998,92 @@ pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
             fnv1a(&mut fp, &c.to_le_bytes());
         }
 
+        commits_total += commits.load(Ordering::SeqCst);
+        failures_total += failures.load(Ordering::SeqCst);
+        client_aborts_total += client_aborts.load(Ordering::SeqCst);
+        gc_deletions_total += m.gc_deletions;
         drop(engine); // joins the GC task and the WAL writer in-sim
-        SimReport {
-            name: spec.name,
-            seed,
-            commits: commits.load(Ordering::SeqCst),
-            failures: failures.load(Ordering::SeqCst),
-            client_aborts: client_aborts.load(Ordering::SeqCst),
-            gc_deletions: m.gc_deletions,
-            peak_nodes,
-            graph_bound,
-            virtual_ns,
-            switches: rt.switches(),
-            fingerprint: fp,
-            commits_replayed: 0,
-        }
-    });
+    }
 
-    let report = match (&spec.fault, &wal_dir) {
-        (FaultPlan::Crash { .. }, Some(dir)) => {
-            // Recovery pass (outside the sim: replay is sequential,
-            // and the OS runtime's GC/writer tasks join on drop).
-            let (recovered, rec) = Engine::open(EngineConfig {
-                shards: spec.shards,
-                background_gc: false,
-                durability: Some(durability(dir)),
-                runtime: OsRuntime::shared(),
-                ..EngineConfig::default()
-            })
-            .unwrap_or_else(|e| panic!("[{} seed {seed}] recovery must succeed: {e:?}", spec.name));
-            if spec.checks.balance_sum {
-                let sum: i64 = (0..spec.entities).map(|x| recovered.peek(x)).sum();
-                assert_eq!(
-                    sum, 0,
-                    "[{} seed {seed}] recovered image must conserve the balance sum",
-                    spec.name
-                );
-            }
-            let mut fp = report.fingerprint;
-            for x in 0..spec.entities {
-                fnv1a(&mut fp, &recovered.peek(x).to_le_bytes());
-            }
-            drop(recovered);
-            SimReport {
-                commits_replayed: rec.commits_replayed,
-                fingerprint: fp,
-                ..report
-            }
-        }
-        _ => report,
+    let graph_bound = if spec.checks.live_graph_bound {
+        let bound = spec.sessions + 4 * spec.entities as usize + 16;
+        assert!(
+            peak_global <= bound,
+            "[{} seed {seed}] peak live graph {peak_global} exceeded O(active) bound {bound}",
+            spec.name
+        );
+        bound
+    } else {
+        0
     };
 
+    SimReport {
+        name: spec.name.clone(),
+        seed,
+        commits: commits_total,
+        failures: failures_total,
+        client_aborts: client_aborts_total,
+        gc_deletions: gc_deletions_total,
+        peak_nodes: peak_global,
+        graph_bound,
+        virtual_ns: rt.now().as_nanos() as u64,
+        switches: rt.switches(),
+        fingerprint: fp,
+        commits_replayed: commits_replayed_total,
+    }
+}
+
+/// Runs `spec` under a fresh [`VirtualRuntime`] seeded with `seed` and
+/// returns the deterministic [`SimReport`]. Panics (with the spec name
+/// and seed in the message) if any enabled oracle fails. Crash plans
+/// run recovery inside the same simulated timeline.
+pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> Result<SimReport, SimError> {
+    precheck(spec)?;
+    let wal_dir = wal_dir_for(spec, seed);
     if let Some(d) = &wal_dir {
         let _ = std::fs::remove_dir_all(d);
     }
-    Ok(report)
+    let (out, _info) = VirtualRuntime::run_cfg(&SimConfig::random(seed), |rt| {
+        run_body(spec, seed, rt, wal_dir.as_deref())
+    });
+    if let Some(d) = &wal_dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    match out {
+        Ok(report) => Ok(report),
+        Err(fail) => fail.raise(),
+    }
+}
+
+/// Runs `spec` under an explicit [`SimConfig`] — scheduling policy and
+/// trace recording — and returns failures as data. The search driver's
+/// entry point: a red schedule comes back as a [`TracedRun`] with the
+/// failure headline, the decision trace (replayable and minimizable),
+/// and the engine-event coverage signatures.
+pub fn run_spec_traced(spec: &WorkloadSpec, cfg: &SimConfig) -> Result<TracedRun, SimError> {
+    precheck(spec)?;
+    let wal_dir = wal_dir_for(spec, cfg.seed);
+    if let Some(d) = &wal_dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    // A traced run's failure is data, not an event worth a backtrace:
+    // search and minimization run hundreds of red schedules on purpose.
+    let (out, info) = crate::sim::silence_expected_panics(|| {
+        VirtualRuntime::run_cfg(cfg, |rt| run_body(spec, cfg.seed, rt, wal_dir.as_deref()))
+    });
+    if let Some(d) = &wal_dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let (report, failure) = match out {
+        Ok(r) => (Some(r), None),
+        Err(f) => (None, Some(f.message)),
+    };
+    Ok(TracedRun {
+        report,
+        failure,
+        trace: info.trace,
+        signatures: info.signatures,
+        switches: info.switches,
+        divergences: info.divergences,
+    })
 }

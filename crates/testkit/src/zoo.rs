@@ -18,7 +18,7 @@ use deltx_engine::CrashPoint;
 /// rollbacks every 17th transaction.
 pub fn transfer_mix() -> WorkloadSpec {
     WorkloadSpec {
-        name: "transfer_mix",
+        name: "transfer_mix".into(),
         sessions: 6,
         txns_per_session: 40,
         entities: 16,
@@ -38,7 +38,7 @@ pub fn transfer_mix() -> WorkloadSpec {
 /// closure while GC sweeps race them.
 pub fn hot_key_skew() -> WorkloadSpec {
     WorkloadSpec {
-        name: "hot_key_skew",
+        name: "hot_key_skew".into(),
         sessions: 6,
         txns_per_session: 40,
         entities: 24,
@@ -58,7 +58,7 @@ pub fn hot_key_skew() -> WorkloadSpec {
 /// right moment and the graph must stay bounded anyway.
 pub fn long_readers() -> WorkloadSpec {
     WorkloadSpec {
-        name: "long_readers",
+        name: "long_readers".into(),
         sessions: 6,
         txns_per_session: 30,
         entities: 16,
@@ -80,7 +80,7 @@ pub fn long_readers() -> WorkloadSpec {
 /// atomically — wide write sets, heavy same-block conflicts.
 pub fn batch_jobs() -> WorkloadSpec {
     WorkloadSpec {
-        name: "batch_jobs",
+        name: "batch_jobs".into(),
         sessions: 4,
         txns_per_session: 30,
         entities: 16,
@@ -99,7 +99,7 @@ pub fn batch_jobs() -> WorkloadSpec {
 /// conservation does not apply; the other oracles all do.
 pub fn read_mostly_fanout() -> WorkloadSpec {
     WorkloadSpec {
-        name: "read_mostly_fanout",
+        name: "read_mostly_fanout".into(),
         sessions: 6,
         txns_per_session: 40,
         entities: 24,
@@ -122,7 +122,7 @@ pub fn read_mostly_fanout() -> WorkloadSpec {
 /// the partial-lock planner's worst case.
 pub fn cross_shard_chain() -> WorkloadSpec {
     WorkloadSpec {
-        name: "cross_shard_chain",
+        name: "cross_shard_chain".into(),
         sessions: 6,
         txns_per_session: 25,
         entities: 32,
@@ -142,7 +142,7 @@ pub fn cross_shard_chain() -> WorkloadSpec {
 /// image conserves the balance sum.
 pub fn durable_crash_mid_run() -> WorkloadSpec {
     WorkloadSpec {
-        name: "durable_crash_mid_run",
+        name: "durable_crash_mid_run".into(),
         sessions: 4,
         txns_per_session: 30,
         entities: 16,
@@ -165,6 +165,91 @@ pub fn durable_crash_mid_run() -> WorkloadSpec {
     }
 }
 
+/// A boundary-summary flood: two shards, all-cross-shard transfers
+/// over a wide entity universe, so every transaction is a boundary
+/// transaction and each shard's boundary index runs far past one
+/// 64-bit word. Multi-word reach masks are exactly where the PR-4
+/// trailing-word `BitSet` family of bugs lives — with `summary_exact`
+/// on, the audit turns any mask pollution into a hard failure the
+/// schedule search can steer toward.
+pub fn boundary_flood() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "boundary_flood".into(),
+        sessions: 6,
+        txns_per_session: 60,
+        entities: 192,
+        shards: 2,
+        profile: Profile::Transfer { cross_pct: 100 },
+        abort_every: 0,
+        think_ns: 1_000,
+        gc_interval_us: 50,
+        durable: false,
+        fault: FaultPlan::None,
+        checks: Checks::all(),
+    }
+}
+
+/// Maximum-contention hot spot: eight sessions, eight entities, two
+/// shards, zero think time — every session is perpetually mid-txn, so
+/// conflict cycles, scheduler rejections, abort-driven mask
+/// recomputes, and backpressure reclamation all pile onto the same
+/// instants. The regime where GC deletions overlap *active*
+/// transactions — exactly where a dropped `D(G, N)` bridge becomes an
+/// acceptance divergence, which is why the schedule search hunts the
+/// drop-bridge planted bug here.
+pub fn hot_contention() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hot_contention".into(),
+        sessions: 8,
+        txns_per_session: 50,
+        entities: 8,
+        shards: 2,
+        profile: Profile::Transfer { cross_pct: 50 },
+        abort_every: 5,
+        think_ns: 0,
+        gc_interval_us: 20,
+        durable: false,
+        fault: FaultPlan::None,
+        checks: Checks {
+            // Zero think time starves the background GC tick (virtual
+            // time never advances mid-run), so the graph legitimately
+            // exceeds the O(active) bound between reclaim points.
+            live_graph_bound: false,
+            ..Checks::all()
+        },
+    }
+}
+
+/// Crash twice, recover twice, finish clean — three engine lifetimes
+/// inside one simulated timeline. Each recovery replays the WAL on the
+/// sim runtime and the recovered engine immediately takes new traffic,
+/// so the search explores recovery interleavings too.
+pub fn durable_crash_recover_twice() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "durable_crash_recover_twice".into(),
+        sessions: 4,
+        txns_per_session: 30,
+        entities: 16,
+        shards: 4,
+        profile: Profile::Transfer { cross_pct: 25 },
+        abort_every: 0,
+        think_ns: 3_000,
+        gc_interval_us: 50,
+        durable: true,
+        fault: FaultPlan::CrashLoop {
+            after_commits: 30,
+            point: CrashPoint::MidFlushTorn,
+            waves: 3,
+        },
+        checks: Checks {
+            // Crash waves leave acknowledged-but-failed residue in the
+            // live graph; skip the bound, keep every safety oracle.
+            live_graph_bound: false,
+            ..Checks::all()
+        },
+    }
+}
+
 /// Every stock scenario, in a stable order.
 pub fn all() -> Vec<WorkloadSpec> {
     vec![
@@ -175,5 +260,8 @@ pub fn all() -> Vec<WorkloadSpec> {
         read_mostly_fanout(),
         cross_shard_chain(),
         durable_crash_mid_run(),
+        boundary_flood(),
+        hot_contention(),
+        durable_crash_recover_twice(),
     ]
 }

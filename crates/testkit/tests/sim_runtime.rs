@@ -123,3 +123,89 @@ fn task_panics_carry_the_seed() {
         h.join();
     });
 }
+
+/// The deadlock report is a diagnosis, not just a detection: it names
+/// every parked task and the wait-for edge it is stuck on (which event,
+/// created by whom), so a cycle reads straight off the message.
+#[test]
+fn deadlock_report_names_tasks_and_wait_for_edges() {
+    use deltx_testkit::sim::{silence_expected_panics, SimConfig};
+
+    let (out, _info) = silence_expected_panics(|| {
+        VirtualRuntime::run_cfg(&SimConfig::random(21), |rt| {
+            // Each task publishes its own event, then waits on the
+            // other's: a two-cycle in the wait-for graph.
+            let slot_a: Arc<Mutex<Option<Arc<dyn deltx_engine::RtEvent>>>> =
+                Arc::new(Mutex::new(None));
+            let slot_b: Arc<Mutex<Option<Arc<dyn deltx_engine::RtEvent>>>> =
+                Arc::new(Mutex::new(None));
+            let (rt_a, sa, sb) = (Arc::clone(rt), Arc::clone(&slot_a), Arc::clone(&slot_b));
+            let ha = rt.spawn(
+                "alice",
+                Box::new(move || {
+                    *sa.lock().unwrap() = Some(rt_a.event());
+                    loop {
+                        let other = sb.lock().unwrap().clone();
+                        match other {
+                            Some(ev) => {
+                                let key = ev.prepare();
+                                ev.wait(key);
+                                break;
+                            }
+                            None => rt_a.yield_now(),
+                        }
+                    }
+                }),
+            );
+            let (rt_b, sa, sb) = (Arc::clone(rt), Arc::clone(&slot_a), Arc::clone(&slot_b));
+            let hb = rt.spawn(
+                "bob",
+                Box::new(move || {
+                    *sb.lock().unwrap() = Some(rt_b.event());
+                    loop {
+                        let other = sa.lock().unwrap().clone();
+                        match other {
+                            Some(ev) => {
+                                let key = ev.prepare();
+                                ev.wait(key);
+                                break;
+                            }
+                            None => rt_b.yield_now(),
+                        }
+                    }
+                }),
+            );
+            ha.join();
+            hb.join();
+        })
+    });
+
+    let fail = out.expect_err("a wait-for cycle must be detected as deadlock");
+    let report = format!("{}\n{}", fail.message, fail.task_panic().unwrap_or(""));
+    assert!(
+        report.contains("DEADLOCK"),
+        "report must say DEADLOCK:\n{report}"
+    );
+    for task in ["alice", "bob", "root"] {
+        assert!(
+            report.contains(task),
+            "report must name task `{task}`:\n{report}"
+        );
+    }
+    assert!(
+        report.contains("wait-for edges:"),
+        "report must carry a wait-for section:\n{report}"
+    );
+    assert!(
+        report.contains("created by"),
+        "edges must name the event's creating task:\n{report}"
+    );
+    assert!(
+        report.contains("`alice` waits on") && report.contains("`bob` waits on"),
+        "both cycle members must appear as edge sources:\n{report}"
+    );
+    assert!(
+        report.contains("DELTX_SEED=21"),
+        "report must carry the replay seed:\n{report}"
+    );
+}

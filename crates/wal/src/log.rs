@@ -25,6 +25,19 @@
 //! the checkpoint boundary: no separate checkpoint writer exists, and
 //! the log stays proportional to the live graph, not to history.
 //!
+//! Two guards keep that retirement crash-safe. First, a transaction is
+//! only deletable because *later* commits superseded its writes — so
+//! when a segment's live count reaches zero it is stamped with the
+//! newest enqueued LSN as a retirement barrier, and unlinked only once
+//! the durable LSN passes that barrier (otherwise a crash between the
+//! unlink and the supersessors' flush would lose both copies). Second,
+//! once the log has crashed or is closing, `note_deleted` is a no-op:
+//! in-memory commits keep mutating the conflict graph after the log
+//! stops accepting records, so GC may judge a transaction noncurrent
+//! on the strength of a supersessor that was never logged — no
+//! retirement decision made past that point is sound, and the next
+//! recovery re-derives live counts from what actually survived.
+//!
 //! # Crash points
 //!
 //! [`Wal::arm_crash`] plants a [`CrashPoint`]; the next `submit_commit`
@@ -219,6 +232,12 @@ struct SegmentMeta {
     bytes: u64,
     /// Bytes the writer thread has flushed.
     durable: u64,
+    /// Newest enqueued LSN at the moment `live` reached zero. The
+    /// commits that superseded this segment's transactions (what made
+    /// them deletable) have LSNs at or below this; the segment may
+    /// only be unlinked once `durable_lsn` passes it, or a crash
+    /// between the unlink and their flush would lose BOTH copies.
+    retire_barrier: u64,
 }
 
 struct WalState {
@@ -286,6 +305,7 @@ fn collect_dead(st: &mut WalState, active: u64, stats: &WalCounters) {
         .filter(|(id, m)| {
             m.sealed
                 && m.live == 0
+                && st.durable_lsn >= m.retire_barrier
                 && **id != active
                 && !st.writing.contains(id)
                 && !st.pending.iter().any(|(s, _)| s == *id)
@@ -426,6 +446,7 @@ impl Wal {
                     sealed: true,
                     bytes: off as u64,
                     durable: off as u64,
+                    retire_barrier: 0,
                 },
             );
             let _ = pos;
@@ -441,6 +462,7 @@ impl Wal {
                 sealed: false,
                 bytes: 0,
                 durable: 0,
+                retire_barrier: 0,
             },
         );
 
@@ -557,6 +579,7 @@ impl Wal {
                     sealed: false,
                     bytes: 0,
                     durable: 0,
+                    retire_barrier: 0,
                 },
             );
             st.active = next;
@@ -611,10 +634,26 @@ impl Wal {
             return;
         }
         let mut st = self.inner.lock();
+        if st.crashed || st.closing {
+            // After the log stops accepting records, in-memory commits
+            // still mutate the conflict graph, so GC can judge a
+            // transaction noncurrent on the strength of a supersessor
+            // that was never logged. No retirement decision made past
+            // this point is sound; the next recovery re-derives live
+            // counts from what actually survived on disk.
+            return;
+        }
+        let barrier = st.last_enqueued;
         for t in deleted {
             if let Some(seg) = st.txn_seg.remove(t) {
                 if let Some(m) = st.segments.get_mut(&seg) {
                     m.live = m.live.saturating_sub(1);
+                    if m.live == 0 {
+                        // The supersessors that made these commits
+                        // deletable are enqueued at or below here;
+                        // hold the unlink until they are durable.
+                        m.retire_barrier = barrier;
+                    }
                 }
             }
         }
@@ -826,6 +865,10 @@ fn writer_loop(inner: &WalInner) {
                 inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
                 inner.stats.records.fetch_add(nrec, Ordering::Relaxed);
                 inner.stats.batch_hist[batch_bucket(nrec)].fetch_add(1, Ordering::Relaxed);
+                // Batch-boundary signature for schedule-space search:
+                // which group-commit batch sizes this interleaving
+                // produced (bucketed like the histogram).
+                inner.rt.emit("wal_batch", batch_bucket(nrec) as u64);
                 let active = st.active;
                 collect_dead(&mut st, active, &inner.stats);
                 drop(st);

@@ -301,3 +301,41 @@ fn unflushed_batch_waiters_observe_the_crash() {
     // But already-durable LSNs still report success.
     assert_eq!(wal.wait_durable(1), Ok(()));
 }
+
+/// Regression for a data-loss bug the simulated crash-loop scenario
+/// found: after the log crashes, in-memory commits still mutate the
+/// conflict graph, so the engine's GC can judge a transaction
+/// noncurrent on the strength of a supersessor the log never accepted
+/// — and `note_deleted` would retire the only durable copy of its
+/// writes. Post-crash retirement must be a no-op.
+#[test]
+fn retirement_after_crash_is_ignored() {
+    let dir = TestDir::new("retire-post-crash");
+    let mut cfg = dir.cfg();
+    cfg.segment_bytes = 64; // roughly one record per segment
+    let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+    for i in 0..6u32 {
+        commit_one(&wal, i, &[(0, i as i64)]).unwrap();
+    }
+    wal.arm_crash(CrashPoint::MidFlushTorn);
+    assert_eq!(
+        commit_one(&wal, 6, &[(0, 60)]).unwrap_err(),
+        WalError::Crashed
+    );
+    // A sweep racing the shutdown reports every earlier txn deleted
+    // (their "supersessor" was the record the crash just refused).
+    let victims: Vec<TxnId> = (0..6).map(TxnId).collect();
+    let truncated_before = wal.stats().segments_truncated;
+    wal.note_deleted(&victims);
+    assert_eq!(
+        wal.stats().segments_truncated,
+        truncated_before,
+        "post-crash retirement must not unlink any segment"
+    );
+    drop(wal);
+
+    // Every durable commit survives to recovery.
+    let (_wal, commits, _) = Wal::open(cfg).unwrap();
+    let replayed: Vec<u32> = commits.iter().map(|c| c.txn.0).collect();
+    assert_eq!(replayed, vec![0, 1, 2, 3, 4, 5]);
+}
