@@ -96,7 +96,10 @@ use deltx_model::{EntityId, Op, Step, TxnId};
 use deltx_runtime::{OsRuntime, RtEvent, Runtime, TaskHandle};
 use deltx_sched::StateSize;
 use deltx_storage::{Store, Value};
-use deltx_wal::{CommitRecord, CrashPoint, DurabilityConfig, RecoveryScan, Wal, WalStats};
+use deltx_wal::{
+    CommitRecord, CrashPoint, DurabilityConfig, QuarantinedSegment, RecoveryScan, Wal, WalHealth,
+    WalStats,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -199,6 +202,12 @@ pub struct RecoveryReport {
     pub torn_tail: bool,
     /// Highest LSN surviving the scan.
     pub max_lsn: u64,
+    /// Sealed mid-log segments the recovery scrub moved aside (only
+    /// under [`deltx_wal::RecoverPolicy::Quarantine`]; the default
+    /// strict policy refuses to open instead). Each entry names the
+    /// exact LSN range whose records are gone — surviving commits
+    /// outside those ranges were replayed normally.
+    pub quarantined: Vec<QuarantinedSegment>,
     /// Wall-clock time of the whole open: scan + replay + the
     /// checkpointing GC sweep.
     pub elapsed: Duration,
@@ -443,6 +452,7 @@ impl Engine {
             bytes_discarded: scan.bytes_discarded,
             torn_tail: scan.torn_tail,
             max_lsn: scan.max_lsn,
+            quarantined: scan.quarantined,
             elapsed: rt.now().saturating_sub(t0),
         };
         Ok((engine, report))
@@ -546,6 +556,28 @@ impl Engine {
     /// WAL activity counters (`None` when durability is off).
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.inner.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Whether the engine is in degraded read-only mode: the
+    /// write-ahead log stopped accepting records (fsync poisoning, a
+    /// crash, terminal `ENOSPC`, or an I/O failure). Reads keep
+    /// working against the in-memory state; commits that write are
+    /// rejected with [`EngineError::Durability`] before they touch
+    /// the conflict graph. Always `false` for a non-durable engine.
+    pub fn degraded(&self) -> bool {
+        self.inner
+            .wal
+            .as_ref()
+            .is_some_and(|w| w.health() != WalHealth::Ok)
+    }
+
+    /// The WAL's coarse health ([`WalHealth::Ok`] when durability is
+    /// off — a purely in-memory engine has nothing to degrade).
+    pub fn wal_health(&self) -> WalHealth {
+        self.inner
+            .wal
+            .as_ref()
+            .map_or(WalHealth::Ok, |w| w.health())
     }
 
     /// Arms a crash at `cp`: the next commit's WAL submission executes
@@ -1120,6 +1152,28 @@ impl EngineInner {
             Vec::new()
         };
 
+        // Degraded-mode gate: once the WAL stops accepting records
+        // (fsync poisoning, crash, terminal ENOSPC, I/O failure) the
+        // engine is loudly read-only. A writing commit is rejected
+        // *here* — before its `WriteAll` touches any conflict graph or
+        // store — so the in-memory state never drifts ahead of what
+        // the log can make durable. The session rolls back like a
+        // client abort; reads and read-only commits still succeed.
+        if !wal_writes.is_empty() {
+            if let Some(w) = &self.wal {
+                if w.health() != WalHealth::Ok {
+                    let reason = w
+                        .fail_reason()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "write-ahead log unavailable".to_string());
+                    self.metrics.degraded_commit_rejections.add(1);
+                    self.rt.emit("degraded_reject", 1);
+                    self.client_abort(st);
+                    return Err(EngineError::Durability(reason));
+                }
+            }
+        }
+
         if involved.is_empty() {
             // Touched nothing: trivially committed (the recorded Begin
             // gives the replayed graph a node; complete it there too).
@@ -1566,9 +1620,22 @@ impl EngineInner {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
+            // ENOSPC escalation: while a WAL append is parked on its
+            // space backoff, every sweep is a rescue attempt — each
+            // deleted transaction can retire a sealed segment and free
+            // the bytes the parked append needs. Shrink the tick so a
+            // rescue lands inside the append's escalation window
+            // instead of one full interval later.
+            let pressured = self.wal.as_ref().is_some_and(|w| w.space_pressure());
+            let wait = if pressured {
+                self.metrics.gc_pressure_sweeps.add(1);
+                Duration::from_micros(200).min(interval)
+            } else {
+                interval
+            };
             // Timed out → a normal tick; notified → recheck the flag
             // (shutdown is the event's only notifier).
-            let _ = self.shutdown_ev.wait_timeout(key, interval);
+            let _ = self.shutdown_ev.wait_timeout(key, wait);
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }

@@ -158,11 +158,15 @@ pub mod planted {
         bitset_trailing_word_bug, drop_gc_bridge_bug, set_bitset_trailing_word_bug,
         set_drop_gc_bridge_bug,
     };
+    pub use deltx_wal::planted::{retry_after_fsync_fail_bug, set_retry_after_fsync_fail_bug};
 }
 
 pub use core_engine::{Engine, EngineConfig, GcPolicy, RecoveryReport};
 pub use deltx_runtime::{OsRuntime, RtEvent, Runtime, TaskHandle};
-pub use deltx_wal::{CrashPoint, DurabilityConfig, WalError, WalStats, ALL_CRASH_POINTS};
+pub use deltx_wal::{
+    CrashPoint, DurabilityConfig, FaultSpec, FaultyStorage, FsStorage, QuarantinedSegment,
+    RecoverPolicy, WalError, WalHealth, WalStats, WalStorage, ALL_CRASH_POINTS,
+};
 pub use error::EngineError;
 pub use history::{Event, RecordedHistory};
 pub use metrics::MetricsSnapshot;

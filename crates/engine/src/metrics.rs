@@ -115,6 +115,12 @@ pub(crate) struct EngineMetrics {
     pub peak_live_txns: AtomicU64,
     /// Committed transactions rebuilt from the WAL at open.
     pub wal_recovery_replayed: Counter,
+    /// Writing commits rejected because the WAL is no longer healthy
+    /// (degraded read-only mode).
+    pub degraded_commit_rejections: Counter,
+    /// GC ticks shortened because a WAL append was parked on ENOSPC
+    /// backoff (each shortened tick is a rescue-sweep attempt).
+    pub gc_pressure_sweeps: Counter,
 }
 
 impl EngineMetrics {
@@ -193,6 +199,8 @@ impl EngineMetrics {
             live_txns: self.live_txns.get(),
             peak_live_txns: self.peak_live_txns.load(Ordering::Relaxed),
             wal_recovery_replayed: self.wal_recovery_replayed.get(),
+            degraded_commit_rejections: self.degraded_commit_rejections.get(),
+            gc_pressure_sweeps: self.gc_pressure_sweeps.get(),
             wal,
             graph,
         }
@@ -291,6 +299,14 @@ pub struct MetricsSnapshot {
     /// Committed transactions rebuilt from the WAL when this engine
     /// opened (0 for a fresh or non-durable engine).
     pub wal_recovery_replayed: u64,
+    /// Writing commits rejected at the degraded-mode gate: the WAL
+    /// had already stopped (fsync poisoning, crash, terminal ENOSPC,
+    /// I/O failure) so the commit was refused with
+    /// [`crate::EngineError::Durability`] before touching any shard.
+    pub degraded_commit_rejections: u64,
+    /// GC ticks shortened under WAL space pressure (ENOSPC rescue
+    /// sweeps attempted by the background thread).
+    pub gc_pressure_sweeps: u64,
     /// WAL activity counters (`None` when durability is off): flushes,
     /// group-commit batch sizes, segments created/truncated.
     pub wal: Option<WalStats>,
@@ -392,6 +408,16 @@ impl std::fmt::Display for MetricsSnapshot {
                 w.segments_live,
                 w.durable_lsn,
                 self.wal_recovery_replayed
+            )?;
+            write!(
+                f,
+                "\nwal faults: {} append retries, flush p50 {:?} / p99 {:?}, \
+                 {} degraded-commit rejections, {} pressure sweeps",
+                w.append_retries,
+                Duration::from_nanos(w.flush_quantile_nanos(0.50)),
+                Duration::from_nanos(w.flush_quantile_nanos(0.99)),
+                self.degraded_commit_rejections,
+                self.gc_pressure_sweeps
             )?;
         }
         Ok(())

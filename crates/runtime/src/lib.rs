@@ -74,6 +74,51 @@ pub trait Runtime: Send + Sync + std::fmt::Debug {
     fn emit(&self, _kind: &'static str, _value: u64) {}
 }
 
+/// Bounded exponential backoff over the [`Runtime`] clock.
+///
+/// The WAL's transient-error retry and `ENOSPC` GC-pressure loops use
+/// this to pace their attempts: each call to [`Backoff::next_delay`]
+/// yields the next sleep (doubling up to `max`) until the attempt
+/// budget is spent, after which it yields `None` and the caller must
+/// fail-stop. Sleeping happens through [`Runtime::sleep`], so the
+/// whole retry schedule is virtual (and deterministic) under the
+/// simulation testkit and real time in production.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    next: Duration,
+    max: Duration,
+    left: u32,
+}
+
+impl Backoff {
+    /// A budget of `attempts` delays starting at `base` and doubling
+    /// up to `max`.
+    pub fn new(base: Duration, max: Duration, attempts: u32) -> Self {
+        Backoff {
+            next: base,
+            max,
+            left: attempts,
+        }
+    }
+
+    /// The next delay to sleep before retrying, or `None` when the
+    /// attempt budget is exhausted.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        let d = self.next;
+        self.next = (self.next * 2).min(self.max);
+        Some(d)
+    }
+
+    /// Attempts remaining.
+    pub fn remaining(&self) -> u32 {
+        self.left
+    }
+}
+
 /// An eventcount: the dyn-safe replacement for a condvar. See the
 /// crate docs for the prepare → recheck → wait protocol.
 pub trait RtEvent: Send + Sync {
@@ -239,6 +284,17 @@ mod tests {
         let ev = OsRuntime.event();
         let key = ev.prepare();
         assert!(!ev.wait_timeout(key, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_exhausts() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(4), 4);
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(1)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(2)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(4)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(4)));
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.next_delay(), None);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! sim_search [--budget N] [--seed S] [--only NAME] [--strategy random|pct|coverage]
-//!            [--repro-dir DIR] [--summary PATH] [--planted bitset_trailing_word|drop_gc_bridge]
+//!            [--repro-dir DIR] [--summary PATH]
+//!            [--planted bitset_trailing_word|drop_gc_bridge|retry_after_fsync_fail]
 //! ```
 //!
 //! Exit status: 0 when every sweep ran green (or, with `--planted`,
@@ -66,6 +67,7 @@ fn planted_target(bug: &str) -> Result<WorkloadSpec, String> {
     match bug {
         "bitset_trailing_word" => Ok(zoo::boundary_flood()),
         "drop_gc_bridge" => Ok(zoo::hot_contention()),
+        "retry_after_fsync_fail" => Ok(zoo::disk_fsync_poison()),
         other => Err(format!("unknown planted bug `{other}`")),
     }
 }
@@ -167,7 +169,10 @@ fn main() {
             found.schedule_index.to_string(),
         ));
 
-        match minimize(spec, found.seed, &found.trace, MINIMIZE_BUDGET) {
+        // Minimize the spec the failing run actually executed — the
+        // sweep mutates fault parameters per run, so `found.spec` can
+        // differ from the base zoo spec.
+        match minimize(&found.spec, found.seed, &found.trace, MINIMIZE_BUDGET) {
             Ok(min) => {
                 println!(
                     "  minimized: {} sessions x {} txns, {} decisions ({} runs spent)",

@@ -55,6 +55,6 @@ pub use minimize::{minimize, MinimizedRepro, ReproFile};
 pub use search::{search_spec, SearchConfig, SearchOutcome, SearchStats, Strategy};
 pub use sim::{Decision, PickPolicy, ScheduleTrace, SimConfig, VirtualRuntime};
 pub use workload::{
-    run_spec, run_spec_traced, Checks, FaultPlan, Profile, SimError, SimReport, TracedRun,
-    WorkloadSpec,
+    run_spec, run_spec_traced, Checks, DiskFault, FaultPlan, Profile, SimError, SimReport,
+    TracedRun, WorkloadSpec,
 };

@@ -360,6 +360,7 @@ pub fn apply_planted(names: &[String], on: bool) -> Result<(), String> {
         match n.as_str() {
             "bitset_trailing_word" => deltx_engine::planted::set_bitset_trailing_word_bug(on),
             "drop_gc_bridge" => deltx_engine::planted::set_drop_gc_bridge_bug(on),
+            "retry_after_fsync_fail" => deltx_engine::planted::set_retry_after_fsync_fail_bug(on),
             other => return Err(format!("unknown planted bug `{other}`")),
         }
     }

@@ -21,12 +21,21 @@
 //!   (an escalation fallback, a widened GC closure) where neighbors
 //!   in schedule space are likelier to fail.
 //!
+//! Orthogonally to the schedule strategies, specs carrying a
+//! parameterized fault get its *parameters* redrawn from the per-run
+//! seed ([`FoundFailure::spec`] records what actually ran): torn-write
+//! offsets sweep the whole record layout, and disk-fault coordinates
+//! (failing append/fsync indices, device capacity, corrupted sector)
+//! sweep the storage fault space — so one budget explores
+//! interleavings × fault shapes together.
+//!
 //! Every run records its full decision trace, so the moment a failure
 //! appears the search hands [`crate::minimize()`] a replayable artifact
 //! — not just a seed.
 
 use crate::sim::{PickPolicy, ScheduleTrace, SimConfig};
-use crate::workload::{run_spec_traced, SimError, WorkloadSpec};
+use crate::workload::{run_spec_traced, DiskFault, FaultPlan, SimError, WorkloadSpec};
+use deltx_engine::CrashPoint;
 use std::collections::BTreeSet;
 
 /// Knobs for one search sweep.
@@ -117,6 +126,11 @@ pub struct SearchStats {
 /// The first failing schedule a sweep found, replay-ready.
 #[derive(Clone, Debug)]
 pub struct FoundFailure {
+    /// The exact spec the failing run executed — the sweep mutates
+    /// fault *parameters* (torn-write offsets, disk-fault
+    /// coordinates) per run, so this can differ from the base spec.
+    /// Minimize and replay THIS, not the base.
+    pub spec: WorkloadSpec,
     /// The seed the failing run used (the trace's fallback RNG).
     pub seed: u64,
     /// The failure headline (oracle panic, deadlock, task panic).
@@ -148,6 +162,60 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// Traces the mutation corpus holds at most (oldest evicted first).
 const CORPUS_CAP: usize = 32;
+
+/// Fault-parameter mutation riding along the schedule sweep: specs
+/// that carry a parameterized fault (a torn-write offset, a
+/// disk-fault coordinate) get the parameter redrawn from the per-run
+/// seed, so one budget sweeps schedule space and fault space
+/// together — the in-sim torn-write sweep. Keeps run 0 on the base
+/// spec's own parameters so the stock coordinate is always covered.
+fn mutated_spec(spec: &WorkloadSpec, seed: u64, run_index: usize) -> WorkloadSpec {
+    if run_index == 0 {
+        return spec.clone();
+    }
+    let r = splitmix64(seed ^ 0xFA17_5EED);
+    let fault = match spec.fault {
+        FaultPlan::Crash {
+            after_commits,
+            point: CrashPoint::TornWriteAt(_),
+        } => FaultPlan::Crash {
+            after_commits,
+            // 1..=48 spans a whole commit record: header cuts, payload
+            // cuts, and cuts past one entity's bytes.
+            point: CrashPoint::TornWriteAt((r % 48) as u32 + 1),
+        },
+        FaultPlan::CrashLoop {
+            after_commits,
+            point: CrashPoint::TornWriteAt(_),
+            waves,
+        } => FaultPlan::CrashLoop {
+            after_commits,
+            point: CrashPoint::TornWriteAt((r % 48) as u32 + 1),
+            waves,
+        },
+        FaultPlan::Disk { fault } => FaultPlan::Disk {
+            fault: match fault {
+                DiskFault::TransientAppend { .. } => DiskFault::TransientAppend {
+                    at: r % 24,
+                    // 1..=3 stays below the writer's 4-attempt budget.
+                    burst: (splitmix64(r) % 3) as u32 + 1,
+                },
+                DiskFault::FsyncFail { .. } => DiskFault::FsyncFail { at: r % 6 },
+                DiskFault::Capacity { .. } => DiskFault::Capacity {
+                    bytes: 2048 + (r % 8) * 1024,
+                },
+                DiskFault::CorruptSealed { .. } => DiskFault::CorruptSealed {
+                    sector: (r % 2) as u32,
+                },
+            },
+        },
+        other => other,
+    };
+    WorkloadSpec {
+        fault,
+        ..spec.clone()
+    }
+}
 
 /// Sweeps up to `cfg.budget` schedules of `spec` and reports the
 /// first failure plus coverage counters. Fully deterministic in
@@ -193,8 +261,9 @@ pub fn search_spec(spec: &WorkloadSpec, cfg: &SearchConfig) -> Result<SearchOutc
                 PickPolicy::Trace(base.truncated(cut))
             }
         };
+        let run_spec = mutated_spec(spec, seed, i);
         let run = run_spec_traced(
-            spec,
+            &run_spec,
             &SimConfig {
                 seed,
                 policy,
@@ -221,6 +290,7 @@ pub fn search_spec(spec: &WorkloadSpec, cfg: &SearchConfig) -> Result<SearchOutc
             stats.failures += 1;
             if failure.is_none() {
                 failure = Some(FoundFailure {
+                    spec: run_spec,
                     seed,
                     message,
                     trace: run.trace.unwrap_or_default(),

@@ -39,8 +39,9 @@
 use crate::sim::{ScheduleTrace, SimConfig, VirtualRuntime};
 use deltx_core::CgState;
 use deltx_engine::{
-    CrashPoint, DurabilityConfig, Engine, EngineConfig, Event, GcPolicy, Runtime, Session,
-    TaskHandle,
+    CrashPoint, DurabilityConfig, Engine, EngineConfig, EngineError, Event, FaultSpec,
+    FaultyStorage, FsStorage, GcPolicy, MetricsSnapshot, RecoverPolicy, Runtime, Session,
+    TaskHandle, WalHealth, WalStorage,
 };
 use deltx_model::{Schedule, TxnId};
 use rand::rngs::StdRng;
@@ -107,6 +108,49 @@ pub enum Profile {
     },
 }
 
+/// A deterministic storage-level fault, injected through the WAL's
+/// [`FaultyStorage`] VFS wrapper. Unlike [`FaultPlan::Crash`] (which
+/// kills the whole process image), a disk fault leaves the engine
+/// *running* against a misbehaving device — the regime where the
+/// error-policy tiers (bounded retry, fsync fail-stop, ENOSPC
+/// degradation, the recovery scrub) are the thing under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Appends `[at, at + burst)` fail with a transient error; the
+    /// writer's bounded retry must absorb the burst invisibly
+    /// (`burst` must stay below the retry budget — see `precheck`).
+    TransientAppend {
+        /// First failing append (0-based, counted across segments).
+        at: u64,
+        /// Consecutive failing appends.
+        burst: u32,
+    },
+    /// The `at`-th fsync fails *and the device drops the un-synced
+    /// suffix* (the fsyncgate model). The log must poison itself
+    /// fail-stop: reads keep working, writes refuse loudly, and no
+    /// lost byte is ever acknowledged.
+    FsyncFail {
+        /// Failing fsync (0-based).
+        at: u64,
+    },
+    /// The device holds only `bytes`; appends past it fail with
+    /// ENOSPC. GC pressure may rescue the run by retiring segments —
+    /// otherwise the engine must degrade to loud read-only, never
+    /// wedge.
+    Capacity {
+        /// Device capacity in bytes.
+        bytes: u64,
+    },
+    /// After a clean run, flip one sector of the lowest sealed
+    /// segment and recover: [`RecoverPolicy::Strict`] must refuse to
+    /// open, naming the damage; [`RecoverPolicy::Quarantine`] must
+    /// isolate exactly that segment and report the lost LSN range.
+    CorruptSealed {
+        /// Sector index to flip (clamped to the segment's last).
+        sector: u32,
+    },
+}
+
 /// A fault to inject mid-run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultPlan {
@@ -136,6 +180,14 @@ pub enum FaultPlan {
         point: CrashPoint,
         /// Total engine lifetimes (the last one runs to completion).
         waves: usize,
+    },
+    /// Run against a [`FaultyStorage`]-wrapped device injecting
+    /// `fault` deterministically, then recover from the surviving
+    /// bytes on a clean device and check what the scrub makes of
+    /// them. Requires `durable`.
+    Disk {
+        /// The storage-level fault schedule.
+        fault: DiskFault,
     },
     /// Reserved: a network partition between session groups. The
     /// runner rejects it with [`SimError::Unsupported`] until a
@@ -244,6 +296,46 @@ fn crash_point_parse(s: &str) -> Result<CrashPoint, String> {
     }
 }
 
+fn disk_fault_text(f: DiskFault) -> String {
+    match f {
+        DiskFault::TransientAppend { at, burst } => format!("transient_append:{at}:{burst}"),
+        DiskFault::FsyncFail { at } => format!("fsync_fail:{at}"),
+        DiskFault::Capacity { bytes } => format!("capacity:{bytes}"),
+        DiskFault::CorruptSealed { sector } => format!("corrupt_sealed:{sector}"),
+    }
+}
+
+fn disk_fault_parse(s: &str) -> Result<DiskFault, String> {
+    let (kind, rest) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad disk fault `{s}`"))?;
+    fn num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+        v.parse()
+            .map_err(|_| format!("bad disk fault {what} `{v}`"))
+    }
+    match kind {
+        "transient_append" => {
+            let (a, b) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad disk fault `{s}` (want transient_append:AT:BURST)"))?;
+            Ok(DiskFault::TransientAppend {
+                at: num(a, "at")?,
+                burst: num(b, "burst")?,
+            })
+        }
+        "fsync_fail" => Ok(DiskFault::FsyncFail {
+            at: num(rest, "at")?,
+        }),
+        "capacity" => Ok(DiskFault::Capacity {
+            bytes: num(rest, "bytes")?,
+        }),
+        "corrupt_sealed" => Ok(DiskFault::CorruptSealed {
+            sector: num(rest, "sector")?,
+        }),
+        other => Err(format!("unknown disk fault `{other}`")),
+    }
+}
+
 fn flag(b: bool) -> &'static str {
     if b {
         "1"
@@ -279,6 +371,7 @@ impl WorkloadSpec {
                 "crash_loop {after_commits} {} {waves}",
                 crash_point_text(point)
             ),
+            FaultPlan::Disk { fault } => format!("disk {}", disk_fault_text(fault)),
             FaultPlan::Partition {
                 at_commits,
                 heal_after_ns,
@@ -387,6 +480,9 @@ impl WorkloadSpec {
                             after_commits: num(parts.next(), "after_commits").map_err(at)?,
                             point: crash_point_parse(parts.next().unwrap_or("")).map_err(at)?,
                             waves: num(parts.next(), "waves").map_err(at)?,
+                        },
+                        Some("disk") => FaultPlan::Disk {
+                            fault: disk_fault_parse(parts.next().unwrap_or("")).map_err(at)?,
                         },
                         Some("partition") => FaultPlan::Partition {
                             at_commits: num(parts.next(), "at_commits").map_err(at)?,
@@ -741,6 +837,21 @@ fn precheck(spec: &WorkloadSpec) -> Result<(), SimError> {
                 "FaultPlan::CrashLoop needs `waves >= 2` (the last wave runs clean)".into(),
             ));
         }
+        FaultPlan::Disk { .. } if !spec.durable => {
+            return Err(SimError::Unsupported(
+                "disk fault plans require `durable: true` (the fault is injected under the WAL)"
+                    .into(),
+            ));
+        }
+        FaultPlan::Disk {
+            fault: DiskFault::TransientAppend { burst, .. },
+        } if !(1..=3).contains(&burst) => {
+            return Err(SimError::Unsupported(
+                "DiskFault::TransientAppend needs `1 <= burst <= 3`: the writer retries 4 \
+                 attempts, so a longer burst is a permanent failure, not a transient one"
+                    .into(),
+            ));
+        }
         _ => {}
     }
     Ok(())
@@ -761,6 +872,185 @@ fn wal_dir_for(spec: &WorkloadSpec, seed: u64) -> Option<PathBuf> {
     })
 }
 
+/// Counters one traffic wave produced.
+struct WaveStats {
+    commits: u64,
+    failures: u64,
+    client_aborts: u64,
+    peak: usize,
+    crashed: bool,
+}
+
+/// One engine lifetime's worth of traffic: spawns the live-graph
+/// monitor and every session as sim tasks, joins them, and returns
+/// the wave counters — the portion shared by the crash-plan and
+/// disk-fault runners. `crash_plan` arms the WAL crash point after
+/// the given number of acknowledged commits.
+fn traffic_wave(
+    spec: &WorkloadSpec,
+    seed: u64,
+    rt: &Arc<VirtualRuntime>,
+    engine: &Arc<Engine>,
+    wave: usize,
+    crash_plan: Option<(u64, CrashPoint)>,
+) -> WaveStats {
+    let commits = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let client_aborts = Arc::new(AtomicU64::new(0));
+    let crash_armed = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(AtomicUsize::new(0));
+
+    // Monitor task: samples the live graph at a fixed virtual
+    // cadence — deterministic because the schedule is.
+    let mon = {
+        let (e, stop, peak) = (Arc::clone(engine), Arc::clone(&stop), Arc::clone(&peak));
+        spawn_on(rt, &format!("sim-monitor-{wave}"), move |rtm| loop {
+            rtm.sleep(Duration::from_micros(200));
+            peak.fetch_max(e.graph_size().nodes, Ordering::Relaxed);
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+        })
+    };
+
+    let readers = match spec.profile {
+        Profile::LongReaders { readers, .. } => readers.min(spec.sessions),
+        _ => 0,
+    };
+
+    let mut handles = Vec::with_capacity(spec.sessions);
+    for tid in 0..spec.sessions {
+        let e = Arc::clone(engine);
+        let spec2 = spec.clone();
+        let (commits, failures, client_aborts, crash_armed) = (
+            Arc::clone(&commits),
+            Arc::clone(&failures),
+            Arc::clone(&client_aborts),
+            Arc::clone(&crash_armed),
+        );
+        let is_reader = tid < readers;
+        handles.push(spawn_on(rt, &format!("session-{wave}-{tid}"), move |rts| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0x5E55_0000 + tid as u64 + ((wave as u64) << 20)));
+            for i in 0..spec2.txns_per_session {
+                match run_txn(&e, &spec2, &mut rng, tid, i, is_reader) {
+                    TxnOutcome::Committed => {
+                        let c = commits.fetch_add(1, Ordering::SeqCst) + 1;
+                        if let Some((after_commits, point)) = crash_plan {
+                            if c >= after_commits && !crash_armed.swap(true, Ordering::SeqCst) {
+                                e.inject_crash(point);
+                            }
+                        }
+                    }
+                    TxnOutcome::RolledBack => {
+                        client_aborts.fetch_add(1, Ordering::SeqCst);
+                    }
+                    TxnOutcome::Failed => {
+                        failures.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                if spec2.think_ns > 0 {
+                    rts.sleep(Duration::from_nanos(spec2.think_ns));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    stop.store(true, Ordering::SeqCst);
+    mon.join();
+
+    WaveStats {
+        commits: commits.load(Ordering::SeqCst),
+        failures: failures.load(Ordering::SeqCst),
+        client_aborts: client_aborts.load(Ordering::SeqCst),
+        peak: peak.load(Ordering::Relaxed),
+        crashed: crash_armed.load(Ordering::SeqCst),
+    }
+}
+
+/// The post-wave oracle battery plus the fingerprint fold shared by
+/// the wave runners: lockstep full-scheduler replay, ground-truth
+/// CSR, balance conservation (skipped when the wave crashed — the
+/// survivors drained mid-transfer against a dead log), and the
+/// boundary-summary audit.
+#[allow(clippy::too_many_arguments)]
+fn wave_oracles(
+    spec: &WorkloadSpec,
+    seed: u64,
+    wave: usize,
+    engine: &Engine,
+    m: &MetricsSnapshot,
+    finals: &[i64],
+    crashed: bool,
+    fp: &mut u64,
+) {
+    let history = engine.recorded_history().expect("recording enabled");
+    let mut full = CgState::new();
+    if spec.checks.oracle_replay || spec.checks.csr {
+        for ev in &history.events {
+            match ev {
+                Event::Step { step, outcome } => {
+                    let got = full.apply(step).unwrap_or_else(|err| {
+                        panic!(
+                            "[{} seed {seed}] wave {wave}: replay rejected {step:?}: {err}",
+                            spec.name
+                        )
+                    });
+                    assert_eq!(
+                        got, *outcome,
+                        "[{} seed {seed}] wave {wave}: engine diverged from the full \
+                         scheduler on {step:?}",
+                        spec.name
+                    );
+                }
+                Event::ClientAbort(t) => full.abort_txn(*t).expect("client abort of live txn"),
+            }
+        }
+        full.check_invariants();
+    }
+    if spec.checks.csr {
+        let mut aborted: HashSet<TxnId> = full.aborted_txns().clone();
+        aborted.extend(history.client_aborted());
+        let accepted =
+            Schedule::from_steps(history.accepted_steps()).accepted_subschedule(&aborted);
+        assert!(
+            deltx_model::history::is_csr(&accepted),
+            "[{} seed {seed}] wave {wave}: accepted subschedule must be CSR",
+            spec.name
+        );
+    }
+    if spec.checks.balance_sum && !crashed {
+        let sum: i64 = finals.iter().sum();
+        assert_eq!(
+            sum, 0,
+            "[{} seed {seed}] wave {wave}: transfers must conserve the total balance",
+            spec.name
+        );
+    }
+    if spec.checks.summary_exact {
+        engine.summary_audit().unwrap_or_else(|e| {
+            panic!("[{} seed {seed}] wave {wave}: {e}", spec.name);
+        });
+    }
+
+    // ---- Fingerprint --------------------------------------------
+    for ev in &history.events {
+        match ev {
+            Event::Step { step, outcome } => fnv1a(fp, format!("{step:?}|{outcome:?};").as_bytes()),
+            Event::ClientAbort(t) => fnv1a(fp, format!("CA{t:?};").as_bytes()),
+        }
+    }
+    for v in finals {
+        fnv1a(fp, &v.to_le_bytes());
+    }
+    for c in [m.commits, m.aborts_scheduler, m.aborts_voluntary] {
+        fnv1a(fp, &c.to_le_bytes());
+    }
+}
+
 /// The whole scenario, executed inside the sim as the root task:
 /// one engine lifetime per wave, in-sim recovery between waves.
 fn run_body(
@@ -769,6 +1059,10 @@ fn run_body(
     rt: &Arc<VirtualRuntime>,
     wal_dir: Option<&Path>,
 ) -> SimReport {
+    if let FaultPlan::Disk { fault } = spec.fault {
+        let dir = wal_dir.expect("precheck guarantees `durable` for disk faults");
+        return run_disk_body(spec, seed, rt, dir, fault);
+    }
     let n_waves = match spec.fault {
         FaultPlan::Crash { .. } => 2,
         FaultPlan::CrashLoop { waves, .. } => waves,
@@ -854,153 +1148,21 @@ fn run_body(
             );
         }
 
-        let commits = Arc::new(AtomicU64::new(0));
-        let failures = Arc::new(AtomicU64::new(0));
-        let client_aborts = Arc::new(AtomicU64::new(0));
-        let crash_armed = Arc::new(AtomicBool::new(false));
-        let stop = Arc::new(AtomicBool::new(false));
-        let peak = Arc::new(AtomicUsize::new(0));
-
-        // Monitor task: samples the live graph at a fixed virtual
-        // cadence — deterministic because the schedule is.
-        let mon = {
-            let (e, stop, peak) = (Arc::clone(&engine), Arc::clone(&stop), Arc::clone(&peak));
-            spawn_on(rt, &format!("sim-monitor-{wave}"), move |rtm| loop {
-                rtm.sleep(Duration::from_micros(200));
-                peak.fetch_max(e.graph_size().nodes, Ordering::Relaxed);
-                if stop.load(Ordering::Relaxed) {
-                    return;
-                }
-            })
-        };
-
-        let readers = match spec.profile {
-            Profile::LongReaders { readers, .. } => readers.min(spec.sessions),
-            _ => 0,
-        };
-
-        let mut handles = Vec::with_capacity(spec.sessions);
-        for tid in 0..spec.sessions {
-            let e = Arc::clone(&engine);
-            let spec2 = spec.clone();
-            let (commits, failures, client_aborts, crash_armed) = (
-                Arc::clone(&commits),
-                Arc::clone(&failures),
-                Arc::clone(&client_aborts),
-                Arc::clone(&crash_armed),
-            );
-            let is_reader = tid < readers;
-            handles.push(spawn_on(rt, &format!("session-{wave}-{tid}"), move |rts| {
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (0x5E55_0000 + tid as u64 + ((wave as u64) << 20)),
-                );
-                for i in 0..spec2.txns_per_session {
-                    match run_txn(&e, &spec2, &mut rng, tid, i, is_reader) {
-                        TxnOutcome::Committed => {
-                            let c = commits.fetch_add(1, Ordering::SeqCst) + 1;
-                            if let Some((after_commits, point)) = crash_plan {
-                                if c >= after_commits && !crash_armed.swap(true, Ordering::SeqCst) {
-                                    e.inject_crash(point);
-                                }
-                            }
-                        }
-                        TxnOutcome::RolledBack => {
-                            client_aborts.fetch_add(1, Ordering::SeqCst);
-                        }
-                        TxnOutcome::Failed => {
-                            failures.fetch_add(1, Ordering::SeqCst);
-                        }
-                    }
-                    if spec2.think_ns > 0 {
-                        rts.sleep(Duration::from_nanos(spec2.think_ns));
-                    }
-                }
-            }));
-        }
-        for h in handles {
-            h.join();
-        }
-        stop.store(true, Ordering::SeqCst);
-        mon.join();
-
-        let crashed = crash_armed.load(Ordering::SeqCst);
+        let w = traffic_wave(spec, seed, rt, &engine, wave, crash_plan);
+        let crashed = w.crashed;
         if !crashed {
             engine.gc_sweep();
         }
         let m = engine.metrics();
-        let history = engine.recorded_history().expect("recording enabled");
         let finals: Vec<i64> = (0..spec.entities).map(|x| engine.peek(x)).collect();
-        let peak_nodes = peak.load(Ordering::Relaxed).max(m.live_txns as usize);
+        let peak_nodes = w.peak.max(m.live_txns as usize);
         peak_global = peak_global.max(peak_nodes);
 
-        // ---- Oracles (per engine lifetime) --------------------------
-        let mut full = CgState::new();
-        if spec.checks.oracle_replay || spec.checks.csr {
-            for ev in &history.events {
-                match ev {
-                    Event::Step { step, outcome } => {
-                        let got = full.apply(step).unwrap_or_else(|err| {
-                            panic!(
-                                "[{} seed {seed}] wave {wave}: replay rejected {step:?}: {err}",
-                                spec.name
-                            )
-                        });
-                        assert_eq!(
-                            got, *outcome,
-                            "[{} seed {seed}] wave {wave}: engine diverged from the full \
-                             scheduler on {step:?}",
-                            spec.name
-                        );
-                    }
-                    Event::ClientAbort(t) => full.abort_txn(*t).expect("client abort of live txn"),
-                }
-            }
-            full.check_invariants();
-        }
-        if spec.checks.csr {
-            let mut aborted: HashSet<TxnId> = full.aborted_txns().clone();
-            aborted.extend(history.client_aborted());
-            let accepted =
-                Schedule::from_steps(history.accepted_steps()).accepted_subschedule(&aborted);
-            assert!(
-                deltx_model::history::is_csr(&accepted),
-                "[{} seed {seed}] wave {wave}: accepted subschedule must be CSR",
-                spec.name
-            );
-        }
-        if spec.checks.balance_sum && !crashed {
-            let sum: i64 = finals.iter().sum();
-            assert_eq!(
-                sum, 0,
-                "[{} seed {seed}] wave {wave}: transfers must conserve the total balance",
-                spec.name
-            );
-        }
-        if spec.checks.summary_exact {
-            engine.summary_audit().unwrap_or_else(|e| {
-                panic!("[{} seed {seed}] wave {wave}: {e}", spec.name);
-            });
-        }
+        wave_oracles(spec, seed, wave, &engine, &m, &finals, crashed, &mut fp);
 
-        // ---- Fingerprint --------------------------------------------
-        for ev in &history.events {
-            match ev {
-                Event::Step { step, outcome } => {
-                    fnv1a(&mut fp, format!("{step:?}|{outcome:?};").as_bytes())
-                }
-                Event::ClientAbort(t) => fnv1a(&mut fp, format!("CA{t:?};").as_bytes()),
-            }
-        }
-        for v in &finals {
-            fnv1a(&mut fp, &v.to_le_bytes());
-        }
-        for c in [m.commits, m.aborts_scheduler, m.aborts_voluntary] {
-            fnv1a(&mut fp, &c.to_le_bytes());
-        }
-
-        commits_total += commits.load(Ordering::SeqCst);
-        failures_total += failures.load(Ordering::SeqCst);
-        client_aborts_total += client_aborts.load(Ordering::SeqCst);
+        commits_total += w.commits;
+        failures_total += w.failures;
+        client_aborts_total += w.client_aborts;
         gc_deletions_total += m.gc_deletions;
         drop(engine); // joins the GC task and the WAL writer in-sim
     }
@@ -1030,6 +1192,299 @@ fn run_body(
         switches: rt.switches(),
         fingerprint: fp,
         commits_replayed: commits_replayed_total,
+    }
+}
+
+/// The degraded-mode contract, probed live on a poisoned or full
+/// engine: reads still work, and a write commit is refused with a
+/// loud [`EngineError::Durability`] — no panic, no hang, no silent
+/// acknowledgement.
+fn probe_degraded(spec: &WorkloadSpec, seed: u64, engine: &Engine) {
+    assert!(
+        engine.degraded(),
+        "[{} seed {seed}] an unhealthy WAL must flip the engine to degraded",
+        spec.name
+    );
+    let mut s = engine.begin();
+    let v = s.read(0).unwrap_or_else(|e| {
+        panic!(
+            "[{} seed {seed}] degraded engine must serve reads: {e:?}",
+            spec.name
+        )
+    });
+    s.write(0, v);
+    match s.commit() {
+        Err(EngineError::Durability(_)) => {}
+        other => panic!(
+            "[{} seed {seed}] degraded engine must refuse writes with \
+             EngineError::Durability, got {other:?}",
+            spec.name
+        ),
+    }
+}
+
+/// The disk-fault runner: wave 0 drives ordinary traffic over a
+/// [`FaultyStorage`]-wrapped device injecting the planned fault and
+/// asserts the matching error-policy contract — bounded retry absorbs
+/// transient bursts; any fsync failure poisons the log fail-stop (and
+/// the engine goes loudly read-only); ENOSPC ends either rescued by
+/// GC pressure or refusing writes. Then the run recovers from the
+/// surviving bytes on a clean device and checks what the scrub makes
+/// of them — including the Strict-refuse / Quarantine-isolate pair
+/// for corruption planted in a sealed mid-log segment.
+fn run_disk_body(
+    spec: &WorkloadSpec,
+    seed: u64,
+    rt: &Arc<VirtualRuntime>,
+    wal_dir: &Path,
+    fault: DiskFault,
+) -> SimReport {
+    let fault_spec = match fault {
+        DiskFault::TransientAppend { at, burst } => FaultSpec {
+            transient_append_at: Some((at, burst)),
+            ..FaultSpec::default()
+        },
+        DiskFault::FsyncFail { at } => FaultSpec {
+            fsync_fail_at: Some(at),
+            ..FaultSpec::default()
+        },
+        DiskFault::Capacity { bytes } => FaultSpec {
+            capacity: Some(bytes),
+            ..FaultSpec::default()
+        },
+        // The corruption is planted *between* the waves, not during.
+        DiskFault::CorruptSealed { .. } => FaultSpec::default(),
+    };
+    let storage = Arc::new(FaultyStorage::new(
+        Arc::new(FsStorage::new(wal_dir.to_path_buf())),
+        fault_spec,
+    ));
+    // Tiny segments so several roll and seal in-run: sealed segments
+    // are what ENOSPC retirement frees and what corruption targets.
+    let disk_durability = |storage: Option<Arc<dyn WalStorage>>, recover| DurabilityConfig {
+        segment_bytes: 1024,
+        fsync: matches!(fault, DiskFault::FsyncFail { .. }),
+        storage,
+        recover,
+        ..DurabilityConfig::new(wal_dir.to_path_buf())
+    };
+    let mut fp: u64 = 0xCBF2_9CE4_8422_2325;
+
+    // ---- Wave 0: traffic over the faulty device ---------------------
+    let (engine, _) = Engine::open(EngineConfig {
+        shards: spec.shards,
+        gc: GcPolicy::Noncurrent,
+        gc_interval: Duration::from_micros(spec.gc_interval_us.max(1)),
+        background_gc: true,
+        record_history: true,
+        partial_escalation: true,
+        partial_gc: true,
+        durability: Some(disk_durability(
+            Some(Arc::clone(&storage) as Arc<dyn WalStorage>),
+            RecoverPolicy::Strict,
+        )),
+        runtime: Arc::clone(rt) as Arc<dyn Runtime>,
+    })
+    .unwrap_or_else(|e| {
+        panic!(
+            "[{} seed {seed}] disk wave: open must succeed: {e:?}",
+            spec.name
+        )
+    });
+    let engine = Arc::new(engine);
+
+    let w = traffic_wave(spec, seed, rt, &engine, 0, None);
+    let health = engine.wal_health();
+    match fault {
+        DiskFault::TransientAppend { .. } => assert_eq!(
+            health,
+            WalHealth::Ok,
+            "[{} seed {seed}] bounded retry must absorb a transient append burst",
+            spec.name
+        ),
+        DiskFault::FsyncFail { .. } => {
+            assert_eq!(
+                health,
+                WalHealth::Poisoned,
+                "[{} seed {seed}] an fsync failure must poison the log fail-stop",
+                spec.name
+            );
+            probe_degraded(spec, seed, &engine);
+        }
+        DiskFault::Capacity { .. } => match health {
+            // GC pressure retired enough segments to rescue the run.
+            WalHealth::Ok => {}
+            // The device stayed full: loud read-only, never wedged.
+            WalHealth::NoSpace => probe_degraded(spec, seed, &engine),
+            other => panic!(
+                "[{} seed {seed}] ENOSPC must end rescued (Ok) or refusing \
+                 (NoSpace), got {other:?}",
+                spec.name
+            ),
+        },
+        DiskFault::CorruptSealed { .. } => assert_eq!(
+            health,
+            WalHealth::Ok,
+            "[{} seed {seed}] the corruption wave itself runs clean",
+            spec.name
+        ),
+    }
+
+    if health == WalHealth::Ok && !matches!(fault, DiskFault::CorruptSealed { .. }) {
+        // Skipped for CorruptSealed: retiring segments would unlink
+        // the sealed victims the between-wave corruption targets.
+        engine.gc_sweep();
+    }
+    let m = engine.metrics();
+    let finals: Vec<i64> = (0..spec.entities).map(|x| engine.peek(x)).collect();
+    let peak_nodes = w.peak.max(m.live_txns as usize);
+    wave_oracles(spec, seed, 0, &engine, &m, &finals, false, &mut fp);
+    let wstats = engine.wal_stats().expect("disk runs are durable");
+    fnv1a(&mut fp, &wstats.append_retries.to_le_bytes());
+    fnv1a(&mut fp, &[health as u8]);
+    drop(engine); // joins the GC task and the WAL writer in-sim
+
+    // ---- Wave 1: recovery from the surviving bytes ------------------
+    let reopen_clean = |fp: &mut u64| -> u64 {
+        let (recovered, rec) = Engine::open(EngineConfig {
+            shards: spec.shards,
+            background_gc: false,
+            durability: Some(disk_durability(None, RecoverPolicy::Strict)),
+            runtime: Arc::clone(rt) as Arc<dyn Runtime>,
+            ..EngineConfig::default()
+        })
+        .unwrap_or_else(|e| {
+            panic!(
+                "[{} seed {seed}] recovery after {fault:?} must succeed: {e:?}",
+                spec.name
+            )
+        });
+        if spec.checks.balance_sum {
+            let sum: i64 = (0..spec.entities).map(|x| recovered.peek(x)).sum();
+            assert_eq!(
+                sum, 0,
+                "[{} seed {seed}] recovered image must conserve the balance sum \
+                 after {fault:?}",
+                spec.name
+            );
+        }
+        for x in 0..spec.entities {
+            fnv1a(fp, &recovered.peek(x).to_le_bytes());
+        }
+        rec.commits_replayed
+        // `recovered` drops here, joining its WAL writer in-sim.
+    };
+
+    let commits_replayed = if let DiskFault::CorruptSealed { sector } = fault {
+        // Mid-log damage needs valid records *after* the victim: pick
+        // the lowest segment that has a non-empty successor.
+        let segs = storage.list().unwrap_or_default();
+        let victim = segs.iter().enumerate().find_map(|(i, &s)| {
+            segs[i + 1..]
+                .iter()
+                .any(|&t| storage.size(t).is_ok_and(|b| b > 0))
+                .then_some(s)
+        });
+        let landed = match victim {
+            Some(v) => storage.corrupt_sector(v, sector).unwrap_or(false),
+            None => false,
+        };
+        if landed {
+            let victim = victim.expect("landed implies a victim");
+            // Strict: recovery must refuse loudly, naming the way out.
+            match Engine::open(EngineConfig {
+                shards: spec.shards,
+                background_gc: false,
+                durability: Some(disk_durability(None, RecoverPolicy::Strict)),
+                runtime: Arc::clone(rt) as Arc<dyn Runtime>,
+                ..EngineConfig::default()
+            }) {
+                Err(e) => {
+                    let msg = format!("{e:?}");
+                    assert!(
+                        msg.contains("Quarantine"),
+                        "[{} seed {seed}] the strict refusal must name the \
+                         RecoverPolicy::Quarantine escape hatch: {msg}",
+                        spec.name
+                    );
+                    fnv1a(&mut fp, msg.as_bytes());
+                }
+                Ok(_) => panic!(
+                    "[{} seed {seed}] mid-log corruption must refuse to open \
+                     under RecoverPolicy::Strict",
+                    spec.name
+                ),
+            }
+            // Quarantine: opens, isolating exactly the victim and
+            // reporting the lost LSN range. The balance sum is NOT
+            // checked here — records are gone, and the accurate loud
+            // report is the contract.
+            let (recovered, rec) = Engine::open(EngineConfig {
+                shards: spec.shards,
+                background_gc: false,
+                durability: Some(disk_durability(None, RecoverPolicy::Quarantine)),
+                runtime: Arc::clone(rt) as Arc<dyn Runtime>,
+                ..EngineConfig::default()
+            })
+            .unwrap_or_else(|e| {
+                panic!(
+                    "[{} seed {seed}] RecoverPolicy::Quarantine must open past \
+                     mid-log corruption: {e:?}",
+                    spec.name
+                )
+            });
+            assert_eq!(
+                rec.quarantined
+                    .iter()
+                    .map(|q| q.segment)
+                    .collect::<Vec<_>>(),
+                vec![victim],
+                "[{} seed {seed}] quarantine must isolate exactly the corrupted segment",
+                spec.name
+            );
+            for q in &rec.quarantined {
+                fnv1a(&mut fp, &q.segment.to_le_bytes());
+                fnv1a(&mut fp, &q.lost_after.to_le_bytes());
+                fnv1a(&mut fp, &q.resume_at.to_le_bytes());
+            }
+            for x in 0..spec.entities {
+                fnv1a(&mut fp, &recovered.peek(x).to_le_bytes());
+            }
+            rec.commits_replayed
+        } else {
+            // Degenerate layout (everything still in one segment):
+            // the run still proves a clean reopen.
+            reopen_clean(&mut fp)
+        }
+    } else {
+        reopen_clean(&mut fp)
+    };
+
+    let graph_bound = if spec.checks.live_graph_bound {
+        let bound = spec.sessions + 4 * spec.entities as usize + 16;
+        assert!(
+            peak_nodes <= bound,
+            "[{} seed {seed}] peak live graph {peak_nodes} exceeded O(active) bound {bound}",
+            spec.name
+        );
+        bound
+    } else {
+        0
+    };
+
+    SimReport {
+        name: spec.name.clone(),
+        seed,
+        commits: w.commits,
+        failures: w.failures,
+        client_aborts: w.client_aborts,
+        gc_deletions: m.gc_deletions,
+        peak_nodes,
+        graph_bound,
+        virtual_ns: rt.now().as_nanos() as u64,
+        switches: rt.switches(),
+        fingerprint: fp,
+        commits_replayed,
     }
 }
 

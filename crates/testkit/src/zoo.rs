@@ -10,7 +10,7 @@
 //! zoo over a seed matrix (`sim_zoo` binary); the determinism
 //! self-test replays each spec twice per seed.
 
-use crate::workload::{Checks, FaultPlan, Profile, WorkloadSpec};
+use crate::workload::{Checks, DiskFault, FaultPlan, Profile, WorkloadSpec};
 use deltx_engine::CrashPoint;
 
 /// The stress suite's banking mix (`stress_replay::run_mix` ported to
@@ -250,6 +250,114 @@ pub fn durable_crash_recover_twice() -> WorkloadSpec {
     }
 }
 
+/// A transient append burst under live traffic: the device fails two
+/// consecutive appends mid-run and the writer's bounded backoff must
+/// absorb them invisibly — health stays `Ok`, every oracle passes,
+/// and the recovered image still conserves the balance sum.
+pub fn disk_transient_appends() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "disk_transient_appends".into(),
+        sessions: 4,
+        txns_per_session: 25,
+        entities: 16,
+        shards: 4,
+        profile: Profile::Transfer { cross_pct: 25 },
+        abort_every: 0,
+        think_ns: 3_000,
+        gc_interval_us: 50,
+        durable: true,
+        fault: FaultPlan::Disk {
+            fault: DiskFault::TransientAppend { at: 2, burst: 2 },
+        },
+        checks: Checks::all(),
+    }
+}
+
+/// The fsyncgate scenario: one fsync fails (and the device drops the
+/// un-synced suffix), the log must poison itself fail-stop, and the
+/// engine must flip to loud read-only — reads served, writes refused
+/// with `EngineError::Durability`, nothing lost silently.
+pub fn disk_fsync_poison() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "disk_fsync_poison".into(),
+        sessions: 4,
+        txns_per_session: 25,
+        entities: 16,
+        shards: 4,
+        profile: Profile::Transfer { cross_pct: 25 },
+        abort_every: 0,
+        think_ns: 3_000,
+        gc_interval_us: 50,
+        durable: true,
+        fault: FaultPlan::Disk {
+            fault: DiskFault::FsyncFail { at: 1 },
+        },
+        checks: Checks {
+            // Post-poison the live graph holds acknowledged-but-failed
+            // residue; skip the bound, keep every safety oracle.
+            live_graph_bound: false,
+            ..Checks::all()
+        },
+    }
+}
+
+/// A nearly-full device: appends hit ENOSPC and park under backoff
+/// while GC pressure races to retire sealed segments. Ends either
+/// rescued (health `Ok`) or loudly read-only — never wedged, and the
+/// surviving log always replays to a conserving image.
+pub fn disk_enospc_pressure() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "disk_enospc_pressure".into(),
+        sessions: 4,
+        txns_per_session: 25,
+        entities: 16,
+        shards: 4,
+        profile: Profile::Transfer { cross_pct: 25 },
+        abort_every: 0,
+        think_ns: 3_000,
+        gc_interval_us: 50,
+        durable: true,
+        fault: FaultPlan::Disk {
+            fault: DiskFault::Capacity { bytes: 6 * 1024 },
+        },
+        checks: Checks {
+            // A mid-run write freeze leaves residue like a crash does.
+            live_graph_bound: false,
+            ..Checks::all()
+        },
+    }
+}
+
+/// Bit rot in a sealed mid-log segment, found by the recovery scrub:
+/// `RecoverPolicy::Strict` must refuse the open naming the lost LSN
+/// range and the `Quarantine` escape hatch; `Quarantine` must isolate
+/// exactly the damaged segment and open with the survivors. A slower
+/// GC tick keeps several sealed segments alive for the corruption to
+/// target.
+pub fn disk_corrupt_sealed_scrub() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "disk_corrupt_sealed_scrub".into(),
+        sessions: 4,
+        txns_per_session: 30,
+        entities: 16,
+        shards: 4,
+        profile: Profile::Transfer { cross_pct: 25 },
+        abort_every: 0,
+        think_ns: 3_000,
+        gc_interval_us: 400,
+        durable: true,
+        fault: FaultPlan::Disk {
+            fault: DiskFault::CorruptSealed { sector: 0 },
+        },
+        checks: Checks {
+            // The deliberately slow GC tick lets the graph run ahead
+            // of reclamation between sweeps; skip the bound.
+            live_graph_bound: false,
+            ..Checks::all()
+        },
+    }
+}
+
 /// Every stock scenario, in a stable order.
 pub fn all() -> Vec<WorkloadSpec> {
     vec![
@@ -263,5 +371,9 @@ pub fn all() -> Vec<WorkloadSpec> {
         boundary_flood(),
         hot_contention(),
         durable_crash_recover_twice(),
+        disk_transient_appends(),
+        disk_fsync_poison(),
+        disk_enospc_pressure(),
+        disk_corrupt_sealed_scrub(),
     ]
 }

@@ -61,7 +61,7 @@ fn hunt(bug: &str, spec: WorkloadSpec) {
             )
         });
 
-        let min = minimize(&spec, found.seed, &found.trace, MINIMIZE_BUDGET)
+        let min = minimize(&found.spec, found.seed, &found.trace, MINIMIZE_BUDGET)
             .expect("minimizer starts from a reproducing failure");
         assert!(
             min.trace.decisions.len() <= MAX_MIN_DECISIONS,
@@ -103,12 +103,38 @@ fn search_finds_planted_drop_gc_bridge_bug() {
     hunt("drop_gc_bridge", zoo::hot_contention());
 }
 
+/// The disk-fault battery's own planted bug: a writer that *retries*
+/// a failed fsync instead of poisoning the log. Under the fsyncgate
+/// model the device dropped the un-synced suffix, so the retry
+/// "succeeds" with the data gone and lost commits get acknowledged —
+/// the health assertion in the `disk_fsync_poison` scenario must
+/// catch it immediately (every schedule fails, not just a rare one).
+#[test]
+fn disk_battery_catches_planted_retry_after_fsync_fail() {
+    with_planted("retry_after_fsync_fail", || {
+        let cfg = SearchConfig::quick(8, 1);
+        let outcome = search_spec(&zoo::disk_fsync_poison(), &cfg).expect("search runs");
+        let found = outcome.failure.unwrap_or_else(|| {
+            panic!("retry-after-fsync-fail acknowledges lost data; the battery must catch it")
+        });
+        assert!(
+            found.message.contains("poison"),
+            "the catch is the fail-stop contract, got: {}",
+            found.message
+        );
+    })
+}
+
 /// The control: with both toggles disarmed, the two hunt scenarios run
 /// green — the planted build itself must not perturb the engine.
 #[test]
 fn hunt_scenarios_run_green_with_toggles_disarmed() {
     let _lock = TOGGLES.lock().unwrap_or_else(|e| e.into_inner());
-    for spec in [zoo::boundary_flood(), zoo::hot_contention()] {
+    for spec in [
+        zoo::boundary_flood(),
+        zoo::hot_contention(),
+        zoo::disk_fsync_poison(),
+    ] {
         run_spec(&spec, 3).unwrap_or_else(|e| {
             panic!("{} must run green without planted toggles: {e}", spec.name)
         });

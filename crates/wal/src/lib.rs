@@ -30,9 +30,39 @@
 
 mod log;
 mod record;
+mod storage;
 
 pub use crate::log::{
-    CommitRecord, CrashPoint, DurabilityConfig, RecoveryScan, Wal, WalError, WalStats,
-    ALL_CRASH_POINTS,
+    CommitRecord, CrashPoint, DurabilityConfig, QuarantinedSegment, RecoverPolicy, RecoveryScan,
+    Wal, WalError, WalHealth, WalStats, ALL_CRASH_POINTS, FLUSH_BUCKET_UPPER_NANOS,
 };
 pub use crate::record::{crc32, decode, encode_abort, encode_commit, DecodeError, WalRecord};
+pub use crate::storage::{
+    FaultSpec, FaultyStorage, FsStorage, StorageError, StorageResult, WalStorage, SECTOR_BYTES,
+};
+
+/// Deliberately-buggy variants of WAL internals, compiled only under
+/// the `planted` feature. They exist to prove the disk-fault battery
+/// has teeth: flipping one on must make a documented test fail.
+#[cfg(feature = "planted")]
+pub mod planted {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static RETRY_AFTER_FSYNC_FAIL: AtomicBool = AtomicBool::new(false);
+
+    /// Plants (or clears) the "retry after a failed fsync" bug: the
+    /// writer retries the fsync once and, if the retry reports
+    /// success, acknowledges the batch. On a device that dropped its
+    /// dirty pages at the first failure (the fsyncgate semantics the
+    /// `FaultyStorage` injector models), this silently loses every
+    /// record since the last good sync — exactly what the fail-stop
+    /// poisoning policy forbids.
+    pub fn set_retry_after_fsync_fail_bug(on: bool) {
+        RETRY_AFTER_FSYNC_FAIL.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the retry-after-fsync-fail bug is active.
+    pub fn retry_after_fsync_fail_bug() -> bool {
+        RETRY_AFTER_FSYNC_FAIL.load(Ordering::Relaxed)
+    }
+}

@@ -1,5 +1,6 @@
 //! The segmented write-ahead log: group commit, GC-driven segment
-//! truncation, crash-point fault injection, and the recovery scan.
+//! truncation, crash-point and disk-fault injection, and the recovery
+//! scrub.
 //!
 //! # Group commit
 //!
@@ -15,6 +16,28 @@
 //! sequential in LSN order, so a durable later record implies every
 //! earlier record is durable too.
 //!
+//! # The disk can say no
+//!
+//! All file IO goes through the [`WalStorage`] VFS, and the writer
+//! applies a per-error-class policy (see [`StorageError`]):
+//!
+//! * **Transient** append errors retry with bounded exponential
+//!   backoff on the [`Runtime`] clock (virtual under simulation, real
+//!   in production). Budget exhausted ⇒ fail-stop.
+//! * **`fsync` failure poisons the log, fail-stop, no retry.** After a
+//!   failed fsync the page cache contents are unknowable — many
+//!   kernels *drop* the dirty pages, so a retried fsync "succeeds"
+//!   with the data gone (the "fsyncgate" failure mode). The only safe
+//!   acknowledgement is none: every waiter gets
+//!   [`WalError::Poisoned`], the health flips to
+//!   [`WalHealth::Poisoned`], and the engine runs loudly degraded
+//!   (reads fine, writes refused) until the log is re-opened.
+//! * **`ENOSPC` degrades gracefully before refusing.** The writer
+//!   raises [`Wal::space_pressure`] and retries on a longer backoff so
+//!   the engine's GC can escalate, delete, and free segments; only if
+//!   the device stays full through the whole escalation window does
+//!   the log fail-stop with [`WalError::NoSpace`].
+//!
 //! # GC-driven checkpointing
 //!
 //! Each commit record is charged to the segment holding it. When the
@@ -27,38 +50,76 @@
 //!
 //! Two guards keep that retirement crash-safe. First, a transaction is
 //! only deletable because *later* commits superseded its writes — so
-//! when a segment's live count reaches zero it is stamped with the
-//! newest enqueued LSN as a retirement barrier, and unlinked only once
-//! the durable LSN passes that barrier (otherwise a crash between the
-//! unlink and the supersessors' flush would lose both copies). Second,
-//! once the log has crashed or is closing, `note_deleted` is a no-op:
-//! in-memory commits keep mutating the conflict graph after the log
-//! stops accepting records, so GC may judge a transaction noncurrent
-//! on the strength of a supersessor that was never logged — no
-//! retirement decision made past that point is sound, and the next
-//! recovery re-derives live counts from what actually survived.
+//! each segment tracks a **superseded ceiling**: the highest LSN of
+//! any commit that took over an entity last written in the segment.
+//! When the live count reaches zero that ceiling bounds every direct
+//! supersessor, and the segment is unlinked only once `durable_lsn`
+//! passes it (otherwise a crash between the unlink and the
+//! supersessors' flush would lose BOTH copies of an entity's current
+//! value). Tracking the actual supersessors — rather than stamping the
+//! newest enqueued LSN — matters under `ENOSPC`: the ceiling of an old
+//! segment is usually already durable, so GC pressure can free space
+//! even while the newest record is stuck un-flushed. Second, once the
+//! log has crashed or is closing, `note_deleted` is a no-op: in-memory
+//! commits keep mutating the conflict graph after the log stops
+//! accepting records, so GC may judge a transaction noncurrent on the
+//! strength of a supersessor that was never logged — no retirement
+//! decision made past that point is sound, and the next recovery
+//! re-derives live counts from what actually survived.
 //!
 //! # Crash points
 //!
 //! [`Wal::arm_crash`] plants a [`CrashPoint`]; the next `submit_commit`
 //! executes it instead of appending: the WAL refuses all further work,
 //! un-flushed batches are discarded (their sessions were never acked),
-//! and the active segment's tail is tampered to match the scenario —
-//! nothing appended, append lost from the page cache, a torn half
-//! record made durable, or a full record made durable but never
-//! acknowledged. Recovery ([`Wal::open`]) then sees exactly the disk a
+//! and the active segment's tail is tampered through the VFS to match
+//! the scenario. Recovery ([`Wal::open`]) then sees exactly the disk a
 //! real kill at that point would leave.
+//!
+//! # Recovery scrubbing
+//!
+//! Recovery decodes **every** segment, then classifies damage by
+//! position. Invalid bytes with no valid records anywhere after them
+//! are a torn *tail* — the expected crash artifact — and are cut back
+//! to the valid prefix. Invalid bytes in a sealed *mid-log* segment
+//! (valid records exist later) are corruption the crash protocol
+//! cannot produce: acknowledged commits are missing while later state
+//! survives. That is never silently dropped — under the default
+//! [`RecoverPolicy::Strict`] the open refuses loudly; under
+//! [`RecoverPolicy::Quarantine`] the whole segment is moved aside and
+//! the lost LSN range is reported per segment in
+//! [`RecoveryScan::quarantined`].
 
 use crate::record::{decode, encode_abort, encode_commit, DecodeError, WalRecord};
+use crate::storage::{FsStorage, StorageError, StorageResult, WalStorage};
 use deltx_model::{EntityId, TxnId};
-use deltx_runtime::{OsRuntime, RtEvent, Runtime, TaskHandle};
+use deltx_runtime::{Backoff, OsRuntime, RtEvent, Runtime, TaskHandle};
 use deltx_storage::Value;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// What recovery does when it finds corruption in a sealed mid-log
+/// segment — damage that cannot be a crash artifact (valid records
+/// exist *after* it, so acknowledged commits are missing while later
+/// state survives).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoverPolicy {
+    /// Refuse to open. The error names the segment and the lost LSN
+    /// range; nothing on disk is modified. The default: silent loss is
+    /// never acceptable without an explicit opt-in.
+    #[default]
+    Strict,
+    /// Quarantine the damaged segment (move it out of the log
+    /// namespace, keep it for forensics) and open with the surviving
+    /// records, reporting exactly which LSN ranges are gone in
+    /// [`RecoveryScan::quarantined`]. The whole segment is dropped —
+    /// keeping its valid prefix in memory only would lose those
+    /// records again on the next crash.
+    Quarantine,
+}
 
 /// Configuration for the durability layer.
 #[derive(Clone, Debug)]
@@ -72,16 +133,25 @@ pub struct DurabilityConfig {
     /// crash safety for speed (useful in benches and bounded-log
     /// tests); the group-commit protocol is unchanged.
     pub fsync: bool,
+    /// The storage backend. `None` uses the real filesystem
+    /// ([`FsStorage`] under `dir`); tests inject a
+    /// [`crate::FaultyStorage`] here to drive disk-fault schedules.
+    pub storage: Option<Arc<dyn WalStorage>>,
+    /// What recovery does about mid-log corruption (see
+    /// [`RecoverPolicy`]). Torn tails are always cut regardless.
+    pub recover: RecoverPolicy,
 }
 
 impl DurabilityConfig {
-    /// Durable log under `dir` with default segment size (64 KiB) and
-    /// fsync on.
+    /// Durable log under `dir` with default segment size (64 KiB),
+    /// fsync on, the real filesystem, and strict recovery.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             segment_bytes: 64 * 1024,
             fsync: true,
+            storage: None,
+            recover: RecoverPolicy::Strict,
         }
     }
 }
@@ -129,8 +199,18 @@ pub enum WalError {
     Crashed,
     /// The WAL was closed.
     Closed,
-    /// An I/O error outside the writer thread.
+    /// An I/O error the retry policy could not absorb.
     Io(String),
+    /// An `fsync` failed, poisoning the log fail-stop. Nothing written
+    /// since the last successful sync can be trusted (the kernel may
+    /// have dropped the dirty pages), and retrying the fsync would
+    /// risk acknowledging lost data — so the log refuses all further
+    /// work until re-opened.
+    Poisoned(String),
+    /// The device stayed full through the entire GC-pressure
+    /// escalation window; the log is fail-stop until re-opened with
+    /// space available.
+    NoSpace,
 }
 
 impl std::fmt::Display for WalError {
@@ -139,11 +219,49 @@ impl std::fmt::Display for WalError {
             WalError::Crashed => write!(f, "wal crashed before acknowledging the record"),
             WalError::Closed => write!(f, "wal closed"),
             WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Poisoned(e) => {
+                write!(
+                    f,
+                    "wal poisoned by fsync failure (fail-stop, no retry): {e}"
+                )
+            }
+            WalError::NoSpace => write!(
+                f,
+                "wal device full: ENOSPC persisted through GC-pressure escalation"
+            ),
         }
     }
 }
 
 impl std::error::Error for WalError {}
+
+/// Coarse health of the log, readable lock-free (the engine's commit
+/// path gates on this before touching the graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalHealth {
+    /// Accepting and flushing records.
+    Ok,
+    /// An injected or real crash stopped the log.
+    Crashed,
+    /// An `fsync` failure poisoned the log (see [`WalError::Poisoned`]).
+    Poisoned,
+    /// The device stayed full through the GC-pressure window.
+    NoSpace,
+    /// A non-transient I/O failure stopped the writer.
+    Failed,
+}
+
+impl WalHealth {
+    fn from_u8(v: u8) -> WalHealth {
+        match v {
+            0 => WalHealth::Ok,
+            1 => WalHealth::Crashed,
+            2 => WalHealth::Poisoned,
+            3 => WalHealth::NoSpace,
+            _ => WalHealth::Failed,
+        }
+    }
+}
 
 /// A commit record surfaced by the recovery scan, in LSN order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -158,12 +276,26 @@ pub struct CommitRecord {
     pub shards: Vec<u32>,
 }
 
+/// A sealed segment the recovery scrub moved aside because it held
+/// mid-log corruption, with the precise LSN range that is gone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuarantinedSegment {
+    /// The quarantined segment's id.
+    pub segment: u64,
+    /// The last surviving LSN before the gap (0 when the log starts
+    /// inside the quarantined segment).
+    pub lost_after: u64,
+    /// The first surviving LSN after the gap (0 when nothing valid
+    /// follows — the segment was unreadable at the log's tail).
+    pub resume_at: u64,
+}
+
 /// What the recovery scan found on disk.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryScan {
     /// Segment files present when the scan started.
     pub segments_scanned: u64,
-    /// Segments discarded: past a corruption, or holding no commits.
+    /// Segments discarded: quarantined, or holding no commits.
     pub segments_dropped: u64,
     /// Bytes cut from the log (torn tails plus dropped segments).
     pub bytes_discarded: u64,
@@ -171,7 +303,25 @@ pub struct RecoveryScan {
     pub torn_tail: bool,
     /// Highest LSN surviving the scan (0 when the log was empty).
     pub max_lsn: u64,
+    /// Sealed mid-log segments quarantined under
+    /// [`RecoverPolicy::Quarantine`], each with its lost LSN range.
+    /// Empty under [`RecoverPolicy::Strict`] (corruption refuses the
+    /// open instead) and on every clean or merely-torn log.
+    pub quarantined: Vec<QuarantinedSegment>,
 }
+
+/// Upper bounds (nanoseconds) of the [`WalStats::flush_hist`] latency
+/// buckets; the last bucket is unbounded.
+pub const FLUSH_BUCKET_UPPER_NANOS: [u64; 8] = [
+    50_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    20_000_000,
+    u64::MAX,
+];
 
 /// A point-in-time snapshot of WAL activity counters.
 #[derive(Clone, Debug, Default)]
@@ -194,6 +344,12 @@ pub struct WalStats {
     /// Total nanoseconds the writer task spent inside `write`+`fsync`,
     /// measured on the runtime clock (virtual under simulation).
     pub flush_nanos: u64,
+    /// Transient append errors absorbed by the bounded-backoff retry.
+    pub append_retries: u64,
+    /// Per-flush latency histogram over
+    /// [`FLUSH_BUCKET_UPPER_NANOS`] — feeds p50/p99 flush-latency
+    /// estimates in `engine_stress --fsync`.
+    pub flush_hist: [u64; 8],
 }
 
 impl WalStats {
@@ -204,6 +360,29 @@ impl WalStats {
         } else {
             self.records as f64 / self.flushes as f64
         }
+    }
+
+    /// Estimated flush-latency quantile `q` in nanoseconds, read from
+    /// the bucket upper bounds (the last bucket reports its lower
+    /// bound). 0 when no flushes happened.
+    pub fn flush_quantile_nanos(&self, q: f64) -> u64 {
+        let total: u64 = self.flush_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.flush_hist.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 7 {
+                    FLUSH_BUCKET_UPPER_NANOS[6]
+                } else {
+                    FLUSH_BUCKET_UPPER_NANOS[i]
+                };
+            }
+        }
+        FLUSH_BUCKET_UPPER_NANOS[6]
     }
 }
 
@@ -222,8 +401,15 @@ fn batch_bucket(n: u64) -> usize {
     }
 }
 
+/// Bucket index for a flush that took `nanos`.
+fn flush_bucket(nanos: u64) -> usize {
+    FLUSH_BUCKET_UPPER_NANOS
+        .iter()
+        .position(|&hi| nanos <= hi)
+        .unwrap_or(7)
+}
+
 struct SegmentMeta {
-    path: PathBuf,
     /// Commit records charged to this segment that GC has not yet
     /// deleted. Sealed segments with `live == 0` are removed.
     live: usize,
@@ -232,11 +418,14 @@ struct SegmentMeta {
     bytes: u64,
     /// Bytes the writer thread has flushed.
     durable: u64,
-    /// Newest enqueued LSN at the moment `live` reached zero. The
-    /// commits that superseded this segment's transactions (what made
-    /// them deletable) have LSNs at or below this; the segment may
-    /// only be unlinked once `durable_lsn` passes it, or a crash
-    /// between the unlink and their flush would lose BOTH copies.
+    /// Highest LSN of any commit that superseded an entity last
+    /// written in this segment. When `live` reaches zero, every
+    /// commit here was deleted *because* such supersessors exist —
+    /// all of them at or below this ceiling — so the segment may only
+    /// be unlinked once `durable_lsn` passes it, or a crash between
+    /// the unlink and their flush would lose BOTH copies.
+    superseded_ceiling: u64,
+    /// The ceiling frozen at the moment `live` reached zero.
     retire_barrier: u64,
 }
 
@@ -245,6 +434,10 @@ struct WalState {
     active: u64,
     /// Which segment holds each live transaction's commit record.
     txn_seg: HashMap<TxnId, u64>,
+    /// Each entity's current writer: `(lsn, segment)` of the newest
+    /// commit that wrote it. Moving an entity's writer off a segment
+    /// folds the new LSN into the old segment's superseded ceiling.
+    current_writer: HashMap<EntityId, (u64, u64)>,
     /// Encoded bytes awaiting the writer thread, coalesced per segment.
     pending: Vec<(u64, Vec<u8>)>,
     pending_recs: u64,
@@ -257,6 +450,10 @@ struct WalState {
     writer_busy: bool,
     armed: Option<CrashPoint>,
     crashed: bool,
+    /// Why the log stopped, when it stopped for a reason more precise
+    /// than [`WalError::Crashed`] (poisoned fsync, exhausted ENOSPC,
+    /// exhausted transient retries).
+    fail: Option<WalError>,
     closing: bool,
     /// The writer task has returned; nothing will ever flush again.
     writer_exited: bool,
@@ -270,12 +467,18 @@ struct WalCounters {
     segments_created: AtomicU64,
     segments_truncated: AtomicU64,
     flush_nanos: AtomicU64,
+    append_retries: AtomicU64,
+    flush_hist: [AtomicU64; 8],
 }
 
 struct WalInner {
     cfg: DurabilityConfig,
-    /// Host runtime: spawns the writer task, times flushes, and backs
-    /// the two eventcounts below. Virtual under the simulation testkit.
+    /// All file IO goes through here; production is [`FsStorage`],
+    /// tests inject fault schedules.
+    storage: Arc<dyn WalStorage>,
+    /// Host runtime: spawns the writer task, times flushes, paces the
+    /// retry backoff, and backs the two eventcounts below. Virtual
+    /// under the simulation testkit.
     rt: Arc<dyn Runtime>,
     state: Mutex<WalState>,
     /// Wakes the writer task when work arrives or the log closes.
@@ -283,6 +486,12 @@ struct WalInner {
     /// Wakes sessions when `durable_lsn` advances, the log crashes, or
     /// the writer task exits.
     durable_ev: Arc<dyn RtEvent>,
+    /// Mirror of the log's state machine for lock-free reads
+    /// ([`WalHealth`] as `u8`).
+    health: AtomicU8,
+    /// Raised while an append is parked on `ENOSPC` backoff; the
+    /// engine's GC treats it as an immediate-sweep request.
+    space_pressure: AtomicBool,
     stats: WalCounters,
 }
 
@@ -290,15 +499,16 @@ impl WalInner {
     fn lock(&self) -> MutexGuard<'_, WalState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    fn set_health(&self, h: WalHealth) {
+        self.health.store(h as u8, Ordering::Release);
+    }
 }
 
-fn segment_path(dir: &Path, id: u64) -> PathBuf {
-    dir.join(format!("{id:08}.wal"))
-}
-
-/// Removes every sealed segment whose commits are all deleted and that
-/// no in-flight or pending write still references.
-fn collect_dead(st: &mut WalState, active: u64, stats: &WalCounters) {
+/// Removes every sealed segment whose commits are all deleted, whose
+/// retirement barrier is durable, and that no in-flight or pending
+/// write still references.
+fn collect_dead(st: &mut WalState, active: u64, inner: &WalInner) {
     let dead: Vec<u64> = st
         .segments
         .iter()
@@ -313,11 +523,34 @@ fn collect_dead(st: &mut WalState, active: u64, stats: &WalCounters) {
         .map(|(id, _)| *id)
         .collect();
     for id in dead {
-        if let Some(m) = st.segments.remove(&id) {
-            let _ = std::fs::remove_file(&m.path);
-            stats.segments_truncated.fetch_add(1, Ordering::Relaxed);
+        if st.segments.remove(&id).is_some() {
+            let _ = inner.storage.unlink(id);
+            inner
+                .stats
+                .segments_truncated
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+fn io_err(e: StorageError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
+/// One segment's decode result during the recovery scrub.
+struct SegScrub {
+    id: u64,
+    /// Decoded records with their end byte offsets, valid prefix only.
+    recs: Vec<(WalRecord, u64)>,
+    /// Byte length of the valid record prefix.
+    valid_len: u64,
+    /// Bytes on disk.
+    total_len: u64,
+    /// Invalid bytes follow the valid prefix (decode error, trailing
+    /// garbage, or an LSN-monotonicity violation).
+    bad: bool,
+    /// The segment could not be read at all.
+    open_err: Option<String>,
 }
 
 /// The write-ahead log. One instance per engine; cheap to share via
@@ -328,146 +561,216 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Opens (or creates) the log under `cfg.dir`, scanning any
+    /// Opens (or creates) the log under `cfg.dir`, scrubbing any
     /// surviving segments.
     ///
     /// Returns the log ready for new appends, the commit records that
-    /// survived the crash in LSN order (for the engine to replay), and
-    /// a summary of what the scan found. Corruption is handled by
-    /// truncation: the first invalid byte ends the log — the file is
-    /// cut back to its valid prefix and every later segment is
-    /// deleted.
+    /// survived in LSN order (for the engine to replay), and a summary
+    /// of what the scrub found. A torn *tail* is cut back to its valid
+    /// prefix; corruption in a sealed *mid-log* segment refuses the
+    /// open under [`RecoverPolicy::Strict`] or quarantines the segment
+    /// (reporting the lost LSN range) under
+    /// [`RecoverPolicy::Quarantine`].
     pub fn open(cfg: DurabilityConfig) -> std::io::Result<(Wal, Vec<CommitRecord>, RecoveryScan)> {
         Wal::open_on(cfg, OsRuntime::shared())
     }
 
     /// Like [`Wal::open`] but on an explicit [`Runtime`]. The engine
     /// passes its own runtime so the writer task, the flush timing,
-    /// and every waiter wakeup run under the host scheduler — virtual
-    /// and deterministic under the simulation testkit.
+    /// the retry backoff, and every waiter wakeup run under the host
+    /// scheduler — virtual and deterministic under the simulation
+    /// testkit.
     pub fn open_on(
         cfg: DurabilityConfig,
         rt: Arc<dyn Runtime>,
     ) -> std::io::Result<(Wal, Vec<CommitRecord>, RecoveryScan)> {
-        std::fs::create_dir_all(&cfg.dir)?;
-        let mut ids: Vec<u64> = Vec::new();
-        for entry in std::fs::read_dir(&cfg.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if let Some(stem) = name.strip_suffix(".wal") {
-                if let Ok(id) = stem.parse::<u64>() {
-                    ids.push(id);
-                }
-            }
-        }
-        ids.sort_unstable();
+        let storage: Arc<dyn WalStorage> = match &cfg.storage {
+            Some(s) => Arc::clone(s),
+            None => Arc::new(FsStorage::new(&cfg.dir)),
+        };
+        storage.init().map_err(io_err)?;
+        let ids = storage.list().map_err(io_err)?;
 
         let mut scan = RecoveryScan {
             segments_scanned: ids.len() as u64,
             ..Default::default()
         };
+
+        // ── Scrub phase 1: decode every segment fully (no global
+        // halt — damage is classified by position, below).
+        let mut scrubs: Vec<SegScrub> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            match storage.open(id) {
+                Err(e) => scrubs.push(SegScrub {
+                    id,
+                    recs: Vec::new(),
+                    valid_len: 0,
+                    total_len: storage.size(id).unwrap_or(0),
+                    bad: true,
+                    open_err: Some(e.to_string()),
+                }),
+                Ok(bytes) => {
+                    let mut recs = Vec::new();
+                    let mut off = 0usize;
+                    let bad = loop {
+                        match decode(&bytes[off..]) {
+                            Ok(None) => break false,
+                            Ok(Some((rec, used))) => {
+                                off += used;
+                                recs.push((rec, off as u64));
+                            }
+                            Err(DecodeError::Torn | DecodeError::BadCrc | DecodeError::Corrupt) => {
+                                break true
+                            }
+                        }
+                    };
+                    scrubs.push(SegScrub {
+                        id,
+                        recs,
+                        valid_len: off as u64,
+                        total_len: bytes.len() as u64,
+                        bad,
+                        open_err: None,
+                    });
+                }
+            }
+        }
+
+        // ── Scrub phase 2: enforce strictly-increasing LSNs across
+        // the whole log; stale or replayed bytes end a segment's valid
+        // prefix exactly like a decode error.
+        let mut last_lsn = 0u64;
+        for s in &mut scrubs {
+            let mut keep = s.recs.len();
+            for (i, (rec, _)) in s.recs.iter().enumerate() {
+                if rec.lsn() <= last_lsn {
+                    keep = i;
+                    break;
+                }
+                last_lsn = rec.lsn();
+            }
+            if keep < s.recs.len() {
+                s.bad = true;
+                s.valid_len = if keep == 0 { 0 } else { s.recs[keep - 1].1 };
+                s.recs.truncate(keep);
+            }
+        }
+
+        // ── Scrub phase 3: classify and apply. A bad segment with
+        // valid records after it is mid-log corruption (refuse or
+        // quarantine); a bad segment with nothing valid after it is a
+        // torn tail (cut). An unreadable segment is always treated as
+        // corruption — there is no prefix to keep.
         let mut commits: Vec<CommitRecord> = Vec::new();
         let mut segments: BTreeMap<u64, SegmentMeta> = BTreeMap::new();
         let mut txn_seg: HashMap<TxnId, u64> = HashMap::new();
-        let mut last_lsn = 0u64;
-        let mut halted = false;
-
-        for (pos, &id) in ids.iter().enumerate() {
-            let path = segment_path(&cfg.dir, id);
-            if halted {
-                // Everything past a corruption is unusable: records
-                // there may depend on lost predecessors.
+        let mut current_writer: HashMap<EntityId, (u64, u64)> = HashMap::new();
+        let mut max_lsn = 0u64;
+        for i in 0..scrubs.len() {
+            let has_later = scrubs[i + 1..].iter().any(|t| !t.recs.is_empty());
+            let s = &scrubs[i];
+            if s.open_err.is_some() || (s.bad && has_later) {
+                let lost_after = max_lsn;
+                let resume_at = scrubs[i + 1..]
+                    .iter()
+                    .find_map(|t| t.recs.first().map(|(r, _)| r.lsn()))
+                    .unwrap_or(0);
+                let detail = match &s.open_err {
+                    Some(e) => format!("unreadable ({e})"),
+                    None => format!("corrupt at byte {}", s.valid_len),
+                };
+                if cfg.recover == RecoverPolicy::Strict {
+                    return Err(std::io::Error::other(format!(
+                        "wal: sealed mid-log segment {:08} is {detail}; LSNs after {lost_after} \
+                         and before {resume_at} are lost. Refusing to open under \
+                         RecoverPolicy::Strict — set RecoverPolicy::Quarantine to move the \
+                         segment aside and open with the surviving records",
+                        s.id
+                    )));
+                }
+                storage.quarantine(s.id).map_err(io_err)?;
                 scan.segments_dropped += 1;
-                scan.bytes_discarded += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                std::fs::remove_file(&path)?;
+                scan.bytes_discarded += s.total_len;
+                scan.quarantined.push(QuarantinedSegment {
+                    segment: s.id,
+                    lost_after,
+                    resume_at,
+                });
                 continue;
             }
-            let mut bytes = Vec::new();
-            File::open(&path)?.read_to_end(&mut bytes)?;
-            let mut off = 0usize;
+            if s.bad {
+                // Torn tail: cut the file back to its valid prefix.
+                scan.torn_tail = true;
+                scan.bytes_discarded += s.total_len - s.valid_len;
+                storage.truncate(s.id, s.valid_len).map_err(io_err)?;
+            }
             let mut seg_commits = 0usize;
-            loop {
-                match decode(&bytes[off..]) {
-                    Ok(None) => break,
-                    Ok(Some((rec, used))) => {
-                        if rec.lsn() <= last_lsn && last_lsn != 0 {
-                            // Stale or replayed bytes: the log ends at
-                            // the last strictly-increasing record.
-                            halted = true;
-                            break;
+            for (rec, _) in &s.recs {
+                max_lsn = rec.lsn();
+                if let WalRecord::Commit {
+                    lsn,
+                    txn,
+                    writes,
+                    shards,
+                } = rec
+                {
+                    seg_commits += 1;
+                    txn_seg.insert(*txn, s.id);
+                    for (e, _) in writes {
+                        if let Some((_plsn, pseg)) = current_writer.insert(*e, (*lsn, s.id)) {
+                            if pseg != s.id {
+                                if let Some(m) = segments.get_mut(&pseg) {
+                                    m.superseded_ceiling = m.superseded_ceiling.max(*lsn);
+                                }
+                            }
                         }
-                        last_lsn = rec.lsn();
-                        if let WalRecord::Commit {
-                            lsn,
-                            txn,
-                            writes,
-                            shards,
-                        } = rec
-                        {
-                            seg_commits += 1;
-                            txn_seg.insert(txn, id);
-                            commits.push(CommitRecord {
-                                lsn,
-                                txn,
-                                writes,
-                                shards,
-                            });
-                        }
-                        off += used;
                     }
-                    Err(DecodeError::Torn | DecodeError::BadCrc | DecodeError::Corrupt) => {
-                        halted = true;
-                        break;
-                    }
+                    commits.push(CommitRecord {
+                        lsn: *lsn,
+                        txn: *txn,
+                        writes: writes.clone(),
+                        shards: shards.clone(),
+                    });
                 }
             }
-            if off < bytes.len() {
-                // Cut the file back to its valid prefix.
-                scan.torn_tail = true;
-                scan.bytes_discarded += (bytes.len() - off) as u64;
-                let f = OpenOptions::new().write(true).open(&path)?;
-                f.set_len(off as u64)?;
-                f.sync_data()?;
-            }
             if seg_commits == 0 {
-                // Abort-only or emptied segment: nothing to replay,
-                // nothing to keep.
+                // Abort-only, emptied, or zero-length segment: nothing
+                // to replay, nothing to keep.
                 scan.segments_dropped += 1;
-                scan.bytes_discarded += off as u64;
-                std::fs::remove_file(&path)?;
+                scan.bytes_discarded += s.valid_len;
+                storage.unlink(s.id).map_err(io_err)?;
                 continue;
             }
             segments.insert(
-                id,
+                s.id,
                 SegmentMeta {
-                    path,
                     live: seg_commits,
                     sealed: true,
-                    bytes: off as u64,
-                    durable: off as u64,
+                    bytes: s.valid_len,
+                    durable: s.valid_len,
+                    superseded_ceiling: 0,
                     retire_barrier: 0,
                 },
             );
-            let _ = pos;
         }
-        scan.max_lsn = last_lsn;
+        scan.max_lsn = max_lsn;
 
         let active = ids.last().map_or(0, |m| m + 1);
         segments.insert(
             active,
             SegmentMeta {
-                path: segment_path(&cfg.dir, active),
                 live: 0,
                 sealed: false,
                 bytes: 0,
                 durable: 0,
+                superseded_ceiling: 0,
                 retire_barrier: 0,
             },
         );
 
         let inner = Arc::new(WalInner {
             cfg,
+            storage,
             work_ev: rt.event(),
             durable_ev: rt.event(),
             rt: Arc::clone(&rt),
@@ -475,18 +778,22 @@ impl Wal {
                 segments,
                 active,
                 txn_seg,
+                current_writer,
                 pending: Vec::new(),
                 pending_recs: 0,
-                next_lsn: last_lsn + 1,
-                last_enqueued: last_lsn,
-                durable_lsn: last_lsn,
+                next_lsn: max_lsn + 1,
+                last_enqueued: max_lsn,
+                durable_lsn: max_lsn,
                 writing: HashSet::new(),
                 writer_busy: false,
                 armed: None,
                 crashed: false,
+                fail: None,
                 closing: false,
                 writer_exited: false,
             }),
+            health: AtomicU8::new(WalHealth::Ok as u8),
+            space_pressure: AtomicBool::new(false),
             stats: WalCounters::default(),
         });
         let writer = {
@@ -519,7 +826,7 @@ impl Wal {
         let inner = &self.inner;
         let mut st = inner.lock();
         if st.crashed {
-            return Err(WalError::Crashed);
+            return Err(st.fail.clone().unwrap_or(WalError::Crashed));
         }
         if st.closing {
             return Err(WalError::Closed);
@@ -538,6 +845,18 @@ impl Wal {
         st.txn_seg.insert(txn, seg);
         if let Some(m) = st.segments.get_mut(&seg) {
             m.live += 1;
+        }
+        // Move each written entity's current-writer pointer here; the
+        // previous writer's segment learns it has been superseded up
+        // to this LSN (its retirement barrier, once fully dead).
+        for (e, _) in writes {
+            if let Some((_plsn, pseg)) = st.current_writer.insert(*e, (lsn, seg)) {
+                if pseg != seg {
+                    if let Some(m) = st.segments.get_mut(&pseg) {
+                        m.superseded_ceiling = m.superseded_ceiling.max(lsn);
+                    }
+                }
+            }
         }
         drop(st);
         inner.work_ev.notify();
@@ -570,15 +889,16 @@ impl Wal {
             if let Some(m) = st.segments.get_mut(&st.active) {
                 m.sealed = true;
             }
+            let _ = self.inner.storage.seal(st.active);
             let next = st.active + 1;
             st.segments.insert(
                 next,
                 SegmentMeta {
-                    path: segment_path(&self.inner.cfg.dir, next),
                     live: 0,
                     sealed: false,
                     bytes: 0,
                     durable: 0,
+                    superseded_ceiling: 0,
                     retire_barrier: 0,
                 },
             );
@@ -601,11 +921,12 @@ impl Wal {
     }
 
     /// Blocks until the record at `lsn` is durable (its batch was
-    /// flushed). `Err(Crashed)` means the record was never flushed —
-    /// the commit must not be acknowledged. `Err(Closed)` means the
-    /// writer task exited before covering the record (a shutdown raced
-    /// the submission): equally un-acked, and the waiter must not
-    /// hang.
+    /// flushed). An error means the record was never acknowledged:
+    /// [`WalError::Poisoned`] / [`WalError::NoSpace`] / [`WalError::Io`]
+    /// name the disk fault that stopped the log, [`WalError::Crashed`]
+    /// is an injected or unclassified crash, and [`WalError::Closed`]
+    /// means the writer task exited before covering the record (a
+    /// shutdown raced the submission). The waiter never hangs.
     pub fn wait_durable(&self, lsn: u64) -> Result<(), WalError> {
         let inner = &self.inner;
         loop {
@@ -616,7 +937,7 @@ impl Wal {
                     return Ok(());
                 }
                 if st.crashed {
-                    return Err(WalError::Crashed);
+                    return Err(st.fail.clone().unwrap_or(WalError::Crashed));
                 }
                 if st.writer_exited {
                     return Err(WalError::Closed);
@@ -643,22 +964,23 @@ impl Wal {
             // counts from what actually survived on disk.
             return;
         }
-        let barrier = st.last_enqueued;
         for t in deleted {
             if let Some(seg) = st.txn_seg.remove(t) {
                 if let Some(m) = st.segments.get_mut(&seg) {
                     m.live = m.live.saturating_sub(1);
                     if m.live == 0 {
-                        // The supersessors that made these commits
-                        // deletable are enqueued at or below here;
-                        // hold the unlink until they are durable.
-                        m.retire_barrier = barrier;
+                        // Every commit here was deleted because later
+                        // commits superseded its writes; those direct
+                        // supersessors all sit at or below the
+                        // ceiling. Hold the unlink until they are
+                        // durable — nothing newer needs to be.
+                        m.retire_barrier = m.superseded_ceiling;
                     }
                 }
             }
         }
         let active = st.active;
-        collect_dead(&mut st, active, &self.inner.stats);
+        collect_dead(&mut st, active, &self.inner);
     }
 
     /// Arms a crash: the next `submit_commit` executes `cp` instead of
@@ -673,13 +995,42 @@ impl Wal {
         self.inner.lock().crashed
     }
 
+    /// Coarse health, readable without the state lock. Anything but
+    /// [`WalHealth::Ok`] means the log accepts no further records and
+    /// the engine should serve reads only.
+    pub fn health(&self) -> WalHealth {
+        WalHealth::from_u8(self.inner.health.load(Ordering::Acquire))
+    }
+
+    /// Why the log stopped, once it has ([`Wal::health`] ≠ `Ok`).
+    pub fn fail_reason(&self) -> Option<WalError> {
+        let st = self.inner.lock();
+        if st.crashed {
+            Some(st.fail.clone().unwrap_or(WalError::Crashed))
+        } else {
+            None
+        }
+    }
+
+    /// True while an append is parked on `ENOSPC` backoff waiting for
+    /// space. The engine's GC treats this as an immediate-sweep
+    /// request: deleting transactions retires segments, and a retired
+    /// segment may free enough space for the parked append to succeed
+    /// before the escalation window closes.
+    pub fn space_pressure(&self) -> bool {
+        self.inner.space_pressure.load(Ordering::Relaxed)
+    }
+
     /// Runs the armed crash scenario: stop the writer, discard
-    /// un-flushed batches, tamper the active segment's tail so the
-    /// disk matches what a real kill at `cp` would leave.
+    /// un-flushed batches, tamper the active segment's tail through
+    /// the VFS so the disk matches what a real kill at `cp` would
+    /// leave.
     fn execute_crash(&self, mut st: MutexGuard<'_, WalState>, cp: CrashPoint, record: &[u8]) {
         let inner = &self.inner;
         st.crashed = true;
+        st.fail = Some(WalError::Crashed);
         drop(st);
+        inner.set_health(WalHealth::Crashed);
         inner.work_ev.notify();
         // Let an in-flight flush finish: those records were written
         // before the crash point and their sessions will be acked,
@@ -698,8 +1049,8 @@ impl Wal {
         st.pending.clear();
         st.pending_recs = 0;
         let active = st.active;
-        let (path, durable) = match st.segments.get(&active) {
-            Some(m) => (m.path.clone(), m.durable),
+        let durable = match st.segments.get(&active) {
+            Some(m) => m.durable,
             None => {
                 drop(st);
                 inner.durable_ev.notify();
@@ -707,25 +1058,22 @@ impl Wal {
             }
         };
         drop(st);
-        let tamper = || -> std::io::Result<()> {
-            let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
+        let storage = &inner.storage;
+        let tamper = || -> StorageResult<()> {
             match cp {
                 CrashPoint::BeforeAppend => {}
                 CrashPoint::AfterAppendBeforeFlush => {
                     // Appended, never flushed: the bytes existed only
                     // in the page cache. Write then cut back to the
                     // durable prefix — net effect, nothing survives.
-                    f.write_all(record)?;
-                    drop(f);
-                    let f = OpenOptions::new().write(true).open(&path)?;
-                    f.set_len(durable)?;
-                    f.sync_data()?;
+                    storage.append(active, record)?;
+                    storage.truncate(active, durable)?;
                 }
                 CrashPoint::MidFlushTorn => {
                     // The flush died halfway through the record: a
                     // durable torn tail for recovery to cut off.
-                    f.write_all(&record[..record.len() / 2])?;
-                    f.sync_data()?;
+                    storage.append(active, &record[..record.len() / 2])?;
+                    storage.fsync(active)?;
                 }
                 CrashPoint::TornWriteAt(off) => {
                     // The flush died after exactly `off` bytes — the
@@ -733,14 +1081,14 @@ impl Wal {
                     // `[len][crc]` header, one byte short of intact,
                     // or anywhere between.
                     let cut = (off as usize).min(record.len());
-                    f.write_all(&record[..cut])?;
-                    f.sync_data()?;
+                    storage.append(active, &record[..cut])?;
+                    storage.fsync(active)?;
                 }
                 CrashPoint::AfterFlushBeforeVisibility => {
                     // Fully durable, never acknowledged: recovery must
                     // replay it exactly once.
-                    f.write_all(record)?;
-                    f.sync_data()?;
+                    storage.append(active, record)?;
+                    storage.fsync(active)?;
                 }
             }
             Ok(())
@@ -763,9 +1111,14 @@ impl Wal {
             durable_lsn: 0,
             segments_live: 0,
             flush_nanos: s.flush_nanos.load(Ordering::Relaxed),
+            append_retries: s.append_retries.load(Ordering::Relaxed),
+            flush_hist: [0; 8],
         };
         for (i, b) in s.batch_hist.iter().enumerate() {
             out.batch_hist[i] = b.load(Ordering::Relaxed);
+        }
+        for (i, b) in s.flush_hist.iter().enumerate() {
+            out.flush_hist[i] = b.load(Ordering::Relaxed);
         }
         let st = self.inner.lock();
         out.durable_lsn = st.durable_lsn;
@@ -797,11 +1150,96 @@ impl Drop for Wal {
     }
 }
 
+// ── Writer-side retry policy ────────────────────────────────────────
+// Transient errors get a short budget: they either clear in
+// microseconds or they are not transient. ENOSPC gets a longer one
+// spanning several engine GC ticks, because the cure (retiring dead
+// segments) needs the GC to run.
+const TRANSIENT_BASE: Duration = Duration::from_micros(200);
+const TRANSIENT_MAX: Duration = Duration::from_millis(2);
+const TRANSIENT_ATTEMPTS: u32 = 4;
+const SPACE_BASE: Duration = Duration::from_micros(500);
+const SPACE_MAX: Duration = Duration::from_millis(8);
+const SPACE_ATTEMPTS: u32 = 8;
+
+/// Appends one coalesced chunk, absorbing transient errors and
+/// `ENOSPC` under bounded backoff per the policy above. Any error
+/// returned is terminal for the log.
+fn append_with_retry(inner: &WalInner, seg: u64, bytes: &[u8]) -> Result<(), WalError> {
+    let mut transient = Backoff::new(TRANSIENT_BASE, TRANSIENT_MAX, TRANSIENT_ATTEMPTS);
+    let mut space = Backoff::new(SPACE_BASE, SPACE_MAX, SPACE_ATTEMPTS);
+    loop {
+        match inner.storage.append(seg, bytes) {
+            Ok(()) => {
+                inner.space_pressure.store(false, Ordering::Relaxed);
+                return Ok(());
+            }
+            Err(StorageError::Transient(e)) => {
+                inner.stats.append_retries.fetch_add(1, Ordering::Relaxed);
+                inner.rt.emit("wal_retry", 1);
+                let Some(d) = transient.next_delay() else {
+                    return Err(WalError::Io(format!(
+                        "transient append error persisted past the retry budget: {e}"
+                    )));
+                };
+                if inner.lock().crashed {
+                    return Err(WalError::Crashed);
+                }
+                inner.rt.sleep(d);
+            }
+            Err(StorageError::NoSpace { .. }) => {
+                // Park under pressure: the engine's GC sees the flag
+                // and sweeps immediately; a retired segment may free
+                // the space this append needs.
+                inner.space_pressure.store(true, Ordering::Relaxed);
+                inner.rt.emit("wal_pressure", 1);
+                let Some(d) = space.next_delay() else {
+                    inner.space_pressure.store(false, Ordering::Relaxed);
+                    return Err(WalError::NoSpace);
+                };
+                if inner.lock().crashed {
+                    inner.space_pressure.store(false, Ordering::Relaxed);
+                    return Err(WalError::Crashed);
+                }
+                inner.rt.sleep(d);
+            }
+            Err(StorageError::FsyncFailed(e)) => return Err(WalError::Poisoned(e)),
+            Err(StorageError::Permanent(e)) => return Err(WalError::Io(e)),
+        }
+    }
+}
+
+/// Syncs every segment a batch touched. **Never retries a failed
+/// fsync**: after the failure the page cache is unknowable (dirty
+/// pages may already be dropped), so a "successful" retry could
+/// acknowledge data that is gone — the fsyncgate failure mode. The
+/// planted `retry_after_fsync_fail` bug exists precisely to prove the
+/// test battery catches anyone reintroducing that retry.
+fn fsync_batch(inner: &WalInner, segs: &[u64]) -> Result<(), WalError> {
+    for &seg in segs {
+        if let Err(e) = inner.storage.fsync(seg) {
+            #[cfg(feature = "planted")]
+            {
+                if crate::planted::retry_after_fsync_fail_bug() && inner.storage.fsync(seg).is_ok()
+                {
+                    // BUG (planted): treating the retried fsync as
+                    // success acknowledges records whose bytes the
+                    // kernel already dropped — silent data loss the
+                    // disk-fault battery must detect.
+                    continue;
+                }
+            }
+            return Err(WalError::Poisoned(e.to_string()));
+        }
+    }
+    Ok(())
+}
+
 /// The group-commit writer: batches whatever accumulated since the
-/// last flush, writes and syncs it, then advances `durable_lsn` and
-/// wakes every waiting session in one shot. On every exit path it
-/// marks `writer_exited` and notifies the durable event, so no waiter
-/// can outlive it blocked.
+/// last flush, writes and syncs it through the VFS under the retry
+/// policy, then advances `durable_lsn` and wakes every waiting session
+/// in one shot. On every exit path it marks `writer_exited` and
+/// notifies the durable event, so no waiter can outlive it blocked.
 fn writer_loop(inner: &WalInner) {
     loop {
         let (chunks, nrec, last) = loop {
@@ -828,19 +1266,14 @@ fn writer_loop(inner: &WalInner) {
 
         let t0 = inner.rt.now();
         let mut written: Vec<(u64, u64)> = Vec::with_capacity(chunks.len());
-        let io = (|| -> std::io::Result<()> {
-            let mut files: Vec<File> = Vec::with_capacity(chunks.len());
+        let io = (|| -> Result<(), WalError> {
             for (seg, bytes) in &chunks {
-                let path = segment_path(&inner.cfg.dir, *seg);
-                let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
-                f.write_all(bytes)?;
+                append_with_retry(inner, *seg, bytes)?;
                 written.push((*seg, bytes.len() as u64));
-                files.push(f);
             }
             if inner.cfg.fsync {
-                for f in &files {
-                    f.sync_data()?;
-                }
+                let segs: Vec<u64> = chunks.iter().map(|(s, _)| *s).collect();
+                fsync_batch(inner, &segs)?;
             }
             Ok(())
         })();
@@ -865,19 +1298,28 @@ fn writer_loop(inner: &WalInner) {
                 inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
                 inner.stats.records.fetch_add(nrec, Ordering::Relaxed);
                 inner.stats.batch_hist[batch_bucket(nrec)].fetch_add(1, Ordering::Relaxed);
+                inner.stats.flush_hist[flush_bucket(flush_nanos)].fetch_add(1, Ordering::Relaxed);
                 // Batch-boundary signature for schedule-space search:
                 // which group-commit batch sizes this interleaving
                 // produced (bucketed like the histogram).
                 inner.rt.emit("wal_batch", batch_bucket(nrec) as u64);
                 let active = st.active;
-                collect_dead(&mut st, active, &inner.stats);
+                collect_dead(&mut st, active, inner);
                 drop(st);
                 inner.durable_ev.notify();
             }
-            Err(_) => {
-                // A real I/O failure is a crash: un-acked sessions
-                // must see an error, never a false ack.
+            Err(e) => {
+                // A terminal disk fault is fail-stop: un-acked
+                // sessions must see the precise error, never a false
+                // ack, and the engine's commit gate flips to degraded.
+                inner.set_health(match &e {
+                    WalError::Poisoned(_) => WalHealth::Poisoned,
+                    WalError::NoSpace => WalHealth::NoSpace,
+                    WalError::Crashed => WalHealth::Crashed,
+                    _ => WalHealth::Failed,
+                });
                 st.crashed = true;
+                st.fail = Some(e);
                 st.pending.clear();
                 st.pending_recs = 0;
                 st.writer_exited = true;

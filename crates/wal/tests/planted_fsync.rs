@@ -1,0 +1,67 @@
+//! Proves the disk-fault battery has teeth: with the planted
+//! "retry after a failed fsync" bug switched on, the WAL acknowledges
+//! a commit whose bytes the device already dropped — and the battery's
+//! reopen check catches the silent loss. Runs in its own test binary
+//! (own process) because the planted flag is global.
+
+#![cfg(feature = "planted")]
+
+use deltx_model::{EntityId, TxnId};
+use deltx_wal::{
+    DurabilityConfig, FaultSpec, FaultyStorage, FsStorage, Wal, WalHealth, WalStorage,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+#[test]
+fn retry_after_fsync_fail_acks_lost_data_and_reopen_catches_it() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("deltx-wal-planted-fsync-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    deltx_wal::planted::set_retry_after_fsync_fail_bug(true);
+    let mut cfg = DurabilityConfig::new(&dir);
+    let fs: Arc<dyn WalStorage> = Arc::new(FsStorage::new(&dir));
+    cfg.storage = Some(Arc::new(FaultyStorage::new(
+        fs,
+        FaultSpec {
+            // The first fsync succeeds; the second fails AND drops the
+            // un-synced suffix (the fsyncgate kernel semantics), so a
+            // retried fsync "succeeds" with the data gone.
+            fsync_fail_at: Some(1),
+            ..FaultSpec::default()
+        },
+    )));
+    let (wal, _, _) = Wal::open(cfg).unwrap();
+
+    let lsn1 = wal
+        .submit_commit(TxnId(1), &[(EntityId(0), 10)], &[0])
+        .unwrap();
+    wal.wait_durable(lsn1).unwrap();
+
+    // With the bug planted, the poisoning policy is bypassed: the
+    // retried fsync reports success and the session is ACKED.
+    let lsn2 = wal
+        .submit_commit(TxnId(2), &[(EntityId(0), 20)], &[0])
+        .unwrap();
+    assert_eq!(
+        wal.wait_durable(lsn2),
+        Ok(()),
+        "the planted bug must ack the doomed commit (else it is not the bug)"
+    );
+    assert_eq!(wal.health(), WalHealth::Ok, "the bug hides the failure");
+    drop(wal);
+    deltx_wal::planted::set_retry_after_fsync_fail_bug(false);
+
+    // The battery's reopen oracle: an ACKED commit must be on disk.
+    // With the bug it is not — this is the silent loss the fail-stop
+    // poisoning policy exists to prevent.
+    let (_wal, commits, _) = Wal::open(DurabilityConfig::new(&dir)).unwrap();
+    let replayed: Vec<u32> = commits.iter().map(|c| c.txn.0).collect();
+    assert_eq!(
+        replayed,
+        vec![1],
+        "reopen detects the loss: txn 2 was acked but never made durable"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

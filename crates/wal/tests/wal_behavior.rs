@@ -3,8 +3,12 @@
 //! point's on-disk image.
 
 use deltx_model::{EntityId, TxnId};
-use deltx_wal::{CrashPoint, DurabilityConfig, Wal, WalError, ALL_CRASH_POINTS};
+use deltx_wal::{
+    CrashPoint, DurabilityConfig, FaultSpec, FaultyStorage, FsStorage, RecoverPolicy, Wal,
+    WalError, WalHealth, WalStorage, ALL_CRASH_POINTS,
+};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Fresh per-test directory under the system temp dir (no tempfile
 /// crate in the offline workspace); removed on drop.
@@ -252,8 +256,12 @@ fn waiters_for_uncovered_lsns_error_on_close_instead_of_hanging() {
 }
 
 #[test]
-fn torn_tail_is_cut_and_later_segments_dropped() {
-    let dir = TestDir::new("tail");
+fn midlog_corruption_refuses_strict_and_quarantines_on_request() {
+    // Corruption in a sealed mid-log segment is not a crash artifact
+    // (valid records survive *after* it), so recovery must never
+    // silently truncate: Strict refuses loudly, Quarantine moves the
+    // segment aside and reports the precise lost LSN range.
+    let dir = TestDir::new("midlog");
     let mut cfg = dir.cfg();
     cfg.segment_bytes = 64;
     {
@@ -271,19 +279,275 @@ fn torn_tail_is_cut_and_later_segments_dropped() {
     segs.sort();
     assert!(segs.len() >= 3, "need several segments, got {}", segs.len());
     let victim = &segs[1];
+    let victim_id: u64 = victim
+        .file_stem()
+        .unwrap()
+        .to_string_lossy()
+        .parse()
+        .unwrap();
     let mut bytes = std::fs::read(victim).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xFF;
     std::fs::write(victim, &bytes).unwrap();
 
-    let (_wal, commits, scan) = Wal::open(cfg).unwrap();
-    assert!(scan.torn_tail, "corruption detected");
-    assert!(scan.segments_dropped > 0, "segments past the cut dropped");
-    assert!(scan.bytes_discarded > 0);
-    // The surviving prefix is intact and strictly LSN-ordered.
+    // Strict (the default): refuse, naming the segment and the escape
+    // hatch; nothing on disk is modified.
+    let err = match Wal::open(cfg.clone()) {
+        Err(e) => e,
+        Ok(_) => panic!("strict recovery must refuse mid-log corruption"),
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("Quarantine"), "error names the opt-in: {msg}");
+    assert!(
+        msg.contains(&format!("{victim_id:08}")),
+        "error names the damaged segment: {msg}"
+    );
+    assert!(victim.exists(), "strict refusal must not touch the disk");
+
+    // Quarantine: open with the survivors and an accurate report.
+    let mut qcfg = cfg.clone();
+    qcfg.recover = RecoverPolicy::Quarantine;
+    let (_wal, commits, scan) = Wal::open(qcfg).unwrap();
+    assert_eq!(scan.quarantined.len(), 1, "exactly one segment damaged");
+    let q = &scan.quarantined[0];
+    assert_eq!(q.segment, victim_id);
+    assert!(
+        q.resume_at > q.lost_after + 1,
+        "the gap holds at least one lost LSN: {q:?}"
+    );
     assert!(!commits.is_empty());
     assert!(commits.windows(2).all(|w| w[0].lsn < w[1].lsn));
-    assert!(commits.iter().all(|c| c.txn.0 < 12));
+    assert!(
+        commits
+            .iter()
+            .all(|c| c.lsn <= q.lost_after || c.lsn >= q.resume_at),
+        "no replayed commit may sit inside the reported gap"
+    );
+    assert!(
+        dir.0.join(format!("{victim_id:08}.quarantine")).exists(),
+        "the damaged segment is kept for forensics, not deleted"
+    );
+}
+
+#[test]
+fn transient_append_errors_are_absorbed_by_bounded_retry() {
+    let dir = TestDir::new("transient");
+    let mut cfg = dir.cfg();
+    let fs: Arc<dyn WalStorage> = Arc::new(FsStorage::new(&dir.0));
+    cfg.storage = Some(Arc::new(FaultyStorage::new(
+        fs,
+        FaultSpec {
+            transient_append_at: Some((1, 2)),
+            ..FaultSpec::default()
+        },
+    )));
+    let (wal, _, _) = Wal::open(cfg).unwrap();
+    for i in 0..4u32 {
+        commit_one(&wal, i, &[(0, i as i64)]).unwrap();
+    }
+    assert_eq!(wal.health(), WalHealth::Ok, "retry absorbed the fault");
+    let stats = wal.stats();
+    assert_eq!(stats.append_retries, 2, "both injected errors retried");
+    drop(wal);
+    let (_wal, commits, _) = Wal::open(dir.cfg()).unwrap();
+    assert_eq!(commits.len(), 4, "every acked commit survived");
+}
+
+#[test]
+fn fsync_failure_poisons_the_log_fail_stop() {
+    let dir = TestDir::new("poison");
+    let mut cfg = dir.cfg();
+    let fs: Arc<dyn WalStorage> = Arc::new(FsStorage::new(&dir.0));
+    cfg.storage = Some(Arc::new(FaultyStorage::new(
+        fs,
+        FaultSpec {
+            fsync_fail_at: Some(1),
+            ..FaultSpec::default()
+        },
+    )));
+    let (wal, _, _) = Wal::open(cfg).unwrap();
+    commit_one(&wal, 1, &[(0, 10)]).unwrap(); // fsync 0 succeeds
+    let err = commit_one(&wal, 2, &[(0, 20)]).unwrap_err();
+    assert!(
+        matches!(err, WalError::Poisoned(_)),
+        "the waiter sees the poisoning, got {err:?}"
+    );
+    assert_eq!(wal.health(), WalHealth::Poisoned);
+    // Fail-stop: nothing is accepted after the poisoning, and the
+    // error keeps naming the root cause.
+    assert!(matches!(
+        wal.submit_commit(TxnId(3), &[(EntityId(0), 30)], &[0]),
+        Err(WalError::Poisoned(_))
+    ));
+    // Already-durable records still report success.
+    assert_eq!(wal.wait_durable(1), Ok(()));
+    drop(wal);
+    // The un-synced record died with the kernel's dirty pages; the
+    // synced prefix recovers cleanly.
+    let (_wal, commits, _) = Wal::open(dir.cfg()).unwrap();
+    let replayed: Vec<u32> = commits.iter().map(|c| c.txn.0).collect();
+    assert_eq!(replayed, vec![1], "only the synced commit survives");
+}
+
+/// Size of the one-write commit record every sizing test below uses.
+fn one_write_record_len() -> u64 {
+    deltx_wal::encode_commit(1, TxnId(0), &[(EntityId(0), 0)], &[0]).len() as u64
+}
+
+#[test]
+fn enospc_parks_the_writer_until_gc_rescue_frees_a_segment() {
+    // Graceful ENOSPC degradation: the full device parks the append
+    // under backoff and raises space pressure; deleting a superseded
+    // transaction retires its (sealed, barrier-durable) segment, the
+    // unlink frees the bytes, and the parked append completes — no
+    // error ever surfaces to the session.
+    let dir = TestDir::new("rescue");
+    let rec = one_write_record_len();
+    let mut cfg = dir.cfg();
+    cfg.segment_bytes = rec; // every record rolls to its own segment
+    cfg.fsync = false;
+    let fs: Arc<dyn WalStorage> = Arc::new(FsStorage::new(&dir.0));
+    cfg.storage = Some(Arc::new(FaultyStorage::new(
+        fs,
+        FaultSpec {
+            capacity: Some(2 * rec), // room for exactly two records
+            ..FaultSpec::default()
+        },
+    )));
+    let (wal, _, _) = Wal::open(cfg).unwrap();
+    commit_one(&wal, 0, &[(0, 1)]).unwrap(); // segment 0
+    commit_one(&wal, 1, &[(0, 2)]).unwrap(); // segment 1, supersedes txn 0
+                                             // The device is now full; this append must park under pressure.
+    let lsn = wal
+        .submit_commit(TxnId(2), &[(EntityId(0), 3)], &[0])
+        .unwrap();
+    let mut waited = 0;
+    while !wal.space_pressure() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        waited += 1;
+        assert!(waited < 1000, "writer never reported space pressure");
+    }
+    // GC deletes the superseded txn 0 → its segment retires (the
+    // barrier, txn 1's LSN, is already durable) → space frees.
+    wal.note_deleted(&[TxnId(0)]);
+    assert_eq!(wal.wait_durable(lsn), Ok(()), "the parked append completed");
+    assert_eq!(wal.health(), WalHealth::Ok);
+    assert!(wal.stats().segments_truncated >= 1);
+    drop(wal);
+    let (_wal, commits, _) = Wal::open(dir.cfg()).unwrap();
+    let replayed: Vec<u32> = commits.iter().map(|c| c.txn.0).collect();
+    assert_eq!(replayed, vec![1, 2], "rescued commit survives reopen");
+}
+
+#[test]
+fn enospc_at_a_roll_boundary_with_nothing_to_free_fails_stop() {
+    // The other half of the ENOSPC contract: when GC has nothing to
+    // retire, the escalation window closes and the log fail-stops with
+    // a precise error — no hang, no panic, waiters all released.
+    let dir = TestDir::new("enospc-stop");
+    let rec = one_write_record_len();
+    let mut cfg = dir.cfg();
+    cfg.segment_bytes = rec;
+    cfg.fsync = false;
+    let fs: Arc<dyn WalStorage> = Arc::new(FsStorage::new(&dir.0));
+    cfg.storage = Some(Arc::new(FaultyStorage::new(
+        fs,
+        FaultSpec {
+            capacity: Some(rec),
+            ..FaultSpec::default()
+        },
+    )));
+    let (wal, _, _) = Wal::open(cfg).unwrap();
+    commit_one(&wal, 0, &[(0, 1)]).unwrap();
+    // The next record starts a fresh segment — ENOSPC exactly at the
+    // roll boundary.
+    let lsn = wal
+        .submit_commit(TxnId(1), &[(EntityId(0), 2)], &[0])
+        .unwrap();
+    assert_eq!(wal.wait_durable(lsn), Err(WalError::NoSpace));
+    assert_eq!(wal.health(), WalHealth::NoSpace);
+    assert_eq!(
+        wal.submit_commit(TxnId(2), &[(EntityId(0), 3)], &[0]),
+        Err(WalError::NoSpace),
+        "submissions after the fail-stop name the root cause"
+    );
+    drop(wal);
+    let (_wal, commits, _) = Wal::open(dir.cfg()).unwrap();
+    let replayed: Vec<u32> = commits.iter().map(|c| c.txn.0).collect();
+    assert_eq!(replayed, vec![0], "the refused record is simply absent");
+}
+
+#[test]
+fn zero_length_trailing_segment_is_dropped_on_reopen() {
+    let dir = TestDir::new("zero-tail");
+    {
+        let (wal, _, _) = Wal::open(dir.cfg()).unwrap();
+        commit_one(&wal, 1, &[(0, 10)]).unwrap();
+        commit_one(&wal, 2, &[(1, 20)]).unwrap();
+    }
+    // A crash can leave a freshly-rolled segment at zero bytes.
+    std::fs::File::create(dir.0.join("00000050.wal")).unwrap();
+    let (_wal, commits, scan) = Wal::open(dir.cfg()).unwrap();
+    assert_eq!(commits.len(), 2, "real commits unaffected");
+    assert!(!scan.torn_tail, "an empty file is not a torn tail");
+    assert!(scan.segments_dropped >= 1, "the empty segment is dropped");
+    assert!(!dir.0.join("00000050.wal").exists());
+}
+
+#[test]
+fn unreadable_sealed_segment_refuses_then_quarantines() {
+    let dir = TestDir::new("unreadable");
+    let mut cfg = dir.cfg();
+    cfg.segment_bytes = 64;
+    {
+        let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..12u32 {
+            commit_one(&wal, i, &[(0, i as i64)]).unwrap();
+        }
+    }
+    // Make a sealed mid-log segment unreadable through the VFS.
+    let fs: Arc<dyn WalStorage> = Arc::new(FsStorage::new(&dir.0));
+    let faulty: Arc<dyn WalStorage> = Arc::new(FaultyStorage::new(
+        fs,
+        FaultSpec {
+            open_fail_seg: Some(1),
+            ..FaultSpec::default()
+        },
+    ));
+    let mut scfg = cfg.clone();
+    scfg.storage = Some(Arc::clone(&faulty));
+    let err = match Wal::open(scfg) {
+        Err(e) => e,
+        Ok(_) => panic!("strict recovery must refuse an unreadable segment"),
+    };
+    assert!(
+        err.to_string().contains("unreadable"),
+        "strict refusal names the read failure: {err}"
+    );
+    let mut qcfg = cfg.clone();
+    qcfg.storage = Some(faulty);
+    qcfg.recover = RecoverPolicy::Quarantine;
+    let (_wal, commits, scan) = Wal::open(qcfg).unwrap();
+    assert_eq!(scan.quarantined.len(), 1);
+    assert_eq!(scan.quarantined[0].segment, 1);
+    assert!(!commits.is_empty(), "readable segments still replay");
+    assert!(dir.0.join("00000001.quarantine").exists());
+}
+
+#[test]
+fn double_close_is_idempotent_and_post_close_submissions_fail() {
+    let dir = TestDir::new("double-close");
+    let (wal, _, _) = Wal::open(dir.cfg()).unwrap();
+    commit_one(&wal, 1, &[(0, 1)]).unwrap();
+    wal.close();
+    wal.close(); // second close must be a no-op, not a deadlock/panic
+    assert_eq!(
+        wal.submit_commit(TxnId(2), &[(EntityId(0), 2)], &[0]),
+        Err(WalError::Closed)
+    );
+    drop(wal); // Drop runs close a third time
+    let (_wal, commits, _) = Wal::open(dir.cfg()).unwrap();
+    assert_eq!(commits.len(), 1);
 }
 
 #[test]

@@ -20,6 +20,11 @@
 //! #                       one, and assert every balance survived the crash
 //! #                       boundary byte-for-byte (recovery time is reported
 //! #                       and written to BENCH_6.json)
+//! #                      "--fsync": like --durable, but with a real fsync
+//! #                       after every batch write — benchmarks the device,
+//! #                       not just the protocol. Per-flush p50/p99 latency
+//! #                       and the mean group-commit batch size are merged
+//! #                       into BENCH_9.json
 //! #                      "--seed N": fix the run's RNG seed (takes
 //! #                       precedence over the DELTX_SEED env var); every
 //! #                       failure message echoes the effective seed so any
@@ -82,19 +87,20 @@ fn main() {
     if let Some(bad) = flags.iter().find(|f| {
         !matches!(
             **f,
-            "all-locks" | "all-locks-gc" | "--contention" | "--durable"
+            "all-locks" | "all-locks-gc" | "--contention" | "--durable" | "--fsync"
         )
     }) {
         eprintln!(
             "unknown flag `{bad}` (expected `all-locks`, `all-locks-gc`, \
-             `--contention`, `--durable` and/or `--seed N`)"
+             `--contention`, `--durable`, `--fsync` and/or `--seed N`)"
         );
         std::process::exit(2);
     }
     let partial: bool = !flags.contains(&"all-locks");
     let partial_gc: bool = !flags.contains(&"all-locks-gc");
     let contention: bool = flags.contains(&"--contention");
-    let durable: bool = flags.contains(&"--durable");
+    let fsync: bool = flags.contains(&"--fsync");
+    let durable: bool = flags.contains(&"--durable") || fsync;
     let shards = 8usize;
     let seed = run_seed_arg(cli_seed, 0xD17A);
 
@@ -105,10 +111,10 @@ fn main() {
     });
     let durability = |dir: &PathBuf| DurabilityConfig {
         // Small segments so the long run exercises GC-driven log
-        // truncation; fsync off so the bench measures the protocol,
-        // not the device.
+        // truncation; fsync off (unless --fsync) so the default bench
+        // measures the protocol, not the device.
         segment_bytes: 64 * 1024,
-        fsync: false,
+        fsync,
         ..DurabilityConfig::new(dir.clone())
     };
 
@@ -133,7 +139,13 @@ fn main() {
         } else {
             ""
         },
-        if durable { " (durable: WAL on)" } else { "" }
+        if fsync {
+            " (durable: WAL on, fsync per batch)"
+        } else if durable {
+            " (durable: WAL on)"
+        } else {
+            ""
+        }
     );
 
     let committed = AtomicUsize::new(0);
@@ -285,6 +297,30 @@ fn main() {
             wal.mean_batch(),
             wal.segments_truncated
         );
+        if fsync {
+            // The real-device numbers: what one fsync'd group commit
+            // costs, and how many commits it amortizes over. These go
+            // to their own report so protocol-only BENCH_6 numbers
+            // are never mixed with device-bound ones.
+            let p50_us = wal.flush_quantile_nanos(0.50) as f64 / 1e3;
+            let p99_us = wal.flush_quantile_nanos(0.99) as f64 / 1e3;
+            println!(
+                "fsync: flush p50 ~{p50_us:.0}us, p99 ~{p99_us:.0}us, \
+                 mean batch {:.1} records/fsync",
+                wal.mean_batch()
+            );
+            let fsync_path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_9.json"));
+            let fsync_entries: Vec<(&str, String)> = vec![
+                ("fsync_flush_p50_us", format!("{p50_us:.0}")),
+                ("fsync_flush_p99_us", format!("{p99_us:.0}")),
+                ("fsync_mean_batch", format!("{:.1}", wal.mean_batch())),
+                ("fsync_flushes", wal.flushes.to_string()),
+                ("fsync_txn_s", format!("{txn_s:.0}")),
+            ];
+            if let Err(e) = bench_report::merge_json(&fsync_path, &fsync_entries) {
+                eprintln!("warning: could not write {}: {e}", fsync_path.display());
+            }
+        }
         drop(engine);
 
         let (recovered, report) = Engine::open(EngineConfig {
