@@ -89,6 +89,7 @@ use crate::history::{Event, RecordedHistory};
 use crate::metrics::{lock_counted, EngineMetrics, MetricsSnapshot};
 use crate::planner::{shard_bit, Planner};
 use crate::session::{Session, SessionState};
+use crate::shard_loops::{CmdKind, ExecutionMode, LoopCmd, LoopReply, LoopsState, ReplySlot};
 use deltx_core::policy::PolicyKind;
 use deltx_core::{noncurrent, Applied, CgState, TxnState};
 use deltx_graph::NodeId;
@@ -169,6 +170,13 @@ pub struct EngineConfig {
     /// testkit substitutes a seeded virtual scheduler so whole
     /// concurrent runs replay deterministically.
     pub runtime: Arc<dyn Runtime>,
+    /// How shard state is driven: [`ExecutionMode::Mutex`] (the
+    /// default) locks each shard per operation;
+    /// [`ExecutionMode::ShardLoops`] runs one single-writer loop task
+    /// per shard fed by a command mailbox, with cross-shard plans
+    /// choreographed by ascending pins. Decisions and final stores are
+    /// bit-identical across modes.
+    pub execution: ExecutionMode,
 }
 
 impl Default for EngineConfig {
@@ -183,6 +191,7 @@ impl Default for EngineConfig {
             partial_gc: true,
             durability: None,
             runtime: OsRuntime::shared(),
+            execution: ExecutionMode::Mutex,
         }
     }
 }
@@ -236,6 +245,20 @@ struct Shard {
 /// Shard locks held by one escalated operation, keyed by shard index.
 /// Always acquired in ascending order (the map iterates that way).
 type Guards<'a> = BTreeMap<usize, MutexGuard<'a, Shard>>;
+
+/// The loops a coordinator round actually pinned, handed back so the
+/// caller can release exactly that set after the guards drop. A plain
+/// bitmask covers shard indices < 64; wider engines spill into a set.
+/// The compact form matters: the escalation hot path runs hundreds of
+/// thousands of rounds per second, and materializing a fresh pin list
+/// per round was a measurable allocator tax.
+struct PinSet {
+    /// Pinned shards with indices < 64, one bit each.
+    mask: u64,
+    /// Pinned shards with indices ≥ 64 (no mask bit to record them);
+    /// `None` in every realistically-sized engine.
+    spill: Option<BTreeSet<usize>>,
+}
 
 /// Number of registry stripes (power of two; keyed by `TxnId`).
 const REG_STRIPES: usize = 16;
@@ -396,6 +419,9 @@ pub(crate) struct EngineInner {
     /// Notified (after `shutdown` is set) to cut the GC task's sleep
     /// short on engine drop.
     shutdown_ev: Arc<dyn RtEvent>,
+    /// Present under [`ExecutionMode::ShardLoops`]: the per-shard
+    /// mailboxes and the cross-shard pin table.
+    loops: Option<LoopsState>,
 }
 
 /// The engine: construct once, [`Engine::begin`] sessions from any
@@ -403,6 +429,7 @@ pub(crate) struct EngineInner {
 pub struct Engine {
     inner: Arc<EngineInner>,
     gc_thread: Option<TaskHandle>,
+    loop_tasks: Vec<TaskHandle>,
 }
 
 impl Engine {
@@ -490,14 +517,33 @@ impl Engine {
             rt: Arc::clone(&cfg.runtime),
             shutdown: AtomicBool::new(false),
             shutdown_ev: cfg.runtime.event(),
+            loops: (cfg.execution == ExecutionMode::ShardLoops)
+                .then(|| LoopsState::new(cfg.shards, &*cfg.runtime)),
         });
+        let loop_tasks = if inner.loops.is_some() {
+            (0..cfg.shards)
+                .map(|s| {
+                    let inner = Arc::clone(&inner);
+                    cfg.runtime.spawn(
+                        &format!("deltx-loop-{s}"),
+                        Box::new(move || inner.shard_loop(s)),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let gc_thread = (cfg.background_gc && cfg.gc != GcPolicy::Off).then(|| {
             let inner = Arc::clone(&inner);
             let interval = cfg.gc_interval;
             cfg.runtime
                 .spawn("deltx-gc", Box::new(move || inner.gc_loop(interval)))
         });
-        Self { inner, gc_thread }
+        Self {
+            inner,
+            gc_thread,
+            loop_tasks,
+        }
     }
 
     /// Starts a new transaction.
@@ -547,9 +593,26 @@ impl Engine {
     /// Current metrics, including the union-graph size gauge and the
     /// WAL counters when durability is on.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let loops = self.inner.loops.as_ref();
         self.inner.metrics.snapshot(
             self.inner.graph_size(),
             self.inner.wal.as_ref().map(|w| w.stats()),
+            loops
+                .map(|l| {
+                    l.shards
+                        .iter()
+                        .map(|lp| lp.commands.load(Ordering::Relaxed))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            loops
+                .map(|l| {
+                    l.shards
+                        .iter()
+                        .map(|lp| lp.hints.load(Ordering::Relaxed))
+                        .sum()
+                })
+                .unwrap_or(0),
         )
     }
 
@@ -618,13 +681,48 @@ impl Engine {
         let s = self.inner.shard_of(x);
         self.inner.shards[s].lock().unwrap().store.read(x)
     }
+
+    /// Test hook (shard-loops mode only): pins shard `s` on behalf of
+    /// transaction id `txn`, in caller-chosen order. The engine's own
+    /// choreography always pins ascending; this exists so tests (and
+    /// future blocking-2PL front ends) can drive out-of-order pin
+    /// acquisition and exercise the wait-for deadlock detector.
+    ///
+    /// # Panics
+    /// If the engine is not in [`ExecutionMode::ShardLoops`].
+    #[doc(hidden)]
+    pub fn pin_shard(&self, txn: u32, s: usize) -> Result<(), EngineError> {
+        let loops = self.inner.loops.as_ref().expect("loops mode");
+        loops.pins.pin(TxnId(txn), s)?;
+        loops.shards[s].pin();
+        Ok(())
+    }
+
+    /// Test hook: releases a pin taken via [`Engine::pin_shard`].
+    #[doc(hidden)]
+    pub fn unpin_shard(&self, txn: u32, s: usize) {
+        let loops = self.inner.loops.as_ref().expect("loops mode");
+        loops.shards[s].unpin();
+        loops.pins.unpin(TxnId(txn), s);
+        self.inner.drain_shard_mail(s);
+    }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.shutdown_ev.notify();
+        if let Some(l) = &self.inner.loops {
+            for lp in &l.shards {
+                lp.work_ev.notify();
+            }
+        }
+        // GC first: its final sweep may still route commands through
+        // the loops (or self-serve them once the loops are gone).
         if let Some(t) = self.gc_thread.take() {
+            t.join();
+        }
+        for t in self.loop_tasks.drain(..) {
             t.join();
         }
         // After the GC task: its sweeps may still note deletions.
@@ -835,6 +933,12 @@ impl EngineInner {
     /// released: publication happens-before the epoch bump, which
     /// happens-before the lock release a validator synchronizes with.
     fn mirror_shard(&self, s: usize, g: &mut Shard) {
+        // Escalated choreography is where boundary counts change;
+        // every per-shard mirror pass runs under the guard, so this is
+        // the natural point to republish the loop-routing hint.
+        if let Some(loops) = &self.loops {
+            loops.shards[s].set_escalate_hint(g.boundary != 0);
+        }
         if !g.cg.summary_batch_pending() && g.cg.summary_rev() == g.mirrored_rev {
             g.cg.end_summary_batch(); // cheap: clears the mode flag
             return;
@@ -971,6 +1075,452 @@ impl EngineInner {
         guards
     }
 
+    // ---------------------------------------------------------------
+    // Shard loops (ExecutionMode::ShardLoops)
+    // ---------------------------------------------------------------
+    //
+    // The shard mutex is retained as the memory-ordering handoff
+    // between whoever drives the shard (the loop task, a combining
+    // client, or a pinning coordinator), but it is uncontended by
+    // construction on the fast path and **never held across a
+    // scheduling point**: every command body below is straight-line
+    // compute (a WAL submission is a queue push + notify), so under
+    // the one-task-at-a-time virtual scheduler a `try_lock` is
+    // deterministic — it fails only while a coordinator's decide body
+    // holds the guards.
+
+    /// The single-writer loop task for shard `s`: waits for mail,
+    /// stands down while the shard is pinned by a coordinator, and
+    /// otherwise drains the mailbox and serves each command under the
+    /// shard's state.
+    fn shard_loop(&self, s: usize) {
+        let lp = &self.loops.as_ref().expect("loops mode").shards[s];
+        loop {
+            let key = lp.work_ev.prepare();
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if lp.is_pinned() || !lp.has_mail() {
+                lp.work_ev.wait(key);
+                continue;
+            }
+            let batch = lp.take();
+            if batch.is_empty() {
+                continue; // a combiner raced us to the batch
+            }
+            let mut g = self.shards[s].lock().unwrap();
+            self.metrics.record_mailbox_batch(batch.len());
+            lp.commands.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            for cmd in batch {
+                let r = self.exec_cmd(s, &mut g, cmd.kind);
+                cmd.reply.fill(r);
+            }
+        }
+        // Final drain: answer anything enqueued before shutdown became
+        // visible, so no waiter hangs across engine drop.
+        let batch = lp.take();
+        if !batch.is_empty() {
+            let mut g = self.shards[s].lock().unwrap();
+            for cmd in batch {
+                let r = self.exec_cmd(s, &mut g, cmd.kind);
+                cmd.reply.fill(r);
+            }
+        }
+    }
+
+    /// Routes `kind` to shard `s`'s loop using the session's cached
+    /// reply slot (allocated lazily: combining clients never need it).
+    fn submit(&self, st: &mut SessionState, s: usize, kind: CmdKind) -> LoopReply {
+        match self.try_combine(s, kind) {
+            Ok(r) => r,
+            Err(kind) => {
+                if st.reply.is_none() {
+                    st.reply = Some(Arc::new(ReplySlot::new(self.rt.event())));
+                }
+                let slot = Arc::clone(st.reply.as_ref().expect("just set"));
+                self.loop_rpc(s, &slot, kind)
+            }
+        }
+    }
+
+    /// Flat-combining fast path: unless the shard is pinned by a
+    /// coordinator, the caller becomes the single writer for one batch
+    /// — it takes the shard (a plain blocking acquire: nobody holds it
+    /// across a scheduling point, so this never parks under the
+    /// virtual scheduler and costs exactly the mutex engine's handoff
+    /// under the OS), serves the queued commands, then its own,
+    /// inline; its own command is never enqueued. A pinned shard gives
+    /// the command back (`Err`) for the caller to mail. Bounced probes
+    /// (an [`LoopReply::Escalate`] answer with nothing else served)
+    /// stay out of the batch metrics — the command was routed, not
+    /// processed.
+    fn try_combine(&self, s: usize, kind: CmdKind) -> Result<LoopReply, CmdKind> {
+        let lp = &self.loops.as_ref().expect("loops mode").shards[s];
+        // Boundary-crossed shards answer every read/commit/abort with
+        // `Escalate` — the hint lets the submitter hear that answer
+        // without a lock handoff, and without a mailbox round trip
+        // when the shard is pinned. The round trip is the expensive
+        // mistake: a client parked behind a coordinator just to
+        // receive a bounce holds its transaction open for two extra
+        // context switches, and under hot-pair contention that extra
+        // lifetime showed up directly as a ~15× Rule-3 abort
+        // inflation. GC commands are exempt: their body never bounces.
+        if !matches!(kind, CmdKind::Gc) && lp.escalate_hint() {
+            lp.hints.fetch_add(1, Ordering::Relaxed);
+            return Ok(LoopReply::Escalate);
+        }
+        if lp.is_pinned() {
+            return Err(kind);
+        }
+        let mut g = self.shards[s].lock().unwrap();
+        let batch = lp.take();
+        let mut served = batch.len();
+        for cmd in batch {
+            let r = self.exec_cmd(s, &mut g, cmd.kind);
+            cmd.reply.fill(r);
+        }
+        let r = self.exec_cmd(s, &mut g, kind);
+        if !matches!(r, LoopReply::Escalate) {
+            served += 1;
+        }
+        if served > 0 {
+            self.metrics.record_mailbox_batch(served);
+            lp.commands.fetch_add(served as u64, Ordering::Relaxed);
+        }
+        Ok(r)
+    }
+
+    /// Mails `kind` to shard `s`'s pinned loop and parks on `slot`
+    /// until the unpinner (or the loop task, for mail that lands in
+    /// the unpinned window) fills it — with a shutdown self-serve
+    /// fallback so engine drop can never strand a waiter.
+    fn loop_rpc(&self, s: usize, slot: &Arc<ReplySlot>, kind: CmdKind) -> LoopReply {
+        let lp = &self.loops.as_ref().expect("loops mode").shards[s];
+        slot.clear();
+        let pinned_at_push = lp.push(LoopCmd {
+            kind,
+            reply: Arc::clone(slot),
+        });
+        // A pinned shard's mail is the unpinner's to serve (`push` and
+        // `unpin` are RMWs on one word, so exactly one side sees the
+        // other); only unpinned-at-push mail needs the loop task.
+        if !pinned_at_push {
+            lp.work_ev.notify();
+        }
+        loop {
+            let key = slot.event().prepare();
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                // The loop task may already be past its final drain:
+                // serve the mailbox ourselves. Our own reply is filled
+                // here or by whoever raced us to the batch.
+                let mut g = self.shards[s].lock().unwrap();
+                for cmd in lp.take() {
+                    let r = self.exec_cmd(s, &mut g, cmd.kind);
+                    cmd.reply.fill(r);
+                }
+                continue;
+            }
+            slot.event().wait(key);
+        }
+    }
+
+    /// Serves one command against shard `s`'s state. Every body is the
+    /// mutex engine's fast path verbatim (same checks, same order), so
+    /// decisions are bit-identical across execution modes.
+    fn exec_cmd(&self, s: usize, g: &mut Shard, kind: CmdKind) -> LoopReply {
+        let r = match kind {
+            CmdKind::Read { txn, x } => self.cmd_read(g, txn, x),
+            CmdKind::Commit {
+                txn,
+                entities,
+                values,
+            } => self.cmd_commit(s, g, txn, entities, values),
+            CmdKind::Abort { txn } => self.cmd_abort(s, g, txn),
+            CmdKind::Gc => self.cmd_gc(s, g),
+        };
+        // Every serve refreshes the routing hint while the guard is
+        // held; [`Self::mirror_shard`] does the same for escalated
+        // choreography, so the hint tracks boundary transitions from
+        // both directions.
+        self.loops.as_ref().expect("loops mode").shards[s].set_escalate_hint(g.boundary != 0);
+        r
+    }
+
+    fn cmd_read(&self, g: &mut Shard, txn: TxnId, x: EntityId) -> LoopReply {
+        if g.boundary != 0 {
+            return LoopReply::Escalate;
+        }
+        if let Err(e) = Self::ensure_node(g, txn) {
+            return LoopReply::Failed(e);
+        }
+        let step = Step::new(txn, Op::Read(x));
+        let out = match g.cg.apply(&step) {
+            Ok(o) => o,
+            Err(e) => return LoopReply::Failed(e.into()),
+        };
+        match out {
+            Applied::Accepted => {
+                let v = g.store.read(x);
+                self.record(Event::Step {
+                    step,
+                    outcome: Applied::Accepted,
+                });
+                LoopReply::Value(v)
+            }
+            Applied::SelfAborted => {
+                self.record(Event::Step {
+                    step,
+                    outcome: Applied::SelfAborted,
+                });
+                LoopReply::Aborted
+            }
+            Applied::IgnoredAborted => LoopReply::ClosedTxn,
+        }
+    }
+
+    fn cmd_commit(
+        &self,
+        s: usize,
+        g: &mut Shard,
+        txn: TxnId,
+        entities: Vec<EntityId>,
+        values: Vec<(EntityId, Value)>,
+    ) -> LoopReply {
+        if let Err(e) = Self::ensure_node(g, txn) {
+            return LoopReply::Failed(e);
+        }
+        if g.boundary != 0 {
+            return LoopReply::Escalate;
+        }
+        let step = Step::new(txn, Op::WriteAll(entities));
+        let out = match g.cg.apply(&step) {
+            Ok(o) => o,
+            Err(e) => return LoopReply::Failed(e.into()),
+        };
+        match out {
+            Applied::Accepted => {
+                // Submit under the shard's ownership (log order =
+                // conflict order) and BEFORE the install, exactly like
+                // the mutex path; the durable wait is the client's.
+                let mut wal_submit = None;
+                if !values.is_empty() {
+                    if let Some(w) = &self.wal {
+                        wal_submit = Some(w.submit_commit(txn, &values, &[s as u32]));
+                    }
+                }
+                if !matches!(wal_submit, Some(Err(_))) {
+                    // Ascending entity order — the exact install
+                    // sequence `TxnBuffer::install` would produce.
+                    for &(x, v) in &values {
+                        g.store.write(x, v, txn);
+                    }
+                }
+                self.record(Event::Step {
+                    step,
+                    outcome: Applied::Accepted,
+                });
+                if self.gc_policy == GcPolicy::Noncurrent
+                    && g.cg.gc_candidate_count() >= SHARD_GC_THRESHOLD
+                {
+                    self.reclaim_shard(s, g);
+                }
+                LoopReply::Committed { wal_submit }
+            }
+            Applied::SelfAborted => {
+                self.record(Event::Step {
+                    step,
+                    outcome: Applied::SelfAborted,
+                });
+                LoopReply::Aborted
+            }
+            Applied::IgnoredAborted => LoopReply::ClosedTxn,
+        }
+    }
+
+    fn cmd_abort(&self, s: usize, g: &mut Shard, txn: TxnId) -> LoopReply {
+        // Re-check under ownership: a GC bridge may have registered
+        // the transaction after the client's unregistered check.
+        if self.coord.reg_contains(txn, &self.metrics) {
+            return LoopReply::Escalate;
+        }
+        if g.cg.node_of(txn).is_some() {
+            g.cg.abort_txn(txn).expect("live node aborts");
+        }
+        self.record(Event::ClientAbort(txn));
+        self.mirror_shard(s, g);
+        LoopReply::AbortDone
+    }
+
+    /// One shard-local GC pass — the loop-routed body of
+    /// [`Self::sweep_shards_noncurrent`].
+    fn cmd_gc(&self, s: usize, g: &mut Shard) -> LoopReply {
+        self.compact_shard_ghosts(g);
+        let needs_mirror = g.cg.summary_rev() != g.mirrored_rev;
+        if g.cg.gc_candidate_count() == 0 && !needs_mirror {
+            return LoopReply::GcDone;
+        }
+        if g.cg.gc_candidate_count() > 0 {
+            self.reclaim_shard(s, g);
+        }
+        self.mirror_shard(s, g);
+        LoopReply::GcDone
+    }
+
+    /// Pins `shards` for `who`, in the order given (the engine's own
+    /// callers always pass ascending order, which cannot deadlock). On
+    /// a detected deadlock every pin this call took is released before
+    /// the error propagates.
+    /// Raises the stand-down count on every shard of a closure. The
+    /// engine's own coordinators always pin ascending, which makes
+    /// deadlock impossible (the mutex engine's ascending-lock argument
+    /// verbatim), so internal pins are plain per-shard atomics: no
+    /// wait-for table, no shared lock on the escalation hot path. The
+    /// counts are a routing hint only — mutual exclusion between
+    /// coordinators is still the shard mutexes' job, exactly as in
+    /// mutex mode. No-op outside shard-loops mode, so multi-shard GC
+    /// can call it unconditionally.
+    fn pin_shards<I: IntoIterator<Item = usize>>(&self, shards: I) {
+        if let Some(loops) = &self.loops {
+            for s in shards {
+                loops.shards[s].pin();
+            }
+        }
+    }
+
+    /// Drops the stand-down counts, then serves whatever queued up
+    /// behind the pins as the combiner. Serving here instead of waking
+    /// the loop task saves a full wakeup round trip per blocked
+    /// client: replies are filled directly by the unpinner, and the
+    /// loop task only ever runs for mail that arrives in the unpinned
+    /// window. Callers hold no shard mutex at unpin time (guards are
+    /// always dropped first), and command bodies are shard-local, so
+    /// re-locking a shard here cannot deadlock even while the caller
+    /// still holds pins on higher shards.
+    fn unpin_shards<I: IntoIterator<Item = usize>>(&self, shards: I) {
+        if let Some(loops) = &self.loops {
+            for s in shards {
+                if loops.shards[s].unpin() {
+                    self.drain_shard_mail(s);
+                }
+            }
+        }
+    }
+
+    /// Pins the given shards for a coordinator round, *skipping* loops
+    /// whose boundary hint is already raised: the hint bounces every
+    /// would-be prober straight to escalation without looking at the
+    /// pin word, so pinning a boundary-crossed shard buys no routing
+    /// and costs two contended RMWs — which measured as the entire
+    /// remaining loops-vs-mutex gap (~4–5%) under hot-pair contention,
+    /// where the hot shards' hints are permanently raised. A prober
+    /// holding a stale `false` hint simply blocks on the shard mutex
+    /// behind the coordinator and serves after release — the mutex
+    /// engine's exact behavior. Returns exactly what was pinned, for
+    /// [`Self::unpin_set`]. Shards ≥ 64 have no mask bit, so they are
+    /// pinned unconditionally into the spill set.
+    fn pin_gated<I: IntoIterator<Item = usize>>(&self, shards: I) -> PinSet {
+        let mut pins = PinSet {
+            mask: 0,
+            spill: None,
+        };
+        if let Some(loops) = &self.loops {
+            for s in shards {
+                let lp = &loops.shards[s];
+                if s >= 64 {
+                    lp.pin();
+                    pins.spill.get_or_insert_with(BTreeSet::new).insert(s);
+                } else if !lp.escalate_hint() {
+                    lp.pin();
+                    pins.mask |= 1u64 << s;
+                }
+            }
+        }
+        pins
+    }
+
+    /// Releases whatever [`Self::pin_gated`] pinned, draining any mail
+    /// that queued up behind each pin.
+    fn unpin_set(&self, pins: &PinSet) {
+        let Some(loops) = &self.loops else { return };
+        let mut m = pins.mask;
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if loops.shards[s].unpin() {
+                self.drain_shard_mail(s);
+            }
+        }
+        if let Some(spill) = &pins.spill {
+            for &s in spill {
+                if loops.shards[s].unpin() {
+                    self.drain_shard_mail(s);
+                }
+            }
+        }
+    }
+
+    /// Serves shard `s`'s queued mail as the combiner, if any. Called
+    /// by the unpinner after a release: filling replies directly here
+    /// saves the wakeup round trip through the loop task for every
+    /// client that mailed while the shard was pinned.
+    fn drain_shard_mail(&self, s: usize) {
+        let lp = &self.loops.as_ref().expect("loops mode").shards[s];
+        if !lp.has_mail() {
+            return;
+        }
+        let mut g = self.shards[s].lock().unwrap();
+        let batch = lp.take();
+        if batch.is_empty() {
+            return;
+        }
+        self.metrics.record_mailbox_batch(batch.len());
+        lp.commands.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for cmd in batch {
+            let r = self.exec_cmd(s, &mut g, cmd.kind);
+            cmd.reply.fill(r);
+        }
+    }
+
+    /// Shard-loops variant of [`Self::acquire_escalation`]: the same
+    /// plan/validate/fallback sequence, but the acquired shards' loops
+    /// are stood down via [`Self::pin_gated`] **after** the mutexes
+    /// are taken — raising a pin before its lock widens the stand-down
+    /// window past the mutex engine's exclusion window, deferring
+    /// routed commands across the coordinator's decide (measured as a
+    /// 25× Rule-3 abort inflation before the ordering was fixed). A
+    /// failed validation releases every pin before the all-shards
+    /// retry pins from scratch.
+    fn acquire_escalation_loops(
+        &self,
+        txn: TxnId,
+        entry: &BTreeSet<usize>,
+    ) -> (PinSet, Guards<'_>) {
+        let n = self.shards.len();
+        if self.partial_escalation {
+            let (subset, token) = self.planner.plan(txn, entry, &self.coord, &self.metrics);
+            if subset.len() < n {
+                let guards = self.lock_subset(&subset);
+                let pins = self.pin_gated(subset.iter().copied());
+                if self.planner.validate(&subset, token) {
+                    self.metrics.record_escalation(subset.len(), n);
+                    self.rt.emit("esc_subset", subset.len() as u64);
+                    return (pins, guards);
+                }
+                drop(guards);
+                self.unpin_set(&pins);
+                self.metrics.escalation_fallbacks.add(1);
+                self.rt.emit("esc_fallback", subset.len() as u64);
+            }
+        }
+        let guards = self.lock_all();
+        let pins = self.pin_gated(0..n);
+        self.metrics.record_escalation(n, n);
+        (pins, guards)
+    }
+
     /// A transaction's read of `x`.
     pub(crate) fn read(&self, st: &mut SessionState, x: EntityId) -> Result<Value, EngineError> {
         st.check_open()?;
@@ -980,6 +1530,30 @@ impl EngineInner {
         let s = self.shard_of(x);
         let single = st.shards.is_empty() || (st.shards.len() == 1 && st.shards.contains(&s));
         if single {
+            if self.loops.is_some() {
+                // Shard-loops mode: route the read to the owning loop
+                // (or serve a batch inline as the combiner). The loop
+                // replies with the store's committed value; staging and
+                // the read log stay on the session side.
+                match self.submit(st, s, CmdKind::Read { txn: st.txn, x }) {
+                    LoopReply::Value(stored) => {
+                        let v = st.buf(s).staged(x).unwrap_or(stored);
+                        st.buf(s).note_read(x, v);
+                        st.shards.insert(s);
+                        self.metrics.reads.add(1);
+                        self.metrics.fast_path_ops.add(1);
+                        return Ok(v);
+                    }
+                    LoopReply::Aborted => {
+                        self.after_scheduler_abort(st);
+                        return Err(EngineError::Aborted(st.txn));
+                    }
+                    LoopReply::ClosedTxn => return Err(EngineError::Closed(st.txn)),
+                    LoopReply::Failed(e) => return Err(e),
+                    LoopReply::Escalate => return self.read_escalated(st, x, s),
+                    _ => unreachable!("read command gets a read reply"),
+                }
+            }
             let mut g = self.shards[s].lock().unwrap();
             if g.boundary == 0 {
                 // Fast path: this shard is a closed component of the
@@ -1028,6 +1602,9 @@ impl EngineInner {
         self.metrics.escalated_ops.add(1);
         let mut entry: BTreeSet<usize> = st.shards.iter().copied().collect();
         entry.insert(s);
+        if self.loops.is_some() {
+            return self.read_escalated_loops(st, x, s, &entry);
+        }
         let guards = self.acquire_escalation(st.txn, &entry);
         match self.read_escalated_locked(st, x, s, guards) {
             Ok(res) => res,
@@ -1041,6 +1618,50 @@ impl EngineInner {
                     .expect("all-locks body cannot go stale")
             }
         }
+    }
+
+    /// Shard-loops variant of [`Self::read_escalated`]: same plan,
+    /// validation, decide body, and stale fallback, but the closure's
+    /// loops are **pinned** (ascending) before their mutexes are taken,
+    /// so the loops stand down for the choreography's duration. On
+    /// staleness every pin is released *before* re-pinning `0..n` —
+    /// holding high pins while acquiring low ones is exactly the shape
+    /// the ascending-order argument forbids.
+    fn read_escalated_loops(
+        &self,
+        st: &mut SessionState,
+        x: EntityId,
+        s: usize,
+        entry: &BTreeSet<usize>,
+    ) -> Result<Value, EngineError> {
+        // Round-trip timing is sampled 1-in-16: two clock reads per
+        // round are a measurable tax when every operation escalates.
+        let t0 = (self.metrics.coord_round_trips.get() & 15 == 0).then(|| self.rt.now());
+        let (pinned, guards) = self.acquire_escalation_loops(st.txn, entry);
+        let out = match self.read_escalated_locked(st, x, s, guards) {
+            Ok(res) => {
+                self.unpin_set(&pinned);
+                res
+            }
+            Err(Stale) => {
+                self.unpin_set(&pinned);
+                self.metrics.escalation_fallbacks.add(1);
+                self.rt.emit("esc_stale", 0);
+                let n = self.shards.len();
+                let guards = self.lock_all();
+                self.pin_shards(0..n);
+                self.metrics.record_escalation(n, n);
+                let res = self
+                    .read_escalated_locked(st, x, s, guards)
+                    .expect("all-locks body cannot go stale");
+                self.unpin_shards(0..n);
+                res
+            }
+        };
+        self.metrics.record_coord_round_trip(
+            t0.map(|t0| self.rt.now().saturating_sub(t0).as_nanos() as u64),
+        );
+        out
     }
 
     fn read_escalated_locked(
@@ -1189,6 +1810,54 @@ impl EngineInner {
 
         if involved.len() == 1 {
             let s = *involved.iter().next().unwrap();
+            if self.loops.is_some() {
+                // Shard-loops mode: the owning loop applies the
+                // `WriteAll`, submits to the WAL under its ownership
+                // (log order = serialization order), and installs the
+                // staged values; the durable wait stays client-side,
+                // after the reply.
+                let values: Vec<(EntityId, Value)> = st
+                    .bufs
+                    .get(&s)
+                    .map(|b| b.staged_writes())
+                    .unwrap_or_default();
+                match self.submit(
+                    st,
+                    s,
+                    CmdKind::Commit {
+                        txn: st.txn,
+                        entities: all_entities.clone(),
+                        values,
+                    },
+                ) {
+                    LoopReply::Committed { wal_submit } => {
+                        st.closed = true;
+                        st.wal_submit = wal_submit;
+                        self.finish_durable(st)?;
+                        self.metrics.commits.add(1);
+                        self.metrics.entities_written.add(n_written);
+                        self.metrics.fast_path_ops.add(1);
+                        return Ok(());
+                    }
+                    LoopReply::Aborted => {
+                        self.after_scheduler_abort(st);
+                        return Err(EngineError::Aborted(st.txn));
+                    }
+                    LoopReply::ClosedTxn => return Err(EngineError::Closed(st.txn)),
+                    LoopReply::Failed(e) => return Err(e),
+                    LoopReply::Escalate => {
+                        return self.commit_escalated(
+                            st,
+                            involved,
+                            writes,
+                            all_entities,
+                            n_written,
+                            wal_writes,
+                        )
+                    }
+                    _ => unreachable!("commit command gets a commit reply"),
+                }
+            }
             let mut g = self.shards[s].lock().unwrap();
             Self::ensure_node(&mut g, st.txn)?;
             if g.boundary == 0 {
@@ -1261,33 +1930,44 @@ impl EngineInner {
         wal_writes: Vec<(EntityId, Value)>,
     ) -> Result<(), EngineError> {
         self.metrics.escalated_ops.add(1);
-        let guards = self.acquire_escalation(st.txn, &involved);
-        let res = match self.commit_escalated_locked(
-            st,
-            &involved,
-            &writes,
-            &all_entities,
-            n_written,
-            &wal_writes,
-            guards,
-        ) {
-            Ok(res) => res,
-            Err(Stale) => {
-                self.metrics.escalation_fallbacks.add(1);
-                self.rt.emit("esc_stale", 1);
-                let n = self.shards.len();
-                let guards = self.lock_all();
-                self.metrics.record_escalation(n, n);
-                self.commit_escalated_locked(
-                    st,
-                    &involved,
-                    &writes,
-                    &all_entities,
-                    n_written,
-                    &wal_writes,
-                    guards,
-                )
-                .expect("all-locks body cannot go stale")
+        let res = if self.loops.is_some() {
+            self.commit_escalated_loops(
+                st,
+                &involved,
+                &writes,
+                &all_entities,
+                n_written,
+                &wal_writes,
+            )
+        } else {
+            let guards = self.acquire_escalation(st.txn, &involved);
+            match self.commit_escalated_locked(
+                st,
+                &involved,
+                &writes,
+                &all_entities,
+                n_written,
+                &wal_writes,
+                guards,
+            ) {
+                Ok(res) => res,
+                Err(Stale) => {
+                    self.metrics.escalation_fallbacks.add(1);
+                    self.rt.emit("esc_stale", 1);
+                    let n = self.shards.len();
+                    let guards = self.lock_all();
+                    self.metrics.record_escalation(n, n);
+                    self.commit_escalated_locked(
+                        st,
+                        &involved,
+                        &writes,
+                        &all_entities,
+                        n_written,
+                        &wal_writes,
+                        guards,
+                    )
+                    .expect("all-locks body cannot go stale")
+                }
             }
         };
         // Backpressure for the multi-shard backlog: a partial committer
@@ -1302,6 +1982,63 @@ impl EngineInner {
             self.sweep_multi_shard();
         }
         res
+    }
+
+    /// Shard-loops variant of the escalated commit: the decide body is
+    /// [`Self::commit_escalated_locked`] verbatim, wrapped in the
+    /// ascending pin choreography (and all pins are dropped before the
+    /// all-shards stale fallback re-pins from scratch).
+    fn commit_escalated_loops(
+        &self,
+        st: &mut SessionState,
+        involved: &BTreeSet<usize>,
+        writes: &BTreeMap<usize, Vec<EntityId>>,
+        all_entities: &[EntityId],
+        n_written: u64,
+        wal_writes: &[(EntityId, Value)],
+    ) -> Result<(), EngineError> {
+        let t0 = (self.metrics.coord_round_trips.get() & 15 == 0).then(|| self.rt.now());
+        let (pinned, guards) = self.acquire_escalation_loops(st.txn, involved);
+        let out = match self.commit_escalated_locked(
+            st,
+            involved,
+            writes,
+            all_entities,
+            n_written,
+            wal_writes,
+            guards,
+        ) {
+            Ok(res) => {
+                self.unpin_set(&pinned);
+                res
+            }
+            Err(Stale) => {
+                self.unpin_set(&pinned);
+                self.metrics.escalation_fallbacks.add(1);
+                self.rt.emit("esc_stale", 1);
+                let n = self.shards.len();
+                let guards = self.lock_all();
+                self.pin_shards(0..n);
+                self.metrics.record_escalation(n, n);
+                let res = self
+                    .commit_escalated_locked(
+                        st,
+                        involved,
+                        writes,
+                        all_entities,
+                        n_written,
+                        wal_writes,
+                        guards,
+                    )
+                    .expect("all-locks body cannot go stale");
+                self.unpin_shards(0..n);
+                res
+            }
+        };
+        self.metrics.record_coord_round_trip(
+            t0.map(|t0| self.rt.now().saturating_sub(t0).as_nanos() as u64),
+        );
+        out
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1463,6 +2200,9 @@ impl EngineInner {
             return;
         }
         st.closed = true;
+        if self.loops.is_some() {
+            return self.client_abort_loops(st);
+        }
         for attempt in 0..2 {
             let subset: BTreeSet<usize> = {
                 let mut s: BTreeSet<usize> = st.shards.iter().copied().collect();
@@ -1507,6 +2247,83 @@ impl EngineInner {
             return;
         }
         unreachable!("second attempt holds every lock");
+    }
+
+    /// Shard-loops client rollback. A single-shard unregistered
+    /// transaction is one `Abort` message to its loop; anything
+    /// multi-shard (or grown mid-flight by a GC bridge) runs the same
+    /// subset-then-all acquisition as the mutex path, under pins.
+    fn client_abort_loops(&self, st: &mut SessionState) {
+        for attempt in 0..3 {
+            let subset: BTreeSet<usize> = {
+                let mut s: BTreeSet<usize> = st.shards.iter().copied().collect();
+                s.extend(
+                    self.coord
+                        .reg_get(st.txn, &self.metrics)
+                        .into_iter()
+                        .flatten(),
+                );
+                s
+            };
+            if subset.is_empty() {
+                // Never touched a shard.
+                self.record(Event::ClientAbort(st.txn));
+                self.note_abort(st.txn);
+                self.metrics.aborts_voluntary.add(1);
+                self.metrics.txns_left(1);
+                return;
+            }
+            if attempt == 0 {
+                if subset.len() == 1 && !self.coord.reg_contains(st.txn, &self.metrics) {
+                    let s = *subset.iter().next().unwrap();
+                    match self.submit(st, s, CmdKind::Abort { txn: st.txn }) {
+                        LoopReply::AbortDone => {
+                            self.note_abort(st.txn);
+                            self.metrics.aborts_voluntary.add(1);
+                            self.metrics.txns_left(1);
+                            return;
+                        }
+                        // A GC bridge registered the txn under us:
+                        // retry through the pin path.
+                        LoopReply::Escalate => continue,
+                        _ => unreachable!("abort command gets an abort reply"),
+                    }
+                }
+                continue; // multi-shard: go straight to the pin path
+            }
+            let pins: Vec<usize> = if attempt == 1 {
+                subset.iter().copied().collect()
+            } else {
+                (0..self.shards.len()).collect()
+            };
+            let mut guards = if attempt == 1 {
+                self.lock_subset(&subset)
+            } else {
+                self.lock_all()
+            };
+            self.pin_shards(pins.iter().copied());
+            let grown = self
+                .coord
+                .reg_get(st.txn, &self.metrics)
+                .into_iter()
+                .flatten()
+                .any(|t| !guards.contains_key(&t));
+            if grown {
+                drop(guards);
+                self.unpin_shards(pins.iter().copied());
+                continue;
+            }
+            self.abort_everywhere(&mut guards, st.txn);
+            self.record(Event::ClientAbort(st.txn));
+            self.mirror_guards(&mut guards);
+            drop(guards);
+            self.unpin_shards(pins.iter().copied());
+            self.note_abort(st.txn);
+            self.metrics.aborts_voluntary.add(1);
+            self.metrics.txns_left(1);
+            return;
+        }
+        unreachable!("final attempt holds every lock");
     }
 
     fn after_scheduler_abort(&self, st: &mut SessionState) {
@@ -1725,8 +2542,25 @@ impl EngineInner {
 
     /// Per-shard incremental noncurrent pass over all shards, plus the
     /// ghost-arc compaction (which needs no coordination: it changes no
-    /// reachability).
+    /// reachability). Under shard loops the pass is routed to each
+    /// owning loop as a `Gc` command ([`Self::cmd_gc`] — same body),
+    /// keeping the sweep synchronous for callers.
     fn sweep_shards_noncurrent(&self) {
+        if self.loops.is_some() {
+            let mut slot: Option<Arc<ReplySlot>> = None;
+            for s in 0..self.shards.len() {
+                let r = match self.try_combine(s, CmdKind::Gc) {
+                    Ok(r) => r,
+                    Err(kind) => {
+                        let slot =
+                            slot.get_or_insert_with(|| Arc::new(ReplySlot::new(self.rt.event())));
+                        self.loop_rpc(s, slot, kind)
+                    }
+                };
+                debug_assert!(matches!(r, LoopReply::GcDone));
+            }
+            return;
+        }
         for s in 0..self.shards.len() {
             let mut g = self.shards[s].lock().unwrap();
             self.compact_shard_ghosts(&mut g);
@@ -1756,7 +2590,12 @@ impl EngineInner {
         if self.partial_gc && self.shards.len() > 1 {
             self.sweep_multi_partial();
         } else {
+            // Under shard loops the sweep is a coordinator like any
+            // other: pin everything (ascending) before locking.
+            // (`pin_shards` is a no-op in mutex mode.)
+            let all: Vec<usize> = (0..self.shards.len()).collect();
             let mut guards = self.lock_all();
+            self.pin_shards(all.iter().copied());
             // The stop-the-world baseline: these locks were taken for
             // GC, so the acquisition is recorded.
             if self.sweep_multi_locked(&mut guards) {
@@ -1764,6 +2603,8 @@ impl EngineInner {
                     .record_gc_closure(self.shards.len(), self.shards.len());
                 self.rt.emit("gc_closure", self.shards.len() as u64);
             }
+            drop(guards);
+            self.unpin_shards(all.iter().copied());
         }
     }
 
@@ -1809,6 +2650,8 @@ impl EngineInner {
             return;
         }
         let n = self.shards.len();
+        // Under shard loops every acquisition below is wrapped in the
+        // pin choreography (`pin_shards` no-ops in mutex mode).
         let mut queue: Vec<TxnId> = pending.into_iter().collect();
         let mut widen: Vec<TxnId> = Vec::new();
         while let Some(&lead) = queue.first() {
@@ -1828,9 +2671,12 @@ impl EngineInner {
                 widen.push(queue.remove(0));
                 continue;
             }
+            let pins: Vec<usize> = subset.iter().copied().collect();
             let mut guards = self.lock_subset(&subset);
+            self.pin_shards(pins.iter().copied());
             if !self.planner.validate(&subset, token) {
                 drop(guards);
+                self.unpin_shards(pins.iter().copied());
                 self.metrics.gc_closure_fallbacks.add(1);
                 self.rt.emit("gc_closure_fallback", 0);
                 widen.push(queue.remove(0));
@@ -1840,6 +2686,8 @@ impl EngineInner {
             self.rt.emit("gc_closure", subset.len() as u64);
             let batch = std::mem::take(&mut queue);
             let mut leftover = self.sweep_multi_batch(&mut guards, &batch);
+            drop(guards);
+            self.unpin_shards(pins.iter().copied());
             // The lead planned this validated closure, so its span is
             // covered and it cannot come back — except through a
             // concurrent sweep's interleaving; route it to the
@@ -1852,11 +2700,15 @@ impl EngineInner {
             queue = leftover;
         }
         if !widen.is_empty() {
+            let all: Vec<usize> = (0..n).collect();
             let mut guards = self.lock_all();
+            self.pin_shards(all.iter().copied());
             self.metrics.record_gc_closure(n, n);
             self.rt.emit("gc_closure", n as u64);
             let w = self.sweep_multi_batch(&mut guards, &widen);
             debug_assert!(w.is_empty(), "all-locks batch cannot need wider");
+            drop(guards);
+            self.unpin_shards(all.iter().copied());
         }
     }
 

@@ -72,6 +72,18 @@
 //!   disjoint closures share no lock at all — and accept/reject
 //!   decisions are bit-identical to the all-locks baseline
 //!   ([`EngineConfig::partial_escalation`] toggles it for A/B runs).
+//! * **Execution modes** ([`ExecutionMode`]): the mutex-per-shard model
+//!   above is the baseline; [`ExecutionMode::ShardLoops`] instead runs
+//!   each shard as a **single-writer loop task** fed by an MPSC command
+//!   mailbox (with a flat-combining fast path: a client finding the
+//!   shard idle serves the queued batch plus its own command inline),
+//!   and choreographs cross-shard plans by **pinning** the closure's
+//!   loops in ascending shard order — the planner, validation, and
+//!   decide bodies are shared verbatim, so decisions and final stores
+//!   are bit-identical across modes (the `shard_loop_oracle` proves
+//!   it). Pin waits form a wait-for graph, so out-of-order front ends
+//!   get named [`EngineError::Deadlock`] reports instead of hangs. See
+//!   `docs/architecture.md` §"Shard loops".
 //! * **GC**: a background thread drains per-shard candidate queues
 //!   (fed by [`deltx_core::CgState::drain_gc_candidates`] — bounded
 //!   and deduplicated; no full scans) and deletes completed
@@ -145,6 +157,7 @@ pub mod metrics;
 mod planner;
 mod seed;
 mod session;
+mod shard_loops;
 
 pub mod error;
 
@@ -172,3 +185,4 @@ pub use history::{Event, RecordedHistory};
 pub use metrics::MetricsSnapshot;
 pub use seed::{run_seed, run_seed_arg};
 pub use session::Session;
+pub use shard_loops::ExecutionMode;

@@ -1,0 +1,392 @@
+//! Shard-per-core execution plumbing: single-writer loop mailboxes and
+//! the cross-shard pin table.
+//!
+//! Under [`ExecutionMode::ShardLoops`] each shard's `CgState`+`Store`
+//! pair is driven by one single-writer loop task. Clients never operate
+//! on a shard directly on the hot path — they post a [`LoopCmd`] to the
+//! shard's MPSC mailbox and block on a [`ReplySlot`] (both built from
+//! the runtime's eventcount primitive, so the whole dance replays
+//! deterministically under the virtual scheduler). As a flat-combining
+//! fast path, a client that finds the shard idle *becomes* the single
+//! writer for one batch: it drains the mailbox, serves the queued
+//! commands, then its own — so an uncontended operation costs one
+//! `try_lock`, not a task handoff.
+//!
+//! Cross-shard work (escalated reads/commits/aborts and multi-shard GC)
+//! does not flow through mailboxes. A coordinator instead **pins** every
+//! shard in its closure — a per-shard stand-down count that tells the
+//! loops to route queued mail to the unpinner — then takes the shard
+//! mutexes ascending and runs the planner's decide body. Pinning in
+//! ascending order makes deadlock impossible for the engine's own
+//! choreography (the same argument as the mutex engine's ascending lock
+//! order), so internal coordinators never touch a shared wait-for
+//! structure: the pin counts are plain per-shard atomics, and mutual
+//! exclusion between coordinators is the shard mutexes' job. The
+//! [`PinTable`] serves the *out-of-order* pin API instead — a front end
+//! that pins in client-chosen order (blocking 2PL, predeclared §5
+//! batches) acquires exclusive logical ownership through the table,
+//! which tracks who waits on whom and hands the closing waiter of any
+//! cycle a named [`EngineError::Deadlock`] report instead of a hang.
+
+use crate::error::EngineError;
+use deltx_model::{EntityId, TxnId};
+use deltx_runtime::{RtEvent, Runtime};
+use deltx_storage::Value;
+use deltx_wal::WalError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How the engine drives its shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// The baseline: every operation locks the owning shard's mutex
+    /// directly; cross-shard work takes ascending locks.
+    #[default]
+    Mutex,
+    /// Shard-per-core: each shard is owned by a single-writer loop task
+    /// fed by a command mailbox; cross-shard plans are choreographed by
+    /// pinning the closure's loops in ascending order. Decisions and
+    /// stores are bit-identical to [`ExecutionMode::Mutex`] (proved by
+    /// the A/B oracle in `shard_loop_oracle.rs`).
+    ShardLoops,
+}
+
+/// A command a client routes to a shard loop.
+pub(crate) enum CmdKind {
+    /// Fast-path read of `x` by `txn`; replies with the store's value
+    /// (the client applies read-your-own-writes on its side).
+    Read { txn: TxnId, x: EntityId },
+    /// Fast-path single-shard commit: apply the `WriteAll` step over
+    /// `entities`, submit to the WAL under ownership, install `values`.
+    Commit {
+        txn: TxnId,
+        entities: Vec<EntityId>,
+        values: Vec<(EntityId, Value)>,
+    },
+    /// Fast-path client abort of an unregistered single-shard txn.
+    Abort { txn: TxnId },
+    /// Run one shard-local GC pass (compact + reclaim + re-mirror).
+    Gc,
+}
+
+/// What a shard loop sends back.
+pub(crate) enum LoopReply {
+    /// Read served; the store's committed value for the entity.
+    Value(Value),
+    /// Commit decided Accepted and installed; the WAL submission result
+    /// (if durability is on) rides back for the client's durable wait.
+    Committed {
+        wal_submit: Option<Result<u64, WalError>>,
+    },
+    /// The step closed a cycle: scheduler abort.
+    Aborted,
+    /// The transaction was already aborted (step ignored).
+    ClosedTxn,
+    /// The shard has boundary txns (or the txn grew multi-shard): the
+    /// client must run the cross-shard pin choreography instead.
+    Escalate,
+    /// Client abort performed.
+    AbortDone,
+    /// GC pass performed.
+    GcDone,
+    /// Protocol-level failure from the scheduler core.
+    Failed(EngineError),
+}
+
+/// One-shot reply mailbox, reusable across commands of one session.
+pub(crate) struct ReplySlot {
+    slot: Mutex<Option<LoopReply>>,
+    ev: Arc<dyn RtEvent>,
+}
+
+impl ReplySlot {
+    pub(crate) fn new(ev: Arc<dyn RtEvent>) -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ev,
+        }
+    }
+
+    /// Clears any stale reply before the slot is enqueued again.
+    pub(crate) fn clear(&self) {
+        *self.slot.lock().unwrap() = None;
+    }
+
+    pub(crate) fn fill(&self, r: LoopReply) {
+        *self.slot.lock().unwrap() = Some(r);
+        self.ev.notify();
+    }
+
+    pub(crate) fn take(&self) -> Option<LoopReply> {
+        self.slot.lock().unwrap().take()
+    }
+
+    pub(crate) fn event(&self) -> &Arc<dyn RtEvent> {
+        &self.ev
+    }
+}
+
+/// An enqueued command with its completion slot.
+pub(crate) struct LoopCmd {
+    pub(crate) kind: CmdKind,
+    pub(crate) reply: Arc<ReplySlot>,
+}
+
+/// One pin in [`ShardLoopState::state`]'s high half.
+const PIN_UNIT: u64 = 1 << 32;
+/// The mailbox-depth mirror in [`ShardLoopState::state`]'s low half.
+const MAIL_MASK: u64 = PIN_UNIT - 1;
+
+/// Per-shard loop state: the mailbox, its wake event, and the pin
+/// count coordinators raise to park the loop during cross-shard
+/// choreography.
+pub(crate) struct ShardLoopState {
+    mailbox: Mutex<Vec<LoopCmd>>,
+    /// Packed routing state: stand-down pin count in the high 32 bits,
+    /// mailbox-depth mirror in the low 32. Packing both into one word
+    /// makes the mail-vs-unpin handoff race-free by construction:
+    /// `push` (mail +1, reads pins) and `unpin` (pins −1, reads mail)
+    /// are both RMWs on the same atomic, so they are totally ordered
+    /// and each returns the other's prior update — either the pusher
+    /// sees zero pins and wakes the loop, or the unpinner sees the
+    /// mail and drains it. No lost wakeup, no fence subtleties. The
+    /// word is a routing hint only; the shard mutex remains the
+    /// memory-ordering handoff for data.
+    state: AtomicU64,
+    /// Wakes the loop task: new mail, a pin release, or shutdown.
+    pub(crate) work_ev: Arc<dyn RtEvent>,
+    /// Commands this loop (or a combining client on its behalf) has
+    /// processed; surfaced per-loop in the metrics snapshot.
+    pub(crate) commands: AtomicU64,
+    /// Submissions this loop answered `Escalate` straight from the
+    /// boundary hint. Per-loop (like `commands`) so the hot-path
+    /// increment never contends a shared cache line; the snapshot sums
+    /// across loops.
+    pub(crate) hints: AtomicU64,
+    /// Lock-free mirror of the shard's `boundary != 0` state, refreshed
+    /// by whoever last served the shard under its guard. When set, a
+    /// read/commit/abort submitted to this loop can only bounce back
+    /// `Escalate` (the command bodies refuse boundary-crossed shards),
+    /// so [`escalate_hint`](Self::escalate_hint) lets the submitter
+    /// skip the probe entirely — no lock handoff when the loop is
+    /// free, and, critically, no mailbox round trip when it is pinned:
+    /// a mailed probe parks the client for a full wake cycle just to
+    /// hear `Escalate`, and that added latency stretches transaction
+    /// lifetimes enough to measurably inflate genuine Rule-3 cycles
+    /// under contention. A stale hint is safe in both directions:
+    /// `false` means the command probes and bounces (the pre-hint
+    /// behavior), `true` means the client escalates a shard that had
+    /// just cleared — the escalated path is the engine's own
+    /// conservative fallback and decides identically.
+    escalate: AtomicBool,
+}
+
+impl ShardLoopState {
+    fn new(ev: Arc<dyn RtEvent>) -> Self {
+        Self {
+            mailbox: Mutex::new(Vec::new()),
+            state: AtomicU64::new(0),
+            work_ev: ev,
+            commands: AtomicU64::new(0),
+            hints: AtomicU64::new(0),
+            escalate: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the last serve left the shard boundary-crossed, i.e.
+    /// loop commands can only answer `Escalate`. Advisory — see the
+    /// field docs for why staleness is safe either way.
+    pub(crate) fn escalate_hint(&self) -> bool {
+        self.escalate.load(Ordering::Relaxed)
+    }
+
+    /// Refreshes the hint from the shard's actual boundary count; the
+    /// caller holds the shard guard, so the value is exact at store
+    /// time.
+    pub(crate) fn set_escalate_hint(&self, escalate: bool) {
+        self.escalate.store(escalate, Ordering::Relaxed);
+    }
+
+    /// Raises the stand-down count: queued mail is now the unpinner's
+    /// to serve, and combining clients route to the mailbox instead.
+    pub(crate) fn pin(&self) {
+        self.state.fetch_add(PIN_UNIT, Ordering::SeqCst);
+    }
+
+    /// Drops one pin; returns whether mail was queued at release time
+    /// (the RMW's previous value, so a racing `push` is never missed).
+    /// The caller must drain the mailbox when this returns `true`.
+    pub(crate) fn unpin(&self) -> bool {
+        self.state.fetch_sub(PIN_UNIT, Ordering::SeqCst) & MAIL_MASK != 0
+    }
+
+    pub(crate) fn is_pinned(&self) -> bool {
+        self.state.load(Ordering::SeqCst) >= PIN_UNIT
+    }
+
+    /// Enqueues `cmd`; returns whether the shard was pinned at enqueue
+    /// time (the RMW's previous value, so a racing `unpin` is never
+    /// missed). On `false` the caller must wake the loop task.
+    pub(crate) fn push(&self, cmd: LoopCmd) -> bool {
+        let mut mb = self.mailbox.lock().unwrap();
+        mb.push(cmd);
+        self.state.fetch_add(1, Ordering::SeqCst) >= PIN_UNIT
+    }
+
+    /// Drains the mailbox, preserving arrival order.
+    pub(crate) fn take(&self) -> Vec<LoopCmd> {
+        if self.state.load(Ordering::SeqCst) & MAIL_MASK == 0 {
+            return Vec::new();
+        }
+        let mut mb = self.mailbox.lock().unwrap();
+        self.state.fetch_sub(mb.len() as u64, Ordering::SeqCst);
+        std::mem::take(&mut *mb)
+    }
+
+    pub(crate) fn has_mail(&self) -> bool {
+        self.state.load(Ordering::SeqCst) & MAIL_MASK != 0
+    }
+}
+
+struct PinInner {
+    /// `owner[s]` is the external pinner currently owning shard `s`.
+    owner: Vec<Option<TxnId>>,
+    /// Wait-for edges: who is blocked, and on which shard. Each owner
+    /// waits on at most one shard at a time, so cycle detection is a
+    /// simple chain walk.
+    waiting: HashMap<TxnId, usize>,
+}
+
+impl PinInner {
+    /// Walks the wait-for chain from `who` (blocked on `start`): owner
+    /// of the awaited shard → the shard *that* owner awaits → … If the
+    /// chain returns to `who`, every participant is blocked and the
+    /// cycle is real (edges only disappear when a waiter is granted,
+    /// which none of these can be). Returns the named report.
+    fn cycle_from(&self, who: TxnId, start: usize) -> Option<String> {
+        let mut path = vec![(who, start)];
+        let mut seen = vec![who];
+        let mut shard = start;
+        loop {
+            let holder = self.owner[shard]?;
+            if holder == who {
+                let hops: Vec<String> = path
+                    .iter()
+                    .map(|&(w, s)| {
+                        let h = self.owner[s].expect("cycle shards are held");
+                        format!("txn {w} waits for shard {s} (pinned by txn {h})")
+                    })
+                    .collect();
+                return Some(hops.join("; "));
+            }
+            if seen.contains(&holder) {
+                // A cycle that does not pass through `who` — its own
+                // closing waiter already got the report.
+                return None;
+            }
+            let &next = self.waiting.get(&holder)?;
+            seen.push(holder);
+            path.push((holder, next));
+            shard = next;
+        }
+    }
+}
+
+/// Grants exclusive logical shard ownership to *out-of-order* pinners
+/// (the [`crate::Engine::pin_shard`] front-end API). Engine-internal
+/// coordinators never come through here — their ascending order makes
+/// deadlock impossible, so they only touch the per-shard stand-down
+/// counts — which keeps this table's mutex entirely off the hot path.
+pub(crate) struct PinTable {
+    inner: Mutex<PinInner>,
+    /// Per-shard wait events: a release wakes only the shard's own
+    /// waiters, not every blocked coordinator in the engine.
+    evs: Vec<Arc<dyn RtEvent>>,
+}
+
+impl PinTable {
+    fn new(shards: usize, rt: &dyn Runtime) -> Self {
+        Self {
+            inner: Mutex::new(PinInner {
+                owner: vec![None; shards],
+                waiting: HashMap::new(),
+            }),
+            evs: (0..shards).map(|_| rt.event()).collect(),
+        }
+    }
+
+    /// Blocks until `who` owns shard `s`'s pin. If waiting would close
+    /// a wait-for cycle, the edge is withdrawn and the closing waiter —
+    /// exactly one participant — gets [`EngineError::Deadlock`] naming
+    /// the cycle.
+    pub(crate) fn pin(&self, who: TxnId, s: usize) -> Result<(), EngineError> {
+        // Uncontended grant without touching the event's epoch.
+        {
+            let mut t = self.inner.lock().unwrap();
+            match t.owner[s] {
+                None => {
+                    t.owner[s] = Some(who);
+                    return Ok(());
+                }
+                Some(h) if h == who => return Ok(()),
+                Some(_) => {}
+            }
+        }
+        loop {
+            let key = self.evs[s].prepare();
+            {
+                let mut t = self.inner.lock().unwrap();
+                match t.owner[s] {
+                    None => {
+                        t.owner[s] = Some(who);
+                        t.waiting.remove(&who);
+                        return Ok(());
+                    }
+                    Some(h) if h == who => return Ok(()),
+                    Some(_) => {
+                        t.waiting.insert(who, s);
+                        if let Some(report) = t.cycle_from(who, s) {
+                            t.waiting.remove(&who);
+                            return Err(EngineError::Deadlock(report));
+                        }
+                    }
+                }
+            }
+            self.evs[s].wait(key);
+        }
+    }
+
+    /// Releases `who`'s pin on shard `s`, waking the shard's waiters
+    /// only if any exist (checked under the same lock their wait edges
+    /// go through, so a skipped notify can never strand one).
+    pub(crate) fn unpin(&self, who: TxnId, s: usize) {
+        let waiters = {
+            let mut t = self.inner.lock().unwrap();
+            if t.owner[s] == Some(who) {
+                t.owner[s] = None;
+            }
+            t.waiting.values().any(|&w| w == s)
+        };
+        if waiters {
+            self.evs[s].notify();
+        }
+    }
+}
+
+/// Everything [`ExecutionMode::ShardLoops`] adds to the engine.
+pub(crate) struct LoopsState {
+    pub(crate) shards: Vec<ShardLoopState>,
+    pub(crate) pins: PinTable,
+}
+
+impl LoopsState {
+    pub(crate) fn new(shards: usize, rt: &dyn Runtime) -> Self {
+        Self {
+            shards: (0..shards)
+                .map(|_| ShardLoopState::new(rt.event()))
+                .collect(),
+            pins: PinTable::new(shards, rt),
+        }
+    }
+}

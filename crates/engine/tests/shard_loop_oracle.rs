@@ -1,0 +1,329 @@
+//! Shard-loops execution oracle tests.
+//!
+//! The tentpole claim is that [`ExecutionMode::ShardLoops`] — per-shard
+//! single-writer loops with message-routed cross-shard plans — changes
+//! **no** accept/reject decision relative to the mutex engine: every
+//! loop command body is the mutex fast path verbatim, and escalated
+//! plans run the same planner and the same union cycle check. The twin
+//! tests here drive identical deterministic workloads through both
+//! execution modes and demand identical decisions, identical commit and
+//! abort counts, and identical committed stores.
+//!
+//! Decision equality is a *sequential* property: two OS-concurrent runs
+//! legally diverge in which interleaving (and therefore which Rule-3
+//! aborts) they see, so the twins are driven single-threaded, script by
+//! script — the determinism of concurrent loop runs is covered
+//! separately by the testkit's virtual-scheduler zoo.
+//!
+//! Also here: the out-of-order pin API's deadlock detector must turn a
+//! cross-shard wait cycle into a *named* report, never a hang.
+
+use deltx_engine::{
+    run_seed, DurabilityConfig, Engine, EngineConfig, EngineError, ExecutionMode, GcPolicy,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+const SHARDS: usize = 4;
+const ENTITIES: u32 = 16;
+
+/// Self-cleaning per-test WAL directory.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "deltx-loops-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TestDir(dir)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn config(execution: ExecutionMode, durability: Option<DurabilityConfig>) -> EngineConfig {
+    EngineConfig {
+        shards: SHARDS,
+        gc: GcPolicy::Noncurrent,
+        background_gc: false, // deterministic: the test drives GC
+        record_history: false,
+        partial_escalation: true,
+        partial_gc: true,
+        durability,
+        execution,
+        ..EngineConfig::default()
+    }
+}
+
+/// One scripted transaction: which entities to read, which to write,
+/// and whether to roll back instead of committing.
+#[derive(Debug, Clone)]
+struct Script {
+    reads: Vec<u32>,
+    writes: Vec<u32>,
+    client_abort: bool,
+}
+
+/// Deterministic mixed workload: single-shard, two-shard, and scatter
+/// transactions, with occasional voluntary rollbacks. Entity `x` lives
+/// on shard `x % SHARDS`.
+fn mixed_scripts(n: usize, seed: u64) -> Vec<Script> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let kind = rng.gen_range(0u32..10);
+            let pick_in_shard = |rng: &mut StdRng, s: u32| {
+                s + SHARDS as u32 * rng.gen_range(0..ENTITIES / SHARDS as u32)
+            };
+            let (reads, writes) = if kind < 5 {
+                // Single-shard read-modify-write.
+                let s = rng.gen_range(0..SHARDS as u32);
+                let x = pick_in_shard(&mut rng, s);
+                let y = pick_in_shard(&mut rng, s);
+                (vec![x], vec![x, y])
+            } else if kind < 8 {
+                // Two-shard transfer.
+                let x = rng.gen_range(0..ENTITIES);
+                let y = rng.gen_range(0..ENTITIES);
+                (vec![x, y], vec![x, y])
+            } else if kind < 9 {
+                // Scatter write over three entities.
+                let xs: Vec<u32> = (0..3).map(|_| rng.gen_range(0..ENTITIES)).collect();
+                (vec![xs[0]], xs)
+            } else {
+                // Read-only.
+                (vec![rng.gen_range(0..ENTITIES)], vec![])
+            };
+            Script {
+                reads,
+                writes,
+                client_abort: i % 13 == 7,
+            }
+        })
+        .collect()
+}
+
+/// Contention-shaped workload: nearly every transaction is a transfer
+/// inside the hot shard pair {0, 1} (what `engine_stress --contention`
+/// hammers), with a trickle of cold single-shard traffic on shard 3.
+fn contention_scripts(n: usize, seed: u64) -> Vec<Script> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 9 == 4 {
+                let x = 3 + SHARDS as u32 * rng.gen_range(0..ENTITIES / SHARDS as u32 - 1);
+                Script {
+                    reads: vec![x],
+                    writes: vec![x],
+                    client_abort: false,
+                }
+            } else {
+                let x = SHARDS as u32 * rng.gen_range(0..ENTITIES / SHARDS as u32);
+                let y = 1 + SHARDS as u32 * rng.gen_range(0..ENTITIES / SHARDS as u32);
+                Script {
+                    reads: vec![x, y],
+                    writes: vec![x, y],
+                    client_abort: i % 17 == 11,
+                }
+            }
+        })
+        .collect()
+}
+
+/// What the engine decided for one script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Committed,
+    SchedulerAborted,
+    ClientAborted,
+}
+
+/// Runs one script on `e`, returning the decision.
+fn run_script(e: &Engine, sc: &Script) -> Outcome {
+    let mut t = e.begin();
+    for &x in &sc.reads {
+        if t.read(x).is_err() {
+            return Outcome::SchedulerAborted;
+        }
+    }
+    if sc.client_abort {
+        t.abort();
+        return Outcome::ClientAborted;
+    }
+    for (i, &x) in sc.writes.iter().enumerate() {
+        t.write(x, i as i64 + 1);
+    }
+    match t.commit() {
+        Ok(()) => Outcome::Committed,
+        Err(EngineError::Aborted(_)) => Outcome::SchedulerAborted,
+        Err(e) => panic!("unexpected engine error: {e}"),
+    }
+}
+
+/// Drives the same scripts through a ShardLoops engine and a Mutex
+/// twin, demanding identical decisions, counts, and stores.
+fn assert_twins_agree(loops: &Engine, mutex: &Engine, scripts: &[Script]) {
+    for (i, sc) in scripts.iter().enumerate() {
+        let ol = run_script(loops, sc);
+        let om = run_script(mutex, sc);
+        assert_eq!(ol, om, "decision diverged on script {i}: {sc:?}");
+        if i % 11 == 0 {
+            loops.gc_sweep();
+            mutex.gc_sweep();
+        }
+    }
+    loops.gc_sweep();
+    mutex.gc_sweep();
+    let (ml, mm) = (loops.metrics(), mutex.metrics());
+    assert_eq!(ml.commits, mm.commits, "commit counts diverged");
+    assert_eq!(
+        ml.aborts_scheduler, mm.aborts_scheduler,
+        "scheduler-abort counts diverged"
+    );
+    assert_eq!(ml.aborts_voluntary, mm.aborts_voluntary);
+    for x in 0..ENTITIES {
+        assert_eq!(
+            loops.peek(x),
+            mutex.peek(x),
+            "stores diverged at entity {x}"
+        );
+    }
+    // The loop machinery must actually be in the path: every served
+    // command ticks the owning shard's counter, combiner or loop task.
+    let served: u64 = ml.loop_commands.iter().sum();
+    assert!(served > 0, "shard loops never served a command: {ml}");
+    assert!(
+        mm.loop_commands.is_empty(),
+        "mutex engine has no loop counters"
+    );
+}
+
+#[test]
+fn loops_and_mutex_agree_on_mixed_traffic() {
+    let loops = Engine::new(config(ExecutionMode::ShardLoops, None));
+    let mutex = Engine::new(config(ExecutionMode::Mutex, None));
+    let scripts = mixed_scripts(1500, run_seed(0x5104));
+    assert_twins_agree(&loops, &mutex, &scripts);
+    let m = loops.metrics();
+    assert!(
+        m.coord_round_trips > 1000,
+        "mixed traffic must exercise the coordinator path: {m}"
+    );
+    assert!(m.fast_path_ops > 0, "and the single-shard loop path: {m}");
+}
+
+#[test]
+fn loops_and_mutex_agree_under_contention_traffic() {
+    let loops = Engine::new(config(ExecutionMode::ShardLoops, None));
+    let mutex = Engine::new(config(ExecutionMode::Mutex, None));
+    let scripts = contention_scripts(1200, run_seed(0xC0));
+    assert_twins_agree(&loops, &mutex, &scripts);
+    let m = loops.metrics();
+    assert!(
+        m.coord_round_trips > 500,
+        "hot-pair transfers must drive coordinator rounds: {m}"
+    );
+}
+
+#[test]
+fn loops_and_mutex_agree_with_durability() {
+    let (dl, dm) = (TestDir::new("ab-loops"), TestDir::new("ab-mutex"));
+    let mk = |mode: ExecutionMode, dir: &TestDir| {
+        Engine::new(config(
+            mode,
+            Some(DurabilityConfig {
+                fsync: false, // decision equality is the point; no device needed
+                ..DurabilityConfig::new(dir.0.clone())
+            }),
+        ))
+    };
+    let loops = mk(ExecutionMode::ShardLoops, &dl);
+    let mutex = mk(ExecutionMode::Mutex, &dm);
+    let scripts = mixed_scripts(600, run_seed(0xD0));
+    assert_twins_agree(&loops, &mutex, &scripts);
+
+    // A loops engine's WAL (submitted under loop ownership) must replay
+    // to the same store a fresh engine recovers — in either mode.
+    let expect: Vec<i64> = (0..ENTITIES).map(|x| loops.peek(x)).collect();
+    drop(loops);
+    let (recovered, report) = Engine::open(config(
+        ExecutionMode::ShardLoops,
+        Some(DurabilityConfig {
+            fsync: false,
+            ..DurabilityConfig::new(dl.0.clone())
+        }),
+    ))
+    .expect("clean log reopens");
+    assert!(
+        report.commits_replayed > 0,
+        "commits were logged: {report:?}"
+    );
+    for x in 0..ENTITIES {
+        assert_eq!(
+            recovered.peek(x),
+            expect[x as usize],
+            "recovery diverged at entity {x}"
+        );
+    }
+}
+
+#[test]
+fn out_of_order_pins_get_a_named_deadlock_report() {
+    // Two front-end pinners take shards in opposite orders — the shape
+    // the engine's own ascending coordinators can never produce, and
+    // exactly what the out-of-order pin API must catch. One of the two
+    // must get `EngineError::Deadlock` naming the cycle; neither may
+    // hang.
+    let e = Arc::new(Engine::new(config(ExecutionMode::ShardLoops, None)));
+    let gate = Arc::new(Barrier::new(2));
+    let spawn = |txn: u32, first: usize, second: usize| {
+        let e = Arc::clone(&e);
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            e.pin_shard(txn, first).expect("first pin is uncontended");
+            gate.wait();
+            let r = e.pin_shard(txn, second);
+            if r.is_ok() {
+                e.unpin_shard(txn, second);
+            }
+            e.unpin_shard(txn, first);
+            r
+        })
+    };
+    let a = spawn(1, 0, 1);
+    let b = spawn(2, 1, 0);
+    let ra = a.join().expect("pinner must not panic");
+    let rb = b.join().expect("pinner must not panic");
+
+    let reports: Vec<String> = [&ra, &rb]
+        .iter()
+        .filter_map(|r| match r {
+            Err(EngineError::Deadlock(rep)) => Some(rep.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        reports.len(),
+        1,
+        "exactly one participant closes the cycle: {ra:?} / {rb:?}"
+    );
+    let rep = &reports[0];
+    for hop in ["waits for shard 0", "waits for shard 1", "pinned by txn"] {
+        assert!(rep.contains(hop), "report must name the cycle: {rep}");
+    }
+
+    // The winner's pins were all released: both shards pin freely now.
+    e.pin_shard(3, 0).expect("shard 0 is free again");
+    e.pin_shard(3, 1).expect("shard 1 is free again");
+    e.unpin_shard(3, 1);
+    e.unpin_shard(3, 0);
+}

@@ -39,9 +39,9 @@
 use crate::sim::{ScheduleTrace, SimConfig, VirtualRuntime};
 use deltx_core::CgState;
 use deltx_engine::{
-    CrashPoint, DurabilityConfig, Engine, EngineConfig, EngineError, Event, FaultSpec,
-    FaultyStorage, FsStorage, GcPolicy, MetricsSnapshot, RecoverPolicy, Runtime, Session,
-    TaskHandle, WalHealth, WalStorage,
+    CrashPoint, DurabilityConfig, Engine, EngineConfig, EngineError, Event, ExecutionMode,
+    FaultSpec, FaultyStorage, FsStorage, GcPolicy, MetricsSnapshot, RecoverPolicy, Runtime,
+    Session, TaskHandle, WalHealth, WalStorage,
 };
 use deltx_model::{Schedule, TxnId};
 use rand::rngs::StdRng;
@@ -264,6 +264,9 @@ pub struct WorkloadSpec {
     pub gc_interval_us: u64,
     /// Run with the write-ahead log (group commit under the sim).
     pub durable: bool,
+    /// How the engine drives its shards: the mutex baseline or
+    /// single-writer shard loops (`ExecutionMode::ShardLoops`).
+    pub execution: ExecutionMode,
     /// Fault to inject.
     pub fault: FaultPlan,
     /// Oracles to run.
@@ -378,9 +381,13 @@ impl WorkloadSpec {
             } => format!("partition {at_commits} {heal_after_ns}"),
         };
         let c = &self.checks;
+        let execution = match self.execution {
+            ExecutionMode::Mutex => "mutex",
+            ExecutionMode::ShardLoops => "shard_loops",
+        };
         format!(
             "name {}\nsessions {}\ntxns {}\nentities {}\nshards {}\nprofile {}\n\
-             abort_every {}\nthink_ns {}\ngc_interval_us {}\ndurable {}\nfault {}\n\
+             abort_every {}\nthink_ns {}\ngc_interval_us {}\ndurable {}\nexecution {}\nfault {}\n\
              checks replay={} csr={} balance={} bound={} summary={}\n",
             self.name,
             self.sessions,
@@ -392,6 +399,7 @@ impl WorkloadSpec {
             self.think_ns,
             self.gc_interval_us,
             flag(self.durable),
+            execution,
             fault,
             flag(c.oracle_replay),
             flag(c.csr),
@@ -420,6 +428,7 @@ impl WorkloadSpec {
             think_ns: 0,
             gc_interval_us: 50,
             durable: false,
+            execution: ExecutionMode::Mutex,
             fault: FaultPlan::None,
             checks: Checks::all(),
         };
@@ -445,6 +454,13 @@ impl WorkloadSpec {
                     spec.gc_interval_us = num(parts.next(), "gc_interval_us").map_err(at)?
                 }
                 "durable" => spec.durable = parts.next() == Some("1"),
+                "execution" => {
+                    spec.execution = match parts.next() {
+                        Some("mutex") | None => ExecutionMode::Mutex,
+                        Some("shard_loops") => ExecutionMode::ShardLoops,
+                        other => return Err(at(format!("unknown execution mode {other:?}"))),
+                    };
+                }
                 "profile" => {
                     spec.profile = match parts.next() {
                         Some("transfer") => Profile::Transfer {
@@ -1128,6 +1144,7 @@ fn run_body(
             record_history: true,
             partial_escalation: true,
             partial_gc: true,
+            execution: spec.execution,
             durability: wal_dir.map(durability),
             runtime: Arc::clone(rt) as Arc<dyn Runtime>,
         })
@@ -1279,6 +1296,7 @@ fn run_disk_body(
         record_history: true,
         partial_escalation: true,
         partial_gc: true,
+        execution: spec.execution,
         durability: Some(disk_durability(
             Some(Arc::clone(&storage) as Arc<dyn WalStorage>),
             RecoverPolicy::Strict,

@@ -11,7 +11,7 @@
 //! self-test replays each spec twice per seed.
 
 use crate::workload::{Checks, DiskFault, FaultPlan, Profile, WorkloadSpec};
-use deltx_engine::CrashPoint;
+use deltx_engine::{CrashPoint, ExecutionMode};
 
 /// The stress suite's banking mix (`stress_replay::run_mix` ported to
 /// the simulator): uniform transfers, 30% cross-shard, client
@@ -28,6 +28,7 @@ pub fn transfer_mix() -> WorkloadSpec {
         think_ns: 2_000,
         gc_interval_us: 50,
         durable: false,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::None,
         checks: Checks::all(),
     }
@@ -48,6 +49,7 @@ pub fn hot_key_skew() -> WorkloadSpec {
         think_ns: 2_000,
         gc_interval_us: 50,
         durable: false,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::None,
         checks: Checks::all(),
     }
@@ -71,6 +73,7 @@ pub fn long_readers() -> WorkloadSpec {
         think_ns: 4_000,
         gc_interval_us: 50,
         durable: false,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::None,
         checks: Checks::all(),
     }
@@ -90,6 +93,7 @@ pub fn batch_jobs() -> WorkloadSpec {
         think_ns: 3_000,
         gc_interval_us: 50,
         durable: false,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::None,
         checks: Checks::all(),
     }
@@ -109,6 +113,7 @@ pub fn read_mostly_fanout() -> WorkloadSpec {
         think_ns: 2_000,
         gc_interval_us: 50,
         durable: false,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::None,
         checks: Checks {
             balance_sum: false,
@@ -132,6 +137,7 @@ pub fn cross_shard_chain() -> WorkloadSpec {
         think_ns: 2_000,
         gc_interval_us: 50,
         durable: false,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::None,
         checks: Checks::all(),
     }
@@ -152,6 +158,7 @@ pub fn durable_crash_mid_run() -> WorkloadSpec {
         think_ns: 3_000,
         gc_interval_us: 50,
         durable: true,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::Crash {
             after_commits: 40,
             point: CrashPoint::TornWriteAt(11),
@@ -184,6 +191,7 @@ pub fn boundary_flood() -> WorkloadSpec {
         think_ns: 1_000,
         gc_interval_us: 50,
         durable: false,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::None,
         checks: Checks::all(),
     }
@@ -209,6 +217,7 @@ pub fn hot_contention() -> WorkloadSpec {
         think_ns: 0,
         gc_interval_us: 20,
         durable: false,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::None,
         checks: Checks {
             // Zero think time starves the background GC tick (virtual
@@ -236,6 +245,7 @@ pub fn durable_crash_recover_twice() -> WorkloadSpec {
         think_ns: 3_000,
         gc_interval_us: 50,
         durable: true,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::CrashLoop {
             after_commits: 30,
             point: CrashPoint::MidFlushTorn,
@@ -266,6 +276,7 @@ pub fn disk_transient_appends() -> WorkloadSpec {
         think_ns: 3_000,
         gc_interval_us: 50,
         durable: true,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::Disk {
             fault: DiskFault::TransientAppend { at: 2, burst: 2 },
         },
@@ -289,6 +300,7 @@ pub fn disk_fsync_poison() -> WorkloadSpec {
         think_ns: 3_000,
         gc_interval_us: 50,
         durable: true,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::Disk {
             fault: DiskFault::FsyncFail { at: 1 },
         },
@@ -317,6 +329,7 @@ pub fn disk_enospc_pressure() -> WorkloadSpec {
         think_ns: 3_000,
         gc_interval_us: 50,
         durable: true,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::Disk {
             fault: DiskFault::Capacity { bytes: 6 * 1024 },
         },
@@ -346,6 +359,7 @@ pub fn disk_corrupt_sealed_scrub() -> WorkloadSpec {
         think_ns: 3_000,
         gc_interval_us: 400,
         durable: true,
+        execution: ExecutionMode::Mutex,
         fault: FaultPlan::Disk {
             fault: DiskFault::CorruptSealed { sector: 0 },
         },
@@ -355,6 +369,31 @@ pub fn disk_corrupt_sealed_scrub() -> WorkloadSpec {
             live_graph_bound: false,
             ..Checks::all()
         },
+    }
+}
+
+/// The adversarial cross-shard chain rerun under
+/// [`ExecutionMode::ShardLoops`]: every commit escalates, so the pin
+/// choreography (ascending pin → validate → decide → release) carries
+/// essentially all the traffic, with the full oracle battery watching.
+pub fn loop_cross_chain() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "loop_cross_chain".into(),
+        execution: ExecutionMode::ShardLoops,
+        ..cross_shard_chain()
+    }
+}
+
+/// Hot-pair skew under shard loops **with the WAL on**: mailbox-routed
+/// single-shard commits submit log records under loop ownership while
+/// escalated ones submit under pins — recovery and balance conservation
+/// must hold across both submission paths.
+pub fn loop_skew_durable() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "loop_skew_durable".into(),
+        execution: ExecutionMode::ShardLoops,
+        durable: true,
+        ..hot_key_skew()
     }
 }
 
@@ -375,5 +414,7 @@ pub fn all() -> Vec<WorkloadSpec> {
         disk_fsync_poison(),
         disk_enospc_pressure(),
         disk_corrupt_sealed_scrub(),
+        loop_cross_chain(),
+        loop_skew_durable(),
     ]
 }

@@ -11,6 +11,14 @@
 //! #                       cross-shard % ──────────────────────┘      │         │
 //! #   flags (any order): "all-locks" disables partial escalation ────┘         │
 //! #                      "all-locks-gc" forces stop-the-world multi-shard GC ──┘
+//! #                      "shard-loops": run the engine in
+//! #                       ExecutionMode::ShardLoops — each shard a
+//! #                       single-writer loop fed by a command mailbox
+//! #                       (flat-combining fast path), cross-shard plans
+//! #                       choreographed by pinning loops ascending. Same
+//! #                       decisions, same final stores; contention
+//! #                       throughput lands in BENCH_10.json for the A/B
+//! #                       against the mutex baseline
 //! #                      "--contention": cross traffic hits many DISJOINT hot
 //! #                       shard pairs (0↔1, 2↔3, …) instead of uniform pairs —
 //! #                       the worst case for a single coordination mutex, the
@@ -39,7 +47,9 @@
 //! metrics. Headline numbers are merged into `BENCH_6.json` at the
 //! repository root so CI can archive them across runs.
 
-use deltx_engine::{bench_report, run_seed_arg, DurabilityConfig, Engine, EngineConfig, GcPolicy};
+use deltx_engine::{
+    bench_report, run_seed_arg, DurabilityConfig, Engine, EngineConfig, ExecutionMode, GcPolicy,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
@@ -87,17 +97,18 @@ fn main() {
     if let Some(bad) = flags.iter().find(|f| {
         !matches!(
             **f,
-            "all-locks" | "all-locks-gc" | "--contention" | "--durable" | "--fsync"
+            "all-locks" | "all-locks-gc" | "shard-loops" | "--contention" | "--durable" | "--fsync"
         )
     }) {
         eprintln!(
             "unknown flag `{bad}` (expected `all-locks`, `all-locks-gc`, \
-             `--contention`, `--durable`, `--fsync` and/or `--seed N`)"
+             `shard-loops`, `--contention`, `--durable`, `--fsync` and/or `--seed N`)"
         );
         std::process::exit(2);
     }
     let partial: bool = !flags.contains(&"all-locks");
     let partial_gc: bool = !flags.contains(&"all-locks-gc");
+    let loops: bool = flags.contains(&"shard-loops");
     let contention: bool = flags.contains(&"--contention");
     let fsync: bool = flags.contains(&"--fsync");
     let durable: bool = flags.contains(&"--durable") || fsync;
@@ -121,19 +132,34 @@ fn main() {
     let engine = Engine::new(EngineConfig {
         shards,
         gc: GcPolicy::Noncurrent,
-        gc_interval: Duration::from_millis(1),
+        // 8ms keeps the GC tick rate one both execution modes can
+        // sustain under contention: at 1ms the mutex engine's sweeps
+        // are lock-starved (it completes ~7x fewer than scheduled)
+        // while shard-loops sweeps keep pace, so the A/B would compare
+        // engines doing different amounts of GC work.
+        gc_interval: Duration::from_millis(8),
         background_gc: true,
         record_history: false,
         partial_escalation: partial,
         partial_gc,
+        execution: if loops {
+            ExecutionMode::ShardLoops
+        } else {
+            ExecutionMode::Mutex
+        },
         durability: wal_dir.as_ref().map(&durability),
         ..EngineConfig::default()
     });
 
     println!(
         "engine_stress: {threads} threads x {} txns, {n_entities} entities, \
-         {shards} shards, {cross_pct}% cross-shard{}{}",
+         {shards} shards, {cross_pct}% cross-shard{}{}{}",
         total_txns / threads,
+        if loops {
+            " (shard-loops execution)"
+        } else {
+            ""
+        },
         if contention {
             " (contention mode: disjoint hot shard pairs)"
         } else {
@@ -253,6 +279,30 @@ fn main() {
         "balance sum must be conserved (serializability) [seed {seed}]"
     );
 
+    // Contention mode's sharper oracle: every hot pair's closure
+    // {2i, 2i+1} is closed under its traffic (cross transfers stay in
+    // the pair, same-shard transfers in one shard), so each pair must
+    // conserve its own sum — a leak localizes the failure to one
+    // closure, and the echoed seed makes the red run replayable. Only
+    // meaningful when the entity universe tiles the shards evenly;
+    // otherwise the `% n_entities` wrap bleeds across pairs.
+    if contention && n_entities.is_multiple_of(shards as u32) {
+        for pair in 0..shards as u32 / 2 {
+            let pair_sum: i64 = (0..n_entities)
+                .filter(|x| (x % shards as u32) / 2 == pair)
+                .map(|x| engine.peek(x))
+                .sum();
+            assert_eq!(
+                pair_sum,
+                0,
+                "hot pair {pair} (shards {}\u{2194}{}) leaked value across its \
+                 closure [seed {seed}]",
+                2 * pair,
+                2 * pair + 1
+            );
+        }
+    }
+
     // Bookkeeping tripwire: the registry and the per-shard boundary
     // counts must never disagree, under any locking mode.
     assert_eq!(
@@ -360,5 +410,33 @@ fn main() {
 
     if let Err(e) = bench_report::merge_json(&bench_path, &entries) {
         eprintln!("warning: could not write {}: {e}", bench_path.display());
+    }
+
+    // The shard-loops A/B: contention throughput per (execution mode,
+    // lock strategy) cell, all four in one report so CI can compare
+    // loops against the mutex baseline side by side.
+    if contention {
+        let key = match (loops, partial) {
+            (true, true) => "contention_loops_partial_txn_s",
+            (true, false) => "contention_loops_all_locks_txn_s",
+            (false, true) => "contention_mutex_partial_txn_s",
+            (false, false) => "contention_mutex_all_locks_txn_s",
+        };
+        let mut cells: Vec<(&str, String)> = vec![(key, format!("{txn_s:.0}"))];
+        if loops {
+            let batches: u64 = m.mailbox_depth_hist.iter().sum();
+            let coord_mean_ns = m
+                .coord_round_trip_nanos
+                .checked_div(m.coord_timed_rounds)
+                .unwrap_or(0);
+            cells.push(("loops_mailbox_batches", batches.to_string()));
+            cells.push(("loops_hint_escalations", m.hint_escalations.to_string()));
+            cells.push(("loops_coord_rounds", m.coord_round_trips.to_string()));
+            cells.push(("loops_coord_mean_ns", coord_mean_ns.to_string()));
+        }
+        let cell_path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_10.json"));
+        if let Err(e) = bench_report::merge_json(&cell_path, &cells) {
+            eprintln!("warning: could not write {}: {e}", cell_path.display());
+        }
     }
 }
